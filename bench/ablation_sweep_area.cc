@@ -1,0 +1,71 @@
+/// Ablation A3 — exchangeable join modules (paper §4.5 / §1
+/// "implementation type (nested-loops, hash-based)").
+///
+/// The same windowed equi-join runs with list-based (nested-loops) and
+/// hash-based sweep areas over workloads of varying key cardinality. The
+/// measured CPU usage metadata (work units/s: candidates examined) shows
+/// where each implementation wins: at cardinality 1 both examine everything;
+/// as cardinality grows, hash probes shrink by the cardinality factor while
+/// nested loops stay flat. The implementation-type and module metadata used
+/// here are the §4.5 machinery.
+
+#include <memory>
+
+#include "bench/support.h"
+#include "metadata/handler.h"
+
+namespace pipes::bench {
+namespace {
+
+struct Outcome {
+  double measured_cpu;
+  double est_cpu;
+  uint64_t matches;
+  std::string impl;
+};
+
+Outcome RunJoin(bool hash, int64_t keys) {
+  WindowJoinPlan plan(/*rate_per_sec=*/100.0, /*window=*/Seconds(1), keys,
+                      hash);
+  auto cpu =
+      plan.engine.metadata().Subscribe(*plan.join, keys::kCpuUsage).value();
+  auto est =
+      plan.engine.metadata().Subscribe(*plan.join, keys::kEstCpuUsage).value();
+  auto impl = plan.engine.metadata()
+                  .Subscribe(*plan.join, keys::kImplementationType)
+                  .value();
+  plan.Start();
+  plan.engine.RunFor(Seconds(10));
+  return Outcome{cpu.GetDouble(), est.GetDouble(), plan.join->match_count(),
+                 impl.Get().AsString()};
+}
+
+void Run() {
+  Banner("A3", "sweep-area modules: nested-loops vs. hash join",
+         "nested-loops CPU is flat in key cardinality; hash CPU shrinks "
+         "~1/cardinality; both produce identical matches");
+
+  TablePrinter table({"keys", "impl", "measured cpu [wu/s]", "est cpu [wu/s]",
+                      "matches", "hash speedup"});
+  for (int64_t keys : {1, 4, 16, 64, 256}) {
+    Outcome nl = RunJoin(false, keys);
+    Outcome h = RunJoin(true, keys);
+    table.AddRow({std::to_string(keys), nl.impl,
+                  TablePrinter::Fmt(nl.measured_cpu, 0),
+                  TablePrinter::Fmt(nl.est_cpu, 0),
+                  TablePrinter::Fmt(nl.matches), ""});
+    table.AddRow({std::to_string(keys), h.impl,
+                  TablePrinter::Fmt(h.measured_cpu, 0),
+                  TablePrinter::Fmt(h.est_cpu, 0), TablePrinter::Fmt(h.matches),
+                  TablePrinter::Fmt(nl.measured_cpu / h.measured_cpu, 1) + "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace pipes::bench
+
+int main() {
+  pipes::bench::Run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Figure 4 — "Problems with concurrent periodic access".
+///
+/// Scenario (verbatim from the paper): elements arrive every 10 time units
+/// (true input rate 0.1), two users read the input-rate item every 50 time
+/// units, interleaved. With a naive reset-on-access on-demand computation
+/// the two consumers interfere: user 2 reads freshly reset counters (rate 0)
+/// and user 1 over-counts. The shared periodic handler returns the correct
+/// 0.1 to both. This harness regenerates the figure's table.
+
+#include <cinttypes>
+#include <memory>
+#include <vector>
+
+#include "bench/support.h"
+#include "metadata/handler.h"
+#include "metadata/probes.h"
+
+namespace pipes::bench {
+namespace {
+
+struct ProviderOnly : MetadataProvider {
+  using MetadataProvider::MetadataProvider;
+};
+
+void Run() {
+  Banner("Figure 4", "problems with concurrent periodic access",
+         "naive on-demand rate: user1 inflated, user2 ~0; "
+         "periodic handler: both read the correct 0.1");
+
+  VirtualTimeScheduler scheduler;
+  MetadataManager manager(scheduler);
+  ProviderOnly op("operator");
+  CounterProbe arrivals;
+  arrivals.Enable();
+
+  // Element arrival every 10 time units.
+  for (Timestamp t = 10; t <= 600; t += 10) {
+    scheduler.ScheduleAt(t, [&arrivals] { arrivals.Increment(); });
+  }
+
+  // Naive on-demand rate: count since last access / time since last access.
+  auto naive_cursor = std::make_shared<ProbeCursor>();
+  (void)op.metadata_registry().Define(
+      MetadataDescriptor::OnDemand("rate_naive")
+          .WithEvaluator([&, naive_cursor](EvalContext& ctx) -> MetadataValue {
+            if (ctx.elapsed() <= 0) return 0.0;
+            return double(naive_cursor->TakeDelta(arrivals)) /
+                   double(ctx.elapsed());
+          }));
+
+  // The paper's fix: a periodic handler computing per fixed 50-unit window.
+  auto periodic_cursor = std::make_shared<ProbeCursor>();
+  (void)op.metadata_registry().Define(
+      MetadataDescriptor::Periodic("rate_periodic", 50)
+          .WithEvaluator(
+              [&, periodic_cursor](EvalContext& ctx) -> MetadataValue {
+                if (ctx.elapsed() <= 0) return MetadataValue::Null();
+                return double(periodic_cursor->TakeDelta(arrivals)) /
+                       double(ctx.elapsed());
+              }));
+
+  auto naive1 = manager.Subscribe(op, "rate_naive").value();
+  auto naive2 = manager.Subscribe(op, "rate_naive").value();
+  auto periodic1 = manager.Subscribe(op, "rate_periodic").value();
+  auto periodic2 = manager.Subscribe(op, "rate_periodic").value();
+
+  TablePrinter table({"t", "user", "naive rate", "periodic rate", "correct"});
+  // User 1 reads at 100, 150, ...; user 2 reads 1 time unit later (the
+  // figure's interleaved accesses).
+  for (Timestamp t = 100; t <= 400; t += 50) {
+    scheduler.RunUntil(t);
+    table.AddRow({std::to_string(t), "user1",
+                  TablePrinter::Fmt(naive1.GetDouble(), 3),
+                  TablePrinter::Fmt(periodic1.GetDouble(), 3), "0.100"});
+    scheduler.RunUntil(t + 1);
+    table.AddRow({std::to_string(t + 1), "user2",
+                  TablePrinter::Fmt(naive2.GetDouble(), 3),
+                  TablePrinter::Fmt(periodic2.GetDouble(), 3), "0.100"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "note: both naive subscriptions share one handler (1-to-1 item/handler"
+      " relationship); the interference is inherent to reset-on-access, not"
+      " to sharing.\n\n");
+}
+
+}  // namespace
+}  // namespace pipes::bench
+
+int main() {
+  pipes::bench::Run();
+  return 0;
+}

@@ -1,0 +1,118 @@
+/// S5 — Automatic inclusion/exclusion cost (paper §2.4).
+///
+/// Measures the wall-clock latency of Subscribe/unsubscribe as a function of
+/// the dependency closure's shape: linear chains of growing depth and
+/// fan-out trees of growing width. Expectation: cost grows linearly with
+/// the closure size (the DFS visits each item once); re-subscribing to an
+/// already-provided item is O(1).
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/support.h"
+#include "metadata/handler.h"
+
+namespace pipes::bench {
+namespace {
+
+struct ProviderOnly : MetadataProvider {
+  using MetadataProvider::MetadataProvider;
+};
+
+double MicrosFor(const std::function<void()>& fn, int repeats = 20) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         repeats;
+}
+
+void DefineChain(ProviderOnly& p, int depth) {
+  (void)p.metadata_registry().Define(
+      MetadataDescriptor::OnDemand("c0").WithEvaluator(
+          [](EvalContext&) { return MetadataValue(1.0); }));
+  for (int i = 1; i < depth; ++i) {
+    (void)p.metadata_registry().Define(
+        MetadataDescriptor::OnDemand("c" + std::to_string(i))
+            .DependsOnSelf("c" + std::to_string(i - 1))
+            .WithEvaluator([](EvalContext& ctx) {
+              return MetadataValue(ctx.DepDouble(0) + 1);
+            }));
+  }
+}
+
+void DefineTree(ProviderOnly& p, int fanout) {
+  std::vector<DependencySpec> specs;
+  for (int i = 0; i < fanout; ++i) {
+    (void)p.metadata_registry().Define(
+        MetadataDescriptor::OnDemand("leaf" + std::to_string(i))
+            .WithEvaluator([](EvalContext&) { return MetadataValue(1.0); }));
+    specs.push_back(DependencySpec::Self("leaf" + std::to_string(i)));
+  }
+  (void)p.metadata_registry().Define(
+      MetadataDescriptor::OnDemand("root")
+          .DependsOn(std::move(specs))
+          .WithEvaluator([](EvalContext& ctx) {
+            double sum = 0;
+            for (size_t i = 0; i < ctx.dep_count(); ++i) {
+              sum += ctx.DepDouble(i);
+            }
+            return MetadataValue(sum);
+          }));
+}
+
+void Run() {
+  Banner("S5", "automatic inclusion: subscription latency vs. closure shape",
+         "subscribe/unsubscribe cost ~ linear in the closure size; "
+         "subscribing an already-provided item is O(1)");
+
+  TablePrinter chains({"chain depth", "handlers included",
+                       "subscribe+unsubscribe [us]", "re-subscribe [us]"});
+  for (int depth : {1, 2, 5, 10, 20, 50, 100}) {
+    VirtualTimeScheduler scheduler;
+    MetadataManager manager(scheduler);
+    ProviderOnly p("p");
+    DefineChain(p, depth);
+    std::string top = "c" + std::to_string(depth - 1);
+
+    uint64_t handlers = 0;
+    double cycle_us = MicrosFor([&] {
+      auto sub = manager.Subscribe(p, top).value();
+      handlers = manager.active_handler_count();
+    });
+    auto keep = manager.Subscribe(p, top).value();
+    double reattach_us =
+        MicrosFor([&] { auto sub = manager.Subscribe(p, top).value(); });
+    chains.AddRow({std::to_string(depth), TablePrinter::Fmt(handlers),
+                   TablePrinter::Fmt(cycle_us, 1),
+                   TablePrinter::Fmt(reattach_us, 2)});
+  }
+  std::printf("%s\n", chains.ToString().c_str());
+
+  TablePrinter trees({"fan-out", "handlers included",
+                      "subscribe+unsubscribe [us]"});
+  for (int fanout : {1, 4, 16, 64, 256}) {
+    VirtualTimeScheduler scheduler;
+    MetadataManager manager(scheduler);
+    ProviderOnly p("p");
+    DefineTree(p, fanout);
+    uint64_t handlers = 0;
+    double cycle_us = MicrosFor([&] {
+      auto sub = manager.Subscribe(p, "root").value();
+      handlers = manager.active_handler_count();
+    });
+    trees.AddRow({std::to_string(fanout), TablePrinter::Fmt(handlers),
+                  TablePrinter::Fmt(cycle_us, 1)});
+  }
+  std::printf("%s\n", trees.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace pipes::bench
+
+int main() {
+  pipes::bench::Run();
+  return 0;
+}

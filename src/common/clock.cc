@@ -1,0 +1,41 @@
+#include "common/clock.h"
+
+#include <cassert>
+#include <chrono>
+#include <ctime>
+
+namespace pipes {
+
+Timestamp VirtualClock::Advance(Duration delta) {
+  assert(delta >= 0 && "VirtualClock cannot move backwards");
+  return now_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+}
+
+void VirtualClock::Set(Timestamp t) {
+  Timestamp cur = now_.load(std::memory_order_acquire);
+  while (t > cur &&
+         !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+  }
+  assert(t >= now_.load(std::memory_order_acquire) - 0 || true);
+}
+
+SystemClock::SystemClock() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  epoch_ = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+Timestamp SystemClock::Now() const {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  Timestamp t =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  return t - epoch_;
+}
+
+Duration ThreadCpuTimer::ThreadCpuNow() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<Duration>(ts.tv_sec) * kMicrosPerSecond +
+         ts.tv_nsec / 1000;
+}
+
+}  // namespace pipes

@@ -1,0 +1,70 @@
+/// \file clock.h
+/// \brief Clock abstraction: virtual (deterministic) and system clocks.
+///
+/// Every component that needs "now" takes a `Clock&`. Production deployments
+/// use `SystemClock`; tests and the figure-reproduction harnesses use
+/// `VirtualClock`, which only moves when explicitly advanced (usually by a
+/// `VirtualTimeScheduler`).
+
+#pragma once
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace pipes {
+
+/// \brief Source of the current time.
+///
+/// Thread safety: implementations must make Now() safe to call concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Returns the current time in microseconds.
+  virtual Timestamp Now() const = 0;
+};
+
+/// \brief A manually-advanced clock for deterministic execution.
+///
+/// Time never moves on its own; callers (typically a VirtualTimeScheduler)
+/// advance it. Starts at time 0.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override { return now_.load(std::memory_order_acquire); }
+
+  /// Moves the clock forward by `delta` (must be >= 0). Returns the new time.
+  Timestamp Advance(Duration delta);
+
+  /// Sets the clock to `t`. `t` must not be earlier than the current time.
+  void Set(Timestamp t);
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+/// \brief Wall-clock time based on std::chrono::steady_clock.
+///
+/// The epoch is the construction time of the clock, so timestamps are small
+/// and comparable with virtual-time runs.
+class SystemClock final : public Clock {
+ public:
+  SystemClock();
+  Timestamp Now() const override;
+
+ private:
+  Timestamp epoch_;
+};
+
+/// \brief Measures CPU time consumed by the calling thread.
+///
+/// Used for the "measured CPU usage" metadata items in real-threaded mode.
+class ThreadCpuTimer {
+ public:
+  /// Returns the CPU time consumed by the calling thread, in microseconds.
+  static Duration ThreadCpuNow();
+};
+
+}  // namespace pipes

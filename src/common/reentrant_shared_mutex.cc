@@ -1,0 +1,107 @@
+#include "common/reentrant_shared_mutex.h"
+
+#include <unordered_map>
+
+namespace pipes {
+
+namespace {
+// Per-thread shared-acquisition depth for each mutex instance. An entry is
+// erased when the depth drops to zero, so the map stays tiny.
+thread_local std::unordered_map<const ReentrantSharedMutex*, int> t_read_depth;
+}  // namespace
+
+int ReentrantSharedMutex::MyReadDepth() const {
+  auto it = t_read_depth.find(this);
+  return it == t_read_depth.end() ? 0 : it->second;
+}
+
+void ReentrantSharedMutex::SetMyReadDepth(int depth) {
+  if (depth == 0) {
+    t_read_depth.erase(this);
+  } else {
+    t_read_depth[this] = depth;
+  }
+}
+
+void ReentrantSharedMutex::lock() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto me = std::this_thread::get_id();
+  if (writer_ == me) {
+    ++write_depth_;
+    return;
+  }
+  assert(MyReadDepth() == 0 &&
+         "ReentrantSharedMutex: shared->exclusive upgrade is not supported");
+  ++waiting_writers_;
+  writers_cv_.wait(lock, [this] {
+    return write_depth_ == 0 && active_readers_ == 0;
+  });
+  --waiting_writers_;
+  writer_ = me;
+  write_depth_ = 1;
+}
+
+void ReentrantSharedMutex::unlock() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(writer_ == std::this_thread::get_id() && write_depth_ > 0);
+  if (--write_depth_ == 0) {
+    assert(writer_read_depth_ == 0 &&
+           "unlock() while still holding nested shared locks");
+    writer_ = std::thread::id{};
+    if (waiting_writers_ > 0) {
+      writers_cv_.notify_one();
+    } else {
+      readers_cv_.notify_all();
+    }
+  }
+}
+
+void ReentrantSharedMutex::lock_shared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto me = std::this_thread::get_id();
+  if (writer_ == me) {
+    ++writer_read_depth_;
+    return;
+  }
+  int depth = MyReadDepth();
+  if (depth > 0) {
+    // Reentrant read: never blocks, even with waiting writers, to avoid
+    // self-deadlock.
+    SetMyReadDepth(depth + 1);
+    ++active_readers_;
+    return;
+  }
+  readers_cv_.wait(lock, [this] {
+    return write_depth_ == 0 && waiting_writers_ == 0;
+  });
+  SetMyReadDepth(1);
+  ++active_readers_;
+}
+
+void ReentrantSharedMutex::unlock_shared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto me = std::this_thread::get_id();
+  if (writer_ == me) {
+    assert(writer_read_depth_ > 0);
+    --writer_read_depth_;
+    return;
+  }
+  int depth = MyReadDepth();
+  assert(depth > 0 && "unlock_shared() without matching lock_shared()");
+  SetMyReadDepth(depth - 1);
+  if (--active_readers_ == 0 && waiting_writers_ > 0) {
+    writers_cv_.notify_one();
+  }
+}
+
+bool ReentrantSharedMutex::HeldExclusiveByMe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_ == std::this_thread::get_id();
+}
+
+bool ReentrantSharedMutex::HeldByMe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_ == std::this_thread::get_id() || MyReadDepth() > 0;
+}
+
+}  // namespace pipes

@@ -1,0 +1,98 @@
+/// \file reentrant_shared_mutex.h
+/// \brief A reentrant read-write lock (paper §4.2).
+///
+/// PIPES controls concurrent access "at graph-, operator-, and metadata level"
+/// with "three different types of reentrant read-write locks". This class is
+/// the building block: a shared mutex that the same thread may acquire
+/// recursively, in the following combinations:
+///   - read inside read (recursive shared acquisition never blocks),
+///   - write inside write (recursive exclusive acquisition),
+///   - read inside write (the writer may take shared locks for free).
+/// Upgrading (requesting exclusive while holding only shared) is NOT
+/// supported and asserts in debug builds — upgrades are an unavoidable
+/// deadlock with two concurrent upgraders.
+///
+/// Writers are preferred over *new* readers to avoid writer starvation;
+/// reentrant readers are always admitted to avoid self-deadlock.
+
+#pragma once
+
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace pipes {
+
+class ReentrantSharedMutex {
+ public:
+  ReentrantSharedMutex() = default;
+  ReentrantSharedMutex(const ReentrantSharedMutex&) = delete;
+  ReentrantSharedMutex& operator=(const ReentrantSharedMutex&) = delete;
+
+  /// Acquires the lock exclusively; reentrant for the holding writer.
+  void lock();
+
+  /// Releases one level of exclusive ownership.
+  void unlock();
+
+  /// Acquires the lock shared; reentrant, and free for the holding writer.
+  void lock_shared();
+
+  /// Releases one level of shared ownership.
+  void unlock_shared();
+
+  /// True iff the calling thread currently holds the lock exclusively.
+  bool HeldExclusiveByMe() const;
+
+  /// True iff the calling thread holds at least one shared (or exclusive)
+  /// level of this lock.
+  bool HeldByMe() const;
+
+ private:
+  int MyReadDepth() const;
+  void SetMyReadDepth(int depth);
+
+  mutable std::mutex mu_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writers_cv_;
+  std::thread::id writer_{};
+  int write_depth_ = 0;
+  int writer_read_depth_ = 0;  // shared acquisitions by the current writer
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+};
+
+/// RAII shared lock.
+class SharedLock {
+ public:
+  explicit SharedLock(ReentrantSharedMutex& mu) : mu_(&mu) { mu_->lock_shared(); }
+  ~SharedLock() {
+    if (mu_) mu_->unlock_shared();
+  }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+  SharedLock(SharedLock&& other) noexcept : mu_(other.mu_) { other.mu_ = nullptr; }
+
+ private:
+  ReentrantSharedMutex* mu_;
+};
+
+/// RAII exclusive lock.
+class ExclusiveLock {
+ public:
+  explicit ExclusiveLock(ReentrantSharedMutex& mu) : mu_(&mu) { mu_->lock(); }
+  ~ExclusiveLock() {
+    if (mu_) mu_->unlock();
+  }
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+  ExclusiveLock(ExclusiveLock&& other) noexcept : mu_(other.mu_) {
+    other.mu_ = nullptr;
+  }
+
+ private:
+  ReentrantSharedMutex* mu_;
+};
+
+}  // namespace pipes

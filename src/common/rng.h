@@ -1,0 +1,80 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random numbers and the distributions used by
+/// the synthetic workload generators.
+///
+/// A seeded xoshiro256** generator plus uniform / exponential / Gaussian /
+/// Poisson / Zipf draws. All workloads in tests and benches are seeded, so
+/// runs are reproducible.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pipes {
+
+/// \brief xoshiro256** pseudo-random generator, seeded via SplitMix64.
+///
+/// Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (p clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Standard-normal (Box-Muller) scaled to N(mean, stddev^2).
+  double Gaussian(double mean, double stddev);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 50).
+  int64_t Poisson(double mean);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// \brief Zipf-distributed integers over {0, ..., n-1} with exponent `s`.
+///
+/// Uses a precomputed CDF with binary search; construction is O(n), draws are
+/// O(log n). Suitable for the value-skew workloads (n up to a few million).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a value in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,207 @@
+#include "common/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace pipes {
+
+// ---------------------------------------------------------------------------
+// VirtualTimeScheduler
+// ---------------------------------------------------------------------------
+
+VirtualTimeScheduler::VirtualTimeScheduler(VirtualClock* clock)
+    : clock_(clock ? clock : &owned_clock_) {}
+
+TaskHandle VirtualTimeScheduler::ScheduleAt(Timestamp when, Task fn) {
+  auto state = std::make_shared<TaskHandle::State>();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Tasks scheduled in the past run at the current time.
+  when = std::max(when, clock_->Now());
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state, /*period=*/0});
+  return TaskHandle(state);
+}
+
+TaskHandle VirtualTimeScheduler::SchedulePeriodic(Duration period, Task fn,
+                                                  Timestamp first_at) {
+  assert(period > 0 && "periodic task requires a positive period");
+  auto state = std::make_shared<TaskHandle::State>();
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp first =
+      first_at == kTimestampNever ? clock_->Now() + period : first_at;
+  queue_.push(Entry{first, next_seq_++, std::move(fn), state, period});
+  return TaskHandle(state);
+}
+
+SchedulerStats VirtualTimeScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t VirtualTimeScheduler::pending_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+Timestamp VirtualTimeScheduler::next_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() ? kTimestampMax : queue_.top().when;
+}
+
+bool VirtualTimeScheduler::PopDue(Timestamp t, Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > t) return false;
+    Entry e = top;
+    queue_.pop();
+    if (e.state->cancelled.load(std::memory_order_acquire)) continue;
+    *out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+uint64_t VirtualTimeScheduler::RunUntil(Timestamp t) {
+  uint64_t run = 0;
+  Entry e;
+  while (PopDue(t, &e)) {
+    clock_->Set(e.when);
+    e.fn();
+    ++run;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.tasks_run;
+      if (e.period > 0 &&
+          !e.state->cancelled.load(std::memory_order_acquire)) {
+        queue_.push(Entry{e.when + e.period, next_seq_++, std::move(e.fn),
+                          e.state, e.period});
+      }
+    }
+  }
+  clock_->Set(t);
+  return run;
+}
+
+bool VirtualTimeScheduler::RunNext() {
+  Entry e;
+  if (!PopDue(kTimestampMax, &e)) return false;
+  clock_->Set(e.when);
+  e.fn();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.tasks_run;
+    if (e.period > 0 && !e.state->cancelled.load(std::memory_order_acquire)) {
+      queue_.push(Entry{e.when + e.period, next_seq_++, std::move(e.fn),
+                        e.state, e.period});
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolScheduler
+// ---------------------------------------------------------------------------
+
+ThreadPoolScheduler::ThreadPoolScheduler(size_t num_threads, Clock* clock) {
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<SystemClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = clock;
+  }
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPoolScheduler::~ThreadPoolScheduler() { Shutdown(); }
+
+void ThreadPoolScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+TaskHandle ThreadPoolScheduler::ScheduleAt(Timestamp when, Task fn) {
+  auto state = std::make_shared<TaskHandle::State>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(Entry{when, next_seq_++,
+                      std::make_shared<Task>(std::move(fn)), state,
+                      /*period=*/0});
+  }
+  cv_.notify_one();
+  return TaskHandle(state);
+}
+
+TaskHandle ThreadPoolScheduler::SchedulePeriodic(Duration period, Task fn,
+                                                 Timestamp first_at) {
+  assert(period > 0 && "periodic task requires a positive period");
+  auto state = std::make_shared<TaskHandle::State>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Timestamp first =
+        first_at == kTimestampNever ? clock_->Now() + period : first_at;
+    queue_.push(Entry{first, next_seq_++,
+                      std::make_shared<Task>(std::move(fn)), state, period});
+  }
+  cv_.notify_one();
+  return TaskHandle(state);
+}
+
+SchedulerStats ThreadPoolScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ThreadPoolScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    Timestamp now = clock_->Now();
+    const Entry& top = queue_.top();
+    if (top.state->cancelled.load(std::memory_order_acquire)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > now) {
+      // Sleep until the deadline or a new (possibly earlier) task arrives.
+      cv_.wait_for(lock, std::chrono::microseconds(top.when - now));
+      continue;
+    }
+    Entry e = top;
+    queue_.pop();
+    Duration lateness = now - e.when;
+    ++stats_.tasks_run;
+    stats_.total_lateness += lateness;
+    stats_.max_lateness = std::max(stats_.max_lateness, lateness);
+    if (e.period > 0) {
+      // Fixed cadence; skip whole periods if we fell badly behind so the
+      // queue cannot grow without bound.
+      Timestamp next = e.when + e.period;
+      if (next <= now) {
+        int64_t behind = (now - e.when) / e.period;
+        next = e.when + (behind + 1) * e.period;
+      }
+      queue_.push(Entry{next, next_seq_++, e.fn, e.state, e.period});
+    }
+    lock.unlock();
+    (*e.fn)();
+    lock.lock();
+  }
+}
+
+}  // namespace pipes

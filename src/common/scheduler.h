@@ -1,0 +1,216 @@
+/// \file scheduler.h
+/// \brief Task scheduling: deterministic virtual-time and worker-thread-pool
+/// implementations.
+///
+/// Periodic metadata updates (paper §3.2.2, §4.3) run on a `TaskScheduler`.
+/// Two implementations are provided:
+///  - `VirtualTimeScheduler` executes tasks in strict timestamp order while
+///    advancing a `VirtualClock`; this is fully deterministic and is what the
+///    figure-reproduction harnesses and most tests use.
+///  - `ThreadPoolScheduler` distributes due tasks over a small pool of worker
+///    threads against real time — the paper's "distribute the periodic update
+///    tasks over a small pool of worker-threads" (§4.3).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace pipes {
+
+/// \brief Cancellation token for a scheduled task.
+///
+/// Copyable; all copies refer to the same task. A default-constructed handle
+/// refers to no task and Cancel() is a no-op.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  /// Prevents future executions of the task. Safe to call multiple times and
+  /// from any thread. A task currently executing is not interrupted.
+  void Cancel() {
+    if (state_) state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  /// True if this handle refers to a task that has not been cancelled.
+  bool active() const {
+    return state_ && !state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// True if this handle refers to some task (cancelled or not).
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class VirtualTimeScheduler;
+  friend class ThreadPoolScheduler;
+  struct State {
+    std::atomic<bool> cancelled{false};
+  };
+  explicit TaskHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Execution statistics of a scheduler, for profiling and the
+/// worker-pool benchmark.
+struct SchedulerStats {
+  uint64_t tasks_run = 0;
+  /// Sum over all executed tasks of (actual start - scheduled time), in us.
+  Duration total_lateness = 0;
+  Duration max_lateness = 0;
+};
+
+/// \brief Interface for time-based task execution.
+class TaskScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  virtual ~TaskScheduler() = default;
+
+  /// Runs `fn` once at (or as soon as possible after) time `when`.
+  virtual TaskHandle ScheduleAt(Timestamp when, Task fn) = 0;
+
+  /// Runs `fn` every `period` microseconds, first at now + `period` (or at
+  /// `first_at` when provided). Periodic tasks keep a fixed cadence: the n-th
+  /// execution is scheduled at first + n*period regardless of task runtime.
+  virtual TaskHandle SchedulePeriodic(Duration period, Task fn,
+                                      Timestamp first_at = kTimestampNever) = 0;
+
+  /// Convenience: runs `fn` once after `delay` microseconds.
+  TaskHandle ScheduleAfter(Duration delay, Task fn) {
+    return ScheduleAt(clock().Now() + delay, std::move(fn));
+  }
+
+  /// The clock this scheduler advances/follows.
+  virtual Clock& clock() = 0;
+
+  /// Snapshot of execution statistics.
+  virtual SchedulerStats stats() const = 0;
+};
+
+/// \brief Deterministic scheduler driving a VirtualClock.
+///
+/// Tasks run in (timestamp, insertion order) order when the owner calls
+/// RunUntil()/RunFor()/RunNext(). Tasks may schedule further tasks, including
+/// at the current time. Not internally threaded; all Run* calls must come
+/// from one thread at a time, but ScheduleAt is safe from task callbacks.
+class VirtualTimeScheduler final : public TaskScheduler {
+ public:
+  /// Uses an internal clock when `clock` is null.
+  explicit VirtualTimeScheduler(VirtualClock* clock = nullptr);
+
+  TaskHandle ScheduleAt(Timestamp when, Task fn) override;
+  TaskHandle SchedulePeriodic(Duration period, Task fn,
+                              Timestamp first_at = kTimestampNever) override;
+  Clock& clock() override { return *clock_; }
+  VirtualClock& virtual_clock() { return *clock_; }
+  SchedulerStats stats() const override;
+
+  /// Executes all tasks with timestamp <= `t`, advancing the clock to each
+  /// task's time, then sets the clock to `t`. Returns the number of tasks run.
+  uint64_t RunUntil(Timestamp t);
+
+  /// RunUntil(now + delta).
+  uint64_t RunFor(Duration delta) { return RunUntil(clock_->Now() + delta); }
+
+  /// Executes the single next pending task (advancing the clock to it).
+  /// Returns false if no task is pending.
+  bool RunNext();
+
+  /// Number of pending (non-cancelled at last sweep) entries.
+  size_t pending_count() const;
+
+  /// Timestamp of the earliest pending task, or kTimestampMax if none.
+  Timestamp next_deadline() const;
+
+ private:
+  struct Entry {
+    Timestamp when;
+    uint64_t seq;
+    Task fn;
+    std::shared_ptr<TaskHandle::State> state;
+    Duration period;  // 0 => one-shot
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next runnable entry with when <= t; returns false if none.
+  bool PopDue(Timestamp t, Entry* out);
+
+  VirtualClock owned_clock_;
+  VirtualClock* clock_;
+  mutable std::mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  uint64_t next_seq_ = 0;
+  SchedulerStats stats_;
+};
+
+/// \brief Real-time scheduler over a pool of worker threads (paper §4.3).
+///
+/// Worker threads sleep until the earliest deadline and execute due tasks.
+/// With `num_threads == 1` this is the paper's "single thread is sufficient
+/// to handle all periodic updates for small query graphs" configuration.
+class ThreadPoolScheduler final : public TaskScheduler {
+ public:
+  /// Starts `num_threads` workers against `clock` (a SystemClock is created
+  /// internally when null).
+  explicit ThreadPoolScheduler(size_t num_threads = 1, Clock* clock = nullptr);
+  ~ThreadPoolScheduler() override;
+
+  ThreadPoolScheduler(const ThreadPoolScheduler&) = delete;
+  ThreadPoolScheduler& operator=(const ThreadPoolScheduler&) = delete;
+
+  TaskHandle ScheduleAt(Timestamp when, Task fn) override;
+  TaskHandle SchedulePeriodic(Duration period, Task fn,
+                              Timestamp first_at = kTimestampNever) override;
+  Clock& clock() override { return *clock_; }
+  SchedulerStats stats() const override;
+
+  /// Stops all workers after the currently running tasks finish. Pending
+  /// tasks are dropped. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  struct Entry {
+    Timestamp when;
+    uint64_t seq;
+    std::shared_ptr<Task> fn;
+    std::shared_ptr<TaskHandle::State> state;
+    Duration period;  // 0 => one-shot
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void WorkerLoop();
+
+  std::unique_ptr<SystemClock> owned_clock_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::vector<std::thread> threads_;
+  uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,111 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pipes {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Ewma::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  assert(hi > lo && buckets > 0);
+  buckets_.assign(buckets + 2, 0);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++buckets_.front();
+  } else if (x >= hi_) {
+    ++buckets_.back();
+  } else {
+    size_t idx = 1 + static_cast<size_t>((x - lo_) / width_);
+    idx = std::min(idx, buckets_.size() - 2);
+    ++buckets_[idx];
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (seen + buckets_[i] > target) {
+      if (i == 0) return lo_;
+      if (i == buckets_.size() - 1) return hi_;
+      double inside = buckets_[i] == 0
+                          ? 0.0
+                          : static_cast<double>(target - seen) /
+                                static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i - 1) + inside) * width_;
+    }
+    seen += buckets_[i];
+  }
+  return hi_;
+}
+
+double TimeSeries::Mean() const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [t, v] : points_) sum += v;
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::MeanAbsError(double reference) const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [t, v] : points_) sum += std::abs(v - reference);
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::ValueAt(Timestamp t, double fallback) const {
+  // First point strictly after t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Timestamp lhs, const std::pair<Timestamp, double>& p) {
+        return lhs < p.first;
+      });
+  if (it == points_.begin()) return fallback;
+  return std::prev(it)->second;
+}
+
+}  // namespace pipes

@@ -1,0 +1,110 @@
+/// \file stats.h
+/// \brief Small statistics accumulators used by metadata handlers, the
+/// benchmark harnesses and the profiler.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pipes {
+
+/// \brief Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Removes all observations.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (0 with fewer than 2 observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Exponentially weighted moving average.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Add(double x);
+  void Reset();
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// \brief Fixed-width bucket histogram over [lo, hi) with overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  /// Approximate quantile (q in [0,1]) using linear interpolation inside the
+  /// containing bucket.
+  double Quantile(double q) const;
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> buckets_;  // [underflow, b0..bn-1, overflow]
+  uint64_t count_ = 0;
+};
+
+/// \brief A recorded (timestamp, value) series, for plots and experiments.
+class TimeSeries {
+ public:
+  void Record(Timestamp t, double v) { points_.emplace_back(t, v); }
+  void Clear() { points_.clear(); }
+
+  const std::vector<std::pair<Timestamp, double>>& points() const {
+    return points_;
+  }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean of all recorded values (0 when empty).
+  double Mean() const;
+
+  /// Mean absolute error against a reference constant.
+  double MeanAbsError(double reference) const;
+
+  /// Value at-or-before time `t` (step interpolation); `fallback` before the
+  /// first point. Assumes points were recorded in nondecreasing time order.
+  double ValueAt(Timestamp t, double fallback = 0.0) const;
+
+ private:
+  std::vector<std::pair<Timestamp, double>> points_;
+};
+
+}  // namespace pipes

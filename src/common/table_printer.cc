@@ -1,0 +1,112 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace pipes {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t v) { return std::to_string(v); }
+std::string TablePrinter::Fmt(uint64_t v) { return std::to_string(v); }
+
+void TablePrinter::Print(std::ostream& out) const { out << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+AsciiPlot::AsciiPlot(size_t width, size_t height)
+    : width_(width), height_(height) {}
+
+void AsciiPlot::AddSeries(const std::string& name, char marker,
+                          const std::vector<std::pair<double, double>>& points) {
+  series_.push_back(Series{name, marker, points});
+}
+
+std::string AsciiPlot::Render() const {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity(), ymax = -ymin;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      size_t col = static_cast<size_t>((x - xmin) / (xmax - xmin) *
+                                       static_cast<double>(width_ - 1));
+      size_t row = static_cast<size_t>((y - ymin) / (ymax - ymin) *
+                                       static_cast<double>(height_ - 1));
+      grid[height_ - 1 - row][col] = s.marker;
+    }
+  }
+
+  std::ostringstream os;
+  char label[64];
+  std::snprintf(label, sizeof(label), "%10.4g ", ymax);
+  os << label << "+" << std::string(width_, '-') << "+\n";
+  for (size_t r = 0; r < height_; ++r) {
+    os << std::string(11, ' ') << "|" << grid[r] << "|\n";
+  }
+  std::snprintf(label, sizeof(label), "%10.4g ", ymin);
+  os << label << "+" << std::string(width_, '-') << "+\n";
+  std::snprintf(label, sizeof(label), "%12sx: [%.4g, %.4g]", "", xmin, xmax);
+  os << label << "\n";
+  for (const auto& s : series_) {
+    os << "            " << s.marker << " = " << s.name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pipes

@@ -1,0 +1,68 @@
+/// \file table_printer.h
+/// \brief Aligned ASCII table output for the benchmark harnesses.
+///
+/// Each figure/scalability harness prints its rows through a TablePrinter so
+/// that bench output is uniform and diffable against EXPERIMENTS.md.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pipes {
+
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant decimal places.
+  static std::string Fmt(double v, int precision = 4);
+
+  /// Formats an integer.
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(uint64_t v);
+
+  /// Renders the table (header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Renders to a string.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Minimal ASCII line plot for the example applications.
+///
+/// Renders one or more named series over a shared x-range into a fixed-size
+/// character grid.
+class AsciiPlot {
+ public:
+  AsciiPlot(size_t width = 72, size_t height = 16);
+
+  /// Adds a series; `marker` is the character used for its points.
+  void AddSeries(const std::string& name, char marker,
+                 const std::vector<std::pair<double, double>>& points);
+
+  /// Renders plot plus legend.
+  std::string Render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<std::pair<double, double>> points;
+  };
+  size_t width_, height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace pipes

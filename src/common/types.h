@@ -1,0 +1,56 @@
+/// \file types.h
+/// \brief Fundamental scalar types shared across the library.
+///
+/// All time handling in the library is integer based: a `Timestamp` is a point
+/// in (virtual or real) time measured in microseconds since an arbitrary
+/// epoch, a `Duration` is a signed length of time in microseconds. Using
+/// integers keeps virtual-time execution perfectly deterministic, which the
+/// figure-reproduction harnesses rely on.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pipes {
+
+/// A point in time, in microseconds since an arbitrary epoch.
+using Timestamp = int64_t;
+
+/// A signed span of time, in microseconds.
+using Duration = int64_t;
+
+/// Number of microseconds per second, as a Duration.
+inline constexpr Duration kMicrosPerSecond = 1'000'000;
+
+/// Number of microseconds per millisecond, as a Duration.
+inline constexpr Duration kMicrosPerMilli = 1'000;
+
+/// Sentinel timestamp meaning "never" / "not yet".
+inline constexpr Timestamp kTimestampNever = std::numeric_limits<Timestamp>::min();
+
+/// Sentinel timestamp meaning "infinitely far in the future".
+inline constexpr Timestamp kTimestampMax = std::numeric_limits<Timestamp>::max();
+
+/// Converts seconds (fractional allowed) to a Duration in microseconds.
+constexpr Duration Seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kMicrosPerSecond));
+}
+
+/// Converts milliseconds (fractional allowed) to a Duration in microseconds.
+constexpr Duration Millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMicrosPerMilli));
+}
+
+/// Converts a Duration to fractional seconds.
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Unique identifier of a graph node within a QueryGraph.
+using NodeId = uint64_t;
+
+/// Sentinel for an unassigned NodeId.
+inline constexpr NodeId kInvalidNodeId = 0;
+
+}  // namespace pipes

@@ -1,0 +1,244 @@
+#include "costmodel/costmodel.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "metadata/descriptor.h"
+#include "metadata/keys.h"
+#include "metadata/probes.h"
+
+namespace pipes::costmodel {
+
+Status RegisterSourceEstimates(SourceNode& source) {
+  return source.metadata_registry().Define(
+      MetadataDescriptor::Triggered(keys::kEstOutputRate)
+          .DependsOnSelf(keys::kOutputRate)
+          .WithEvaluator([](EvalContext& ctx) -> MetadataValue {
+            return ctx.DepDouble(0);
+          })
+          .WithDescription(
+              "estimated stream rate: tracks the measured output rate "
+              "(triggered)"));
+}
+
+Status RegisterWindowEstimates(TimeWindowOperator& window) {
+  TimeWindowOperator* w = &window;
+  PIPES_RETURN_NOT_OK(window.metadata_registry().Define(
+      MetadataDescriptor::Triggered(keys::kEstOutputRate)
+          .DependsOnUpstream(0, keys::kEstOutputRate)
+          .WithEvaluator([](EvalContext& ctx) -> MetadataValue {
+            // A window operator forwards every element.
+            return ctx.DepDouble(0);
+          })
+          .WithDescription(
+              "estimated output rate: equals the input's estimated rate "
+              "(triggered, inter-node)")));
+
+  PIPES_RETURN_NOT_OK(window.metadata_registry().Define(
+      MetadataDescriptor::Triggered(keys::kEstElementValidity)
+          .DependsOnSelf(keys::kWindowSize)
+          .WithEvaluator([w](EvalContext&) -> MetadataValue {
+            return ToSeconds(w->window_size());
+          })
+          .WithDescription(
+              "estimated element validity [s]: the window size "
+              "(triggered, intra-node; re-computed on resize events)")));
+  return Status::OK();
+}
+
+namespace {
+
+/// Resolves the shared estimate dependencies plus, in adaptive mode, the
+/// inputs' distinct-keys items when available (§4.4.3 dynamic resolution).
+/// Layout: 0..3 = (r1, v1, r2, v2); 4 = `self_key`; 5.. = distinct keys.
+DependencyResolver MakeJoinEstimateResolver(MetadataKey self_key,
+                                            bool adaptive) {
+  return [self_key, adaptive](ResolutionContext& ctx) {
+    std::vector<MetadataRef> refs;
+    auto add = [&ctx, &refs](const DependencySpec& spec) {
+      auto resolved = ctx.ResolveSpec(spec);
+      refs.insert(refs.end(), resolved.begin(), resolved.end());
+    };
+    add(DependencySpec::Upstream(0, keys::kEstOutputRate));
+    add(DependencySpec::Upstream(0, keys::kEstElementValidity));
+    add(DependencySpec::Upstream(1, keys::kEstOutputRate));
+    add(DependencySpec::Upstream(1, keys::kEstElementValidity));
+    add(DependencySpec::Self(self_key));
+    if (adaptive) {
+      for (int input : {0, 1}) {
+        auto resolved =
+            ctx.ResolveSpec(DependencySpec::Upstream(input, keys::kDistinctKeys));
+        if (!resolved.empty() && ctx.IsAvailable(resolved[0])) {
+          refs.push_back(resolved[0]);
+        }
+      }
+    }
+    return refs;
+  };
+}
+
+/// Candidate-reduction factor: the measured key cardinality (largest over
+/// the inputs providing it, dependencies 5..) or the static fallback.
+double EffectiveReduction(EvalContext& ctx, double fallback) {
+  double best = 0.0;
+  for (size_t i = 5; i < ctx.dep_count(); ++i) {
+    MetadataValue dk = ctx.Dep(i);
+    if (!dk.is_null()) best = std::max(best, dk.AsDouble());
+  }
+  return best >= 1.0 ? best : fallback;
+}
+
+}  // namespace
+
+Status RegisterJoinEstimates(SlidingWindowJoin& join,
+                             double candidate_reduction, bool adaptive) {
+  SlidingWindowJoin* j = &join;
+  auto& reg = join.metadata_registry();
+  if (candidate_reduction <= 0.0) {
+    return Status::InvalidArgument("candidate_reduction must be positive");
+  }
+
+  // Measured match selectivity: matches per examined candidate pair.
+  auto examined_cursor = std::make_shared<ProbeCursor>();
+  auto match_cursor = std::make_shared<ProbeCursor>();
+  PIPES_RETURN_NOT_OK(reg.Define(
+      MetadataDescriptor::Periodic(keys::kMatchSelectivity,
+                                   join.metadata_period())
+          .WithEvaluator(
+              [j, examined_cursor, match_cursor](EvalContext& ctx)
+                  -> MetadataValue {
+                uint64_t examined =
+                    examined_cursor->TakeDelta(j->examined_probe());
+                uint64_t matches = match_cursor->TakeDelta(j->match_probe());
+                if (examined == 0) return ctx.Previous();
+                return static_cast<double>(matches) /
+                       static_cast<double>(examined);
+              })
+          .WithMonitoring(
+              [j, examined_cursor, match_cursor](MetadataProvider&) {
+                j->examined_probe().Enable();
+                j->match_probe().Enable();
+                examined_cursor->Reset(j->examined_probe());
+                match_cursor->Reset(j->match_probe());
+              },
+              [j](MetadataProvider&) {
+                j->examined_probe().Disable();
+                j->match_probe().Disable();
+              })
+          .WithDescription(
+              "measured match selectivity: matches per candidate pair "
+              "(periodic)")));
+
+  // Shared dependency prefix of all estimate items:
+  //   0: r1  est output rate, left input
+  //   1: v1  est element validity, left input
+  //   2: r2  est output rate, right input
+  //   3: v2  est element validity, right input
+  auto base_deps = [] {
+    return std::vector<DependencySpec>{
+        DependencySpec::Upstream(0, keys::kEstOutputRate),
+        DependencySpec::Upstream(0, keys::kEstElementValidity),
+        DependencySpec::Upstream(1, keys::kEstOutputRate),
+        DependencySpec::Upstream(1, keys::kEstElementValidity),
+    };
+  };
+  auto state_sizes = [](EvalContext& ctx) {
+    double r1 = ctx.DepDouble(0), v1 = ctx.DepDouble(1);
+    double r2 = ctx.DepDouble(2), v2 = ctx.DepDouble(3);
+    return std::pair<double, double>(r1 * v1, r2 * v2);
+  };
+
+  PIPES_RETURN_NOT_OK(reg.Define(
+      MetadataDescriptor::Triggered(keys::kEstStateSize)
+          .DependsOn(base_deps())
+          .WithEvaluator([state_sizes](EvalContext& ctx) -> MetadataValue {
+            auto [n1, n2] = state_sizes(ctx);
+            return n1 + n2;
+          })
+          .WithDescription(
+              "estimated elements in join state: r1*v1 + r2*v2 (triggered)")));
+
+  {
+    auto deps = base_deps();
+    deps.push_back(DependencySpec::Upstream(0, keys::kElementSize));  // 4: s1
+    deps.push_back(DependencySpec::Upstream(1, keys::kElementSize));  // 5: s2
+    PIPES_RETURN_NOT_OK(reg.Define(
+        MetadataDescriptor::Triggered(keys::kEstMemoryUsage)
+            .DependsOn(std::move(deps))
+            .WithEvaluator([state_sizes](EvalContext& ctx) -> MetadataValue {
+              auto [n1, n2] = state_sizes(ctx);
+              return n1 * ctx.DepDouble(4) + n2 * ctx.DepDouble(5);
+            })
+            .WithDescription(
+                "estimated join memory usage [bytes]: state sizes times "
+                "element sizes (triggered; Figure 3)")));
+  }
+
+  PIPES_RETURN_NOT_OK(reg.Define(
+      MetadataDescriptor::Triggered(keys::kEstCpuUsage)
+          .WithDynamicDependencies(
+              MakeJoinEstimateResolver(keys::kPredicateCost, adaptive))
+          .WithEvaluator([state_sizes, candidate_reduction](
+                             EvalContext& ctx) -> MetadataValue {
+            auto [n1, n2] = state_sizes(ctx);
+            double r1 = ctx.DepDouble(0), r2 = ctx.DepDouble(2);
+            double c = ctx.DepDouble(4);
+            double reduction = EffectiveReduction(ctx, candidate_reduction);
+            double cand_rate = (r1 * n2 + r2 * n1) / reduction;
+            return c * cand_rate + (r1 + r2);
+          })
+          .WithDescription(
+              "estimated join CPU usage [work units/s]: predicate cost "
+              "times candidate rate plus insert costs (triggered; "
+              "Figure 3)")));
+
+  PIPES_RETURN_NOT_OK(reg.Define(
+      MetadataDescriptor::Triggered(keys::kEstOutputRate)
+          .WithDynamicDependencies(
+              MakeJoinEstimateResolver(keys::kMatchSelectivity, adaptive))
+          .WithEvaluator([state_sizes, candidate_reduction](
+                             EvalContext& ctx) -> MetadataValue {
+            auto [n1, n2] = state_sizes(ctx);
+            double r1 = ctx.DepDouble(0), r2 = ctx.DepDouble(2);
+            MetadataValue sel = ctx.Dep(4);
+            double sigma = sel.is_null() ? 1.0 : sel.AsDouble();
+            double reduction = EffectiveReduction(ctx, candidate_reduction);
+            double cand_rate = (r1 * n2 + r2 * n1) / reduction;
+            return sigma * cand_rate;
+          })
+          .WithDescription(
+              "estimated join output rate: match selectivity times "
+              "candidate rate (triggered)")));
+
+  return Status::OK();
+}
+
+Status RegisterFilterEstimates(FilterOperator& filter) {
+  return filter.metadata_registry().Define(
+      MetadataDescriptor::Triggered(keys::kEstOutputRate)
+          .DependsOnSelf(keys::kSelectivity)
+          .DependsOnUpstream(0, keys::kEstOutputRate)
+          .WithEvaluator([](EvalContext& ctx) -> MetadataValue {
+            MetadataValue sel = ctx.Dep(0);
+            double sigma = sel.is_null() ? 1.0 : sel.AsDouble();
+            return sigma * ctx.DepDouble(1);
+          })
+          .WithDescription(
+              "estimated output rate: measured selectivity times the "
+              "input's estimated rate (triggered)"));
+}
+
+Status RegisterWindowJoinPlanEstimates(SourceNode& left_source,
+                                       SourceNode& right_source,
+                                       TimeWindowOperator& left_window,
+                                       TimeWindowOperator& right_window,
+                                       SlidingWindowJoin& join,
+                                       double candidate_reduction) {
+  PIPES_RETURN_NOT_OK(RegisterSourceEstimates(left_source));
+  PIPES_RETURN_NOT_OK(RegisterSourceEstimates(right_source));
+  PIPES_RETURN_NOT_OK(RegisterWindowEstimates(left_window));
+  PIPES_RETURN_NOT_OK(RegisterWindowEstimates(right_window));
+  return RegisterJoinEstimates(join, candidate_reduction);
+}
+
+}  // namespace pipes::costmodel

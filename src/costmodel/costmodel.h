@@ -1,0 +1,77 @@
+/// \file costmodel.h
+/// \brief The PIPES-style cost model for sliding-window queries: estimated
+/// metadata items wired exactly as in the paper's Figure 3.
+///
+/// The estimation of the CPU usage of a time-based sliding window join
+/// depends — via inter-node dependencies — on the estimated output rates and
+/// element validities of its inputs, and — via an intra-node dependency — on
+/// the cost of the join predicate. Element validities depend on the window
+/// sizes, so a window resize event (fired by the adaptive resource manager,
+/// §3.3) propagates through the dependency graph and re-estimates the join
+/// costs with triggered handlers.
+///
+/// All estimate items use triggered handlers: they are pre-computed on first
+/// subscription and refreshed when an underlying item publishes.
+///
+/// Formulas (rates r in elements/s, validities v in s, predicate cost c):
+///   window:  est_output_rate     = est_output_rate(input)
+///            est_element_validity = window_size
+///   source:  est_output_rate     = measured output_rate
+///   join:    n_i                 = r_i * v_i          (window state sizes)
+///            est_state_size      = n_1 + n_2
+///            est_memory_usage    = n_1*s_1 + n_2*s_2  (s_i: element sizes)
+///            cand_rate           = (r_1*n_2 + r_2*n_1) / K
+///            est_cpu_usage       = c * cand_rate + (r_1 + r_2)
+///            est_output_rate     = sigma * cand_rate
+/// where K is the candidate-reduction factor of the sweep-area
+/// implementation (1 for nested loops, the key-cardinality hint for hash)
+/// and sigma is the measured match selectivity (matches per candidate).
+
+#pragma once
+
+#include "common/status.h"
+#include "stream/operators/join.h"
+#include "stream/operators/basic.h"
+#include "stream/operators/window.h"
+#include "stream/source.h"
+
+namespace pipes::costmodel {
+
+/// Defines kEstOutputRate on a source: the estimate tracks the measured
+/// output rate (triggered by its periodic updates).
+Status RegisterSourceEstimates(SourceNode& source);
+
+/// Defines kEstOutputRate and kEstElementValidity on a window operator.
+/// The validity estimate depends on the window size (intra-node) and is
+/// re-computed when the resize event fires.
+Status RegisterWindowEstimates(TimeWindowOperator& window);
+
+/// Defines kMatchSelectivity (measured, periodic) and the estimate items
+/// kEstStateSize, kEstMemoryUsage, kEstCpuUsage, kEstOutputRate on a join.
+/// `candidate_reduction` is K above; pass the expected key cardinality for
+/// hash joins, leave 1.0 for nested loops.
+///
+/// With `adaptive = true` the CPU and output-rate estimates use a *dynamic
+/// dependency resolver* (paper §4.4.3): when the join's inputs provide the
+/// kDistinctKeys data-distribution item, it is included as an additional
+/// dependency and the measured key cardinality replaces the static
+/// `candidate_reduction` hint — the estimate then adapts to workload skew
+/// at runtime.
+Status RegisterJoinEstimates(SlidingWindowJoin& join,
+                             double candidate_reduction = 1.0,
+                             bool adaptive = false);
+
+/// Defines kEstOutputRate on a filter: measured selectivity times the
+/// estimated input rate.
+Status RegisterFilterEstimates(FilterOperator& filter);
+
+/// Convenience: registers the full Figure 3 plan's estimates — both sources,
+/// both windows, and the join.
+Status RegisterWindowJoinPlanEstimates(SourceNode& left_source,
+                                       SourceNode& right_source,
+                                       TimeWindowOperator& left_window,
+                                       TimeWindowOperator& right_window,
+                                       SlidingWindowJoin& join,
+                                       double candidate_reduction = 1.0);
+
+}  // namespace pipes::costmodel

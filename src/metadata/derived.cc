@@ -1,0 +1,167 @@
+#include "metadata/derived.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "metadata/descriptor.h"
+
+namespace pipes::derived {
+
+namespace {
+
+/// Shared per-inclusion accumulator; the monitoring hooks reset it so each
+/// inclusion aggregates from scratch.
+struct AccState {
+  std::mutex mu;
+  uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+  Timestamp last_time = kTimestampNever;
+  bool has_last = false;
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu);
+    n = 0;
+    mean = m2 = min = max = last = 0.0;
+    last_time = kTimestampNever;
+    has_last = false;
+  }
+};
+
+/// Builds a triggered descriptor over `source` whose evaluator feeds each
+/// non-null source value into the shared state and returns `finish(state)`.
+template <typename Finish>
+MetadataDescriptor MakeAccumulatorItem(MetadataKey name, MetadataKey source,
+                                       Finish finish, std::string text) {
+  auto state = std::make_shared<AccState>();
+  return MetadataDescriptor::Triggered(std::move(name))
+      .DependsOnSelf(std::move(source))
+      .WithEvaluator([state, finish](EvalContext& ctx) -> MetadataValue {
+        MetadataValue v = ctx.Dep(0);
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!v.is_null()) {
+          double x = v.AsDouble();
+          ++state->n;
+          double delta = x - state->mean;
+          state->mean += delta / static_cast<double>(state->n);
+          state->m2 += delta * (x - state->mean);
+          state->min = state->n == 1 ? x : std::min(state->min, x);
+          state->max = state->n == 1 ? x : std::max(state->max, x);
+          state->last = x;
+        }
+        if (state->n == 0) return MetadataValue::Null();
+        return finish(*state);
+      })
+      .WithMonitoring([state](MetadataProvider&) { state->Reset(); },
+                      [](MetadataProvider&) {})
+      .WithDescription(std::move(text));
+}
+
+}  // namespace
+
+Status DefineRunningAverage(MetadataRegistry& registry, MetadataKey name,
+                            MetadataKey source) {
+  std::string text = "running average of '" + source + "' (triggered)";
+  return registry.Define(MakeAccumulatorItem(
+      std::move(name), std::move(source),
+      [](const AccState& s) { return MetadataValue(s.mean); },
+      std::move(text)));
+}
+
+Status DefineRunningVariance(MetadataRegistry& registry, MetadataKey name,
+                             MetadataKey source) {
+  std::string text = "running variance of '" + source + "' (triggered)";
+  return registry.Define(MakeAccumulatorItem(
+      std::move(name), std::move(source),
+      [](const AccState& s) {
+        return MetadataValue(s.n < 2 ? 0.0
+                                     : s.m2 / static_cast<double>(s.n));
+      },
+      std::move(text)));
+}
+
+Status DefineMin(MetadataRegistry& registry, MetadataKey name,
+                 MetadataKey source) {
+  std::string text = "minimum of '" + source + "' since inclusion (triggered)";
+  return registry.Define(MakeAccumulatorItem(
+      std::move(name), std::move(source),
+      [](const AccState& s) { return MetadataValue(s.min); },
+      std::move(text)));
+}
+
+Status DefineMax(MetadataRegistry& registry, MetadataKey name,
+                 MetadataKey source) {
+  std::string text = "maximum of '" + source + "' since inclusion (triggered)";
+  return registry.Define(MakeAccumulatorItem(
+      std::move(name), std::move(source),
+      [](const AccState& s) { return MetadataValue(s.max); },
+      std::move(text)));
+}
+
+Status DefineEwma(MetadataRegistry& registry, MetadataKey name,
+                  MetadataKey source, double alpha) {
+  if (!(alpha > 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("EWMA alpha must be in (0, 1]");
+  }
+  auto state = std::make_shared<AccState>();
+  std::string text = "EWMA of '" + source + "' (triggered)";
+  return registry.Define(
+      MetadataDescriptor::Triggered(std::move(name))
+          .DependsOnSelf(std::move(source))
+          .WithEvaluator([state, alpha](EvalContext& ctx) -> MetadataValue {
+            MetadataValue v = ctx.Dep(0);
+            std::lock_guard<std::mutex> lock(state->mu);
+            if (!v.is_null()) {
+              double x = v.AsDouble();
+              if (state->n == 0) {
+                state->mean = x;
+              } else {
+                state->mean = alpha * x + (1.0 - alpha) * state->mean;
+              }
+              ++state->n;
+            }
+            if (state->n == 0) return MetadataValue::Null();
+            return state->mean;
+          })
+          .WithMonitoring([state](MetadataProvider&) { state->Reset(); },
+                          [](MetadataProvider&) {})
+          .WithDescription(std::move(text)));
+}
+
+Status DefineRateOfChange(MetadataRegistry& registry, MetadataKey name,
+                          MetadataKey source) {
+  auto state = std::make_shared<AccState>();
+  std::string text =
+      "rate of change of '" + source + "' per second (triggered)";
+  return registry.Define(
+      MetadataDescriptor::Triggered(std::move(name))
+          .DependsOnSelf(std::move(source))
+          .WithEvaluator([state](EvalContext& ctx) -> MetadataValue {
+            MetadataValue v = ctx.Dep(0);
+            if (v.is_null()) return MetadataValue::Null();
+            double x = v.AsDouble();
+            std::lock_guard<std::mutex> lock(state->mu);
+            if (!state->has_last) {
+              state->last = x;
+              state->last_time = ctx.now();
+              state->has_last = true;
+              return MetadataValue::Null();
+            }
+            Duration dt = ctx.now() - state->last_time;
+            if (dt <= 0) return ctx.Previous();
+            double rate = (x - state->last) / ToSeconds(dt);
+            state->last = x;
+            state->last_time = ctx.now();
+            return rate;
+          })
+          .WithMonitoring([state](MetadataProvider&) { state->Reset(); },
+                          [](MetadataProvider&) {})
+          .WithDescription(std::move(text)));
+}
+
+}  // namespace pipes::derived

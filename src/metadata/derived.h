@@ -1,0 +1,47 @@
+/// \file derived.h
+/// \brief Derived statistics over existing metadata items.
+///
+/// The paper's §2.3 motivates reusing existing items for new ones ("online
+/// aggregates of local metadata items belong to this type, e.g., the
+/// average or variance of the join selectivity"). These helpers define the
+/// common derived items over any numeric source item of the same provider:
+/// running average, running variance, EWMA, min, max, and rate of change —
+/// each as a *triggered* handler kept in sync with its source by update
+/// propagation (avoiding the Figure 5 pitfall by construction).
+///
+/// Per-inclusion state is reset by the item's monitoring hooks, so removing
+/// and re-including a derived item starts its aggregate fresh.
+
+#pragma once
+
+#include "common/status.h"
+#include "metadata/registry.h"
+
+namespace pipes::derived {
+
+/// avg_n = avg_{n-1} + (x - avg_{n-1}) / n over all source updates.
+Status DefineRunningAverage(MetadataRegistry& registry, MetadataKey name,
+                            MetadataKey source);
+
+/// Welford online (population) variance over all source updates.
+Status DefineRunningVariance(MetadataRegistry& registry, MetadataKey name,
+                             MetadataKey source);
+
+/// Exponentially weighted moving average with weight `alpha` in (0, 1].
+Status DefineEwma(MetadataRegistry& registry, MetadataKey name,
+                  MetadataKey source, double alpha = 0.2);
+
+/// Minimum source value observed since inclusion.
+Status DefineMin(MetadataRegistry& registry, MetadataKey name,
+                 MetadataKey source);
+
+/// Maximum source value observed since inclusion.
+Status DefineMax(MetadataRegistry& registry, MetadataKey name,
+                 MetadataKey source);
+
+/// First derivative: (x - x_prev) / (t - t_prev) per second; null until two
+/// samples exist.
+Status DefineRateOfChange(MetadataRegistry& registry, MetadataKey name,
+                          MetadataKey source);
+
+}  // namespace pipes::derived

@@ -1,0 +1,114 @@
+#include "metadata/descriptor.h"
+
+namespace pipes {
+
+const char* UpdateMechanismToString(UpdateMechanism m) {
+  switch (m) {
+    case UpdateMechanism::kStatic:
+      return "static";
+    case UpdateMechanism::kOnDemand:
+      return "on-demand";
+    case UpdateMechanism::kPeriodic:
+      return "periodic";
+    case UpdateMechanism::kTriggered:
+      return "triggered";
+  }
+  return "unknown";
+}
+
+MetadataDescriptor MetadataDescriptor::Static(MetadataKey key,
+                                              MetadataValue value) {
+  MetadataDescriptor d(std::move(key), UpdateMechanism::kStatic);
+  d.static_value_ = std::move(value);
+  return d;
+}
+
+MetadataDescriptor MetadataDescriptor::OnDemand(MetadataKey key) {
+  return MetadataDescriptor(std::move(key), UpdateMechanism::kOnDemand);
+}
+
+MetadataDescriptor MetadataDescriptor::Periodic(MetadataKey key,
+                                                Duration period) {
+  MetadataDescriptor d(std::move(key), UpdateMechanism::kPeriodic);
+  d.period_ = period;
+  return d;
+}
+
+MetadataDescriptor MetadataDescriptor::Triggered(MetadataKey key) {
+  return MetadataDescriptor(std::move(key), UpdateMechanism::kTriggered);
+}
+
+void MetadataDescriptor::AppendSpecs(std::vector<DependencySpec> specs) {
+  for (auto& s : specs) static_specs_.push_back(std::move(s));
+  // (Re)install the default resolver over the accumulated static specs.
+  auto specs_copy = static_specs_;
+  resolver_ = [specs = std::move(specs_copy)](ResolutionContext& ctx) {
+    std::vector<MetadataRef> out;
+    for (const auto& spec : specs) {
+      auto resolved = ctx.ResolveSpec(spec);
+      out.insert(out.end(), resolved.begin(), resolved.end());
+    }
+    return out;
+  };
+}
+
+MetadataDescriptor&& MetadataDescriptor::DependsOn(
+    std::vector<DependencySpec> specs) && {
+  AppendSpecs(std::move(specs));
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::DependsOnSelf(MetadataKey key) && {
+  AppendSpecs({DependencySpec::Self(std::move(key))});
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::DependsOnUpstream(int input,
+                                                           MetadataKey key) && {
+  AppendSpecs({DependencySpec::Upstream(input, std::move(key))});
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::DependsOnAllUpstreams(
+    MetadataKey key) && {
+  AppendSpecs({DependencySpec::AllUpstreams(std::move(key))});
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::DependsOnDownstream(
+    int output, MetadataKey key) && {
+  AppendSpecs({DependencySpec::Downstream(output, std::move(key))});
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::DependsOnModule(std::string module,
+                                                         MetadataKey key) && {
+  AppendSpecs({DependencySpec::Module(std::move(module), std::move(key))});
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::WithDynamicDependencies(
+    DependencyResolver resolver) && {
+  resolver_ = std::move(resolver);
+  static_specs_.clear();
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::WithEvaluator(Evaluator fn) && {
+  evaluator_ = std::move(fn);
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::WithMonitoring(
+    MonitoringHook activate, MonitoringHook deactivate) && {
+  activate_ = std::move(activate);
+  deactivate_ = std::move(deactivate);
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::WithDescription(std::string text) && {
+  description_ = std::move(text);
+  return std::move(*this);
+}
+
+}  // namespace pipes

@@ -1,0 +1,237 @@
+/// \file descriptor.h
+/// \brief Declaration of available metadata items: update mechanism,
+/// dependencies, evaluation function, and monitoring hooks (paper §4.4.1).
+///
+/// A `MetadataDescriptor` is the developer-facing definition of one metadata
+/// item on one provider. The publish-subscribe machinery turns a descriptor
+/// into a `MetadataHandler` when the item is included for the first time.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "metadata/keys.h"
+#include "metadata/value.h"
+
+namespace pipes {
+
+class MetadataProvider;
+class MetadataHandler;
+
+/// The four maintenance concepts of Figure 2.
+enum class UpdateMechanism {
+  kStatic,    ///< invariable value
+  kOnDemand,  ///< recomputed on every access (§3.2.1)
+  kPeriodic,  ///< recomputed per fixed time window (§3.2.2)
+  kTriggered, ///< recomputed when an underlying item changes (§3.2.3)
+};
+
+/// Human-readable name of an update mechanism.
+const char* UpdateMechanismToString(UpdateMechanism m);
+
+/// \brief Reference to a concrete metadata item: (provider, key).
+struct MetadataRef {
+  MetadataProvider* provider = nullptr;
+  MetadataKey key;
+
+  bool operator==(const MetadataRef& other) const {
+    return provider == other.provider && key == other.key;
+  }
+};
+
+/// Hash so refs can key unordered containers.
+struct MetadataRefHash {
+  size_t operator()(const MetadataRef& r) const {
+    return std::hash<const void*>()(r.provider) * 1000003 ^
+           std::hash<std::string>()(r.key);
+  }
+};
+
+/// \brief Where a declared dependency points (paper §2.3).
+///
+/// Intra-node dependencies use kSelf; inter-node dependencies use
+/// kUpstream/kDownstream (resolved against the owning node's topology) or an
+/// explicit provider; module dependencies (paper §4.5) use kModule.
+struct DependencySpec {
+  enum class Target { kSelf, kUpstream, kDownstream, kModule, kExplicit };
+
+  Target target = Target::kSelf;
+  /// Input/output index for kUpstream/kDownstream. -1 means "all".
+  int index = 0;
+  /// Module name for kModule.
+  std::string module;
+  /// Provider for kExplicit.
+  MetadataProvider* provider = nullptr;
+  /// The key of the item depended upon.
+  MetadataKey key;
+
+  static DependencySpec Self(MetadataKey k) {
+    return DependencySpec{Target::kSelf, 0, "", nullptr, std::move(k)};
+  }
+  static DependencySpec Upstream(int input_index, MetadataKey k) {
+    return DependencySpec{Target::kUpstream, input_index, "", nullptr,
+                          std::move(k)};
+  }
+  static DependencySpec AllUpstreams(MetadataKey k) {
+    return DependencySpec{Target::kUpstream, -1, "", nullptr, std::move(k)};
+  }
+  static DependencySpec Downstream(int output_index, MetadataKey k) {
+    return DependencySpec{Target::kDownstream, output_index, "", nullptr,
+                          std::move(k)};
+  }
+  static DependencySpec AllDownstreams(MetadataKey k) {
+    return DependencySpec{Target::kDownstream, -1, "", nullptr, std::move(k)};
+  }
+  static DependencySpec Module(std::string name, MetadataKey k) {
+    return DependencySpec{Target::kModule, 0, std::move(name), nullptr,
+                          std::move(k)};
+  }
+  static DependencySpec Explicit(MetadataProvider* p, MetadataKey k) {
+    return DependencySpec{Target::kExplicit, 0, "", p, std::move(k)};
+  }
+};
+
+/// \brief Inclusion-time view offered to dynamic dependency resolvers
+/// (paper §4.4.3).
+class ResolutionContext {
+ public:
+  virtual ~ResolutionContext() = default;
+
+  /// The provider whose item is being resolved.
+  virtual MetadataProvider& self() const = 0;
+
+  /// True if the item is already included (has a handler) or is planned for
+  /// inclusion within the current subscription.
+  virtual bool IsIncluded(const MetadataRef& ref) const = 0;
+
+  /// True if the target provider declares a descriptor for the key.
+  virtual bool IsAvailable(const MetadataRef& ref) const = 0;
+
+  /// Resolves a DependencySpec against self's topology. May return several
+  /// refs for "all upstreams/downstreams" specs; empty if unresolvable.
+  virtual std::vector<MetadataRef> ResolveSpec(const DependencySpec& spec) const = 0;
+};
+
+/// Computes the concrete dependency list of an item at inclusion time.
+using DependencyResolver =
+    std::function<std::vector<MetadataRef>(ResolutionContext&)>;
+
+/// \brief Evaluation-time view offered to an item's evaluator.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// The provider owning the item.
+  virtual MetadataProvider& provider() const = 0;
+
+  /// Current time.
+  virtual Timestamp now() const = 0;
+
+  /// Time elapsed since the item's previous update (for periodic handlers:
+  /// the window size; 0 on the very first evaluation).
+  virtual Duration elapsed() const = 0;
+
+  /// Number of resolved dependencies, in resolver order.
+  virtual size_t dep_count() const = 0;
+
+  /// Current value of the i-th dependency.
+  virtual MetadataValue Dep(size_t i) const = 0;
+
+  /// Numeric value of the i-th dependency.
+  double DepDouble(size_t i) const { return Dep(i).AsDouble(); }
+
+  /// The previously published value of the item itself (null on first
+  /// evaluation) — lets evaluators build online aggregates.
+  virtual MetadataValue Previous() const = 0;
+
+  /// 0-based index of this evaluation within the handler's lifetime; with
+  /// Previous(), enough for incremental averages without external state.
+  virtual uint64_t eval_index() const = 0;
+};
+
+/// Computes the current value of an item.
+using Evaluator = std::function<MetadataValue(EvalContext&)>;
+
+/// Enables/disables node-side monitoring code for an item.
+using MonitoringHook = std::function<void(MetadataProvider&)>;
+
+/// \brief Full declaration of one available metadata item.
+///
+/// Build with the static factories + fluent setters:
+/// \code
+///   registry.Define(
+///       MetadataDescriptor::Periodic(keys::kInputRate, Seconds(1))
+///           .WithEvaluator([&](EvalContext& ctx) { ... })
+///           .WithMonitoring([&](auto&) { probe.Enable(); },
+///                           [&](auto&) { probe.Disable(); })
+///           .WithDescription("measured input rate [elements/s]"));
+/// \endcode
+class MetadataDescriptor {
+ public:
+  /// An invariable item with a fixed value.
+  static MetadataDescriptor Static(MetadataKey key, MetadataValue value);
+
+  /// An item recomputed on each access.
+  static MetadataDescriptor OnDemand(MetadataKey key);
+
+  /// An item recomputed every `period` microseconds.
+  static MetadataDescriptor Periodic(MetadataKey key, Duration period);
+
+  /// An item recomputed when an underlying item changes.
+  static MetadataDescriptor Triggered(MetadataKey key);
+
+  // Fluent setters -----------------------------------------------------------
+
+  /// Appends static dependency specs (resolved at inclusion time).
+  MetadataDescriptor&& DependsOn(std::vector<DependencySpec> specs) &&;
+  MetadataDescriptor&& DependsOnSelf(MetadataKey key) &&;
+  MetadataDescriptor&& DependsOnUpstream(int input, MetadataKey key) &&;
+  MetadataDescriptor&& DependsOnAllUpstreams(MetadataKey key) &&;
+  MetadataDescriptor&& DependsOnDownstream(int output, MetadataKey key) &&;
+  MetadataDescriptor&& DependsOnModule(std::string module, MetadataKey key) &&;
+
+  /// Replaces the whole dependency resolution with a dynamic resolver
+  /// (paper §4.4.3). Overrides any DependsOn* specs.
+  MetadataDescriptor&& WithDynamicDependencies(DependencyResolver resolver) &&;
+
+  MetadataDescriptor&& WithEvaluator(Evaluator fn) &&;
+  MetadataDescriptor&& WithMonitoring(MonitoringHook activate,
+                                      MonitoringHook deactivate) &&;
+  MetadataDescriptor&& WithDescription(std::string text) &&;
+
+  // Accessors -----------------------------------------------------------------
+  const MetadataKey& key() const { return key_; }
+  UpdateMechanism mechanism() const { return mechanism_; }
+  Duration period() const { return period_; }
+  const MetadataValue& static_value() const { return static_value_; }
+  const Evaluator& evaluator() const { return evaluator_; }
+  const DependencyResolver& dependency_resolver() const { return resolver_; }
+  bool has_dependencies() const { return static_cast<bool>(resolver_); }
+  const MonitoringHook& activate_monitoring() const { return activate_; }
+  const MonitoringHook& deactivate_monitoring() const { return deactivate_; }
+  const std::string& description() const { return description_; }
+
+ private:
+  MetadataDescriptor(MetadataKey key, UpdateMechanism mechanism)
+      : key_(std::move(key)), mechanism_(mechanism) {}
+
+  void AppendSpecs(std::vector<DependencySpec> specs);
+
+  MetadataKey key_;
+  UpdateMechanism mechanism_;
+  Duration period_ = 0;
+  MetadataValue static_value_;
+  Evaluator evaluator_;
+  DependencyResolver resolver_;             // null => no dependencies
+  std::vector<DependencySpec> static_specs_;  // feeds the default resolver
+  MonitoringHook activate_;
+  MonitoringHook deactivate_;
+  std::string description_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,189 @@
+#include "metadata/handler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metadata/manager.h"
+#include "metadata/provider.h"
+
+namespace pipes {
+
+namespace {
+
+/// Evaluation context backed by a handler's resolved dependencies.
+class HandlerEvalContext final : public EvalContext {
+ public:
+  HandlerEvalContext(MetadataProvider& provider, Timestamp now,
+                     Duration elapsed, MetadataValue previous,
+                     uint64_t eval_index,
+                     const std::vector<std::shared_ptr<MetadataHandler>>& deps)
+      : provider_(provider),
+        now_(now),
+        elapsed_(elapsed),
+        previous_(std::move(previous)),
+        eval_index_(eval_index),
+        deps_(deps) {}
+
+  MetadataProvider& provider() const override { return provider_; }
+  Timestamp now() const override { return now_; }
+  Duration elapsed() const override { return elapsed_; }
+  size_t dep_count() const override { return deps_.size(); }
+  MetadataValue Dep(size_t i) const override {
+    assert(i < deps_.size());
+    return deps_[i]->Get();
+  }
+  MetadataValue Previous() const override { return previous_; }
+  uint64_t eval_index() const override { return eval_index_; }
+
+ private:
+  MetadataProvider& provider_;
+  Timestamp now_;
+  Duration elapsed_;
+  MetadataValue previous_;
+  uint64_t eval_index_;
+  const std::vector<std::shared_ptr<MetadataHandler>>& deps_;
+};
+
+}  // namespace
+
+MetadataHandler::MetadataHandler(
+    MetadataProvider& owner, std::shared_ptr<const MetadataDescriptor> desc,
+    MetadataManager& manager,
+    std::vector<std::shared_ptr<MetadataHandler>> deps)
+    : owner_(owner),
+      desc_(std::move(desc)),
+      manager_(manager),
+      deps_(std::move(deps)) {}
+
+MetadataHandler::~MetadataHandler() = default;
+
+MetadataValue MetadataHandler::Get() {
+  access_count_.fetch_add(1, std::memory_order_relaxed);
+  return DoGet(manager_.clock().Now());
+}
+
+Timestamp MetadataHandler::last_updated() const {
+  std::lock_guard<std::mutex> lock(value_mu_);
+  return last_updated_;
+}
+
+std::vector<MetadataHandler*> MetadataHandler::dependents() const {
+  std::lock_guard<std::mutex> lock(dependents_mu_);
+  return dependents_;
+}
+
+MetadataValue MetadataHandler::Evaluate(Timestamp now, Duration elapsed) {
+  if (!desc_->evaluator()) return MetadataValue::Null();
+  std::lock_guard<std::mutex> lock(eval_mu_);
+  uint64_t index = eval_count_.fetch_add(1, std::memory_order_relaxed);
+  manager_.CountEvaluation();
+  HandlerEvalContext ctx(owner_, now, elapsed, LoadValue(), index, deps_);
+  return desc_->evaluator()(ctx);
+}
+
+void MetadataHandler::StoreValue(MetadataValue v, Timestamp now) {
+  std::lock_guard<std::mutex> lock(value_mu_);
+  value_ = std::move(v);
+  last_updated_ = now;
+  update_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetadataValue MetadataHandler::LoadValue() const {
+  std::lock_guard<std::mutex> lock(value_mu_);
+  return value_;
+}
+
+void MetadataHandler::RefreshFromWave(Timestamp) {}
+
+void MetadataHandler::AddDependent(MetadataHandler* h) {
+  std::lock_guard<std::mutex> lock(dependents_mu_);
+  // Duplicate subscriptions by the same dependent are detected to avoid
+  // redundant notifications (paper §3.2.3).
+  if (std::find(dependents_.begin(), dependents_.end(), h) ==
+      dependents_.end()) {
+    dependents_.push_back(h);
+  }
+}
+
+void MetadataHandler::RemoveDependent(MetadataHandler* h) {
+  std::lock_guard<std::mutex> lock(dependents_mu_);
+  dependents_.erase(std::remove(dependents_.begin(), dependents_.end(), h),
+                    dependents_.end());
+}
+
+// --- StaticMetadataHandler ---------------------------------------------------
+
+void StaticMetadataHandler::Activate(Timestamp now) {
+  // Either a literal value or a one-time evaluation.
+  if (desc_->evaluator()) {
+    StoreValue(Evaluate(now, 0), now);
+  } else {
+    StoreValue(desc_->static_value(), now);
+  }
+}
+
+MetadataValue StaticMetadataHandler::DoGet(Timestamp) { return LoadValue(); }
+
+// --- OnDemandMetadataHandler -------------------------------------------------
+
+void OnDemandMetadataHandler::Activate(Timestamp now) {
+  // No pre-computation; remember the inclusion time so the first access has
+  // a meaningful elapsed().
+  StoreValue(MetadataValue::Null(), now);
+}
+
+MetadataValue OnDemandMetadataHandler::DoGet(Timestamp now) {
+  Duration elapsed = now - last_updated();
+  MetadataValue v = Evaluate(now, elapsed);
+  StoreValue(v, now);
+  return v;
+}
+
+// --- PeriodicMetadataHandler -------------------------------------------------
+
+void PeriodicMetadataHandler::Activate(Timestamp now) {
+  assert(period() > 0 && "periodic metadata item requires a positive period");
+  // The value for the (empty) zeroth window; evaluators guard elapsed()==0.
+  StoreValue(Evaluate(now, 0), now);
+  std::weak_ptr<MetadataHandler> weak = weak_from_this();
+  task_ = manager_.scheduler().SchedulePeriodic(
+      period(),
+      [weak] {
+        if (auto self = weak.lock()) {
+          auto* h = static_cast<PeriodicMetadataHandler*>(self.get());
+          h->Tick(h->manager_.clock().Now());
+        }
+      },
+      now + period());
+}
+
+void PeriodicMetadataHandler::Deactivate() { task_.Cancel(); }
+
+void PeriodicMetadataHandler::Tick(Timestamp now) {
+  MetadataValue v = Evaluate(now, period());
+  StoreValue(std::move(v), now);
+  manager_.PropagateFrom(*this, now);
+}
+
+MetadataValue PeriodicMetadataHandler::DoGet(Timestamp) {
+  // Consumers always read the value of the last completed window — the
+  // isolation condition of §3.1.
+  return LoadValue();
+}
+
+// --- TriggeredMetadataHandler ------------------------------------------------
+
+void TriggeredMetadataHandler::Activate(Timestamp now) {
+  // "The values of metadata items with triggered handlers are pre-computed
+  // on the first subscription." (§3.2.3)
+  StoreValue(Evaluate(now, 0), now);
+}
+
+void TriggeredMetadataHandler::RefreshFromWave(Timestamp now) {
+  Duration elapsed = now - last_updated();
+  StoreValue(Evaluate(now, elapsed), now);
+}
+
+MetadataValue TriggeredMetadataHandler::DoGet(Timestamp) { return LoadValue(); }
+
+}  // namespace pipes

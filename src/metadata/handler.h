@@ -1,0 +1,217 @@
+/// \file handler.h
+/// \brief Metadata handlers: the shared proxies created per included item
+/// (paper §2.1) with one implementation per update mechanism (§3.2).
+///
+/// "A metadata handler can be considered as a proxy that supplies the
+/// subscribed metadata consumers with the current metadata value. This
+/// indirection is required because (i) it synchronizes the possibly
+/// concurrent access of multiple consumers, and (ii) it guarantees a
+/// consistent view on a metadata item for all consumers during updates."
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/scheduler.h"
+#include "common/types.h"
+#include "metadata/descriptor.h"
+
+namespace pipes {
+
+class MetadataManager;
+class MetadataProvider;
+
+/// \brief Shared, synchronized proxy for one included metadata item.
+///
+/// There is a 1-to-1 relationship between included items and handlers; all
+/// consumers of an item share its handler. Lifetime: created by the
+/// MetadataManager on first inclusion, removed when the last external
+/// subscription and the last dependent are gone.
+class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
+ public:
+  virtual ~MetadataHandler();
+
+  MetadataHandler(const MetadataHandler&) = delete;
+  MetadataHandler& operator=(const MetadataHandler&) = delete;
+
+  /// The key of the item this handler maintains.
+  const MetadataKey& key() const { return desc_->key(); }
+
+  /// The provider (node/module) the item belongs to.
+  MetadataProvider& owner() const { return owner_; }
+
+  /// The item's update mechanism.
+  UpdateMechanism mechanism() const { return desc_->mechanism(); }
+
+  /// The descriptor this handler was built from.
+  const MetadataDescriptor& descriptor() const { return *desc_; }
+
+  /// Returns the current metadata value (mechanism-specific: cached for
+  /// static/periodic/triggered, computed on the spot for on-demand).
+  MetadataValue Get();
+
+  /// Numeric convenience for Get().
+  double GetDouble() { return Get().AsDouble(); }
+
+  /// Time of the last value update (kTimestampNever before the first).
+  Timestamp last_updated() const;
+
+  /// Resolved dependency handlers, in resolver order.
+  const std::vector<std::shared_ptr<MetadataHandler>>& dependencies() const {
+    return deps_;
+  }
+
+  /// Snapshot of the handlers currently depending on this one.
+  std::vector<MetadataHandler*> dependents() const;
+
+  /// \name Usage statistics (profiling, scale benches)
+  ///@{
+  uint64_t access_count() const {
+    return access_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t update_count() const {
+    return update_count_.load(std::memory_order_relaxed);
+  }
+  /// Number of evaluator invocations (the maintenance-cost unit used by the
+  /// scalability experiments).
+  uint64_t eval_count() const {
+    return eval_count_.load(std::memory_order_relaxed);
+  }
+  ///@}
+
+  /// \name Reference counts (mutated only under the manager structure lock)
+  ///@{
+  int external_refs() const { return external_refs_; }
+  int internal_refs() const { return internal_refs_; }
+  ///@}
+
+  /// Internal: handlers are created by the MetadataManager only.
+  MetadataHandler(MetadataProvider& owner,
+                  std::shared_ptr<const MetadataDescriptor> desc,
+                  MetadataManager& manager,
+                  std::vector<std::shared_ptr<MetadataHandler>> deps);
+
+ protected:
+  /// Mechanism-specific read.
+  virtual MetadataValue DoGet(Timestamp now) = 0;
+
+  /// Runs the descriptor's evaluator with a context exposing `deps_`,
+  /// `elapsed`, and the previous value. Serialized per handler.
+  MetadataValue Evaluate(Timestamp now, Duration elapsed);
+
+  /// Stores `v` as the current value with update time `now`.
+  void StoreValue(MetadataValue v, Timestamp now);
+
+  /// Reads the stored value.
+  MetadataValue LoadValue() const;
+
+  MetadataProvider& owner_;
+  std::shared_ptr<const MetadataDescriptor> desc_;
+  MetadataManager& manager_;
+  std::vector<std::shared_ptr<MetadataHandler>> deps_;
+
+ private:
+  friend class MetadataManager;
+
+  /// Post-wiring initialization: compute the initial value, start periodic
+  /// tasks, etc. Called once by the manager.
+  virtual void Activate(Timestamp now) = 0;
+
+  /// Tear-down before removal: cancel tasks. Called once by the manager.
+  virtual void Deactivate() {}
+
+  /// Recomputes the value during an update-propagation wave. Default no-op;
+  /// only triggered handlers recompute.
+  virtual void RefreshFromWave(Timestamp now);
+
+  /// True if a propagation wave continues to this handler's dependents
+  /// (triggered and on-demand handlers forward change; periodic handlers
+  /// update on their own cadence; static never change).
+  bool PropagatesThrough() const {
+    return mechanism() == UpdateMechanism::kTriggered ||
+           mechanism() == UpdateMechanism::kOnDemand;
+  }
+
+  void AddDependent(MetadataHandler* h);
+  void RemoveDependent(MetadataHandler* h);
+
+  mutable std::mutex value_mu_;
+  MetadataValue value_;
+  Timestamp last_updated_ = kTimestampNever;
+
+  std::mutex eval_mu_;  // serializes evaluator invocations
+
+  mutable std::mutex dependents_mu_;
+  std::vector<MetadataHandler*> dependents_;
+
+  // Guarded by the manager's structure lock.
+  int external_refs_ = 0;
+  int internal_refs_ = 0;
+
+  std::atomic<uint64_t> access_count_{0};
+  std::atomic<uint64_t> update_count_{0};
+  std::atomic<uint64_t> eval_count_{0};
+};
+
+/// \brief Handler for invariable items: stores the descriptor's value once.
+class StaticMetadataHandler final : public MetadataHandler {
+ public:
+  using MetadataHandler::MetadataHandler;
+
+ private:
+  MetadataValue DoGet(Timestamp now) override;
+  void Activate(Timestamp now) override;
+};
+
+/// \brief Handler computing the value on every access (§3.2.1).
+///
+/// Access is serialized across consumers; `elapsed()` in the evaluator is the
+/// time since the previous access, which is exactly the semantics whose
+/// pitfalls Figure 4 illustrates (and which the figure-4 bench reproduces).
+class OnDemandMetadataHandler final : public MetadataHandler {
+ public:
+  using MetadataHandler::MetadataHandler;
+
+ private:
+  MetadataValue DoGet(Timestamp now) override;
+  void Activate(Timestamp now) override;
+};
+
+/// \brief Handler recomputing the value per fixed time window (§3.2.2).
+///
+/// All consumers read the value computed for the last completed window: the
+/// isolation condition. The window size calibrates freshness vs. overhead.
+class PeriodicMetadataHandler final : public MetadataHandler {
+ public:
+  using MetadataHandler::MetadataHandler;
+
+  Duration period() const { return desc_->period(); }
+
+ private:
+  MetadataValue DoGet(Timestamp now) override;
+  void Activate(Timestamp now) override;
+  void Deactivate() override;
+
+  /// One window boundary: recompute, publish, propagate.
+  void Tick(Timestamp now);
+
+  TaskHandle task_;
+};
+
+/// \brief Handler recomputing the value when an underlying item changes
+/// (§3.2.3): pre-computed on first subscription, then refreshed by
+/// propagation waves and manual event notifications.
+class TriggeredMetadataHandler final : public MetadataHandler {
+ public:
+  using MetadataHandler::MetadataHandler;
+
+ private:
+  MetadataValue DoGet(Timestamp now) override;
+  void Activate(Timestamp now) override;
+  void RefreshFromWave(Timestamp now) override;
+};
+
+}  // namespace pipes

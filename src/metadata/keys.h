@@ -1,0 +1,70 @@
+/// \file keys.h
+/// \brief Standard metadata keys, mirroring the items named in the paper.
+///
+/// A `MetadataKey` is a plain string; these constants name the items that the
+/// stream engine, cost model, and runtime components define out of the box.
+/// Developers are free to define additional keys (paper §4.4.1).
+
+#pragma once
+
+#include <string>
+
+namespace pipes {
+
+/// Identifies a metadata item within one provider (node or module).
+using MetadataKey = std::string;
+
+namespace keys {
+
+// --- static metadata (paper §1, Figure 2) ---------------------------------
+inline const MetadataKey kSchema = "schema";
+inline const MetadataKey kElementSize = "element_size";
+
+// --- source / stream metadata ----------------------------------------------
+inline const MetadataKey kOutputRate = "output_rate";        // measured, periodic
+inline const MetadataKey kAvgOutputRate = "avg_output_rate"; // triggered average
+inline const MetadataKey kElementCount = "element_count";    // on-demand counter
+
+// --- operator metadata -------------------------------------------------------
+inline const MetadataKey kInputRate = "input_rate";           // measured, periodic
+inline const MetadataKey kInputRateLeft = "input_rate_left";
+inline const MetadataKey kInputRateRight = "input_rate_right";
+inline const MetadataKey kAvgInputRate = "avg_input_rate";    // triggered average
+inline const MetadataKey kVarInputRate = "var_input_rate";    // triggered variance
+inline const MetadataKey kSelectivity = "selectivity";        // measured, periodic
+inline const MetadataKey kAvgSelectivity = "avg_selectivity";
+inline const MetadataKey kIoRatio = "io_ratio";               // output/input rate
+inline const MetadataKey kMemoryUsage = "memory_usage";       // measured, on-demand
+inline const MetadataKey kStateSize = "state_size";           // elements in state
+inline const MetadataKey kCpuUsage = "cpu_usage";             // measured, periodic
+inline const MetadataKey kWindowSize = "window_size";         // on-demand (state)
+inline const MetadataKey kImplementationType = "implementation_type";  // static
+
+// --- cost-model estimates (Figure 3) ----------------------------------------
+inline const MetadataKey kEstOutputRate = "est_output_rate";
+inline const MetadataKey kEstElementValidity = "est_element_validity";
+inline const MetadataKey kEstCpuUsage = "est_cpu_usage";
+inline const MetadataKey kEstMemoryUsage = "est_memory_usage";
+inline const MetadataKey kEstStateSize = "est_state_size";
+inline const MetadataKey kPredicateCost = "predicate_cost";   // intra-node dep
+inline const MetadataKey kMatchSelectivity = "match_selectivity";  // matches/candidates
+
+// --- value distribution (paper §1: "data distributions") ---------------------
+inline const MetadataKey kDistinctKeys = "distinct_keys";  // periodic sketch
+
+// --- latency / QoS monitoring -------------------------------------------------
+inline const MetadataKey kProcessingLatency = "processing_latency";  // periodic [s]
+
+// --- queued execution (motivation 1: Chain scheduling) ----------------------
+inline const MetadataKey kQueueSize = "queue_size";       // on-demand
+inline const MetadataKey kQueueBytes = "queue_bytes";     // on-demand
+inline const MetadataKey kQueueOldestAge = "queue_oldest_age";  // on-demand [s]
+
+// --- sink / query-level metadata ---------------------------------------------
+inline const MetadataKey kQosMaxLatency = "qos_max_latency";  // static per query
+inline const MetadataKey kPriority = "priority";
+inline const MetadataKey kResultRate = "result_rate";
+inline const MetadataKey kReuseCount = "reuse_count";         // subquery sharing
+
+}  // namespace keys
+}  // namespace pipes

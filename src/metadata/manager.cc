@@ -1,0 +1,426 @@
+#include "metadata/manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace pipes {
+
+// ---------------------------------------------------------------------------
+// MetadataSubscription
+// ---------------------------------------------------------------------------
+
+MetadataSubscription::~MetadataSubscription() { Reset(); }
+
+MetadataSubscription::MetadataSubscription(MetadataSubscription&& other) noexcept
+    : manager_(other.manager_), handler_(std::move(other.handler_)) {
+  other.manager_ = nullptr;
+  other.handler_ = nullptr;
+}
+
+MetadataSubscription& MetadataSubscription::operator=(
+    MetadataSubscription&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    manager_ = other.manager_;
+    handler_ = std::move(other.handler_);
+    other.manager_ = nullptr;
+    other.handler_ = nullptr;
+  }
+  return *this;
+}
+
+MetadataValue MetadataSubscription::Get() const {
+  return handler_ ? handler_->Get() : MetadataValue::Null();
+}
+
+void MetadataSubscription::Reset() {
+  if (handler_ && manager_) {
+    manager_->UnsubscribeExternal(handler_);
+  }
+  handler_ = nullptr;
+  manager_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Dependency resolution context
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ResolutionContextImpl final : public ResolutionContext {
+ public:
+  ResolutionContextImpl(
+      MetadataProvider& self,
+      const std::unordered_set<MetadataRef, MetadataRefHash>& planned)
+      : self_(self), planned_(planned) {}
+
+  MetadataProvider& self() const override { return self_; }
+
+  bool IsIncluded(const MetadataRef& ref) const override {
+    if (ref.provider == nullptr) return false;
+    if (ref.provider->metadata_registry().IsIncluded(ref.key)) return true;
+    return planned_.count(ref) > 0;
+  }
+
+  bool IsAvailable(const MetadataRef& ref) const override {
+    return ref.provider != nullptr &&
+           ref.provider->metadata_registry().IsAvailable(ref.key);
+  }
+
+  std::vector<MetadataRef> ResolveSpec(const DependencySpec& spec) const override {
+    std::vector<MetadataRef> out;
+    switch (spec.target) {
+      case DependencySpec::Target::kSelf:
+        out.push_back(MetadataRef{&self_, spec.key});
+        break;
+      case DependencySpec::Target::kUpstream: {
+        auto ups = self_.MetadataUpstreams();
+        if (spec.index < 0) {
+          for (auto* p : ups) out.push_back(MetadataRef{p, spec.key});
+        } else if (static_cast<size_t>(spec.index) < ups.size()) {
+          out.push_back(MetadataRef{ups[spec.index], spec.key});
+        } else {
+          error_ = "upstream index " + std::to_string(spec.index) +
+                   " out of range for '" + self_.label() + "'";
+        }
+        break;
+      }
+      case DependencySpec::Target::kDownstream: {
+        auto downs = self_.MetadataDownstreams();
+        if (spec.index < 0) {
+          for (auto* p : downs) out.push_back(MetadataRef{p, spec.key});
+        } else if (static_cast<size_t>(spec.index) < downs.size()) {
+          out.push_back(MetadataRef{downs[spec.index], spec.key});
+        } else {
+          error_ = "downstream index " + std::to_string(spec.index) +
+                   " out of range for '" + self_.label() + "'";
+        }
+        break;
+      }
+      case DependencySpec::Target::kModule: {
+        MetadataProvider* module = self_.MetadataModule(spec.module);
+        if (module != nullptr) {
+          out.push_back(MetadataRef{module, spec.key});
+        } else {
+          error_ = "unknown module '" + spec.module + "' on '" +
+                   self_.label() + "'";
+        }
+        break;
+      }
+      case DependencySpec::Target::kExplicit:
+        if (spec.provider != nullptr) {
+          out.push_back(MetadataRef{spec.provider, spec.key});
+        } else {
+          error_ = "explicit dependency with null provider on '" +
+                   self_.label() + "'";
+        }
+        break;
+    }
+    return out;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  MetadataProvider& self_;
+  const std::unordered_set<MetadataRef, MetadataRefHash>& planned_;
+  mutable std::string error_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MetadataManager
+// ---------------------------------------------------------------------------
+
+MetadataManager::MetadataManager(TaskScheduler& scheduler)
+    : scheduler_(scheduler) {}
+
+MetadataManager::~MetadataManager() = default;
+
+Result<MetadataSubscription> MetadataManager::Subscribe(
+    MetadataProvider& provider, const MetadataKey& key) {
+  ExclusiveLock lock(structure_mu_);
+
+  // Phase 1: plan the inclusion closure (validates everything up front so
+  // the subscription is atomic).
+  std::vector<PlanEntry> plan;
+  std::unordered_set<MetadataRef, MetadataRefHash> planned;
+  std::unordered_set<MetadataRef, MetadataRefHash> in_path;
+  MetadataRef root{&provider, key};
+  Status st = PlanInclude(root, &plan, &planned, &in_path);
+  if (!st.ok()) return st;
+
+  // Phase 2: instantiate handlers dependencies-first.
+  Timestamp now = clock().Now();
+  for (const PlanEntry& entry : plan) {
+    Instantiate(entry, now);
+  }
+
+  std::shared_ptr<MetadataHandler> handler =
+      provider.metadata_registry().GetHandler(key);
+  assert(handler != nullptr);
+  handler->external_refs_ += 1;
+  stats_subscriptions_.fetch_add(1, std::memory_order_relaxed);
+  return MetadataSubscription(this, std::move(handler));
+}
+
+Status MetadataManager::PlanInclude(
+    const MetadataRef& ref, std::vector<PlanEntry>* plan,
+    std::unordered_set<MetadataRef, MetadataRefHash>* planned,
+    std::unordered_set<MetadataRef, MetadataRefHash>* in_path) {
+  if (ref.provider == nullptr) {
+    return Status::InvalidArgument("metadata reference with null provider");
+  }
+  // "The traversal stops at items already provided." (§2.4)
+  if (ref.provider->metadata_registry().IsIncluded(ref.key)) return Status::OK();
+  if (planned->count(ref) > 0) return Status::OK();
+  if (in_path->count(ref) > 0) {
+    return Status::CycleDetected("metadata dependency cycle through '" +
+                                 ref.provider->label() + "." + ref.key + "'");
+  }
+  std::shared_ptr<const MetadataDescriptor> desc =
+      ref.provider->metadata_registry().Find(ref.key);
+  if (desc == nullptr) {
+    return Status::NotFound("no metadata item '" + ref.key + "' on '" +
+                            ref.provider->label() + "'");
+  }
+
+  in_path->insert(ref);
+
+  std::vector<MetadataRef> deps;
+  if (desc->dependency_resolver()) {
+    ResolutionContextImpl ctx(*ref.provider, *planned);
+    deps = desc->dependency_resolver()(ctx);
+    if (!ctx.error().empty()) {
+      in_path->erase(ref);
+      return Status::InvalidArgument("resolving dependencies of '" + ref.key +
+                                     "': " + ctx.error());
+    }
+    // De-duplicate while preserving order.
+    std::vector<MetadataRef> unique;
+    for (const auto& d : deps) {
+      if (std::find(unique.begin(), unique.end(), d) == unique.end()) {
+        unique.push_back(d);
+      }
+    }
+    deps = std::move(unique);
+  }
+
+  for (const MetadataRef& dep : deps) {
+    Status st = PlanInclude(dep, plan, planned, in_path);
+    if (!st.ok()) {
+      in_path->erase(ref);
+      return st;
+    }
+  }
+
+  in_path->erase(ref);
+  planned->insert(ref);
+  plan->push_back(PlanEntry{ref.provider, ref.key, std::move(desc),
+                            std::move(deps)});
+  return Status::OK();
+}
+
+std::shared_ptr<MetadataHandler> MetadataManager::Instantiate(
+    const PlanEntry& entry, Timestamp now) {
+  // Collect dependency handlers (created earlier in the plan or preexisting).
+  std::vector<std::shared_ptr<MetadataHandler>> dep_handlers;
+  dep_handlers.reserve(entry.deps.size());
+  for (const MetadataRef& dep : entry.deps) {
+    auto h = dep.provider->metadata_registry().GetHandler(dep.key);
+    assert(h != nullptr && "dependency handler missing during instantiation");
+    dep_handlers.push_back(std::move(h));
+  }
+
+  std::shared_ptr<MetadataHandler> handler;
+  switch (entry.desc->mechanism()) {
+    case UpdateMechanism::kStatic:
+      handler = std::shared_ptr<MetadataHandler>(new StaticMetadataHandler(
+          *entry.provider, entry.desc, *this, std::move(dep_handlers)));
+      break;
+    case UpdateMechanism::kOnDemand:
+      handler = std::shared_ptr<MetadataHandler>(new OnDemandMetadataHandler(
+          *entry.provider, entry.desc, *this, std::move(dep_handlers)));
+      break;
+    case UpdateMechanism::kPeriodic:
+      handler = std::shared_ptr<MetadataHandler>(new PeriodicMetadataHandler(
+          *entry.provider, entry.desc, *this, std::move(dep_handlers)));
+      break;
+    case UpdateMechanism::kTriggered:
+      handler = std::shared_ptr<MetadataHandler>(new TriggeredMetadataHandler(
+          *entry.provider, entry.desc, *this, std::move(dep_handlers)));
+      break;
+  }
+
+  // Wire the inverted dependency graph and internal reference counts.
+  for (const auto& dep : handler->dependencies()) {
+    dep->AddDependent(handler.get());
+    dep->internal_refs_ += 1;
+  }
+
+  // Providers learn their manager on first inclusion, so that
+  // FireMetadataEvent works without explicit attachment.
+  if (entry.provider->metadata_manager() == nullptr) {
+    entry.provider->AttachMetadataManager(this);
+  }
+
+  entry.provider->metadata_registry().AddHandler(entry.key, handler);
+
+  // Activate the node-side monitoring code (paper §4.4.1), then the handler.
+  if (entry.desc->activate_monitoring()) {
+    entry.desc->activate_monitoring()(*entry.provider);
+  }
+  handler->Activate(now);
+
+  stats_created_.fetch_add(1, std::memory_order_relaxed);
+  stats_active_.fetch_add(1, std::memory_order_relaxed);
+  return handler;
+}
+
+void MetadataManager::UnsubscribeExternal(
+    const std::shared_ptr<MetadataHandler>& handler) {
+  ExclusiveLock lock(structure_mu_);
+  assert(handler->external_refs_ > 0);
+  handler->external_refs_ -= 1;
+  stats_unsubscriptions_.fetch_add(1, std::memory_order_relaxed);
+  MaybeRemove(handler);
+}
+
+void MetadataManager::MaybeRemove(
+    const std::shared_ptr<MetadataHandler>& handler) {
+  if (handler->external_refs_ > 0 || handler->internal_refs_ > 0) return;
+
+  handler->Deactivate();
+  if (handler->descriptor().deactivate_monitoring()) {
+    handler->descriptor().deactivate_monitoring()(handler->owner());
+  }
+  handler->owner().metadata_registry().RemoveHandler(handler->key());
+  stats_removed_.fetch_add(1, std::memory_order_relaxed);
+  stats_active_.fetch_sub(1, std::memory_order_relaxed);
+
+  // "For an unsubscription, the same traversal cancels the provision of
+  // dependent metadata items by an implicit exclusion." (§2.4)
+  for (const auto& dep : handler->dependencies()) {
+    dep->RemoveDependent(handler.get());
+    assert(dep->internal_refs_ > 0);
+    dep->internal_refs_ -= 1;
+    MaybeRemove(dep);
+  }
+}
+
+void MetadataManager::FireEvent(MetadataProvider& provider,
+                                const MetadataKey& key) {
+  std::shared_ptr<MetadataHandler> handler;
+  {
+    SharedLock lock(structure_mu_);
+    handler = provider.metadata_registry().GetHandler(key);
+  }
+  if (handler == nullptr) return;
+  stats_events_.fetch_add(1, std::memory_order_relaxed);
+  PropagateFrom(*handler, clock().Now());
+}
+
+void MetadataManager::FireEventDeferred(MetadataProvider& provider,
+                                        const MetadataKey& key) {
+  MetadataProvider* p = &provider;
+  MetadataKey k = key;
+  scheduler_.ScheduleAt(clock().Now(), [this, p, k] { FireEvent(*p, k); });
+}
+
+void MetadataManager::NaivePropagate(MetadataHandler& h, Timestamp now,
+                                     int depth) {
+  // Recursion bound as a safety net; the dependency graph is acyclic, but
+  // diamonds make this exponential — which is the point of the ablation.
+  if (depth > 64) return;
+  for (MetadataHandler* d : h.dependents()) {
+    if (d->mechanism() == UpdateMechanism::kTriggered) {
+      d->RefreshFromWave(now);
+      stats_wave_refreshes_.fetch_add(1, std::memory_order_relaxed);
+      NaivePropagate(*d, now, depth + 1);
+    } else if (d->mechanism() == UpdateMechanism::kOnDemand) {
+      NaivePropagate(*d, now, depth + 1);
+    }
+  }
+}
+
+void MetadataManager::PropagateFrom(MetadataHandler& origin, Timestamp now) {
+  SharedLock lock(structure_mu_);
+  std::lock_guard<std::recursive_mutex> wave(propagation_mu_);
+  stats_waves_.fetch_add(1, std::memory_order_relaxed);
+
+  if (propagation_mode_ == PropagationMode::kNaiveRecursive) {
+    NaivePropagate(origin, now, 0);
+    return;
+  }
+
+  // Collect the affected closure: dependents reachable through triggered and
+  // on-demand handlers. Periodic handlers update on their own cadence and
+  // static handlers never change, so the wave does not continue past them.
+  std::unordered_set<MetadataHandler*> visited;
+  std::deque<MetadataHandler*> frontier;
+  for (MetadataHandler* d : origin.dependents()) frontier.push_back(d);
+  while (!frontier.empty()) {
+    MetadataHandler* h = frontier.front();
+    frontier.pop_front();
+    if (!visited.insert(h).second) continue;
+    if (h->PropagatesThrough()) {
+      for (MetadataHandler* d : h->dependents()) frontier.push_back(d);
+    }
+  }
+  if (visited.empty()) return;
+
+  // Refresh in topological (dependencies-first) order: Kahn's algorithm over
+  // the dependency edges restricted to the affected closure. This is the
+  // paper's "update order is basically determined by the inverted dependency
+  // graph" (§3.2.3), and guarantees each handler refreshes at most once per
+  // wave with all its affected inputs already up to date.
+  std::unordered_map<MetadataHandler*, int> in_degree;
+  for (MetadataHandler* h : visited) {
+    int deg = 0;
+    for (const auto& dep : h->dependencies()) {
+      if (visited.count(dep.get()) > 0) ++deg;
+    }
+    in_degree[h] = deg;
+  }
+  std::deque<MetadataHandler*> ready;
+  for (auto& [h, deg] : in_degree) {
+    if (deg == 0) ready.push_back(h);
+  }
+  size_t processed = 0;
+  while (!ready.empty()) {
+    MetadataHandler* h = ready.front();
+    ready.pop_front();
+    ++processed;
+    if (h->mechanism() == UpdateMechanism::kTriggered) {
+      h->RefreshFromWave(now);
+      stats_wave_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (MetadataHandler* d : h->dependents()) {
+      auto it = in_degree.find(d);
+      if (it != in_degree.end() && --it->second == 0) {
+        ready.push_back(d);
+      }
+    }
+  }
+  assert(processed == visited.size() && "dependency cycle in propagation");
+  (void)processed;
+}
+
+MetadataManagerStats MetadataManager::stats() const {
+  MetadataManagerStats s;
+  s.subscriptions = stats_subscriptions_.load(std::memory_order_relaxed);
+  s.unsubscriptions = stats_unsubscriptions_.load(std::memory_order_relaxed);
+  s.handlers_created = stats_created_.load(std::memory_order_relaxed);
+  s.handlers_removed = stats_removed_.load(std::memory_order_relaxed);
+  s.active_handlers = stats_active_.load(std::memory_order_relaxed);
+  s.evaluations = stats_evaluations_.load(std::memory_order_relaxed);
+  s.waves = stats_waves_.load(std::memory_order_relaxed);
+  s.wave_refreshes = stats_wave_refreshes_.load(std::memory_order_relaxed);
+  s.events_fired = stats_events_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pipes

@@ -1,0 +1,60 @@
+#include "metadata/provider.h"
+
+#include "metadata/manager.h"
+
+namespace pipes {
+
+std::atomic<uint64_t> MetadataProvider::next_id_{1};
+
+MetadataProvider::MetadataProvider(std::string label)
+    : label_(std::move(label)),
+      provider_id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetadataProvider::~MetadataProvider() = default;
+
+void MetadataProvider::AttachMetadataManager(MetadataManager* manager) {
+  manager_.store(manager, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(modules_mu_);
+  for (auto& [name, module] : modules_) {
+    module->AttachMetadataManager(manager);
+  }
+}
+
+void MetadataProvider::RegisterModule(const std::string& name,
+                                      MetadataProvider* module) {
+  {
+    std::lock_guard<std::mutex> lock(modules_mu_);
+    modules_[name] = module;
+  }
+  if (MetadataManager* mgr = metadata_manager()) {
+    module->AttachMetadataManager(mgr);
+  }
+}
+
+void MetadataProvider::UnregisterModule(const std::string& name) {
+  std::lock_guard<std::mutex> lock(modules_mu_);
+  modules_.erase(name);
+}
+
+MetadataProvider* MetadataProvider::MetadataModule(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(modules_mu_);
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> MetadataProvider::ModuleNames() const {
+  std::lock_guard<std::mutex> lock(modules_mu_);
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& [name, module] : modules_) names.push_back(name);
+  return names;
+}
+
+void MetadataProvider::FireMetadataEvent(const MetadataKey& key) {
+  if (MetadataManager* mgr = metadata_manager()) {
+    mgr->FireEvent(*this, key);
+  }
+}
+
+}  // namespace pipes

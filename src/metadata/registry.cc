@@ -1,0 +1,115 @@
+#include "metadata/registry.h"
+
+#include <cassert>
+
+#include "metadata/handler.h"
+
+namespace pipes {
+
+Status MetadataRegistry::Define(MetadataDescriptor desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetadataKey key = desc.key();
+  auto [it, inserted] = descriptors_.emplace(
+      key, std::make_shared<const MetadataDescriptor>(std::move(desc)));
+  if (!inserted) {
+    return Status::AlreadyExists("metadata item already defined: " + key);
+  }
+  return Status::OK();
+}
+
+Status MetadataRegistry::Redefine(MetadataDescriptor desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetadataKey key = desc.key();
+  auto it = descriptors_.find(key);
+  if (it == descriptors_.end()) {
+    return Status::NotFound("cannot redefine unknown metadata item: " + key);
+  }
+  if (handlers_.count(key) > 0) {
+    return Status::FailedPrecondition(
+        "cannot redefine currently included metadata item: " + key);
+  }
+  it->second = std::make_shared<const MetadataDescriptor>(std::move(desc));
+  return Status::OK();
+}
+
+Status MetadataRegistry::DefineOrRedefine(MetadataDescriptor desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetadataKey key = desc.key();
+  if (handlers_.count(key) > 0) {
+    return Status::FailedPrecondition(
+        "cannot redefine currently included metadata item: " + key);
+  }
+  descriptors_[key] = std::make_shared<const MetadataDescriptor>(std::move(desc));
+  return Status::OK();
+}
+
+Status MetadataRegistry::Undefine(const MetadataKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handlers_.count(key) > 0) {
+    return Status::FailedPrecondition(
+        "cannot undefine currently included metadata item: " + key);
+  }
+  if (descriptors_.erase(key) == 0) {
+    return Status::NotFound("unknown metadata item: " + key);
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const MetadataDescriptor> MetadataRegistry::Find(
+    const MetadataKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = descriptors_.find(key);
+  return it == descriptors_.end() ? nullptr : it->second;
+}
+
+bool MetadataRegistry::IsAvailable(const MetadataKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return descriptors_.count(key) > 0;
+}
+
+std::vector<MetadataKey> MetadataRegistry::AvailableKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetadataKey> keys;
+  keys.reserve(descriptors_.size());
+  for (const auto& [k, d] : descriptors_) keys.push_back(k);
+  return keys;
+}
+
+std::shared_ptr<MetadataHandler> MetadataRegistry::GetHandler(
+    const MetadataKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handlers_.find(key);
+  return it == handlers_.end() ? nullptr : it->second;
+}
+
+bool MetadataRegistry::IsIncluded(const MetadataKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handlers_.count(key) > 0;
+}
+
+std::vector<MetadataKey> MetadataRegistry::IncludedKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetadataKey> keys;
+  keys.reserve(handlers_.size());
+  for (const auto& [k, h] : handlers_) keys.push_back(k);
+  return keys;
+}
+
+size_t MetadataRegistry::included_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handlers_.size();
+}
+
+void MetadataRegistry::AddHandler(const MetadataKey& key,
+                                  std::shared_ptr<MetadataHandler> h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(handlers_.count(key) == 0);
+  handlers_.emplace(key, std::move(h));
+}
+
+void MetadataRegistry::RemoveHandler(const MetadataKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(key);
+}
+
+}  // namespace pipes

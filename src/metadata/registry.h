@@ -1,0 +1,86 @@
+/// \file registry.h
+/// \brief Per-provider catalog of available and included metadata items.
+///
+/// "The metadata items and handlers are stored at the respective graph
+/// nodes ... This direct assignment of metadata to the individual graph
+/// nodes facilitates metadata discovery because each node gives information
+/// about available metadata items." (paper §2.2)
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metadata/descriptor.h"
+
+namespace pipes {
+
+class MetadataHandler;
+
+/// \brief Holds the metadata descriptors (available items) and the active
+/// handlers (included items) of one provider.
+///
+/// Thread safety: all methods are internally synchronized; structural
+/// consistency across providers is the MetadataManager's responsibility.
+class MetadataRegistry {
+ public:
+  MetadataRegistry() = default;
+  MetadataRegistry(const MetadataRegistry&) = delete;
+  MetadataRegistry& operator=(const MetadataRegistry&) = delete;
+
+  // --- descriptors (available items) ---------------------------------------
+
+  /// Declares a new item. Fails with AlreadyExists if the key is defined.
+  Status Define(MetadataDescriptor desc);
+
+  /// Replaces an existing definition — the redefinition facility used by
+  /// metadata inheritance (paper §4.4.2). Fails with NotFound when the key
+  /// is undefined and FailedPrecondition when the item is currently included
+  /// (a live handler would not see the new definition).
+  Status Redefine(MetadataDescriptor desc);
+
+  /// Defines or replaces, with the same included-item restriction.
+  Status DefineOrRedefine(MetadataDescriptor desc);
+
+  /// Removes a definition. Fails when the item is currently included.
+  Status Undefine(const MetadataKey& key);
+
+  /// Looks up a definition; nullptr when unknown. The pointer stays valid
+  /// until the definition is redefined or undefined.
+  std::shared_ptr<const MetadataDescriptor> Find(const MetadataKey& key) const;
+
+  /// True iff a descriptor for `key` exists.
+  bool IsAvailable(const MetadataKey& key) const;
+
+  /// All declared keys, sorted (metadata discovery).
+  std::vector<MetadataKey> AvailableKeys() const;
+
+  // --- handlers (included items) --------------------------------------------
+
+  /// The active handler for `key`, or nullptr when the item is not included.
+  std::shared_ptr<MetadataHandler> GetHandler(const MetadataKey& key) const;
+
+  /// True iff the item currently has a handler.
+  bool IsIncluded(const MetadataKey& key) const;
+
+  /// Keys of all currently included items, sorted.
+  std::vector<MetadataKey> IncludedKeys() const;
+
+  /// Number of active handlers.
+  size_t included_count() const;
+
+  // --- internal (used by MetadataManager) -----------------------------------
+  void AddHandler(const MetadataKey& key, std::shared_ptr<MetadataHandler> h);
+  void RemoveHandler(const MetadataKey& key);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<MetadataKey, std::shared_ptr<const MetadataDescriptor>> descriptors_;
+  std::map<MetadataKey, std::shared_ptr<MetadataHandler>> handlers_;
+};
+
+}  // namespace pipes

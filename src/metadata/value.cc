@@ -1,0 +1,46 @@
+#include "metadata/value.h"
+
+#include <cstdio>
+
+namespace pipes {
+
+double MetadataValue::AsDouble() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  if (is_bool()) return std::get<bool>(v_) ? 1.0 : 0.0;
+  return 0.0;
+}
+
+int64_t MetadataValue::AsInt() const {
+  if (is_int()) return std::get<int64_t>(v_);
+  if (is_double()) return static_cast<int64_t>(std::get<double>(v_));
+  if (is_bool()) return std::get<bool>(v_) ? 1 : 0;
+  return 0;
+}
+
+bool MetadataValue::AsBool() const {
+  if (is_bool()) return std::get<bool>(v_);
+  if (is_int()) return std::get<int64_t>(v_) != 0;
+  if (is_double()) return std::get<double>(v_) != 0.0;
+  return false;
+}
+
+const std::string& MetadataValue::AsString() const {
+  static const std::string kEmpty;
+  if (is_string()) return std::get<std::string>(v_);
+  return kEmpty;
+}
+
+std::string MetadataValue::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  if (is_int()) return std::to_string(std::get<int64_t>(v_));
+  if (is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v_));
+    return buf;
+  }
+  return std::get<std::string>(v_);
+}
+
+}  // namespace pipes

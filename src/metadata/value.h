@@ -1,0 +1,63 @@
+/// \file value.h
+/// \brief The value of a metadata item: a small tagged union.
+///
+/// Metadata items in the paper range from schema strings over rates (doubles)
+/// to booleans and counters. `MetadataValue` carries any of these plus a
+/// "null" state for items that have not been computed yet.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace pipes {
+
+/// \brief Tagged-union value of a metadata item.
+class MetadataValue {
+ public:
+  /// Constructs a null value.
+  MetadataValue() = default;
+
+  // Implicit construction from the supported scalar types.
+  MetadataValue(bool v) : v_(v) {}                 // NOLINT
+  MetadataValue(int64_t v) : v_(v) {}              // NOLINT
+  MetadataValue(int v) : v_(static_cast<int64_t>(v)) {}  // NOLINT
+  MetadataValue(uint64_t v) : v_(static_cast<int64_t>(v)) {}  // NOLINT
+  MetadataValue(double v) : v_(v) {}               // NOLINT
+  MetadataValue(std::string v) : v_(std::move(v)) {}  // NOLINT
+  MetadataValue(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  /// The null value.
+  static MetadataValue Null() { return MetadataValue(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double() || is_bool(); }
+
+  /// Numeric coercion: int/bool/double -> double; null/string -> 0.0.
+  double AsDouble() const;
+
+  /// Numeric coercion to integer (double truncated); null/string -> 0.
+  int64_t AsInt() const;
+
+  /// Bool coercion: numeric != 0; null/string -> false.
+  bool AsBool() const;
+
+  /// The string payload ("" unless is_string()).
+  const std::string& AsString() const;
+
+  /// Human-readable rendering for profiling output.
+  std::string ToString() const;
+
+  bool operator==(const MetadataValue& other) const { return v_ == other.v_; }
+  bool operator!=(const MetadataValue& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,121 @@
+#include "runtime/chain_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pipes {
+
+ChainScheduler::ChainScheduler(MetadataManager& manager,
+                               TaskScheduler& scheduler)
+    : manager_(manager), scheduler_(scheduler) {}
+
+ChainScheduler::~ChainScheduler() { Stop(); }
+
+Status ChainScheduler::AddPipeline(std::vector<OperatorNode*> operators) {
+  if (operators.empty()) {
+    return Status::InvalidArgument("empty pipeline");
+  }
+  Pipeline p;
+  p.operators = std::move(operators);
+  for (OperatorNode* op : p.operators) {
+    Result<MetadataSubscription> sel =
+        manager_.Subscribe(*op, keys::kAvgSelectivity);
+    if (!sel.ok()) return sel.status();
+    Result<MetadataSubscription> cpu = manager_.Subscribe(*op, keys::kCpuUsage);
+    if (!cpu.ok()) return cpu.status();
+    p.selectivity.push_back(std::move(sel.value()));
+    p.cpu_cost.push_back(std::move(cpu.value()));
+  }
+  pipelines_.push_back(std::move(p));
+  return Status::OK();
+}
+
+std::vector<double> ChainScheduler::ComputeChainPriorities(
+    const std::vector<double>& costs,
+    const std::vector<double>& selectivities) {
+  assert(costs.size() == selectivities.size());
+  size_t n = costs.size();
+  std::vector<double> priorities(n, 0.0);
+  if (n == 0) return priorities;
+
+  // Progress points: P0 = (0, 1); Pi = (sum of costs 1..i, product of
+  // selectivities 1..i).
+  std::vector<double> x(n + 1, 0.0), y(n + 1, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    x[i + 1] = x[i] + std::max(costs[i], 1e-12);
+    y[i + 1] = y[i] * std::max(selectivities[i], 0.0);
+  }
+
+  // Lower envelope: from point i, the next envelope vertex is the point
+  // j > i with the steepest descent (most negative slope). All operators in
+  // (i, j] share that steepness as their priority.
+  size_t i = 0;
+  while (i < n) {
+    size_t best = i + 1;
+    double best_slope = (y[i + 1] - y[i]) / (x[i + 1] - x[i]);
+    for (size_t j = i + 2; j <= n; ++j) {
+      double slope = (y[j] - y[i]) / (x[j] - x[i]);
+      if (slope < best_slope) {
+        best_slope = slope;
+        best = j;
+      }
+    }
+    for (size_t k = i; k < best; ++k) {
+      priorities[k] = -best_slope;  // steepness: positive, higher = urgent
+    }
+    i = best;
+  }
+  return priorities;
+}
+
+void ChainScheduler::Recompute() {
+  bool changed = false;
+  for (Pipeline& p : pipelines_) {
+    std::vector<double> costs, sels;
+    costs.reserve(p.operators.size());
+    sels.reserve(p.operators.size());
+    for (size_t i = 0; i < p.operators.size(); ++i) {
+      // Per-tuple cost: measured CPU usage divided by input rate would be
+      // ideal; the measured work-rate is a usable proxy and stays positive.
+      double cpu = p.cpu_cost[i].GetDouble();
+      costs.push_back(cpu > 0 ? cpu : 1.0);
+      MetadataValue sel = p.selectivity[i].Get();
+      sels.push_back(sel.is_null() ? 1.0 : sel.AsDouble());
+    }
+    std::vector<double> prios = ComputeChainPriorities(costs, sels);
+    for (size_t i = 0; i < p.operators.size(); ++i) {
+      double& slot = priorities_[p.operators[i]];
+      if (std::abs(slot - prios[i]) > 1e-12) {
+        slot = prios[i];
+        changed = true;
+      }
+    }
+  }
+  if (changed) ++changes_;
+}
+
+void ChainScheduler::Start(Duration period) {
+  Stop();
+  task_ = scheduler_.SchedulePeriodic(period, [this] { Recompute(); });
+}
+
+void ChainScheduler::Stop() { task_.Cancel(); }
+
+double ChainScheduler::priority(const OperatorNode* op) const {
+  auto it = priorities_.find(op);
+  return it == priorities_.end() ? 0.0 : it->second;
+}
+
+std::vector<const OperatorNode*> ChainScheduler::PriorityOrder() const {
+  std::vector<const OperatorNode*> ops;
+  ops.reserve(priorities_.size());
+  for (const auto& [op, prio] : priorities_) ops.push_back(op);
+  std::sort(ops.begin(), ops.end(),
+            [this](const OperatorNode* a, const OperatorNode* b) {
+              return priority(a) > priority(b);
+            });
+  return ops;
+}
+
+}  // namespace pipes

@@ -1,0 +1,78 @@
+/// \file chain_scheduler.h
+/// \brief Chain operator scheduling (paper §1, motivation 1; Babcock et
+/// al. [5]): computes operator priorities from selectivity and per-tuple
+/// cost metadata and "has to react to significant changes in operator
+/// selectivities".
+///
+/// Chain models a pipeline as progress points (cumulative processing time,
+/// remaining tuple fraction) and assigns each operator the steepness of its
+/// lower-envelope segment; steeper segments drain queues faster and get
+/// higher priority.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/scheduler.h"
+#include "metadata/manager.h"
+#include "stream/node.h"
+
+namespace pipes {
+
+/// \brief Metadata-driven Chain priority assignment.
+class ChainScheduler {
+ public:
+  ChainScheduler(MetadataManager& manager, TaskScheduler& scheduler);
+  ~ChainScheduler();
+
+  ChainScheduler(const ChainScheduler&) = delete;
+  ChainScheduler& operator=(const ChainScheduler&) = delete;
+
+  /// Registers a pipeline (operators in stream order). Subscribes to each
+  /// operator's average selectivity and measured CPU usage.
+  Status AddPipeline(std::vector<OperatorNode*> operators);
+
+  /// Recomputes all priorities from the current metadata values.
+  void Recompute();
+
+  /// Starts periodic recomputation.
+  void Start(Duration period);
+  void Stop();
+
+  /// The Chain priority of an operator (0 if unknown). Higher is more
+  /// urgent.
+  double priority(const OperatorNode* op) const;
+
+  /// Operators of all pipelines ordered by descending priority.
+  std::vector<const OperatorNode*> PriorityOrder() const;
+
+  /// Number of Recompute() calls that changed at least one priority.
+  uint64_t change_count() const { return changes_; }
+
+  /// \brief Pure Chain priority computation, unit-testable.
+  ///
+  /// \param costs per-tuple processing cost of each operator (>0)
+  /// \param selectivities output/input tuple ratio of each operator
+  /// \return per-operator priority: the steepness (drop per unit cost) of
+  ///   the operator's lower-envelope segment.
+  static std::vector<double> ComputeChainPriorities(
+      const std::vector<double>& costs,
+      const std::vector<double>& selectivities);
+
+ private:
+  struct Pipeline {
+    std::vector<OperatorNode*> operators;
+    std::vector<MetadataSubscription> selectivity;
+    std::vector<MetadataSubscription> cpu_cost;
+  };
+
+  MetadataManager& manager_;
+  TaskScheduler& scheduler_;
+  std::vector<Pipeline> pipelines_;
+  std::map<const OperatorNode*, double> priorities_;
+  TaskHandle task_;
+  uint64_t changes_ = 0;
+};
+
+}  // namespace pipes

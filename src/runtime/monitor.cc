@@ -1,0 +1,87 @@
+#include "runtime/monitor.h"
+
+#include <ostream>
+
+namespace pipes {
+
+MetadataMonitor::MetadataMonitor(MetadataManager& manager,
+                                 TaskScheduler& scheduler)
+    : manager_(manager), scheduler_(scheduler) {}
+
+MetadataMonitor::~MetadataMonitor() { StopSampling(); }
+
+Status MetadataMonitor::Watch(MetadataProvider& provider,
+                              const MetadataKey& key,
+                              std::string series_name) {
+  if (series_name.empty()) series_name = provider.label() + "." + key;
+  Result<MetadataSubscription> sub = manager_.Subscribe(provider, key);
+  if (!sub.ok()) return sub.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (watched_.count(series_name) > 0) {
+    return Status::AlreadyExists("series already watched: " + series_name);
+  }
+  watched_.emplace(series_name, Watched{std::move(sub.value())});
+  series_[series_name];  // ensure the series exists
+  return Status::OK();
+}
+
+Status MetadataMonitor::Unwatch(const std::string& series_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (watched_.erase(series_name) == 0) {
+    return Status::NotFound("series not watched: " + series_name);
+  }
+  return Status::OK();
+}
+
+void MetadataMonitor::StartSampling(Duration interval) {
+  StopSampling();
+  sampling_task_ =
+      scheduler_.SchedulePeriodic(interval, [this] { SampleOnce(); });
+}
+
+void MetadataMonitor::StopSampling() { sampling_task_.Cancel(); }
+
+void MetadataMonitor::SampleOnce() {
+  Timestamp now = scheduler_.clock().Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, watched] : watched_) {
+    MetadataValue v = watched.subscription.Get();
+    if (!v.is_null()) {
+      series_[name].Record(now, v.AsDouble());
+    }
+  }
+}
+
+const TimeSeries& MetadataMonitor::series(const std::string& name) const {
+  static const TimeSeries kEmpty;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> MetadataMonitor::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+void MetadataMonitor::ExportCsv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "time_s,series,value\n";
+  for (const auto& [name, series] : series_) {
+    for (const auto& [t, v] : series.points()) {
+      out << ToSeconds(t) << "," << name << "," << v << "\n";
+    }
+  }
+}
+
+double MetadataMonitor::LastValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.empty()) return 0.0;
+  return it->second.points().back().second;
+}
+
+}  // namespace pipes

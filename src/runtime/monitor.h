@@ -1,0 +1,77 @@
+/// \file monitor.h
+/// \brief A monitoring tool: subscribes to metadata items and records their
+/// values over time (the consumer of the paper's Figure 3 example and of
+/// motivation 4, system profiling).
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/scheduler.h"
+#include "common/stats.h"
+#include "metadata/manager.h"
+
+namespace pipes {
+
+/// \brief Samples a set of subscribed metadata items into time series.
+class MetadataMonitor {
+ public:
+  /// `manager` coordinates subscriptions; `scheduler` drives sampling.
+  MetadataMonitor(MetadataManager& manager, TaskScheduler& scheduler);
+  ~MetadataMonitor();
+
+  MetadataMonitor(const MetadataMonitor&) = delete;
+  MetadataMonitor& operator=(const MetadataMonitor&) = delete;
+
+  /// Subscribes to (provider, key) and records it under `series_name`
+  /// (defaults to "<provider label>.<key>").
+  Status Watch(MetadataProvider& provider, const MetadataKey& key,
+               std::string series_name = "");
+
+  /// Stops watching a series and drops its subscription (recorded samples
+  /// are kept).
+  Status Unwatch(const std::string& series_name);
+
+  /// Starts periodic sampling of all watched items.
+  void StartSampling(Duration interval);
+
+  /// Stops periodic sampling.
+  void StopSampling();
+
+  /// Takes one sample of every watched item now.
+  void SampleOnce();
+
+  /// The recorded series (empty series if unknown).
+  const TimeSeries& series(const std::string& name) const;
+
+  /// Names of all series (watched or historical).
+  std::vector<std::string> series_names() const;
+
+  /// Latest sampled value of a series (0 if none).
+  double LastValue(const std::string& name) const;
+
+  /// Writes all series as CSV (`time_s,series,value` rows, header included)
+  /// — the raw material for the paper-style profiling plots
+  /// ("metadata profiling is often useful for ... experimental performance
+  /// evaluations", §1).
+  void ExportCsv(std::ostream& out) const;
+
+ private:
+  struct Watched {
+    MetadataSubscription subscription;
+  };
+
+  MetadataManager& manager_;
+  TaskScheduler& scheduler_;
+  mutable std::mutex mu_;
+  std::map<std::string, Watched> watched_;
+  std::map<std::string, TimeSeries> series_;
+  TaskHandle sampling_task_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,89 @@
+#include "runtime/optimizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pipes {
+
+double LinearJoinPlanCost(const std::vector<double>& rates,
+                          double pair_selectivity, double window_seconds) {
+  if (rates.size() < 2) return 0.0;
+  // Left-deep pipeline: intermediate i joins the running result with stream
+  // i+1. The running result's rate grows with each applied selectivity; each
+  // step examines (r_left * n_right + r_right * n_left) candidates/s with
+  // n = rate * window.
+  double cost = 0.0;
+  double left_rate = rates[0];
+  for (size_t i = 1; i < rates.size(); ++i) {
+    double right_rate = rates[i];
+    double n_left = left_rate * window_seconds;
+    double n_right = right_rate * window_seconds;
+    cost += left_rate * n_right + right_rate * n_left;
+    // Output rate of this join feeds the next step.
+    left_rate = pair_selectivity * (left_rate * n_right + right_rate * n_left);
+  }
+  return cost;
+}
+
+std::vector<size_t> GreedyJoinOrder(const std::vector<double>& rates) {
+  std::vector<size_t> order(rates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return rates[a] < rates[b]; });
+  return order;
+}
+
+JoinOrderAdvisor::JoinOrderAdvisor(MetadataManager& manager,
+                                   TaskScheduler& scheduler, Options options)
+    : manager_(manager), scheduler_(scheduler), options_(options) {}
+
+JoinOrderAdvisor::~JoinOrderAdvisor() { Stop(); }
+
+Status JoinOrderAdvisor::AddStream(Node& source) {
+  Result<MetadataSubscription> sub =
+      manager_.Subscribe(source, keys::kOutputRate);
+  if (!sub.ok()) return sub.status();
+  rates_.push_back(std::move(sub.value()));
+  current_.push_back(current_.size());
+  return Status::OK();
+}
+
+bool JoinOrderAdvisor::Evaluate() {
+  if (rates_.size() < 2) return false;
+  std::vector<double> rates;
+  rates.reserve(rates_.size());
+  for (const MetadataSubscription& sub : rates_) {
+    rates.push_back(sub.GetDouble());
+  }
+
+  auto order_cost = [&](const std::vector<size_t>& order) {
+    std::vector<double> ordered;
+    ordered.reserve(order.size());
+    for (size_t idx : order) ordered.push_back(rates[idx]);
+    return LinearJoinPlanCost(ordered, options_.pair_selectivity,
+                              options_.window_seconds);
+  };
+
+  current_cost_ = order_cost(current_);
+  std::vector<size_t> candidate = GreedyJoinOrder(rates);
+  double candidate_cost = order_cost(candidate);
+
+  if (candidate != current_ &&
+      candidate_cost * options_.migration_threshold < current_cost_) {
+    current_ = candidate;
+    current_cost_ = candidate_cost;
+    ++migrations_;
+    return true;
+  }
+  return false;
+}
+
+void JoinOrderAdvisor::Start() {
+  Stop();
+  task_ = scheduler_.SchedulePeriodic(options_.evaluation_period,
+                                      [this] { Evaluate(); });
+}
+
+void JoinOrderAdvisor::Stop() { task_.Cancel(); }
+
+}  // namespace pipes

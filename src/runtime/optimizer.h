@@ -1,0 +1,92 @@
+/// \file optimizer.h
+/// \brief Rate-based query optimization (paper §1, motivation 3; Viglas &
+/// Naughton [22], plan migration [25, 18]): "changes in stream
+/// characteristics, such as stream rates or value distributions, may
+/// necessitate re-optimizations at runtime."
+///
+/// Two pieces:
+///  - pure cost/ordering functions over (rate, selectivity) statistics, and
+///  - a JoinOrderAdvisor that subscribes to live metadata and recommends a
+///    plan migration when an alternative order becomes sufficiently cheaper
+///    (hysteresis avoids plan thrashing).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/scheduler.h"
+#include "metadata/manager.h"
+#include "stream/node.h"
+
+namespace pipes {
+
+/// \brief Statistics of one input stream of a multiway join.
+struct StreamStats {
+  double rate = 0.0;  ///< elements/s
+};
+
+/// \brief Rate-based cost of a linear (left-deep) multiway join order.
+///
+/// \param rates per-stream arrival rates, in join order
+/// \param pair_selectivity selectivity applied at each join step
+/// \param window window size in seconds (state = rate * window)
+/// \return estimated candidate-examinations per second over all join steps
+double LinearJoinPlanCost(const std::vector<double>& rates,
+                          double pair_selectivity, double window_seconds);
+
+/// \brief Greedy rate-based join ordering: joins the cheapest (lowest-rate)
+/// streams first. Returns a permutation of stream indices.
+std::vector<size_t> GreedyJoinOrder(const std::vector<double>& rates);
+
+/// \brief Live advisor: watches stream-rate metadata and recommends the
+/// cheaper of the plans induced by the current rates.
+class JoinOrderAdvisor {
+ public:
+  struct Options {
+    double pair_selectivity = 0.01;
+    double window_seconds = 1.0;
+    /// A migration is recommended only if the alternative plan is cheaper by
+    /// this factor (hysteresis).
+    double migration_threshold = 1.2;
+    Duration evaluation_period = Seconds(1);
+  };
+
+  JoinOrderAdvisor(MetadataManager& manager, TaskScheduler& scheduler,
+                   Options options);
+  ~JoinOrderAdvisor();
+
+  JoinOrderAdvisor(const JoinOrderAdvisor&) = delete;
+  JoinOrderAdvisor& operator=(const JoinOrderAdvisor&) = delete;
+
+  /// Adds an input stream; subscribes to its measured output rate.
+  Status AddStream(Node& source);
+
+  /// Re-evaluates now; returns true if the recommended order changed.
+  bool Evaluate();
+
+  void Start();
+  void Stop();
+
+  /// The currently recommended join order (stream indices in AddStream
+  /// order).
+  const std::vector<size_t>& recommended_order() const { return current_; }
+
+  /// Cost of the current recommendation at the last evaluation.
+  double current_cost() const { return current_cost_; }
+
+  /// Number of recommended plan migrations so far.
+  uint64_t migration_count() const { return migrations_; }
+
+ private:
+  MetadataManager& manager_;
+  TaskScheduler& scheduler_;
+  Options options_;
+  std::vector<MetadataSubscription> rates_;
+  std::vector<size_t> current_;
+  double current_cost_ = 0.0;
+  TaskHandle task_;
+  uint64_t migrations_ = 0;
+};
+
+}  // namespace pipes

@@ -1,0 +1,180 @@
+#include "runtime/plan_migration.h"
+
+#include <cassert>
+
+namespace pipes {
+
+MigratableThreeWayJoin::MigratableThreeWayJoin(
+    StreamEngine& engine, std::vector<std::shared_ptr<Node>> inputs,
+    Duration window, size_t key_column)
+    : engine_(engine),
+      inputs_(std::move(inputs)),
+      window_(window),
+      key_column_(key_column) {
+  assert(inputs_.size() == 3);
+  auto& g = engine_.graph();
+  merge_ = g.AddNode<UnionOperator>("migratable/merge");
+  sink_ = g.AddNode<CountingSink>("migratable/sink");
+  (void)g.Connect(*merge_, *sink_);
+}
+
+std::string MigratableThreeWayJoin::OrderKey(const std::vector<size_t>& order) {
+  std::string key;
+  for (size_t i : order) key += std::to_string(i);
+  return key;
+}
+
+Result<MigratableThreeWayJoin::Variant*>
+MigratableThreeWayJoin::GetOrBuildVariant(const std::vector<size_t>& order) {
+  if (order.size() != 3) {
+    return Status::InvalidArgument("order must be a permutation of {0,1,2}");
+  }
+  bool seen[3] = {false, false, false};
+  for (size_t i : order) {
+    if (i > 2 || seen[i]) {
+      return Status::InvalidArgument("order must be a permutation of {0,1,2}");
+    }
+    seen[i] = true;
+  }
+
+  std::string key = OrderKey(order);
+  auto it = variants_.find(key);
+  if (it != variants_.end()) return &it->second;
+
+  auto& g = engine_.graph();
+  std::string prefix = "migratable/" + key + "/";
+  Variant v;
+  std::vector<std::shared_ptr<TimeWindowOperator>> windows;
+  for (size_t i = 0; i < 3; ++i) {
+    size_t src = order[i];
+    auto valve = g.AddNode<RandomDropOperator>(
+        prefix + "valve" + std::to_string(src), /*drop_probability=*/1.0);
+    auto win = g.AddNode<TimeWindowOperator>(
+        prefix + "win" + std::to_string(src), window_);
+    PIPES_RETURN_NOT_OK(g.Connect(*inputs_[src], *valve));
+    PIPES_RETURN_NOT_OK(g.Connect(*valve, *win));
+    v.valves.push_back(valve);
+    windows.push_back(win);
+  }
+
+  // Left-deep tree in the requested order: (s[o0] x s[o1]) x s[o2].
+  v.join1 = g.AddNode<SlidingWindowJoin>(prefix + "join1", key_column_,
+                                         key_column_);
+  PIPES_RETURN_NOT_OK(g.Connect(*windows[0], *v.join1));
+  PIPES_RETURN_NOT_OK(g.Connect(*windows[1], *v.join1));
+  // join1's output keys: the join preserves the left columns first, so the
+  // key column survives at the same index.
+  v.join2 = g.AddNode<SlidingWindowJoin>(prefix + "join2", key_column_,
+                                         key_column_);
+  PIPES_RETURN_NOT_OK(g.Connect(*v.join1, *v.join2));
+  PIPES_RETURN_NOT_OK(g.Connect(*windows[2], *v.join2));
+  PIPES_RETURN_NOT_OK(g.Connect(*v.join2, *merge_));
+
+  // Cost-model estimates for both joins (valves forward the sources' rate
+  // estimates; join1's output estimate feeds join2's input).
+  for (size_t i = 0; i < 3; ++i) {
+    // The valve's estimated rate tracks the *source's* measured rate, so a
+    // closed variant (valves dropping everything) still estimates what it
+    // would cost if activated — that is what plan comparison needs.
+    Status st = v.valves[i]->metadata_registry().Define(
+        MetadataDescriptor::Triggered(keys::kEstOutputRate)
+            .DependsOnUpstream(0, keys::kOutputRate)
+            .WithEvaluator([](EvalContext& ctx) -> MetadataValue {
+              return ctx.DepDouble(0);
+            })
+            .WithDescription(
+                "estimated rate behind the valve: the source's measured "
+                "rate (triggered)"));
+    if (!st.ok()) return st;
+    PIPES_RETURN_NOT_OK(costmodel::RegisterWindowEstimates(*windows[i]));
+    // Valves and windows preserve keys, so their distinct-keys items are
+    // redefined as pass-throughs from the *source's* measurement — a closed
+    // variant (no traffic behind the valve) then still knows the key
+    // cardinality its joins would face, which the adaptive estimates need.
+    auto passthrough = [] {
+      return MetadataDescriptor::Triggered(keys::kDistinctKeys)
+          .DependsOnUpstream(0, keys::kDistinctKeys)
+          .WithEvaluator([](EvalContext& ctx) { return ctx.Dep(0); })
+          .WithDescription(
+              "distinct keys, forwarded from upstream (key-preserving "
+              "operator)");
+    };
+    PIPES_RETURN_NOT_OK(
+        v.valves[i]->metadata_registry().Redefine(passthrough()));
+    PIPES_RETURN_NOT_OK(
+        windows[i]->metadata_registry().Redefine(passthrough()));
+  }
+  PIPES_RETURN_NOT_OK(
+      costmodel::RegisterJoinEstimates(*v.join1, 1.0, /*adaptive=*/true));
+  // join2's left input is join1: give join1 an element-validity estimate
+  // (its results' validity is bounded by the shared window).
+  Duration w = window_;
+  PIPES_RETURN_NOT_OK(v.join1->metadata_registry().Define(
+      MetadataDescriptor::Triggered(keys::kEstElementValidity)
+          .WithEvaluator([w](EvalContext&) -> MetadataValue {
+            return ToSeconds(w);
+          })
+          .WithDescription("validity bound of join results (triggered)")));
+  PIPES_RETURN_NOT_OK(
+      costmodel::RegisterJoinEstimates(*v.join2, 1.0, /*adaptive=*/true));
+
+  auto [ins, inserted] = variants_.emplace(key, std::move(v));
+  (void)inserted;
+  return &ins->second;
+}
+
+void MigratableThreeWayJoin::SetValves(Variant& v, bool open) {
+  for (auto& valve : v.valves) {
+    valve->set_drop_probability(open ? 0.0 : 1.0);
+  }
+}
+
+Status MigratableThreeWayJoin::ActivatePlan(const std::vector<size_t>& order) {
+  Result<Variant*> variant = GetOrBuildVariant(order);
+  if (!variant.ok()) return variant.status();
+  if (!active_order_.empty()) {
+    if (OrderKey(active_order_) == OrderKey(order)) return Status::OK();
+    auto it = variants_.find(OrderKey(active_order_));
+    if (it != variants_.end()) SetValves(it->second, /*open=*/false);
+    ++migrations_;
+  }
+  Variant& v = *variant.value();
+  SetValves(v, /*open=*/true);
+  // Subscribe the measured-CPU items now so their windows accumulate from
+  // the moment the plan runs.
+  if (!v.cpu1.valid()) {
+    auto c1 = engine_.metadata().Subscribe(*v.join1, keys::kCpuUsage);
+    auto c2 = engine_.metadata().Subscribe(*v.join2, keys::kCpuUsage);
+    if (c1.ok() && c2.ok()) {
+      v.cpu1 = std::move(c1.value());
+      v.cpu2 = std::move(c2.value());
+    }
+  }
+  active_order_ = order;
+  return Status::OK();
+}
+
+double MigratableThreeWayJoin::MeasuredJoinCpu() {
+  if (active_order_.empty()) return 0.0;
+  Variant& v = variants_.at(OrderKey(active_order_));
+  if (!v.cpu1.valid()) return 0.0;
+  return v.cpu1.GetDouble() + v.cpu2.GetDouble();
+}
+
+Result<double> MigratableThreeWayJoin::EstimatedJoinCpu(
+    const std::vector<size_t>& order) {
+  Result<Variant*> variant = GetOrBuildVariant(order);
+  if (!variant.ok()) return variant.status();
+  Variant& v = *variant.value();
+  if (!v.est1.valid()) {
+    auto e1 = engine_.metadata().Subscribe(*v.join1, keys::kEstCpuUsage);
+    if (!e1.ok()) return e1.status();
+    auto e2 = engine_.metadata().Subscribe(*v.join2, keys::kEstCpuUsage);
+    if (!e2.ok()) return e2.status();
+    v.est1 = std::move(e1.value());
+    v.est2 = std::move(e2.value());
+  }
+  return v.est1.GetDouble() + v.est2.GetDouble();
+}
+
+}  // namespace pipes

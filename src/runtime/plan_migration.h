@@ -1,0 +1,87 @@
+/// \file plan_migration.h
+/// \brief Dynamic plan migration for multiway window joins (paper §1,
+/// motivation 3; Zhu et al. [25], HybMig [18]).
+///
+/// "Changes in stream characteristics, such as stream rates or value
+/// distributions, may necessitate re-optimizations at runtime, e.g., a
+/// left-deep join tree is migrated to its right-deep counterpart."
+///
+/// A MigratableThreeWayJoin deploys one *variant* per join order: each
+/// variant has its own valves (gates), window operators and join pair, and
+/// every variant feeds the same sink through a union. Exactly one variant's
+/// valves are open at a time. MigrateTo() performs a cold switch: the old
+/// variant's valves close, the new variant's open with empty join state that
+/// warms up over one window length. Combined with the JoinOrderAdvisor this
+/// closes the loop: metadata -> recommendation -> executed migration.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "costmodel/costmodel.h"
+#include "stream/engine.h"
+#include "stream/operators/basic.h"
+#include "stream/operators/join.h"
+#include "stream/operators/window.h"
+#include "stream/sink.h"
+
+namespace pipes {
+
+class MigratableThreeWayJoin {
+ public:
+  /// Builds the shared scaffolding over three logical input streams (any
+  /// non-sink nodes with the same schema; integer equi-join on
+  /// `key_column`). No variant is deployed yet.
+  MigratableThreeWayJoin(StreamEngine& engine,
+                         std::vector<std::shared_ptr<Node>> inputs,
+                         Duration window, size_t key_column = 0);
+
+  /// Deploys (builds if necessary) the variant for `order` (a permutation
+  /// of {0,1,2}) and opens it; any previously active variant closes.
+  Status ActivatePlan(const std::vector<size_t>& order);
+
+  /// The currently active order (empty before the first ActivatePlan).
+  const std::vector<size_t>& active_order() const { return active_order_; }
+
+  /// The sink all variants feed.
+  CountingSink& sink() { return *sink_; }
+
+  /// Measured CPU usage (work units/s) of the active variant's two joins;
+  /// subscribes on first use.
+  double MeasuredJoinCpu();
+
+  /// Estimated CPU usage of the variant for `order` (deploys its metadata
+  /// but keeps its valves closed) — lets an optimizer compare plans without
+  /// switching.
+  Result<double> EstimatedJoinCpu(const std::vector<size_t>& order);
+
+  /// Number of executed migrations (ActivatePlan calls that switched).
+  uint64_t migration_count() const { return migrations_; }
+
+ private:
+  struct Variant {
+    std::vector<std::shared_ptr<RandomDropOperator>> valves;  // one per source
+    std::shared_ptr<SlidingWindowJoin> join1;
+    std::shared_ptr<SlidingWindowJoin> join2;
+    MetadataSubscription cpu1, cpu2;          // lazily created
+    MetadataSubscription est1, est2;          // lazily created
+  };
+
+  static std::string OrderKey(const std::vector<size_t>& order);
+  Result<Variant*> GetOrBuildVariant(const std::vector<size_t>& order);
+  void SetValves(Variant& v, bool open);
+
+  StreamEngine& engine_;
+  std::vector<std::shared_ptr<Node>> inputs_;
+  Duration window_;
+  size_t key_column_;
+  std::shared_ptr<UnionOperator> merge_;
+  std::shared_ptr<CountingSink> sink_;
+  std::map<std::string, Variant> variants_;
+  std::vector<size_t> active_order_;
+  uint64_t migrations_ = 0;
+};
+
+}  // namespace pipes

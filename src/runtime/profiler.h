@@ -1,0 +1,45 @@
+/// \file profiler.h
+/// \brief System profiling (paper §1, motivation 4): human-readable dumps of
+/// the metadata catalog, inclusion state, and handler statistics.
+
+#pragma once
+
+#include <string>
+
+#include "metadata/provider.h"
+#include "stream/graph.h"
+
+namespace pipes {
+
+/// \brief Renders metadata inventories of providers and graphs.
+class SystemProfiler {
+ public:
+  /// One line per available item of `provider`: key, mechanism, included?,
+  /// current value (for included items), access/update counts, description.
+  /// Recurses into modules (indented).
+  static std::string DumpProvider(const MetadataProvider& provider,
+                                  int indent = 0);
+
+  /// DumpProvider for every node of the graph plus manager-level counters.
+  static std::string DumpGraph(const QueryGraph& graph);
+
+  /// Totals: available vs. included items across the graph.
+  struct InventorySummary {
+    size_t providers = 0;
+    size_t available_items = 0;
+    size_t included_items = 0;
+  };
+  static InventorySummary Summarize(const QueryGraph& graph);
+
+  /// Renders the *included* metadata dependency graph (paper §2.4) as
+  /// Graphviz DOT: one node per live handler (labelled provider.key and
+  /// colored by update mechanism), one edge per dependency, clustered by
+  /// provider. Paste into `dot -Tsvg` to visualize a running system.
+  static std::string DumpDependencyGraphDot(const QueryGraph& graph);
+
+ private:
+  static void SummarizeProvider(const MetadataProvider& provider,
+                                InventorySummary* out);
+};
+
+}  // namespace pipes

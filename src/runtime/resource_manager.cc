@@ -1,0 +1,76 @@
+#include "runtime/resource_manager.h"
+
+#include <algorithm>
+
+namespace pipes {
+
+AdaptiveResourceManager::AdaptiveResourceManager(MetadataManager& manager,
+                                                 TaskScheduler& scheduler,
+                                                 Options options)
+    : manager_(manager), scheduler_(scheduler), options_(options) {}
+
+AdaptiveResourceManager::~AdaptiveResourceManager() { Stop(); }
+
+Status AdaptiveResourceManager::Manage(
+    SlidingWindowJoin& join, std::vector<TimeWindowOperator*> windows) {
+  if (windows.empty()) {
+    return Status::InvalidArgument("no window operators to manage");
+  }
+  Result<MetadataSubscription> sub =
+      manager_.Subscribe(join, keys::kEstMemoryUsage);
+  if (!sub.ok()) return sub.status();
+  managed_.push_back(
+      Managed{&join, std::move(windows), std::move(sub.value())});
+  return Status::OK();
+}
+
+void AdaptiveResourceManager::Start() {
+  Stop();
+  task_ = scheduler_.SchedulePeriodic(options_.control_period,
+                                      [this] { ControlStep(); });
+}
+
+void AdaptiveResourceManager::Stop() { task_.Cancel(); }
+
+void AdaptiveResourceManager::ControlStep() {
+  double total = 0.0;
+  for (const Managed& m : managed_) {
+    total += m.est_memory.GetDouble();
+  }
+  last_usage_ = total;
+  if (managed_.empty()) return;
+
+  if (total > options_.memory_budget_bytes) {
+    // Over budget: shrink every managed window. Each set_window_size fires
+    // the resize event; triggered handlers re-estimate costs (§3.3).
+    for (const Managed& m : managed_) {
+      for (TimeWindowOperator* w : m.windows) {
+        Duration next = std::max<Duration>(
+            options_.min_window,
+            static_cast<Duration>(static_cast<double>(w->window_size()) *
+                                  options_.shrink_factor));
+        if (next != w->window_size()) {
+          w->set_window_size(next);
+          ++shrinks_;
+        }
+      }
+    }
+  } else if (total <
+             options_.memory_budget_bytes * options_.grow_headroom) {
+    // Comfortable headroom: restore result quality by growing windows.
+    for (const Managed& m : managed_) {
+      for (TimeWindowOperator* w : m.windows) {
+        Duration next = std::min<Duration>(
+            options_.max_window,
+            static_cast<Duration>(static_cast<double>(w->window_size()) *
+                                  options_.grow_factor));
+        if (next != w->window_size()) {
+          w->set_window_size(next);
+          ++grows_;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pipes

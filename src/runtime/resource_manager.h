@@ -1,0 +1,85 @@
+/// \file resource_manager.h
+/// \brief Adaptive resource management for sliding-window queries
+/// (paper §3.3, based on reference [9]): keeps the estimated memory usage of
+/// managed joins within a budget by adjusting window sizes at runtime.
+///
+/// Every adjustment fires the window-size event; the metadata framework's
+/// triggered handlers then re-estimate element validities and join costs
+/// along the dependency graph — the end-to-end scenario of §3.3.
+
+#pragma once
+
+#include <vector>
+
+#include "common/scheduler.h"
+#include "metadata/manager.h"
+#include "stream/operators/join.h"
+#include "stream/operators/window.h"
+
+namespace pipes {
+
+/// \brief Window-size controller driven by estimated memory usage metadata.
+class AdaptiveResourceManager {
+ public:
+  struct Options {
+    /// Total estimated-memory budget across all managed joins, in bytes.
+    double memory_budget_bytes = 1 << 20;
+    /// Multiplier applied to window sizes when over budget.
+    double shrink_factor = 0.8;
+    /// Multiplier applied when comfortably under budget.
+    double grow_factor = 1.1;
+    /// Grow only while estimated usage is below this fraction of the budget.
+    double grow_headroom = 0.7;
+    Duration min_window = Millis(10);
+    Duration max_window = Seconds(60);
+    /// Interval of the control loop.
+    Duration control_period = Seconds(1);
+  };
+
+  AdaptiveResourceManager(MetadataManager& manager, TaskScheduler& scheduler,
+                          Options options);
+  ~AdaptiveResourceManager();
+
+  AdaptiveResourceManager(const AdaptiveResourceManager&) = delete;
+  AdaptiveResourceManager& operator=(const AdaptiveResourceManager&) = delete;
+
+  /// Manages `join`: subscribes to its estimated memory usage and adjusts
+  /// the given window operators (the join's inputs) on budget violations.
+  Status Manage(SlidingWindowJoin& join,
+                std::vector<TimeWindowOperator*> windows);
+
+  /// Starts the periodic control loop.
+  void Start();
+  void Stop();
+
+  /// One control decision; public so tests and virtual-time harnesses can
+  /// step deterministically.
+  void ControlStep();
+
+  /// Total estimated memory usage across managed joins at the last step.
+  double last_estimated_usage() const { return last_usage_; }
+
+  /// Number of shrink adjustments performed.
+  uint64_t shrink_count() const { return shrinks_; }
+
+  /// Number of grow adjustments performed.
+  uint64_t grow_count() const { return grows_; }
+
+ private:
+  struct Managed {
+    SlidingWindowJoin* join;
+    std::vector<TimeWindowOperator*> windows;
+    MetadataSubscription est_memory;
+  };
+
+  MetadataManager& manager_;
+  TaskScheduler& scheduler_;
+  Options options_;
+  std::vector<Managed> managed_;
+  TaskHandle task_;
+  double last_usage_ = 0.0;
+  uint64_t shrinks_ = 0;
+  uint64_t grows_ = 0;
+};
+
+}  // namespace pipes

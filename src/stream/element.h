@@ -1,0 +1,42 @@
+/// \file element.h
+/// \brief A stream element: a tuple plus temporal annotations.
+///
+/// Following the PIPES time-based windowing model, every element carries an
+/// application timestamp and a validity interval end. "In the case of a
+/// time-based sliding window, this [window] operator assigns a validity to
+/// each incoming stream element according to the window size." (paper §2.5)
+
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "stream/tuple.h"
+
+namespace pipes {
+
+struct StreamElement {
+  Tuple tuple;
+  /// Application time of the element.
+  Timestamp timestamp = 0;
+  /// End of the element's validity interval [timestamp, validity_end).
+  /// kTimestampMax before a window operator assigned a finite validity.
+  Timestamp validity_end = kTimestampMax;
+
+  StreamElement() = default;
+  StreamElement(Tuple t, Timestamp ts,
+                Timestamp valid_end = kTimestampMax)
+      : tuple(std::move(t)), timestamp(ts), validity_end(valid_end) {}
+
+  /// True if the element is still valid at time `t`.
+  bool ValidAt(Timestamp t) const { return t < validity_end; }
+
+  /// Estimated in-memory size in bytes.
+  size_t MemoryBytes() const { return tuple.MemoryBytes() + 2 * sizeof(Timestamp); }
+
+  std::string ToString() const {
+    return tuple.ToString() + "@" + std::to_string(timestamp);
+  }
+};
+
+}  // namespace pipes

@@ -1,0 +1,27 @@
+#include "stream/engine.h"
+
+namespace pipes {
+
+StreamEngine::StreamEngine(EngineMode mode, size_t worker_threads,
+                           Duration metadata_period)
+    : mode_(mode) {
+  if (mode == EngineMode::kVirtualTime) {
+    scheduler_ = std::make_unique<VirtualTimeScheduler>();
+  } else {
+    scheduler_ = std::make_unique<ThreadPoolScheduler>(worker_threads);
+  }
+  graph_ = std::make_unique<QueryGraph>(*scheduler_, metadata_period);
+}
+
+StreamEngine::~StreamEngine() {
+  // Stop the real-time pool before the graph (tasks reference nodes).
+  if (mode_ == EngineMode::kRealTime) {
+    static_cast<ThreadPoolScheduler*>(scheduler_.get())->Shutdown();
+  }
+}
+
+void StreamEngine::RunUntil(Timestamp t) { virtual_scheduler().RunUntil(t); }
+
+void StreamEngine::RunFor(Duration d) { virtual_scheduler().RunFor(d); }
+
+}  // namespace pipes

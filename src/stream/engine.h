@@ -1,0 +1,63 @@
+/// \file engine.h
+/// \brief Facade bundling a scheduler, query graph, and metadata manager.
+///
+/// Two execution modes:
+///  - kVirtualTime: fully deterministic; sources, periodic metadata, and
+///    propagation run in strict timestamp order under RunUntil()/RunFor().
+///    Used by tests and the figure-reproduction harnesses.
+///  - kRealTime: a worker-thread pool drives sources and periodic metadata
+///    against the wall clock (paper §4.3); exercises the locking scheme.
+
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "common/scheduler.h"
+#include "stream/graph.h"
+
+namespace pipes {
+
+enum class EngineMode { kVirtualTime, kRealTime };
+
+class StreamEngine {
+ public:
+  /// \param mode execution mode.
+  /// \param worker_threads pool size in kRealTime mode (ignored otherwise).
+  /// \param metadata_period default window for periodic metadata items.
+  explicit StreamEngine(EngineMode mode = EngineMode::kVirtualTime,
+                        size_t worker_threads = 1,
+                        Duration metadata_period = kMicrosPerSecond);
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  EngineMode mode() const { return mode_; }
+  QueryGraph& graph() { return *graph_; }
+  MetadataManager& metadata() { return graph_->metadata_manager(); }
+  TaskScheduler& scheduler() { return *scheduler_; }
+  Clock& clock() { return scheduler_->clock(); }
+
+  /// Current time.
+  Timestamp Now() { return clock().Now(); }
+
+  /// \name Virtual-time control (asserts kVirtualTime mode)
+  ///@{
+  /// Executes everything scheduled up to `t` and advances the clock to `t`.
+  void RunUntil(Timestamp t);
+  /// RunUntil(Now() + d).
+  void RunFor(Duration d);
+  VirtualTimeScheduler& virtual_scheduler() {
+    assert(mode_ == EngineMode::kVirtualTime);
+    return *static_cast<VirtualTimeScheduler*>(scheduler_.get());
+  }
+  ///@}
+
+ private:
+  EngineMode mode_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<QueryGraph> graph_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,344 @@
+#include "stream/expr.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pipes::expr {
+
+namespace {
+
+ExprPtr MakeBinary(ExprKind kind, ExprPtr a, ExprPtr b) {
+  return std::make_shared<Expr>(kind, 0, Value(false),
+                                std::vector<ExprPtr>{std::move(a),
+                                                     std::move(b)});
+}
+
+bool IsComparison(ExprKind k) {
+  return k == ExprKind::kEq || k == ExprKind::kNe || k == ExprKind::kLt ||
+         k == ExprKind::kLe || k == ExprKind::kGt || k == ExprKind::kGe;
+}
+
+bool IsArithmetic(ExprKind k) {
+  return k == ExprKind::kAdd || k == ExprKind::kSub || k == ExprKind::kMul ||
+         k == ExprKind::kDiv || k == ExprKind::kMod;
+}
+
+const char* OpToken(ExprKind k) {
+  switch (k) {
+    case ExprKind::kAdd:
+      return "+";
+    case ExprKind::kSub:
+      return "-";
+    case ExprKind::kMul:
+      return "*";
+    case ExprKind::kDiv:
+      return "/";
+    case ExprKind::kMod:
+      return "%";
+    case ExprKind::kEq:
+      return "==";
+    case ExprKind::kNe:
+      return "!=";
+    case ExprKind::kLt:
+      return "<";
+    case ExprKind::kLe:
+      return "<=";
+    case ExprKind::kGt:
+      return ">";
+    case ExprKind::kGe:
+      return ">=";
+    case ExprKind::kAnd:
+      return "&&";
+    case ExprKind::kOr:
+      return "||";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+ExprPtr Col(size_t index) {
+  return std::make_shared<Expr>(ExprKind::kColumn, index, Value(false),
+                                std::vector<ExprPtr>{});
+}
+
+ExprPtr Const(int64_t v) {
+  return std::make_shared<Expr>(ExprKind::kConst, 0, Value(v),
+                                std::vector<ExprPtr>{});
+}
+ExprPtr Const(double v) {
+  return std::make_shared<Expr>(ExprKind::kConst, 0, Value(v),
+                                std::vector<ExprPtr>{});
+}
+ExprPtr Const(bool v) {
+  return std::make_shared<Expr>(ExprKind::kConst, 0, Value(v),
+                                std::vector<ExprPtr>{});
+}
+ExprPtr Const(const char* v) { return Const(std::string(v)); }
+ExprPtr Const(std::string v) {
+  return std::make_shared<Expr>(ExprKind::kConst, 0, Value(std::move(v)),
+                                std::vector<ExprPtr>{});
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Mod(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kMod, std::move(a), std::move(b));
+}
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kGe, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprKind::kOr, std::move(a), std::move(b));
+}
+ExprPtr Not(ExprPtr a) {
+  return std::make_shared<Expr>(ExprKind::kNot, 0, Value(false),
+                                std::vector<ExprPtr>{std::move(a)});
+}
+
+Value Expr::Eval(const Tuple& t) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return t.at(column_);
+    case ExprKind::kConst:
+      return constant_;
+    case ExprKind::kNot:
+      return Value(!ValueAsDouble(children_[0]->Eval(t)));
+    case ExprKind::kAnd: {
+      // Short-circuit.
+      if (ValueAsDouble(children_[0]->Eval(t)) == 0.0) return Value(false);
+      return Value(ValueAsDouble(children_[1]->Eval(t)) != 0.0);
+    }
+    case ExprKind::kOr: {
+      if (ValueAsDouble(children_[0]->Eval(t)) != 0.0) return Value(true);
+      return Value(ValueAsDouble(children_[1]->Eval(t)) != 0.0);
+    }
+    default:
+      break;
+  }
+
+  Value lhs = children_[0]->Eval(t);
+  Value rhs = children_[1]->Eval(t);
+  // String equality comparisons compare the strings themselves.
+  bool strings = std::holds_alternative<std::string>(lhs) &&
+                 std::holds_alternative<std::string>(rhs);
+  if (IsComparison(kind_) && strings) {
+    int cmp = std::get<std::string>(lhs).compare(std::get<std::string>(rhs));
+    switch (kind_) {
+      case ExprKind::kEq:
+        return Value(cmp == 0);
+      case ExprKind::kNe:
+        return Value(cmp != 0);
+      case ExprKind::kLt:
+        return Value(cmp < 0);
+      case ExprKind::kLe:
+        return Value(cmp <= 0);
+      case ExprKind::kGt:
+        return Value(cmp > 0);
+      default:
+        return Value(cmp >= 0);
+    }
+  }
+
+  // Integer-preserving arithmetic when both sides are integers.
+  bool ints = std::holds_alternative<int64_t>(lhs) &&
+              std::holds_alternative<int64_t>(rhs);
+  if (IsArithmetic(kind_) && ints && kind_ != ExprKind::kDiv) {
+    int64_t a = std::get<int64_t>(lhs);
+    int64_t b = std::get<int64_t>(rhs);
+    switch (kind_) {
+      case ExprKind::kAdd:
+        return Value(a + b);
+      case ExprKind::kSub:
+        return Value(a - b);
+      case ExprKind::kMul:
+        return Value(a * b);
+      case ExprKind::kMod:
+        return Value(b == 0 ? int64_t{0} : a % b);
+      default:
+        break;
+    }
+  }
+
+  double a = ValueAsDouble(lhs);
+  double b = ValueAsDouble(rhs);
+  switch (kind_) {
+    case ExprKind::kAdd:
+      return Value(a + b);
+    case ExprKind::kSub:
+      return Value(a - b);
+    case ExprKind::kMul:
+      return Value(a * b);
+    case ExprKind::kDiv:
+      return Value(b == 0.0 ? 0.0 : a / b);
+    case ExprKind::kMod:
+      return Value(b == 0.0 ? 0.0 : std::fmod(a, b));
+    case ExprKind::kEq:
+      return Value(a == b);
+    case ExprKind::kNe:
+      return Value(a != b);
+    case ExprKind::kLt:
+      return Value(a < b);
+    case ExprKind::kLe:
+      return Value(a <= b);
+    case ExprKind::kGt:
+      return Value(a > b);
+    case ExprKind::kGe:
+      return Value(a >= b);
+    default:
+      return Value(false);
+  }
+}
+
+Result<DataType> Expr::Validate(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      if (column_ >= schema.arity()) {
+        return Status::InvalidArgument(
+            "column " + std::to_string(column_) + " out of range (arity " +
+            std::to_string(schema.arity()) + ")");
+      }
+      return schema.field(column_).type;
+    case ExprKind::kConst:
+      return ValueType(constant_);
+    default:
+      break;
+  }
+
+  std::vector<DataType> child_types;
+  for (const ExprPtr& c : children_) {
+    Result<DataType> t = c->Validate(schema);
+    if (!t.ok()) return t.status();
+    child_types.push_back(t.value());
+  }
+
+  if (kind_ == ExprKind::kNot || kind_ == ExprKind::kAnd ||
+      kind_ == ExprKind::kOr) {
+    for (DataType t : child_types) {
+      if (t == DataType::kString) {
+        return Status::InvalidArgument("boolean operator over string operand");
+      }
+    }
+    return DataType::kBool;
+  }
+
+  bool any_string = false;
+  for (DataType t : child_types) any_string |= (t == DataType::kString);
+  if (IsArithmetic(kind_)) {
+    if (any_string) {
+      return Status::InvalidArgument("arithmetic over string operand");
+    }
+    bool both_int = child_types[0] == DataType::kInt64 &&
+                    child_types[1] == DataType::kInt64;
+    return both_int && kind_ != ExprKind::kDiv ? DataType::kInt64
+                                               : DataType::kDouble;
+  }
+  // Comparisons: strings may only meet strings.
+  if (any_string && !(child_types[0] == DataType::kString &&
+                      child_types[1] == DataType::kString)) {
+    return Status::InvalidArgument("comparison between string and number");
+  }
+  return DataType::kBool;
+}
+
+double Expr::Cost() const {
+  double cost = 1.0;
+  if (IsComparison(kind_)) {
+    for (const ExprPtr& c : children_) {
+      if (c->kind() == ExprKind::kConst &&
+          std::holds_alternative<std::string>(c->constant())) {
+        cost += 3.0;  // string comparisons are pricier
+      }
+    }
+  }
+  for (const ExprPtr& c : children_) cost += c->Cost();
+  return cost;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return "col" + std::to_string(column_);
+    case ExprKind::kConst:
+      return ValueToString(constant_);
+    case ExprKind::kNot:
+      return "!(" + children_[0]->ToString() + ")";
+    default: {
+      std::ostringstream os;
+      os << "(" << children_[0]->ToString() << " " << OpToken(kind_) << " "
+         << children_[1]->ToString() << ")";
+      return os.str();
+    }
+  }
+}
+
+Result<FilterOperator::Predicate> CompilePredicate(const ExprPtr& e,
+                                                   const Schema& schema) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  Result<DataType> t = e->Validate(schema);
+  if (!t.ok()) return t.status();
+  if (t.value() == DataType::kString) {
+    return Status::InvalidArgument("predicate must not be a string: " +
+                                   e->ToString());
+  }
+  ExprPtr expr = e;
+  return FilterOperator::Predicate(
+      [expr](const Tuple& tuple) { return ValueAsDouble(expr->Eval(tuple)) != 0.0; });
+}
+
+Result<std::pair<Schema, MapOperator::MapFn>> CompileProjection(
+    const std::vector<Projection>& projections, const Schema& schema) {
+  if (projections.empty()) {
+    return Status::InvalidArgument("empty projection list");
+  }
+  std::vector<Field> fields;
+  std::vector<ExprPtr> exprs;
+  for (const Projection& p : projections) {
+    if (p.value == nullptr) {
+      return Status::InvalidArgument("null expression for '" + p.name + "'");
+    }
+    Result<DataType> t = p.value->Validate(schema);
+    if (!t.ok()) return t.status();
+    fields.push_back(Field{p.name, t.value()});
+    exprs.push_back(p.value);
+  }
+  Schema out(std::move(fields));
+  MapOperator::MapFn fn = [exprs](const Tuple& t) {
+    std::vector<Value> values;
+    values.reserve(exprs.size());
+    for (const ExprPtr& e : exprs) values.push_back(e->Eval(t));
+    return Tuple(std::move(values));
+  };
+  return std::make_pair(std::move(out), std::move(fn));
+}
+
+}  // namespace pipes::expr

@@ -1,0 +1,155 @@
+#include "stream/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace pipes {
+
+QueryGraph::QueryGraph(TaskScheduler& scheduler, Duration metadata_period)
+    : scheduler_(scheduler),
+      metadata_period_(metadata_period),
+      metadata_manager_(scheduler) {}
+
+QueryGraph::~QueryGraph() = default;
+
+void QueryGraph::RegisterNode(const std::shared_ptr<Node>& node) {
+  ExclusiveLock lock(graph_mu_);
+  node->graph_ = this;
+  node->set_metadata_period(metadata_period_);
+  node->AttachMetadataManager(&metadata_manager_);
+  node->RegisterStandardMetadata();
+  nodes_.push_back(node);
+}
+
+Status QueryGraph::Connect(Node& from, Node& to) {
+  ExclusiveLock lock(graph_mu_);
+  if (from.graph() != this || to.graph() != this) {
+    return Status::InvalidArgument("nodes belong to a different graph");
+  }
+  if (from.kind() == Node::Kind::kSink) {
+    return Status::InvalidArgument("cannot connect from a sink: " +
+                                   from.label());
+  }
+  if (to.kind() == Node::Kind::kSource) {
+    return Status::InvalidArgument("cannot connect into a source: " +
+                                   to.label());
+  }
+  if (to.max_inputs() != Node::kUnbounded &&
+      to.upstreams().size() >= to.max_inputs()) {
+    return Status::FailedPrecondition("all input slots of '" + to.label() +
+                                      "' are connected");
+  }
+  if (ReachesDownstream(&to, &from)) {
+    return Status::CycleDetected("connecting '" + from.label() + "' -> '" +
+                                 to.label() + "' would create a cycle");
+  }
+  size_t input_index = to.upstreams().size();
+  to.AddUpstream(&from);
+  from.AddDownstreamEdge(&to, input_index);
+  return Status::OK();
+}
+
+void QueryGraph::CollectUpstream(Node* start, std::unordered_set<Node*>* out) {
+  std::deque<Node*> frontier{start};
+  while (!frontier.empty()) {
+    Node* n = frontier.front();
+    frontier.pop_front();
+    if (!out->insert(n).second) continue;
+    for (Node* up : n->upstreams()) frontier.push_back(up);
+  }
+}
+
+bool QueryGraph::ReachesDownstream(Node* start, Node* target) {
+  std::unordered_set<Node*> visited;
+  std::deque<Node*> frontier{start};
+  while (!frontier.empty()) {
+    Node* n = frontier.front();
+    frontier.pop_front();
+    if (n == target) return true;
+    if (!visited.insert(n).second) continue;
+    for (const Node::Edge& e : n->downstream_edges()) frontier.push_back(e.node);
+  }
+  return false;
+}
+
+Result<QueryId> QueryGraph::RegisterQuery(
+    const std::shared_ptr<SinkNode>& sink) {
+  ExclusiveLock lock(graph_mu_);
+  if (sink->graph() != this) {
+    return Status::InvalidArgument("sink belongs to a different graph");
+  }
+  std::unordered_set<Node*> closure;
+  CollectUpstream(sink.get(), &closure);
+  QueryInfo info;
+  info.sink = sink;
+  info.nodes.assign(closure.begin(), closure.end());
+  for (Node* n : info.nodes) {
+    n->use_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  QueryId id = next_query_id_++;
+  queries_.emplace(id, std::move(info));
+  return id;
+}
+
+Status QueryGraph::RemoveQuery(QueryId id) {
+  ExclusiveLock lock(graph_mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query id " + std::to_string(id));
+  }
+
+  // Determine which nodes would drop to zero uses.
+  std::vector<Node*> to_remove;
+  for (Node* n : it->second.nodes) {
+    if (n->use_count() == 1) to_remove.push_back(n);
+  }
+  // Refuse if any of them still provides included metadata: a consumer holds
+  // live subscriptions into the node.
+  for (Node* n : to_remove) {
+    if (n->metadata_registry().included_count() > 0) {
+      return Status::FailedPrecondition(
+          "node '" + n->label() +
+          "' still provides included metadata items; unsubscribe first");
+    }
+  }
+
+  std::unordered_set<Node*> removed(to_remove.begin(), to_remove.end());
+  for (Node* n : it->second.nodes) {
+    n->use_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Detach edges from surviving nodes into removed nodes.
+  for (const auto& node : nodes_) {
+    if (removed.count(node.get()) > 0) continue;
+    auto& edges = node->downstream_edges_;
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [&](const Node::Edge& e) {
+                                 return removed.count(e.node) > 0;
+                               }),
+                edges.end());
+  }
+  nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                              [&](const std::shared_ptr<Node>& n) {
+                                return removed.count(n.get()) > 0;
+                              }),
+               nodes_.end());
+  queries_.erase(it);
+  return Status::OK();
+}
+
+size_t QueryGraph::query_count() const {
+  SharedLock lock(graph_mu_);
+  return queries_.size();
+}
+
+std::vector<std::shared_ptr<Node>> QueryGraph::nodes() const {
+  SharedLock lock(graph_mu_);
+  return nodes_;
+}
+
+size_t QueryGraph::node_count() const {
+  SharedLock lock(graph_mu_);
+  return nodes_.size();
+}
+
+}  // namespace pipes

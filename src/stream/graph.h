@@ -1,0 +1,113 @@
+/// \file graph.h
+/// \brief The query graph: shared operator DAG executing all continuous
+/// queries (paper Figure 1), with subquery sharing and query management.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/reentrant_shared_mutex.h"
+#include "common/scheduler.h"
+#include "common/status.h"
+#include "metadata/manager.h"
+#include "stream/node.h"
+
+namespace pipes {
+
+/// Identifies a registered continuous query.
+using QueryId = uint64_t;
+
+/// \brief Owns the nodes of the shared operator graph and the per-graph
+/// MetadataManager; tracks which nodes each registered query uses
+/// (subquery sharing).
+///
+/// Thread safety: structural operations (AddNode/Connect/RegisterQuery/
+/// RemoveQuery) take the graph lock exclusively; element processing and
+/// metadata access only take node-level locks.
+class QueryGraph {
+ public:
+  /// `scheduler` drives periodic metadata updates and synthetic sources.
+  /// `metadata_period` is the default window of periodic metadata items.
+  explicit QueryGraph(TaskScheduler& scheduler,
+                      Duration metadata_period = kMicrosPerSecond);
+  ~QueryGraph();
+
+  QueryGraph(const QueryGraph&) = delete;
+  QueryGraph& operator=(const QueryGraph&) = delete;
+
+  /// The metadata coordinator of this graph.
+  MetadataManager& metadata_manager() { return metadata_manager_; }
+
+  /// Graph-level lock of the three-level locking scheme (paper §4.2).
+  ReentrantSharedMutex& graph_mutex() { return graph_mu_; }
+
+  /// Constructs a node of type `T`, attaches it to this graph (metadata
+  /// manager, default period) and registers its standard metadata.
+  template <typename T, typename... Args>
+  std::shared_ptr<T> AddNode(Args&&... args) {
+    auto node = std::make_shared<T>(std::forward<Args>(args)...);
+    RegisterNode(node);
+    return node;
+  }
+
+  /// Attaches an externally-constructed node.
+  void RegisterNode(const std::shared_ptr<Node>& node);
+
+  /// Wires `from`'s output to the next free input slot of `to`.
+  /// Fails on kind mismatches, full inputs, unknown nodes, or cycles.
+  Status Connect(Node& from, Node& to);
+
+  /// \name Query management (subquery sharing)
+  ///@{
+  /// Registers the continuous query that ends in `sink`: every node reachable
+  /// upstream from the sink gets its use count incremented.
+  Result<QueryId> RegisterQuery(const std::shared_ptr<SinkNode>& sink);
+
+  /// Unregisters a query. Nodes whose use count drops to zero are removed
+  /// from the graph — unless they still provide included metadata items, in
+  /// which case the call fails with FailedPrecondition and nothing changes.
+  Status RemoveQuery(QueryId id);
+
+  /// Number of currently registered queries.
+  size_t query_count() const;
+  ///@}
+
+  /// Snapshot of all nodes.
+  std::vector<std::shared_ptr<Node>> nodes() const;
+
+  /// Number of nodes in the graph.
+  size_t node_count() const;
+
+  /// The default period for periodic metadata of newly added nodes.
+  Duration metadata_period() const { return metadata_period_; }
+
+  /// The scheduler driving this graph.
+  TaskScheduler& scheduler() { return scheduler_; }
+
+ private:
+  /// Collects `start` and everything reachable upstream of it.
+  static void CollectUpstream(Node* start,
+                              std::unordered_set<Node*>* out);
+
+  /// True if `target` is reachable downstream from `start`.
+  static bool ReachesDownstream(Node* start, Node* target);
+
+  TaskScheduler& scheduler_;
+  Duration metadata_period_;
+  MetadataManager metadata_manager_;
+  mutable ReentrantSharedMutex graph_mu_;
+
+  std::vector<std::shared_ptr<Node>> nodes_;
+  struct QueryInfo {
+    std::shared_ptr<SinkNode> sink;
+    std::vector<Node*> nodes;  // upstream closure incl. sink
+  };
+  std::map<QueryId, QueryInfo> queries_;
+  QueryId next_query_id_ = 1;
+};
+
+}  // namespace pipes

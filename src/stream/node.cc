@@ -1,0 +1,463 @@
+#include "stream/node.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "common/reentrant_shared_mutex.h"
+#include "metadata/descriptor.h"
+#include "stream/graph.h"
+
+namespace pipes {
+
+namespace {
+
+/// Cumulative online average of dependency 0, sampled once per evaluation.
+/// eval_index() 0 is the activation evaluation (no data yet) and yields null.
+Evaluator MakeRunningAverageEvaluator() {
+  return [](EvalContext& ctx) -> MetadataValue {
+    if (ctx.eval_index() == 0) return MetadataValue::Null();
+    double x = ctx.DepDouble(0);
+    if (ctx.Previous().is_null()) return MetadataValue(x);
+    double n = static_cast<double>(ctx.eval_index());
+    double prev = ctx.Previous().AsDouble();
+    return MetadataValue(prev + (x - prev) / n);
+  };
+}
+
+}  // namespace
+
+Node::Node(Kind kind, std::string label)
+    : MetadataProvider(std::move(label)), kind_(kind) {}
+
+Node::~Node() = default;
+
+std::vector<MetadataProvider*> Node::MetadataUpstreams() const {
+  std::vector<MetadataProvider*> out;
+  out.reserve(upstreams_.size());
+  for (Node* n : upstreams_) out.push_back(n);
+  return out;
+}
+
+std::vector<MetadataProvider*> Node::MetadataDownstreams() const {
+  std::vector<MetadataProvider*> out;
+  out.reserve(downstream_edges_.size());
+  for (const Edge& e : downstream_edges_) out.push_back(e.node);
+  return out;
+}
+
+void Node::AddUpstream(Node* n) {
+  upstreams_.push_back(n);
+  EnsureInputProbes(upstreams_.size());
+}
+
+void Node::AddDownstreamEdge(Node* n, size_t input_index) {
+  downstream_edges_.push_back(Edge{n, input_index});
+}
+
+void Node::EnsureInputProbes(size_t count) {
+  while (input_probes_.size() < count) {
+    input_probes_.push_back(std::make_unique<CounterProbe>());
+  }
+}
+
+void Node::Receive(const StreamElement& e, size_t input_index) {
+  assert(kind_ != Kind::kSource && "sources do not receive elements");
+  total_received_.fetch_add(1, std::memory_order_relaxed);
+  any_input_probe_.Increment();
+  if (input_index < input_probes_.size()) {
+    input_probes_[input_index]->Increment();
+  }
+  if (input_queue_ != nullptr) {
+    input_queue_->Push(InputQueue::Entry{e, input_index});
+    return;
+  }
+  RecordProcessingLatency(e);
+  ExclusiveLock lock(state_mutex());
+  ProcessElement(e, input_index);
+}
+
+void Node::EnableInputQueue() {
+  if (input_queue_ != nullptr) return;
+  input_queue_ = std::make_unique<InputQueue>();
+  auto& reg = metadata_registry();
+  (void)reg.DefineOrRedefine(
+      MetadataDescriptor::OnDemand(keys::kQueueSize)
+          .WithEvaluator([this](EvalContext&) -> MetadataValue {
+            return static_cast<int64_t>(input_queue_->size());
+          })
+          .WithDescription("pending elements in the input queue (on-demand)"));
+  (void)reg.DefineOrRedefine(
+      MetadataDescriptor::OnDemand(keys::kQueueBytes)
+          .WithEvaluator([this](EvalContext&) -> MetadataValue {
+            return static_cast<int64_t>(input_queue_->bytes());
+          })
+          .WithDescription("memory held by the input queue [bytes] (on-demand)"));
+  (void)reg.DefineOrRedefine(
+      MetadataDescriptor::OnDemand(keys::kQueueOldestAge)
+          .WithEvaluator([this](EvalContext& ctx) -> MetadataValue {
+            Timestamp oldest = input_queue_->oldest_timestamp();
+            if (oldest == kTimestampMax) return 0.0;
+            return ToSeconds(ctx.now() - oldest);
+          })
+          .WithDescription(
+              "age of the oldest queued element [s] (on-demand)"));
+}
+
+bool Node::ProcessQueuedOne() {
+  if (input_queue_ == nullptr) return false;
+  InputQueue::Entry entry;
+  if (!input_queue_->Pop(&entry)) return false;
+  RecordProcessingLatency(entry.element);  // includes the queueing delay
+  ExclusiveLock lock(state_mutex());
+  ProcessElement(entry.element, entry.input_index);
+  return true;
+}
+
+void Node::Emit(const StreamElement& e) {
+  total_emitted_.fetch_add(1, std::memory_order_relaxed);
+  output_probe_.Increment();
+  if (observer_count_.load(std::memory_order_relaxed) > 0) {
+    NotifyEmitObservers(e);
+  }
+  for (const Edge& edge : downstream_edges_) {
+    edge.node->Receive(e, edge.input_index);
+  }
+}
+
+void Node::AddEmitObserver(const std::string& id, EmitObserver fn) {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  auto [it, inserted] = observers_.emplace(id, std::move(fn));
+  if (!inserted) {
+    it->second = std::move(fn);
+  } else {
+    observer_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Node::RemoveEmitObserver(const std::string& id) {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  if (observers_.erase(id) > 0) {
+    observer_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Node::NotifyEmitObservers(const StreamElement& e) {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  for (auto& [id, fn] : observers_) fn(e);
+}
+
+void Node::RecordProcessingLatency(const StreamElement& e) {
+  if (!latency_count_probe_.enabled() || graph_ == nullptr) return;
+  Timestamp now = graph_->scheduler().clock().Now();
+  latency_sum_probe_.Add(ToSeconds(now - e.timestamp));
+  latency_count_probe_.Increment();
+}
+
+void Node::RegisterStandardMetadata() {
+  auto& reg = metadata_registry();
+
+  if (kind_ != Kind::kSink) {
+    // Static items with evaluators are computed once, at first inclusion —
+    // after the node is wired, when derived schemas are known.
+    reg.Define(MetadataDescriptor::Static(keys::kSchema, "")
+                   .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                     return output_schema().ToString();
+                   })
+                   .WithDescription("output schema (static)"));
+    reg.Define(MetadataDescriptor::Static(keys::kElementSize, 0)
+                   .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                     return static_cast<int64_t>(
+                         output_schema().ElementSizeBytes());
+                   })
+                   .WithDescription("estimated element size in bytes (static)"));
+  }
+
+  reg.Define(
+      MetadataDescriptor::Periodic(keys::kOutputRate, metadata_period())
+          .WithEvaluator([this](EvalContext& ctx) -> MetadataValue {
+            if (ctx.elapsed() <= 0) return 0.0;
+            uint64_t delta = output_rate_cursor_.TakeDelta(output_probe_);
+            return static_cast<double>(delta) / ToSeconds(ctx.elapsed());
+          })
+          .WithMonitoring(
+              [this](MetadataProvider&) {
+                output_probe_.Enable();
+                output_rate_cursor_.Reset(output_probe_);
+              },
+              [this](MetadataProvider&) { output_probe_.Disable(); })
+          .WithDescription("measured output rate [elements/s] (periodic)"));
+
+  reg.Define(MetadataDescriptor::Triggered(keys::kAvgOutputRate)
+                 .DependsOnSelf(keys::kOutputRate)
+                 .WithEvaluator(MakeRunningAverageEvaluator())
+                 .WithDescription(
+                     "online average of the measured output rate (triggered)"));
+
+  reg.Define(MetadataDescriptor::OnDemand(keys::kElementCount)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return static_cast<int64_t>(total_emitted());
+                 })
+                 .WithDescription("total elements emitted (on-demand)"));
+
+  reg.Define(MetadataDescriptor::OnDemand(keys::kReuseCount)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return static_cast<int64_t>(use_count());
+                 })
+                 .WithDescription(
+                     "number of registered queries sharing this node "
+                     "(on-demand)"));
+
+  if (kind_ != Kind::kSink) {
+    // Value-distribution metadata (paper §1: "data distributions"): distinct
+    // integer keys (column 0) observed per window, gathered by an emit
+    // observer that only runs while the item is included.
+    struct KeySketch {
+      std::mutex mu;
+      std::unordered_set<int64_t> keys;
+    };
+    auto sketch = std::make_shared<KeySketch>();
+    reg.Define(
+        MetadataDescriptor::Periodic(keys::kDistinctKeys, metadata_period())
+            .WithEvaluator([sketch](EvalContext& ctx) -> MetadataValue {
+              std::lock_guard<std::mutex> lock(sketch->mu);
+              if (ctx.elapsed() <= 0) {
+                sketch->keys.clear();
+                return MetadataValue::Null();
+              }
+              int64_t count = static_cast<int64_t>(sketch->keys.size());
+              sketch->keys.clear();
+              return count;
+            })
+            .WithMonitoring(
+                [this, sketch](MetadataProvider&) {
+                  {
+                    std::lock_guard<std::mutex> lock(sketch->mu);
+                    sketch->keys.clear();
+                  }
+                  AddEmitObserver("distinct_keys",
+                                  [sketch](const StreamElement& e) {
+                                    if (e.tuple.arity() == 0) return;
+                                    std::lock_guard<std::mutex> lock(sketch->mu);
+                                    sketch->keys.insert(e.tuple.IntAt(0));
+                                  });
+                },
+                [this](MetadataProvider&) {
+                  RemoveEmitObserver("distinct_keys");
+                })
+            .WithDescription(
+                "distinct integer keys (column 0) emitted per window "
+                "(periodic; data-distribution metadata)"));
+  }
+
+  if (kind_ != Kind::kSource) {
+    reg.Define(
+        MetadataDescriptor::Periodic(keys::kProcessingLatency,
+                                     metadata_period())
+            .WithEvaluator([this](EvalContext& ctx) -> MetadataValue {
+              if (ctx.elapsed() <= 0) return MetadataValue::Null();
+              double sum = latency_sum_cursor_.TakeDelta(latency_sum_probe_);
+              uint64_t count =
+                  latency_count_cursor_.TakeDelta(latency_count_probe_);
+              // Null (not the stale previous value) when nothing was
+              // processed: consumers like the QoS shedder must not act on a
+              // latency that no longer describes any traffic.
+              if (count == 0) return MetadataValue::Null();
+              return sum / static_cast<double>(count);
+            })
+            .WithMonitoring(
+                [this](MetadataProvider&) {
+                  latency_sum_probe_.Enable();
+                  latency_count_probe_.Enable();
+                  latency_sum_cursor_.Reset(latency_sum_probe_);
+                  latency_count_cursor_.Reset(latency_count_probe_);
+                },
+                [this](MetadataProvider&) {
+                  latency_sum_probe_.Disable();
+                  latency_count_probe_.Disable();
+                })
+            .WithDescription(
+                "mean delay between element timestamp and processing [s] "
+                "(periodic; includes queueing delay in queued mode)"));
+  }
+}
+
+void SourceNode::ProcessElement(const StreamElement&, size_t) {
+  assert(false && "SourceNode::ProcessElement must never be called");
+}
+
+// ---------------------------------------------------------------------------
+// OperatorNode standard metadata
+// ---------------------------------------------------------------------------
+
+void OperatorNode::RegisterStandardMetadata() {
+  Node::RegisterStandardMetadata();
+  auto& reg = metadata_registry();
+
+  reg.Define(
+      MetadataDescriptor::Periodic(keys::kInputRate, metadata_period())
+          .WithEvaluator([this](EvalContext& ctx) -> MetadataValue {
+            if (ctx.elapsed() <= 0) return 0.0;
+            uint64_t delta = input_rate_cursor_.TakeDelta(any_input_probe());
+            return static_cast<double>(delta) / ToSeconds(ctx.elapsed());
+          })
+          .WithMonitoring(
+              [this](MetadataProvider&) {
+                any_input_probe().Enable();
+                input_rate_cursor_.Reset(any_input_probe());
+              },
+              [this](MetadataProvider&) { any_input_probe().Disable(); })
+          .WithDescription(
+              "measured input rate over all inputs [elements/s] (periodic)"));
+
+  reg.Define(MetadataDescriptor::Triggered(keys::kAvgInputRate)
+                 .DependsOnSelf(keys::kInputRate)
+                 .WithEvaluator(MakeRunningAverageEvaluator())
+                 .WithDescription(
+                     "online average of the measured input rate (triggered)"));
+
+  reg.Define(
+      MetadataDescriptor::Triggered(keys::kVarInputRate)
+          .DependsOnSelf(keys::kAvgInputRate)
+          .DependsOnSelf(keys::kInputRate)
+          .WithEvaluator([](EvalContext& ctx) -> MetadataValue {
+            // Welford-style online variance against the running average item.
+            if (ctx.eval_index() == 0) return MetadataValue::Null();
+            double mean = ctx.DepDouble(0);
+            double x = ctx.DepDouble(1);
+            double n = static_cast<double>(ctx.eval_index());
+            double prev =
+                ctx.Previous().is_null() ? 0.0 : ctx.Previous().AsDouble();
+            double d = x - mean;
+            return MetadataValue(prev + (d * d - prev) / n);
+          })
+          .WithDescription(
+              "online variance of the measured input rate (triggered)"));
+
+  reg.Define(
+      MetadataDescriptor::Periodic(keys::kSelectivity, metadata_period())
+          .WithEvaluator([this](EvalContext& ctx) -> MetadataValue {
+            uint64_t in = sel_in_cursor_.TakeDelta(any_input_probe());
+            uint64_t out = sel_out_cursor_.TakeDelta(output_probe());
+            if (in == 0) return ctx.Previous();  // keep the last estimate
+            return static_cast<double>(out) / static_cast<double>(in);
+          })
+          .WithMonitoring(
+              [this](MetadataProvider&) {
+                any_input_probe().Enable();
+                output_probe().Enable();
+                sel_in_cursor_.Reset(any_input_probe());
+                sel_out_cursor_.Reset(output_probe());
+              },
+              [this](MetadataProvider&) {
+                any_input_probe().Disable();
+                output_probe().Disable();
+              })
+          .WithDescription(
+              "measured selectivity: output/input elements per window "
+              "(periodic)"));
+
+  reg.Define(MetadataDescriptor::Triggered(keys::kAvgSelectivity)
+                 .DependsOnSelf(keys::kSelectivity)
+                 .WithEvaluator(MakeRunningAverageEvaluator())
+                 .WithDescription(
+                     "online average of the measured selectivity (triggered)"));
+
+  // The paper's §2.3 example: "the input/output ratio of an operator can be
+  // derived from dividing the input rate by the output rate" — a cheap
+  // on-demand item computed from two existing items.
+  reg.Define(MetadataDescriptor::OnDemand(keys::kIoRatio)
+                 .DependsOnSelf(keys::kInputRate)
+                 .DependsOnSelf(keys::kOutputRate)
+                 .WithEvaluator([](EvalContext& ctx) -> MetadataValue {
+                   double in = ctx.DepDouble(0);
+                   double out = ctx.DepDouble(1);
+                   if (out == 0.0) return MetadataValue::Null();
+                   return in / out;
+                 })
+                 .WithDescription(
+                     "input/output rate ratio, derived on demand (§2.3)"));
+
+  // "The measured memory usage of an operator results from the sizes of its
+  // internal data structures ... multiplied with the sizes of the stream
+  // elements." (§3.1) — cheap on-demand forwarding of state information.
+  reg.Define(MetadataDescriptor::OnDemand(keys::kMemoryUsage)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return static_cast<int64_t>(StateMemoryBytes());
+                 })
+                 .WithDescription(
+                     "measured memory usage of the operator state [bytes] "
+                     "(on-demand)"));
+
+  reg.Define(MetadataDescriptor::OnDemand(keys::kStateSize)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return static_cast<int64_t>(StateCount());
+                 })
+                 .WithDescription(
+                     "elements currently held in operator state (on-demand)"));
+
+  reg.Define(
+      MetadataDescriptor::Periodic(keys::kCpuUsage, metadata_period())
+          .WithEvaluator([this](EvalContext& ctx) -> MetadataValue {
+            if (ctx.elapsed() <= 0) return 0.0;
+            double delta = cpu_cursor_.TakeDelta(work_probe());
+            return delta / ToSeconds(ctx.elapsed());
+          })
+          .WithMonitoring(
+              [this](MetadataProvider&) {
+                work_probe().Enable();
+                cpu_cursor_.Reset(work_probe());
+              },
+              [this](MetadataProvider&) { work_probe().Disable(); })
+          .WithDescription(
+              "measured CPU usage [work units/s] (periodic)"));
+
+  reg.Define(MetadataDescriptor::Static(keys::kImplementationType,
+                                        ImplementationType())
+                 .WithDescription("operator implementation type (static)"));
+}
+
+// ---------------------------------------------------------------------------
+// SinkNode
+// ---------------------------------------------------------------------------
+
+const Schema& SinkNode::output_schema() const {
+  static const Schema kEmpty;
+  if (!upstreams().empty()) return upstreams()[0]->output_schema();
+  return kEmpty;
+}
+
+void SinkNode::RegisterStandardMetadata() {
+  Node::RegisterStandardMetadata();
+  auto& reg = metadata_registry();
+
+  // Query-level metadata (paper §1: QoS specifications, priority).
+  reg.Define(MetadataDescriptor::Static(keys::kQosMaxLatency, 0.0)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return ToSeconds(qos_max_latency());
+                 })
+                 .WithDescription(
+                     "QoS: maximum tolerated result latency [s] (static)"));
+
+  reg.Define(MetadataDescriptor::Static(keys::kPriority, 0.0)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return priority();
+                 })
+                 .WithDescription("scheduling priority of the query (static)"));
+
+  reg.Define(
+      MetadataDescriptor::Periodic(keys::kResultRate, metadata_period())
+          .WithEvaluator([this](EvalContext& ctx) -> MetadataValue {
+            if (ctx.elapsed() <= 0) return 0.0;
+            uint64_t delta = result_rate_cursor_.TakeDelta(any_input_probe());
+            return static_cast<double>(delta) / ToSeconds(ctx.elapsed());
+          })
+          .WithMonitoring(
+              [this](MetadataProvider&) {
+                any_input_probe().Enable();
+                result_rate_cursor_.Reset(any_input_probe());
+              },
+              [this](MetadataProvider&) { any_input_probe().Disable(); })
+          .WithDescription("measured result rate [elements/s] (periodic)"));
+}
+
+}  // namespace pipes

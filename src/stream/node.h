@@ -1,0 +1,267 @@
+/// \file node.h
+/// \brief Query-graph nodes: sources, operators, sinks (paper Figure 1).
+///
+/// "A query graph consists of sources at the bottom providing the data in
+/// form of raw data streams. The intermediate nodes are operators processing
+/// the data streams, whereas the sinks at the top establish the connections
+/// to the applications." (paper §2.2) Every node is a MetadataProvider; the
+/// standard metadata items of each node kind are registered by
+/// RegisterStandardMetadata().
+
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "metadata/keys.h"
+#include "metadata/probes.h"
+#include "metadata/provider.h"
+#include "stream/element.h"
+#include "stream/queue.h"
+
+namespace pipes {
+
+class QueryGraph;
+
+/// \brief Base class of all query-graph nodes.
+class Node : public MetadataProvider {
+ public:
+  enum class Kind { kSource, kOperator, kSink };
+
+  ~Node() override;
+
+  Kind kind() const { return kind_; }
+
+  /// The graph owning this node (set by QueryGraph::AddNode).
+  QueryGraph* graph() const { return graph_; }
+
+  /// \name Topology
+  ///@{
+  /// Input providers, indexed by input slot.
+  const std::vector<Node*>& upstreams() const { return upstreams_; }
+  /// Outgoing edges: (consumer node, consumer's input slot).
+  struct Edge {
+    Node* node;
+    size_t input_index;
+  };
+  const std::vector<Edge>& downstream_edges() const { return downstream_edges_; }
+
+  std::vector<MetadataProvider*> MetadataUpstreams() const override;
+  std::vector<MetadataProvider*> MetadataDownstreams() const override;
+
+  /// Number of input slots this node accepts (0 for sources; operators
+  /// define their arity; kUnbounded for sinks/union).
+  static constexpr size_t kUnbounded = static_cast<size_t>(-1);
+  virtual size_t max_inputs() const = 0;
+  ///@}
+
+  /// \name Data path
+  ///@{
+  /// Delivers `e` to input slot `input_index`. Counts input probes, then
+  /// either processes the element inline under the node's state lock
+  /// (default) or appends it to the input queue (queued mode).
+  void Receive(const StreamElement& e, size_t input_index);
+
+  /// Schema of elements this node emits.
+  virtual const Schema& output_schema() const = 0;
+  ///@}
+
+  /// \name Queued execution (paper §1, motivation 1)
+  ///@{
+  /// Switches this node to queued mode: Receive() buffers into an input
+  /// queue that a QueuedRuntime drains via ProcessQueuedOne(). Also defines
+  /// the queue metadata items (size, bytes, oldest age). Idempotent.
+  void EnableInputQueue();
+
+  /// The input queue, or nullptr in inline mode.
+  InputQueue* input_queue() const { return input_queue_.get(); }
+
+  /// Dequeues and processes one buffered element; false when the queue is
+  /// empty (or the node is in inline mode).
+  bool ProcessQueuedOne();
+  ///@}
+
+  /// \name Standard metadata
+  /// Registers this node kind's metadata descriptors. Subclasses extend (and
+  /// may Redefine inherited items, paper §4.4.2); called once by
+  /// QueryGraph::AddNode after the metadata manager is attached.
+  ///@{
+  virtual void RegisterStandardMetadata();
+
+  /// The fixed window used by this node's periodic metadata items.
+  Duration metadata_period() const { return metadata_period_; }
+  void set_metadata_period(Duration p) { metadata_period_ = p; }
+  ///@}
+
+  /// \name Counters exposed to metadata
+  ///@{
+  /// Total elements emitted since construction (always on, relaxed atomic).
+  uint64_t total_emitted() const {
+    return total_emitted_.load(std::memory_order_relaxed);
+  }
+  /// Total elements received since construction.
+  uint64_t total_received() const {
+    return total_received_.load(std::memory_order_relaxed);
+  }
+  CounterProbe& output_probe() { return output_probe_; }
+  CounterProbe& input_probe(size_t i) { return *input_probes_.at(i); }
+  /// Input probe counting arrivals on all slots together.
+  CounterProbe& any_input_probe() { return any_input_probe_; }
+  GaugeProbe& work_probe() { return work_probe_; }
+  ///@}
+
+  /// Number of registered queries using this node (subquery sharing).
+  int use_count() const { return use_count_.load(std::memory_order_relaxed); }
+
+  /// \name Emit observers (monitoring code over emitted elements)
+  /// Metadata items that need to inspect element *values* (e.g. the
+  /// distinct-keys sketch) install an observer via their monitoring hooks.
+  /// With no observers installed, Emit pays one relaxed atomic load.
+  ///@{
+  using EmitObserver = std::function<void(const StreamElement&)>;
+  /// Installs an observer under `id` (replacing any previous one with the
+  /// same id).
+  void AddEmitObserver(const std::string& id, EmitObserver fn);
+  void RemoveEmitObserver(const std::string& id);
+  ///@}
+
+  /// \name Processing latency probes
+  /// When enabled (by the processing-latency metadata item), the time
+  /// between an element's timestamp and the moment it is actually processed
+  /// is accumulated — in queued mode this measures queueing delay.
+  ///@{
+  GaugeProbe& latency_sum_probe() { return latency_sum_probe_; }
+  CounterProbe& latency_count_probe() { return latency_count_probe_; }
+  ///@}
+
+ protected:
+  Node(Kind kind, std::string label);
+
+  /// Node-specific processing; runs with the state lock held exclusively.
+  /// Sources never receive; their override asserts.
+  virtual void ProcessElement(const StreamElement& e, size_t input_index) = 0;
+
+  /// Emits `e` to all downstream consumers (counts output probes first).
+  void Emit(const StreamElement& e);
+
+  /// Accounts `units` of simulated CPU work (probe-gated).
+  void AddWork(double units) { work_probe_.Add(units); }
+
+ private:
+  friend class QueryGraph;
+
+  void AddUpstream(Node* n);
+  void AddDownstreamEdge(Node* n, size_t input_index);
+  void EnsureInputProbes(size_t count);
+
+  Kind kind_;
+  QueryGraph* graph_ = nullptr;
+  std::vector<Node*> upstreams_;
+  std::vector<Edge> downstream_edges_;
+  Duration metadata_period_ = kMicrosPerSecond;
+
+  std::atomic<uint64_t> total_emitted_{0};
+  std::atomic<uint64_t> total_received_{0};
+  std::atomic<int> use_count_{0};
+
+  void NotifyEmitObservers(const StreamElement& e);
+  void RecordProcessingLatency(const StreamElement& e);
+
+  CounterProbe output_probe_;
+  CounterProbe any_input_probe_;
+  std::vector<std::unique_ptr<CounterProbe>> input_probes_;
+  GaugeProbe work_probe_;
+  GaugeProbe latency_sum_probe_;
+  CounterProbe latency_count_probe_;
+  std::unique_ptr<InputQueue> input_queue_;
+  std::atomic<int> observer_count_{0};
+  mutable std::mutex observers_mu_;
+  std::map<std::string, EmitObserver> observers_;
+
+  // Cursors owned per standard metadata item (reset on activation).
+  ProbeCursor output_rate_cursor_;
+  ProbeCursor avg_helper_cursor_;
+  GaugeCursor latency_sum_cursor_;
+  ProbeCursor latency_count_cursor_;
+};
+
+/// \brief Base class for stream sources.
+///
+/// Sources have no inputs; they produce elements via Emit() — typically
+/// driven by the scheduler (see SyntheticSource).
+class SourceNode : public Node {
+ public:
+  size_t max_inputs() const override { return 0; }
+
+ protected:
+  explicit SourceNode(std::string label)
+      : Node(Kind::kSource, std::move(label)) {}
+
+  void ProcessElement(const StreamElement&, size_t) override;
+
+ public:
+  /// Public emission hook so drivers (schedulers, tests) can push elements.
+  void Produce(const StreamElement& e) { Emit(e); }
+};
+
+/// \brief Base class for stream operators.
+///
+/// Registers the operator-level standard metadata (input rates, selectivity,
+/// io-ratio, memory/state/CPU usage).
+class OperatorNode : public Node {
+ public:
+  void RegisterStandardMetadata() override;
+
+  /// Number of elements currently held in operator state.
+  virtual size_t StateCount() const { return 0; }
+
+  /// Estimated bytes of operator state.
+  virtual size_t StateMemoryBytes() const { return 0; }
+
+  /// Implementation type string (paper §1: "implementation type
+  /// (nested-loops, hash-based)").
+  virtual std::string ImplementationType() const { return "stateless"; }
+
+ protected:
+  OperatorNode(std::string label) : Node(Kind::kOperator, std::move(label)) {}
+
+ private:
+  ProbeCursor input_rate_cursor_;
+  ProbeCursor sel_in_cursor_;
+  ProbeCursor sel_out_cursor_;
+  GaugeCursor cpu_cursor_;
+};
+
+/// \brief Base class for sinks: the query endpoints applications consume.
+///
+/// Carries the query-level metadata (QoS, priority, result rate).
+class SinkNode : public Node {
+ public:
+  size_t max_inputs() const override { return kUnbounded; }
+  const Schema& output_schema() const override;
+  void RegisterStandardMetadata() override;
+
+  /// QoS specification: maximum tolerated result latency (static metadata).
+  Duration qos_max_latency() const { return qos_max_latency_; }
+  void set_qos_max_latency(Duration d) { qos_max_latency_ = d; }
+
+  /// Scheduling priority (static metadata).
+  double priority() const { return priority_; }
+  void set_priority(double p) { priority_ = p; }
+
+ protected:
+  explicit SinkNode(std::string label) : Node(Kind::kSink, std::move(label)) {}
+
+ private:
+  Duration qos_max_latency_ = Seconds(1);
+  double priority_ = 1.0;
+  ProbeCursor result_rate_cursor_;
+};
+
+}  // namespace pipes

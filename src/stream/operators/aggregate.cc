@@ -1,0 +1,81 @@
+#include "stream/operators/aggregate.h"
+
+#include <algorithm>
+
+namespace pipes {
+
+const char* AggKindToString(AggKind k) {
+  switch (k) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+TumblingAggregateOperator::TumblingAggregateOperator(std::string label,
+                                                     Duration window,
+                                                     AggKind kind,
+                                                     size_t column)
+    : OperatorNode(std::move(label)),
+      window_(window),
+      kind_(kind),
+      column_(column),
+      schema_({Field{"window_start", DataType::kInt64},
+               Field{AggKindToString(kind), DataType::kDouble}}) {}
+
+double TumblingAggregateOperator::Current() const {
+  switch (kind_) {
+    case AggKind::kCount:
+      return static_cast<double>(count_);
+    case AggKind::kSum:
+      return sum_;
+    case AggKind::kAvg:
+      return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    case AggKind::kMin:
+      return min_;
+    case AggKind::kMax:
+      return max_;
+  }
+  return 0.0;
+}
+
+void TumblingAggregateOperator::EmitWindow() {
+  StreamElement out(
+      Tuple({Value(static_cast<int64_t>(window_start_)), Value(Current())}),
+      window_start_ + window_, window_start_ + 2 * window_);
+  Emit(out);
+  open_ = false;
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+void TumblingAggregateOperator::ProcessElement(const StreamElement& e, size_t) {
+  AddWork(1.0);
+  Timestamp start = e.timestamp - (e.timestamp % window_);
+  if (open_ && start != window_start_) {
+    EmitWindow();
+  }
+  if (!open_) {
+    open_ = true;
+    window_start_ = start;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = e.tuple.DoubleAt(column_);
+    max_ = min_;
+  }
+  double v = e.tuple.DoubleAt(column_);
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+}  // namespace pipes

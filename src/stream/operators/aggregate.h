@@ -1,0 +1,60 @@
+/// \file aggregate.h
+/// \brief Tumbling-window aggregation over a numeric column.
+
+#pragma once
+
+#include <string>
+
+#include "stream/node.h"
+
+namespace pipes {
+
+/// Supported aggregate functions.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggKindToString(AggKind k);
+
+/// \brief Partitions application time into fixed windows and emits one
+/// aggregate element per closed window: (window_start:int64, agg:double).
+///
+/// A window closes when the first element with a timestamp at or past its
+/// end arrives (streams are processed in timestamp order).
+class TumblingAggregateOperator final : public OperatorNode {
+ public:
+  /// Aggregates `column` of the input tuples over `window` microseconds.
+  /// For kCount, `column` is ignored.
+  TumblingAggregateOperator(std::string label, Duration window, AggKind kind,
+                            size_t column = 0);
+
+  size_t max_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  std::string ImplementationType() const override {
+    return std::string("tumbling-") + AggKindToString(kind_);
+  }
+
+  size_t StateCount() const override { return open_ ? 1 : 0; }
+  size_t StateMemoryBytes() const override { return open_ ? 48 : 0; }
+
+  Duration window() const { return window_; }
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t) override;
+
+ private:
+  void EmitWindow();
+  double Current() const;
+
+  Duration window_;
+  AggKind kind_;
+  size_t column_;
+  Schema schema_;
+
+  bool open_ = false;
+  Timestamp window_start_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pipes

@@ -1,0 +1,69 @@
+#include "stream/operators/basic.h"
+
+#include "metadata/descriptor.h"
+
+namespace pipes {
+
+namespace {
+const Schema& UpstreamSchemaOrEmpty(const Node& node) {
+  static const Schema kEmpty;
+  if (!node.upstreams().empty()) return node.upstreams()[0]->output_schema();
+  return kEmpty;
+}
+}  // namespace
+
+const Schema& FilterOperator::output_schema() const {
+  return UpstreamSchemaOrEmpty(*this);
+}
+
+void FilterOperator::ProcessElement(const StreamElement& e, size_t) {
+  AddWork(work_cost_);
+  if (predicate_(e.tuple)) Emit(e);
+}
+
+void MapOperator::ProcessElement(const StreamElement& e, size_t) {
+  AddWork(1.0);
+  StreamElement out(fn_(e.tuple), e.timestamp, e.validity_end);
+  Emit(out);
+}
+
+const Schema& UnionOperator::output_schema() const {
+  return UpstreamSchemaOrEmpty(*this);
+}
+
+void UnionOperator::ProcessElement(const StreamElement& e, size_t) {
+  AddWork(1.0);
+  Emit(e);
+}
+
+const MetadataKey RandomDropOperator::kDropProbabilityKey = "drop_probability";
+
+const Schema& RandomDropOperator::output_schema() const {
+  return UpstreamSchemaOrEmpty(*this);
+}
+
+void RandomDropOperator::set_drop_probability(double p) {
+  drop_probability_.store(p, std::memory_order_relaxed);
+  FireMetadataEvent(kDropProbabilityKey);
+}
+
+void RandomDropOperator::RegisterStandardMetadata() {
+  OperatorNode::RegisterStandardMetadata();
+  metadata_registry().Define(
+      MetadataDescriptor::OnDemand(kDropProbabilityKey)
+          .WithEvaluator([this](EvalContext&) -> MetadataValue {
+            return drop_probability();
+          })
+          .WithDescription("probability of dropping an element (on-demand)"));
+}
+
+void RandomDropOperator::ProcessElement(const StreamElement& e, size_t) {
+  AddWork(0.1);
+  if (rng_.Bernoulli(drop_probability())) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Emit(e);
+}
+
+}  // namespace pipes

@@ -1,0 +1,115 @@
+/// \file basic.h
+/// \brief Stateless operators: filter, map, union, random drop.
+
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "common/rng.h"
+#include "stream/node.h"
+
+namespace pipes {
+
+/// \brief Emits only elements whose tuple satisfies a predicate.
+class FilterOperator final : public OperatorNode {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  /// `work_cost` is the CPU work charged per processed element (models
+  /// predicates of different expense; used by the scheduling experiments).
+  FilterOperator(std::string label, Predicate predicate,
+                 double work_cost = 1.0)
+      : OperatorNode(std::move(label)),
+        predicate_(std::move(predicate)),
+        work_cost_(work_cost) {}
+
+  size_t max_inputs() const override { return 1; }
+  const Schema& output_schema() const override;
+  std::string ImplementationType() const override { return "filter"; }
+
+  double work_cost() const { return work_cost_; }
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t) override;
+
+ private:
+  Predicate predicate_;
+  double work_cost_;
+};
+
+/// \brief Applies a tuple transformation with an explicit output schema.
+class MapOperator final : public OperatorNode {
+ public:
+  using MapFn = std::function<Tuple(const Tuple&)>;
+
+  MapOperator(std::string label, Schema output_schema, MapFn fn)
+      : OperatorNode(std::move(label)),
+        schema_(std::move(output_schema)),
+        fn_(std::move(fn)) {}
+
+  size_t max_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  std::string ImplementationType() const override { return "map"; }
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t) override;
+
+ private:
+  Schema schema_;
+  MapFn fn_;
+};
+
+/// \brief Merges any number of same-schema inputs into one stream.
+class UnionOperator final : public OperatorNode {
+ public:
+  explicit UnionOperator(std::string label) : OperatorNode(std::move(label)) {}
+
+  size_t max_inputs() const override { return kUnbounded; }
+  const Schema& output_schema() const override;
+  std::string ImplementationType() const override { return "union"; }
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t) override;
+};
+
+/// \brief Randomly drops elements with a runtime-adjustable probability —
+/// the load-shedding operator (paper §1 motivation 2).
+class RandomDropOperator final : public OperatorNode {
+ public:
+  /// The key of the drop-probability metadata item.
+  static const MetadataKey kDropProbabilityKey;
+
+  RandomDropOperator(std::string label, double drop_probability = 0.0,
+                     uint64_t seed = 7)
+      : OperatorNode(std::move(label)),
+        drop_probability_(drop_probability),
+        rng_(seed) {}
+
+  size_t max_inputs() const override { return 1; }
+  const Schema& output_schema() const override;
+  std::string ImplementationType() const override { return "random-drop"; }
+
+  double drop_probability() const {
+    return drop_probability_.load(std::memory_order_relaxed);
+  }
+
+  /// Adjusts the shedding rate; fires the drop-probability event.
+  void set_drop_probability(double p);
+
+  void RegisterStandardMetadata() override;
+
+  uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t) override;
+
+ private:
+  std::atomic<double> drop_probability_;
+  std::atomic<uint64_t> dropped_{0};
+  Rng rng_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,35 @@
+#include "stream/operators/count_window.h"
+
+namespace pipes {
+
+const Schema& CountWindowOperator::output_schema() const {
+  static const Schema kEmpty;
+  if (!upstreams().empty()) return upstreams()[0]->output_schema();
+  return kEmpty;
+}
+
+void CountWindowOperator::ProcessElement(const StreamElement& e, size_t) {
+  AddWork(1.0);
+  pending_.push_back(e);
+  pending_bytes_ += e.MemoryBytes();
+  if (pending_.size() > n_) {
+    StreamElement out = std::move(pending_.front());
+    pending_.pop_front();
+    pending_bytes_ -= out.MemoryBytes();
+    // The popped element's validity ends now: `n_` elements arrived after it.
+    out.validity_end = e.timestamp;
+    Emit(out);
+  }
+}
+
+void CountWindowOperator::Flush() {
+  ExclusiveLock lock(state_mutex());
+  while (!pending_.empty()) {
+    StreamElement out = std::move(pending_.front());
+    pending_.pop_front();
+    pending_bytes_ -= out.MemoryBytes();
+    Emit(out);
+  }
+}
+
+}  // namespace pipes

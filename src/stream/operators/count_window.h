@@ -1,0 +1,48 @@
+/// \file count_window.h
+/// \brief Count-based sliding window operator.
+///
+/// Alongside time-based windows, PIPES supports count-based windows: an
+/// element stays valid until `n` further elements have arrived. In a push
+/// pipeline that end is only known when the (i+n)-th element arrives, so
+/// this operator emits elements delayed by `n` arrivals with
+/// validity [own timestamp, timestamp of the (i+n)-th element). The buffer
+/// of at most `n` pending elements is the operator state (visible through
+/// the state-size and memory-usage metadata).
+
+#pragma once
+
+#include <deque>
+
+#include "stream/node.h"
+
+namespace pipes {
+
+class CountWindowOperator final : public OperatorNode {
+ public:
+  /// Window of the last `n` elements (n >= 1).
+  CountWindowOperator(std::string label, size_t n)
+      : OperatorNode(std::move(label)), n_(n) {}
+
+  size_t max_inputs() const override { return 1; }
+  const Schema& output_schema() const override;
+  std::string ImplementationType() const override { return "count-window"; }
+
+  size_t StateCount() const override { return pending_.size(); }
+  size_t StateMemoryBytes() const override { return pending_bytes_; }
+
+  size_t window_count() const { return n_; }
+
+  /// Emits all pending elements with unbounded validity — for end-of-stream
+  /// draining in tests and batch scenarios.
+  void Flush();
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t) override;
+
+ private:
+  size_t n_;
+  std::deque<StreamElement> pending_;
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace pipes

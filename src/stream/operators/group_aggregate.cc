@@ -1,0 +1,76 @@
+#include "stream/operators/group_aggregate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pipes {
+
+GroupedAggregateOperator::GroupedAggregateOperator(std::string label,
+                                                   Duration window,
+                                                   AggKind kind,
+                                                   size_t key_column,
+                                                   size_t value_column)
+    : OperatorNode(std::move(label)),
+      window_(window),
+      kind_(kind),
+      key_column_(key_column),
+      value_column_(value_column),
+      schema_({Field{"window_start", DataType::kInt64},
+               Field{"key", DataType::kInt64},
+               Field{AggKindToString(kind), DataType::kDouble}}) {}
+
+double GroupedAggregateOperator::Finish(const Acc& acc) const {
+  switch (kind_) {
+    case AggKind::kCount:
+      return static_cast<double>(acc.count);
+    case AggKind::kSum:
+      return acc.sum;
+    case AggKind::kAvg:
+      return acc.count == 0 ? 0.0 : acc.sum / static_cast<double>(acc.count);
+    case AggKind::kMin:
+      return acc.min;
+    case AggKind::kMax:
+      return acc.max;
+  }
+  return 0.0;
+}
+
+void GroupedAggregateOperator::EmitWindow() {
+  // Deterministic emission order (by key) for reproducible tests.
+  std::map<int64_t, Acc> ordered(groups_.begin(), groups_.end());
+  for (const auto& [key, acc] : ordered) {
+    StreamElement out(
+        Tuple({Value(static_cast<int64_t>(window_start_)), Value(key),
+               Value(Finish(acc))}),
+        window_start_ + window_, window_start_ + 2 * window_);
+    Emit(out);
+  }
+  groups_.clear();
+  open_ = false;
+}
+
+void GroupedAggregateOperator::ProcessElement(const StreamElement& e, size_t) {
+  AddWork(1.0);
+  Timestamp start = e.timestamp - (e.timestamp % window_);
+  if (open_ && start != window_start_) {
+    EmitWindow();
+  }
+  if (!open_) {
+    open_ = true;
+    window_start_ = start;
+  }
+  int64_t key = e.tuple.IntAt(key_column_);
+  double v = e.tuple.DoubleAt(value_column_);
+  auto [it, inserted] = groups_.try_emplace(key);
+  Acc& acc = it->second;
+  if (inserted) {
+    acc.min = v;
+    acc.max = v;
+  }
+  ++acc.count;
+  acc.sum += v;
+  acc.min = std::min(acc.min, v);
+  acc.max = std::max(acc.max, v);
+}
+
+}  // namespace pipes

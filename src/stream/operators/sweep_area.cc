@@ -1,0 +1,98 @@
+#include "stream/operators/sweep_area.h"
+
+#include "metadata/descriptor.h"
+#include "metadata/keys.h"
+
+namespace pipes {
+
+KeyExtractor KeyColumn(size_t index) {
+  return [index](const Tuple& t) { return t.IntAt(index); };
+}
+
+void SweepArea::RegisterModuleMetadata() {
+  auto& reg = metadata_registry();
+  reg.Define(MetadataDescriptor::OnDemand(keys::kStateSize)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return static_cast<int64_t>(Size());
+                 })
+                 .WithDescription("elements stored in this sweep area"));
+  reg.Define(MetadataDescriptor::OnDemand(keys::kMemoryUsage)
+                 .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   return static_cast<int64_t>(MemoryBytes());
+                 })
+                 .WithDescription("memory footprint of this sweep area [bytes]"));
+  reg.Define(MetadataDescriptor::Static(keys::kImplementationType,
+                                        ImplementationType())
+                 .WithDescription("sweep-area data structure"));
+}
+
+// --- ListSweepArea -----------------------------------------------------------
+
+void ListSweepArea::Insert(const StreamElement& e) {
+  bytes_ += e.MemoryBytes();
+  elements_.emplace(e.validity_end, e);
+}
+
+size_t ListSweepArea::Expire(Timestamp t) {
+  size_t removed = 0;
+  auto it = elements_.begin();
+  while (it != elements_.end() && it->first <= t) {
+    bytes_ -= it->second.MemoryBytes();
+    it = elements_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+size_t ListSweepArea::Probe(
+    const StreamElement&,
+    const std::function<void(const StreamElement&)>& fn) {
+  for (const auto& [end, e] : elements_) fn(e);
+  return elements_.size();
+}
+
+// --- HashSweepArea -----------------------------------------------------------
+
+void HashSweepArea::Insert(const StreamElement& e) {
+  int64_t key = key_(e.tuple);
+  uint64_t id = next_id_++;
+  bytes_ += e.MemoryBytes() + sizeof(Entry) + 2 * sizeof(void*);
+  table_.emplace(key, Entry{id, e});
+  expiry_.emplace(e.validity_end, std::make_pair(key, id));
+}
+
+size_t HashSweepArea::Expire(Timestamp t) {
+  size_t removed = 0;
+  auto it = expiry_.begin();
+  while (it != expiry_.end() && it->first <= t) {
+    auto [key, id] = it->second;
+    auto range = table_.equal_range(key);
+    for (auto tit = range.first; tit != range.second; ++tit) {
+      if (tit->second.id == id) {
+        bytes_ -= tit->second.element.MemoryBytes() + sizeof(Entry) +
+                  2 * sizeof(void*);
+        table_.erase(tit);
+        break;
+      }
+    }
+    it = expiry_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+size_t HashSweepArea::Probe(
+    const StreamElement& probe,
+    const std::function<void(const StreamElement&)>& fn) {
+  const KeyExtractor& pk = probe_key_ ? probe_key_ : key_;
+  int64_t key = pk(probe.tuple);
+  size_t examined = 0;
+  auto range = table_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    fn(it->second.element);
+    ++examined;
+  }
+  return examined;
+}
+
+}  // namespace pipes

@@ -1,0 +1,118 @@
+/// \file sweep_area.h
+/// \brief Join state modules: exchangeable data structures holding the
+/// window contents of one join input (paper §4.5).
+///
+/// "The join operator can be based on different data structures to store its
+/// state (lists, hash tables, etc.). Metadata items can also depend on
+/// properties of these modules." Each sweep area is a MetadataProvider; the
+/// join registers its areas as modules and derives its memory usage from
+/// their metadata items (Figure 3).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "metadata/provider.h"
+#include "stream/element.h"
+
+namespace pipes {
+
+/// Extracts the equi-join key of a tuple.
+using KeyExtractor = std::function<int64_t(const Tuple&)>;
+
+/// Returns a key extractor reading integer column `index`.
+KeyExtractor KeyColumn(size_t index);
+
+/// \brief Holds the currently valid elements of one join input.
+class SweepArea : public MetadataProvider {
+ public:
+  ~SweepArea() override = default;
+
+  /// Adds an element.
+  virtual void Insert(const StreamElement& e) = 0;
+
+  /// Removes all elements whose validity ended at or before `t`.
+  /// Returns the number of removed elements.
+  virtual size_t Expire(Timestamp t) = 0;
+
+  /// Enumerates join candidates for `probe` (all stored elements for the
+  /// list implementation, same-key elements for the hash implementation).
+  /// Returns the number of candidates examined (the work unit of the cost
+  /// model).
+  virtual size_t Probe(const StreamElement& probe,
+                       const std::function<void(const StreamElement&)>& fn) = 0;
+
+  /// Number of stored elements.
+  virtual size_t Size() const = 0;
+
+  /// Estimated memory footprint in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// "list" or "hash".
+  virtual std::string ImplementationType() const = 0;
+
+  /// Defines the module-level metadata items (state size, memory usage,
+  /// implementation type) on this provider.
+  void RegisterModuleMetadata();
+
+ protected:
+  explicit SweepArea(std::string label) : MetadataProvider(std::move(label)) {}
+};
+
+/// \brief List-based sweep area: ordered by validity end for O(1) expiry;
+/// probing scans every stored element (nested-loops join).
+class ListSweepArea final : public SweepArea {
+ public:
+  explicit ListSweepArea(std::string label) : SweepArea(std::move(label)) {}
+
+  void Insert(const StreamElement& e) override;
+  size_t Expire(Timestamp t) override;
+  size_t Probe(const StreamElement& probe,
+               const std::function<void(const StreamElement&)>& fn) override;
+  size_t Size() const override { return elements_.size(); }
+  size_t MemoryBytes() const override { return bytes_; }
+  std::string ImplementationType() const override { return "list"; }
+
+ private:
+  std::multimap<Timestamp, StreamElement> elements_;  // keyed by validity_end
+  size_t bytes_ = 0;
+};
+
+/// \brief Hash-based sweep area for equi-joins: probing only examines
+/// elements with a matching key.
+class HashSweepArea final : public SweepArea {
+ public:
+  HashSweepArea(std::string label, KeyExtractor key)
+      : SweepArea(std::move(label)), key_(std::move(key)) {}
+
+  void Insert(const StreamElement& e) override;
+  size_t Expire(Timestamp t) override;
+  size_t Probe(const StreamElement& probe,
+               const std::function<void(const StreamElement&)>& fn) override;
+  size_t Size() const override { return table_.size(); }
+  size_t MemoryBytes() const override { return bytes_; }
+  std::string ImplementationType() const override { return "hash"; }
+
+  /// The key extractor applied to *probing* elements must be supplied by the
+  /// join (left probes right and vice versa).
+  void set_probe_key(KeyExtractor key) { probe_key_ = std::move(key); }
+
+ private:
+  struct Entry {
+    uint64_t id;
+    StreamElement element;
+  };
+
+  KeyExtractor key_;        // key of stored elements
+  KeyExtractor probe_key_;  // key of probing elements (defaults to key_)
+  std::unordered_multimap<int64_t, Entry> table_;
+  std::multimap<Timestamp, std::pair<int64_t, uint64_t>> expiry_;  // t -> (key, id)
+  uint64_t next_id_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace pipes

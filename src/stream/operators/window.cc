@@ -1,0 +1,37 @@
+#include "stream/operators/window.h"
+
+#include "metadata/descriptor.h"
+#include "metadata/keys.h"
+
+namespace pipes {
+
+const Schema& TimeWindowOperator::output_schema() const {
+  static const Schema kEmpty;
+  if (!upstreams().empty()) return upstreams()[0]->output_schema();
+  return kEmpty;
+}
+
+void TimeWindowOperator::set_window_size(Duration w) {
+  window_size_.store(w, std::memory_order_relaxed);
+  FireMetadataEvent(keys::kWindowSize);
+}
+
+void TimeWindowOperator::RegisterStandardMetadata() {
+  OperatorNode::RegisterStandardMetadata();
+  metadata_registry().Define(
+      MetadataDescriptor::OnDemand(keys::kWindowSize)
+          .WithEvaluator([this](EvalContext&) -> MetadataValue {
+            return ToSeconds(window_size());
+          })
+          .WithDescription(
+              "window size [s] (on-demand; fires an event on change)"));
+}
+
+void TimeWindowOperator::ProcessElement(const StreamElement& e, size_t) {
+  StreamElement out = e;
+  out.validity_end = e.timestamp + window_size();
+  AddWork(1.0);
+  Emit(out);
+}
+
+}  // namespace pipes

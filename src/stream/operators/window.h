@@ -1,0 +1,45 @@
+/// \file window.h
+/// \brief The time-based sliding window operator (paper §2.5).
+///
+/// "This operator assigns a validity to each incoming stream element
+/// according to the window size." The window size is runtime-adjustable —
+/// the adaptive resource manager of §3.3 shrinks/grows it — and every change
+/// fires the window-size metadata event so dependent triggered items
+/// (estimated element validity, estimated join costs) are re-computed.
+
+#pragma once
+
+#include <atomic>
+
+#include "stream/node.h"
+
+namespace pipes {
+
+class TimeWindowOperator final : public OperatorNode {
+ public:
+  TimeWindowOperator(std::string label, Duration window_size)
+      : OperatorNode(std::move(label)), window_size_(window_size) {}
+
+  size_t max_inputs() const override { return 1; }
+  const Schema& output_schema() const override;
+
+  /// Current window size in microseconds.
+  Duration window_size() const {
+    return window_size_.load(std::memory_order_relaxed);
+  }
+
+  /// Changes the window size and fires the window-size event (paper §3.3:
+  /// "Whenever the window size is changed by the resource manager ... an
+  /// event is fired").
+  void set_window_size(Duration w);
+
+  void RegisterStandardMetadata() override;
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t input_index) override;
+
+ private:
+  std::atomic<Duration> window_size_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,85 @@
+/// \file queue.h
+/// \brief Inter-operator input queues for queued (scheduled) execution.
+///
+/// The Chain scheduling strategy of the paper's motivation 1 exists "to
+/// minimize the memory usage of inter-operator queues". In queued mode a
+/// node's incoming elements are buffered here and drained by a
+/// QueuedRuntime according to a scheduling strategy, instead of being
+/// processed inline by the producer.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "stream/element.h"
+
+namespace pipes {
+
+/// \brief FIFO of pending (element, input slot) pairs for one node.
+///
+/// Thread safety: all methods are internally synchronized.
+class InputQueue {
+ public:
+  struct Entry {
+    StreamElement element;
+    size_t input_index;
+  };
+
+  /// Appends an entry.
+  void Push(Entry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_ += entry.element.MemoryBytes();
+    ++total_enqueued_;
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Removes the oldest entry into `out`; false when empty.
+  bool Pop(Entry* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.empty()) return false;
+    *out = std::move(entries_.front());
+    entries_.pop_front();
+    bytes_ -= out->element.MemoryBytes();
+    ++total_dequeued_;
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Memory held by queued elements, in bytes.
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  /// Timestamp of the oldest queued element (kTimestampMax when empty).
+  Timestamp oldest_timestamp() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.empty() ? kTimestampMax : entries_.front().element.timestamp;
+  }
+
+  uint64_t total_enqueued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_enqueued_;
+  }
+  uint64_t total_dequeued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_dequeued_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  size_t bytes_ = 0;
+  uint64_t total_enqueued_ = 0;
+  uint64_t total_dequeued_ = 0;
+};
+
+}  // namespace pipes

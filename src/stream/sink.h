@@ -1,0 +1,64 @@
+/// \file sink.h
+/// \brief Sink implementations: query endpoints for applications and tests.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "stream/node.h"
+
+namespace pipes {
+
+/// \brief Buffers the most recent results (bounded).
+class CollectorSink final : public SinkNode {
+ public:
+  explicit CollectorSink(std::string label, size_t capacity = 1 << 20)
+      : SinkNode(std::move(label)), capacity_(capacity) {}
+
+  /// Snapshot of buffered elements (oldest first).
+  std::vector<StreamElement> Elements() const;
+
+  /// Number of buffered elements.
+  size_t size() const;
+
+  void Clear();
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t input_index) override;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex buf_mu_;
+  std::deque<StreamElement> buffer_;
+};
+
+/// \brief Counts results without buffering.
+class CountingSink final : public SinkNode {
+ public:
+  explicit CountingSink(std::string label) : SinkNode(std::move(label)) {}
+
+  uint64_t count() const { return total_received(); }
+
+ protected:
+  void ProcessElement(const StreamElement&, size_t) override {}
+};
+
+/// \brief Invokes a callback per result element.
+class CallbackSink final : public SinkNode {
+ public:
+  using Callback = std::function<void(const StreamElement&)>;
+
+  CallbackSink(std::string label, Callback cb)
+      : SinkNode(std::move(label)), cb_(std::move(cb)) {}
+
+ protected:
+  void ProcessElement(const StreamElement& e, size_t) override { cb_(e); }
+
+ private:
+  Callback cb_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,69 @@
+#include "stream/source.h"
+
+#include <cassert>
+
+#include "stream/graph.h"
+
+namespace pipes {
+
+const Schema& PairSchema() {
+  static const Schema kSchema({Field{"id", DataType::kInt64},
+                               Field{"value", DataType::kDouble}});
+  return kSchema;
+}
+
+TupleGenerator MakeUniformPairGenerator(int64_t key_cardinality,
+                                        double value_lo, double value_hi) {
+  return [key_cardinality, value_lo, value_hi](Rng& rng, Timestamp) {
+    return Tuple({Value(rng.UniformInt(0, key_cardinality - 1)),
+                  Value(rng.UniformDouble(value_lo, value_hi))});
+  };
+}
+
+TupleGenerator MakeZipfPairGenerator(std::shared_ptr<ZipfDistribution> zipf,
+                                     double value_lo, double value_hi) {
+  return [zipf, value_lo, value_hi](Rng& rng, Timestamp) {
+    return Tuple({Value(static_cast<int64_t>(zipf->Sample(rng))),
+                  Value(rng.UniformDouble(value_lo, value_hi))});
+  };
+}
+
+SyntheticSource::SyntheticSource(std::string label, Schema schema,
+                                 std::unique_ptr<ArrivalProcess> arrivals,
+                                 TupleGenerator generator, uint64_t seed)
+    : SourceNode(std::move(label)),
+      schema_(std::move(schema)),
+      arrivals_(std::move(arrivals)),
+      generator_(std::move(generator)),
+      rng_(seed) {}
+
+SyntheticSource::~SyntheticSource() { Stop(); }
+
+void SyntheticSource::Start() {
+  assert(graph() != nullptr && "source must be registered with a graph");
+  if (running_) return;
+  running_ = true;
+  ScheduleNext();
+}
+
+void SyntheticSource::Stop() {
+  running_ = false;
+  task_.Cancel();
+}
+
+void SyntheticSource::ScheduleNext() {
+  Duration interval = arrivals_->NextInterval(rng_);
+  task_ = graph()->scheduler().ScheduleAfter(interval, [this] {
+    if (!running_) return;
+    Timestamp now = graph()->scheduler().clock().Now();
+    Produce(StreamElement(generator_(rng_, now), now));
+    ScheduleNext();
+  });
+}
+
+void ManualSource::Push(Tuple tuple) {
+  Timestamp now = graph() != nullptr ? graph()->scheduler().clock().Now() : 0;
+  Produce(StreamElement(std::move(tuple), now));
+}
+
+}  // namespace pipes

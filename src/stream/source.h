@@ -1,0 +1,148 @@
+/// \file source.h
+/// \brief Synthetic stream sources: configurable arrival processes and value
+/// generators, driven by the graph's scheduler.
+///
+/// These stand in for the paper's raw data streams. Constant-rate arrivals
+/// reproduce Figure 4's scenario; bursty on/off arrivals reproduce Figure 5.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/scheduler.h"
+#include "stream/node.h"
+
+namespace pipes {
+
+/// \brief Generates inter-arrival times for a synthetic source.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The time until the next element.
+  virtual Duration NextInterval(Rng& rng) = 0;
+};
+
+/// Elements arrive exactly every `interval` microseconds.
+class ConstantArrivals final : public ArrivalProcess {
+ public:
+  explicit ConstantArrivals(Duration interval) : interval_(interval) {}
+  Duration NextInterval(Rng&) override { return interval_; }
+
+ private:
+  Duration interval_;
+};
+
+/// Poisson process with the given mean rate (exponential inter-arrivals).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_second)
+      : rate_per_second_(rate_per_second) {}
+  Duration NextInterval(Rng& rng) override {
+    return static_cast<Duration>(rng.Exponential(rate_per_second_) *
+                                 static_cast<double>(kMicrosPerSecond));
+  }
+
+ private:
+  double rate_per_second_;
+};
+
+/// \brief On/off bursts: during a burst, elements arrive every
+/// `on_interval`; bursts of `burst_length` elements are separated by silent
+/// gaps of `off_duration` (the bursty arrival of the paper's Figure 5).
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(uint64_t burst_length, Duration on_interval,
+                 Duration off_duration)
+      : burst_length_(burst_length),
+        on_interval_(on_interval),
+        off_duration_(off_duration) {}
+
+  Duration NextInterval(Rng&) override {
+    if (emitted_in_burst_ < burst_length_) {
+      ++emitted_in_burst_;
+      return on_interval_;
+    }
+    emitted_in_burst_ = 1;
+    return off_duration_;
+  }
+
+ private:
+  uint64_t burst_length_;
+  Duration on_interval_;
+  Duration off_duration_;
+  uint64_t emitted_in_burst_ = 0;
+};
+
+/// Produces the payload of each generated element.
+using TupleGenerator = std::function<Tuple(Rng&, Timestamp)>;
+
+/// A generator for (id:int64, value:double) tuples with uniform values and a
+/// key domain of `key_cardinality` — the default test workload.
+TupleGenerator MakeUniformPairGenerator(int64_t key_cardinality,
+                                        double value_lo = 0.0,
+                                        double value_hi = 1.0);
+
+/// A generator drawing keys from a Zipf distribution (skewed workloads).
+TupleGenerator MakeZipfPairGenerator(std::shared_ptr<ZipfDistribution> zipf,
+                                     double value_lo = 0.0,
+                                     double value_hi = 1.0);
+
+/// The schema produced by the pair generators: (id:int64, value:double).
+const Schema& PairSchema();
+
+/// \brief A scheduler-driven source emitting synthetic elements.
+///
+/// Start() schedules the first arrival on the graph's scheduler; each
+/// arrival emits one element timestamped with the current (virtual or real)
+/// time and schedules the next. Deterministic under VirtualTimeScheduler.
+class SyntheticSource final : public SourceNode {
+ public:
+  SyntheticSource(std::string label, Schema schema,
+                  std::unique_ptr<ArrivalProcess> arrivals,
+                  TupleGenerator generator, uint64_t seed = 42);
+  ~SyntheticSource() override;
+
+  const Schema& output_schema() const override { return schema_; }
+
+  /// Begins emitting. Requires the node to be registered with a graph.
+  void Start();
+
+  /// Stops emitting (idempotent).
+  void Stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void ScheduleNext();
+
+  Schema schema_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  TupleGenerator generator_;
+  Rng rng_;
+  TaskHandle task_;
+  bool running_ = false;
+};
+
+/// \brief A source emitting a fixed element on demand — for unit tests that
+/// need precise control over arrival times.
+class ManualSource final : public SourceNode {
+ public:
+  ManualSource(std::string label, Schema schema)
+      : SourceNode(std::move(label)), schema_(std::move(schema)) {}
+
+  const Schema& output_schema() const override { return schema_; }
+
+  /// Emits one element with the given payload at the current time.
+  void Push(Tuple tuple);
+
+  /// Emits one element with full control over its temporal annotations.
+  void PushElement(const StreamElement& e) { Produce(e); }
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace pipes

@@ -1,0 +1,154 @@
+#include "stream/tuple.h"
+
+#include <sstream>
+
+namespace pipes {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType ValueType(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return DataType::kBool;
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+double ValueAsDouble(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<bool>(v) ? 1.0 : 0.0;
+    case 1:
+      return static_cast<double>(std::get<int64_t>(v));
+    case 2:
+      return std::get<double>(v);
+    default:
+      return 0.0;
+  }
+}
+
+int64_t ValueAsInt(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<bool>(v) ? 1 : 0;
+    case 1:
+      return std::get<int64_t>(v);
+    case 2:
+      return static_cast<int64_t>(std::get<double>(v));
+    default:
+      return 0;
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<bool>(v) ? "true" : "false";
+    case 1:
+      return std::to_string(std::get<int64_t>(v));
+    case 2: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v));
+      return buf;
+    }
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+size_t DataTypeSize(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 32;  // average string payload approximation
+  }
+  return 8;
+}
+
+Tuple Tuple::Concat(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values;
+  values.reserve(a.arity() + b.arity());
+  values.insert(values.end(), a.values().begin(), a.values().end());
+  values.insert(values.end(), b.values().begin(), b.values().end());
+  return Tuple(std::move(values));
+}
+
+size_t Tuple::MemoryBytes() const {
+  size_t bytes = sizeof(Tuple) + values_.capacity() * sizeof(Value);
+  for (const auto& v : values_) {
+    if (std::holds_alternative<std::string>(v)) {
+      bytes += std::get<std::string>(v).capacity();
+    }
+  }
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) os << ", ";
+    os << ValueToString(values_[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::ElementSizeBytes() const {
+  // Mirrors the in-memory representation (StreamElement::MemoryBytes):
+  // two timestamps, the tuple header, one variant slot per column, plus the
+  // average string payload for string columns.
+  size_t bytes = 2 * sizeof(int64_t) + sizeof(Tuple);
+  for (const auto& f : fields_) {
+    bytes += sizeof(Value);
+    if (f.type == DataType::kString) bytes += DataTypeSize(DataType::kString);
+  }
+  return bytes;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Field> fields;
+  fields.reserve(a.arity() + b.arity());
+  fields.insert(fields.end(), a.fields().begin(), a.fields().end());
+  fields.insert(fields.end(), b.fields().begin(), b.fields().end());
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].name << ":" << DataTypeToString(fields_[i].type);
+  }
+  return os.str();
+}
+
+}  // namespace pipes

@@ -1,0 +1,117 @@
+/// \file tuple.h
+/// \brief Relational values, tuples, and schemas of the stream engine.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pipes {
+
+/// Column data types supported by the engine.
+enum class DataType { kBool, kInt64, kDouble, kString };
+
+/// Human-readable type name.
+const char* DataTypeToString(DataType t);
+
+/// A single column value.
+using Value = std::variant<bool, int64_t, double, std::string>;
+
+/// The DataType of a Value.
+DataType ValueType(const Value& v);
+
+/// Numeric coercion of a Value (strings -> 0).
+double ValueAsDouble(const Value& v);
+
+/// Integer coercion of a Value (strings -> 0).
+int64_t ValueAsInt(const Value& v);
+
+/// Rendering for debug output.
+std::string ValueToString(const Value& v);
+
+/// Estimated in-memory size of a value of the given type, in bytes.
+size_t DataTypeSize(DataType t);
+
+/// \brief One stream tuple: a fixed-arity row of values.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const {
+    assert(i < values_.size());
+    return values_[i];
+  }
+  Value& at(size_t i) {
+    assert(i < values_.size());
+    return values_[i];
+  }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Numeric view of column `i`.
+  double DoubleAt(size_t i) const { return ValueAsDouble(at(i)); }
+  int64_t IntAt(size_t i) const { return ValueAsInt(at(i)); }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation of two tuples (join output).
+  static Tuple Concat(const Tuple& a, const Tuple& b);
+
+  /// Estimated in-memory size in bytes.
+  size_t MemoryBytes() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// \brief One named, typed column of a schema.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered list of fields describing a stream's tuples.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t arity() const { return fields_.size(); }
+  const Field& field(size_t i) const {
+    assert(i < fields_.size());
+    return fields_[i];
+  }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Estimated per-tuple size in bytes (fixed-size approximation used by the
+  /// element-size metadata item).
+  size_t ElementSizeBytes() const;
+
+  /// Schema of the concatenation of two schemas (join output).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  /// "name:type, name:type, ..." — the schema metadata string.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace pipes

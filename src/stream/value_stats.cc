@@ -1,0 +1,108 @@
+#include "stream/value_stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "common/stats.h"
+#include "metadata/descriptor.h"
+
+namespace pipes {
+
+const MetadataKey kValueDistributionEpoch = "value_distribution_epoch";
+
+MetadataKey ValueQuantileKey(double q) {
+  char buf[32];
+  double pct = q * 100.0;
+  if (std::abs(pct - std::round(pct)) < 1e-9) {
+    std::snprintf(buf, sizeof(buf), "value_p%d",
+                  static_cast<int>(std::lround(pct)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "value_p%.1f", pct);
+  }
+  return buf;
+}
+
+Status RegisterValueQuantiles(Node& node, size_t column, double lo, double hi,
+                              std::vector<double> quantiles, size_t buckets) {
+  if (!(hi > lo) || buckets == 0) {
+    return Status::InvalidArgument("invalid histogram range or bucket count");
+  }
+  if (quantiles.empty()) {
+    return Status::InvalidArgument("no quantiles requested");
+  }
+  for (double q : quantiles) {
+    if (q < 0.0 || q > 1.0) {
+      return Status::InvalidArgument("quantile must be in [0, 1]");
+    }
+  }
+
+  struct Sketch {
+    std::mutex mu;
+    Histogram live;
+    Histogram snapshot;
+    int observers = 0;
+
+    Sketch(double lo, double hi, size_t buckets)
+        : live(lo, hi, buckets), snapshot(lo, hi, buckets) {}
+  };
+  auto sketch = std::make_shared<Sketch>(lo, hi, buckets);
+  Node* n = &node;
+
+  // Hidden epoch item: snapshots and resets the shared histogram per window.
+  PIPES_RETURN_NOT_OK(node.metadata_registry().Define(
+      MetadataDescriptor::Periodic(kValueDistributionEpoch,
+                                   node.metadata_period())
+          .WithEvaluator([sketch](EvalContext& ctx) -> MetadataValue {
+            std::lock_guard<std::mutex> lock(sketch->mu);
+            if (ctx.elapsed() <= 0) {
+              sketch->live.Reset();
+              return MetadataValue::Null();
+            }
+            sketch->snapshot = sketch->live;
+            sketch->live.Reset();
+            return static_cast<int64_t>(ctx.eval_index());
+          })
+          .WithMonitoring(
+              [n, sketch, column](MetadataProvider&) {
+                {
+                  std::lock_guard<std::mutex> lock(sketch->mu);
+                  ++sketch->observers;
+                  sketch->live.Reset();
+                }
+                n->AddEmitObserver(
+                    "value_distribution",
+                    [sketch, column](const StreamElement& e) {
+                      if (column >= e.tuple.arity()) return;
+                      std::lock_guard<std::mutex> lock(sketch->mu);
+                      sketch->live.Add(e.tuple.DoubleAt(column));
+                    });
+              },
+              [n, sketch](MetadataProvider&) {
+                std::lock_guard<std::mutex> lock(sketch->mu);
+                if (--sketch->observers == 0) {
+                  n->RemoveEmitObserver("value_distribution");
+                }
+              })
+          .WithDescription(
+              "per-window value histogram epoch (periodic; shared sketch "
+              "for the quantile items)")));
+
+  for (double q : quantiles) {
+    PIPES_RETURN_NOT_OK(node.metadata_registry().Define(
+        MetadataDescriptor::Triggered(ValueQuantileKey(q))
+            .DependsOnSelf(kValueDistributionEpoch)
+            .WithEvaluator([sketch, q](EvalContext& ctx) -> MetadataValue {
+              if (ctx.Dep(0).is_null()) return MetadataValue::Null();
+              std::lock_guard<std::mutex> lock(sketch->mu);
+              if (sketch->snapshot.count() == 0) return ctx.Previous();
+              return sketch->snapshot.Quantile(q);
+            })
+            .WithDescription("per-window value quantile (triggered over the "
+                             "shared histogram sketch)")));
+  }
+  return Status::OK();
+}
+
+}  // namespace pipes

@@ -1,0 +1,38 @@
+/// \file value_stats.h
+/// \brief Value-distribution metadata: per-window quantiles of a column.
+///
+/// The paper lists "data distributions" among the source metadata items. This
+/// helper registers, for any node:
+///  - a (usually hidden) periodic item `value_distribution_epoch` that owns
+///    an equi-width histogram gathered by an emit observer and snapshots it
+///    once per window, and
+///  - one *triggered* quantile item per requested quantile (`value_p50`,
+///    `value_p90`, ...) computed from the latest snapshot.
+///
+/// All quantile items share one sketch and one observer — the handler-
+/// sharing and dependency machinery keeps the gathering cost paid once.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "stream/node.h"
+
+namespace pipes {
+
+/// Key of the hidden epoch item.
+extern const MetadataKey kValueDistributionEpoch;
+
+/// Key of the quantile item for `q` (e.g. 0.5 -> "value_p50").
+MetadataKey ValueQuantileKey(double q);
+
+/// Registers the epoch item plus one quantile item per entry of
+/// `quantiles` over `column` of `node`'s emitted elements. The histogram
+/// spans [lo, hi) with `buckets` equal-width bins.
+Status RegisterValueQuantiles(Node& node, size_t column, double lo, double hi,
+                              std::vector<double> quantiles = {0.5, 0.9,
+                                                               0.99},
+                              size_t buckets = 128);
+
+}  // namespace pipes

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pipes {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t x = rng.UniformInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasExpectedMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, GaussianHasExpectedMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Gaussian(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(rng.Poisson(3.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 3.0, 0.15);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(static_cast<double>(rng.Poisson(200.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 200.0, 1.0);
+}
+
+TEST(ZipfTest, SkewFavorsSmallRanks) {
+  Rng rng(29);
+  ZipfDistribution zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[9] * 5);
+  EXPECT_GT(counts[0], 10000);  // rank 1 gets ~1/H(1000) ~ 13%
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  Rng rng(31);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+}  // namespace
+}  // namespace pipes

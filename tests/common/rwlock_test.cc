@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/reentrant_shared_mutex.h"
+
+namespace pipes {
+namespace {
+
+TEST(ReentrantSharedMutexTest, RecursiveExclusive) {
+  ReentrantSharedMutex mu;
+  mu.lock();
+  mu.lock();
+  EXPECT_TRUE(mu.HeldExclusiveByMe());
+  mu.unlock();
+  EXPECT_TRUE(mu.HeldExclusiveByMe());
+  mu.unlock();
+  EXPECT_FALSE(mu.HeldExclusiveByMe());
+}
+
+TEST(ReentrantSharedMutexTest, RecursiveShared) {
+  ReentrantSharedMutex mu;
+  mu.lock_shared();
+  mu.lock_shared();
+  EXPECT_TRUE(mu.HeldByMe());
+  mu.unlock_shared();
+  mu.unlock_shared();
+  EXPECT_FALSE(mu.HeldByMe());
+}
+
+TEST(ReentrantSharedMutexTest, ReadInsideWrite) {
+  ReentrantSharedMutex mu;
+  mu.lock();
+  mu.lock_shared();  // writer may take shared for free
+  mu.unlock_shared();
+  mu.unlock();
+  EXPECT_FALSE(mu.HeldByMe());
+}
+
+TEST(ReentrantSharedMutexTest, RaiiGuards) {
+  ReentrantSharedMutex mu;
+  {
+    ExclusiveLock w(mu);
+    EXPECT_TRUE(mu.HeldExclusiveByMe());
+    SharedLock r(mu);
+    EXPECT_TRUE(mu.HeldByMe());
+  }
+  EXPECT_FALSE(mu.HeldByMe());
+}
+
+TEST(ReentrantSharedMutexTest, WriterExcludesReaders) {
+  ReentrantSharedMutex mu;
+  mu.lock();
+  std::atomic<bool> reader_in{false};
+  std::thread reader([&] {
+    SharedLock r(mu);
+    reader_in.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(reader_in.load());
+  mu.unlock();
+  reader.join();
+  EXPECT_TRUE(reader_in.load());
+}
+
+TEST(ReentrantSharedMutexTest, ReadersShareAccess) {
+  ReentrantSharedMutex mu;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      SharedLock r(mu);
+      int now = inside.fetch_add(1) + 1;
+      int seen = max_inside.load();
+      while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      inside.fetch_sub(1);
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_GE(max_inside.load(), 2);
+}
+
+TEST(ReentrantSharedMutexTest, ReentrantReadDoesNotBlockOnWaitingWriter) {
+  // Classic reentrancy hazard: reader holds shared, a writer queues, the
+  // same reader takes another shared level. With naive writer preference
+  // this deadlocks.
+  ReentrantSharedMutex mu;
+  mu.lock_shared();
+  std::thread writer([&] { ExclusiveLock w(mu); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  mu.lock_shared();  // must not block
+  mu.unlock_shared();
+  mu.unlock_shared();
+  writer.join();
+}
+
+TEST(ReentrantSharedMutexTest, StressReadersAndWriters) {
+  ReentrantSharedMutex mu;
+  int64_t shared_value = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistencies{0};
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        SharedLock r(mu);
+        int64_t a = shared_value;
+        SharedLock r2(mu);  // reentrant under load
+        int64_t b = shared_value;
+        if (a != b) inconsistencies.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&] {
+      for (int n = 0; n < 3000; ++n) {
+        ExclusiveLock w(mu);
+        ++shared_value;
+        ExclusiveLock w2(mu);  // reentrant write
+        ++shared_value;
+      }
+    });
+  }
+  threads[3].join();
+  threads[4].join();
+  stop.store(true);
+  threads[0].join();
+  threads[1].join();
+  threads[2].join();
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_EQ(shared_value, 2 * 2 * 3000);
+}
+
+}  // namespace
+}  // namespace pipes

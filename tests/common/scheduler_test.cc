@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/scheduler.h"
+
+namespace pipes {
+namespace {
+
+TEST(VirtualSchedulerTest, RunsTasksInTimestampOrder) {
+  VirtualTimeScheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(300, [&] { order.push_back(3); });
+  s.ScheduleAt(100, [&] { order.push_back(1); });
+  s.ScheduleAt(200, [&] { order.push_back(2); });
+  s.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.clock().Now(), 1000);
+}
+
+TEST(VirtualSchedulerTest, TiesBreakByInsertionOrder) {
+  VirtualTimeScheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(100, [&] { order.push_back(1); });
+  s.ScheduleAt(100, [&] { order.push_back(2); });
+  s.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(VirtualSchedulerTest, ClockAdvancesToTaskTime) {
+  VirtualTimeScheduler s;
+  Timestamp seen = -1;
+  s.ScheduleAt(42, [&] { seen = s.clock().Now(); });
+  s.RunUntil(100);
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(VirtualSchedulerTest, TasksMayScheduleMoreTasks) {
+  VirtualTimeScheduler s;
+  std::vector<Timestamp> fired;
+  std::function<void()> chain = [&] {
+    fired.push_back(s.clock().Now());
+    if (fired.size() < 5) s.ScheduleAfter(10, chain);
+  };
+  s.ScheduleAt(10, chain);
+  s.RunUntil(100);
+  EXPECT_EQ(fired, (std::vector<Timestamp>{10, 20, 30, 40, 50}));
+}
+
+TEST(VirtualSchedulerTest, RunUntilStopsAtBoundary) {
+  VirtualTimeScheduler s;
+  int count = 0;
+  s.ScheduleAt(100, [&] { ++count; });
+  s.ScheduleAt(101, [&] { ++count; });
+  s.RunUntil(100);
+  EXPECT_EQ(count, 1);
+  s.RunUntil(101);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(VirtualSchedulerTest, PeriodicKeepsFixedCadence) {
+  VirtualTimeScheduler s;
+  std::vector<Timestamp> fired;
+  s.SchedulePeriodic(100, [&] { fired.push_back(s.clock().Now()); });
+  s.RunUntil(550);
+  EXPECT_EQ(fired, (std::vector<Timestamp>{100, 200, 300, 400, 500}));
+}
+
+TEST(VirtualSchedulerTest, PeriodicWithExplicitFirstTime) {
+  VirtualTimeScheduler s;
+  std::vector<Timestamp> fired;
+  s.SchedulePeriodic(100, [&] { fired.push_back(s.clock().Now()); },
+                     /*first_at=*/50);
+  s.RunUntil(360);
+  EXPECT_EQ(fired, (std::vector<Timestamp>{50, 150, 250, 350}));
+}
+
+TEST(VirtualSchedulerTest, CancelPreventsExecution) {
+  VirtualTimeScheduler s;
+  int count = 0;
+  TaskHandle h = s.ScheduleAt(100, [&] { ++count; });
+  h.Cancel();
+  s.RunUntil(200);
+  EXPECT_EQ(count, 0);
+  EXPECT_FALSE(h.active());
+}
+
+TEST(VirtualSchedulerTest, CancelStopsPeriodicMidway) {
+  VirtualTimeScheduler s;
+  int count = 0;
+  TaskHandle h = s.SchedulePeriodic(100, [&] { ++count; });
+  s.RunUntil(250);
+  EXPECT_EQ(count, 2);
+  h.Cancel();
+  s.RunUntil(1000);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(VirtualSchedulerTest, PendingCountAndDeadline) {
+  VirtualTimeScheduler s;
+  EXPECT_EQ(s.pending_count(), 0u);
+  EXPECT_EQ(s.next_deadline(), kTimestampMax);
+  s.ScheduleAt(70, [] {});
+  s.ScheduleAt(30, [] {});
+  EXPECT_EQ(s.pending_count(), 2u);
+  EXPECT_EQ(s.next_deadline(), 30);
+}
+
+TEST(VirtualSchedulerTest, RunNextExecutesSingleTask) {
+  VirtualTimeScheduler s;
+  int count = 0;
+  s.ScheduleAt(10, [&] { ++count; });
+  s.ScheduleAt(20, [&] { ++count; });
+  EXPECT_TRUE(s.RunNext());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.clock().Now(), 10);
+  EXPECT_TRUE(s.RunNext());
+  EXPECT_FALSE(s.RunNext());
+}
+
+TEST(VirtualSchedulerTest, PastTasksRunAtCurrentTime) {
+  VirtualTimeScheduler s;
+  s.RunUntil(500);
+  Timestamp seen = -1;
+  s.ScheduleAt(100, [&] { seen = s.clock().Now(); });
+  s.RunUntil(500);
+  EXPECT_EQ(seen, 500);
+}
+
+TEST(VirtualSchedulerTest, StatsCountExecutions) {
+  VirtualTimeScheduler s;
+  s.SchedulePeriodic(10, [] {});
+  s.RunUntil(100);
+  EXPECT_EQ(s.stats().tasks_run, 10u);
+}
+
+TEST(ThreadPoolSchedulerTest, ExecutesScheduledTask) {
+  ThreadPoolScheduler s(2);
+  std::atomic<int> count{0};
+  s.ScheduleAfter(Millis(1), [&] { count.fetch_add(1); });
+  for (int i = 0; i < 500 && count.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolSchedulerTest, PeriodicRunsRepeatedly) {
+  ThreadPoolScheduler s(1);
+  std::atomic<int> count{0};
+  TaskHandle h = s.SchedulePeriodic(Millis(1), [&] { count.fetch_add(1); });
+  for (int i = 0; i < 2000 && count.load() < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  h.Cancel();
+  EXPECT_GE(count.load(), 5);
+  int after_cancel = count.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(count.load(), after_cancel + 1);  // at most one in-flight task
+}
+
+TEST(ThreadPoolSchedulerTest, ShutdownIsIdempotentAndStopsWork) {
+  auto s = std::make_unique<ThreadPoolScheduler>(2);
+  std::atomic<int> count{0};
+  s->SchedulePeriodic(Millis(1), [&] { count.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  s->Shutdown();
+  s->Shutdown();
+  int frozen = count.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(count.load(), frozen);
+}
+
+TEST(ThreadPoolSchedulerTest, ManyTasksAcrossWorkers) {
+  ThreadPoolScheduler s(4);
+  std::atomic<int> count{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    s.ScheduleAfter(0, [&] { count.fetch_add(1); });
+  }
+  for (int i = 0; i < 2000 && count.load() < kTasks; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(count.load(), kTasks);
+  EXPECT_EQ(s.stats().tasks_run, static_cast<uint64_t>(kTasks));
+}
+
+TEST(TaskHandleTest, DefaultHandleIsInert) {
+  TaskHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.active());
+  h.Cancel();  // no-op
+}
+
+}  // namespace
+}  // namespace pipes

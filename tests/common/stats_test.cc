@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace pipes {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(EwmaTest, FirstValueSeeds) {
+  Ewma e(0.5);
+  e.Add(10.0);
+  EXPECT_EQ(e.value(), 10.0);
+  e.Add(0.0);
+  EXPECT_EQ(e.value(), 5.0);
+  e.Add(0.0);
+  EXPECT_EQ(e.value(), 2.5);
+}
+
+TEST(EwmaTest, ResetForgets) {
+  Ewma e(0.5);
+  e.Add(10.0);
+  e.Reset();
+  EXPECT_FALSE(e.initialized());
+  e.Add(4.0);
+  EXPECT_EQ(e.value(), 4.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 2.0);
+}
+
+TEST(HistogramTest, OverflowBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(TimeSeriesTest, MeanAndError) {
+  TimeSeries ts;
+  ts.Record(0, 1.0);
+  ts.Record(10, 3.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.MeanAbsError(2.0), 1.0);
+}
+
+TEST(TimeSeriesTest, StepInterpolation) {
+  TimeSeries ts;
+  ts.Record(10, 1.0);
+  ts.Record(20, 2.0);
+  EXPECT_EQ(ts.ValueAt(5, -1.0), -1.0);  // before first point
+  EXPECT_EQ(ts.ValueAt(10), 1.0);
+  EXPECT_EQ(ts.ValueAt(15), 1.0);
+  EXPECT_EQ(ts.ValueAt(20), 2.0);
+  EXPECT_EQ(ts.ValueAt(100), 2.0);
+}
+
+TEST(TimeSeriesTest, EmptySeries) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.Mean(), 0.0);
+  EXPECT_EQ(ts.MeanAbsError(5.0), 0.0);
+  EXPECT_EQ(ts.ValueAt(0, 7.0), 7.0);
+}
+
+}  // namespace
+}  // namespace pipes

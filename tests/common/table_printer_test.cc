@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace pipes {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "2.5"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.5   |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-9}), "-9");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{7}), "7");
+}
+
+TEST(TablePrinterTest, PrintToStream) {
+  TablePrinter t({"a"});
+  t.AddRow({"b"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiPlotTest, RendersSeriesAndLegend) {
+  AsciiPlot plot(40, 8);
+  plot.AddSeries("linear", '*', {{0, 0}, {1, 1}, {2, 2}});
+  plot.AddSeries("flat", 'o', {{0, 1}, {2, 1}});
+  std::string out = plot.Render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("linear"), std::string::npos);
+  EXPECT_NE(out.find("x: [0, 2]"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyPlot) {
+  AsciiPlot plot;
+  EXPECT_EQ(plot.Render(), "(empty plot)\n");
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,118 @@
+/// Adaptive join estimates (§4.4.3 dynamic dependencies + data-distribution
+/// metadata): the candidate-reduction factor of a hash join is derived from
+/// the measured distinct-keys item instead of a static hint.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "costmodel/costmodel.h"
+#include "stream/engine.h"
+#include "stream/sink.h"
+
+namespace pipes {
+namespace {
+
+struct AdaptivePlan {
+  StreamEngine engine{EngineMode::kVirtualTime, 1, Seconds(1)};
+  std::shared_ptr<SyntheticSource> left, right;
+  std::shared_ptr<TimeWindowOperator> lwin, rwin;
+  std::shared_ptr<SlidingWindowJoin> join;
+
+  AdaptivePlan(int64_t keys, bool adaptive, double static_hint = 1.0) {
+    auto& g = engine.graph();
+    left = g.AddNode<SyntheticSource>(
+        "l", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+        MakeUniformPairGenerator(keys), 1);
+    right = g.AddNode<SyntheticSource>(
+        "r", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+        MakeUniformPairGenerator(keys), 2);
+    lwin = g.AddNode<TimeWindowOperator>("lw", Seconds(1));
+    rwin = g.AddNode<TimeWindowOperator>("rw", Seconds(1));
+    join = g.AddNode<SlidingWindowJoin>("join", 0, 0);  // hash
+    EXPECT_TRUE(g.Connect(*left, *lwin).ok());
+    EXPECT_TRUE(g.Connect(*right, *rwin).ok());
+    EXPECT_TRUE(g.Connect(*lwin, *join).ok());
+    EXPECT_TRUE(g.Connect(*rwin, *join).ok());
+    EXPECT_TRUE(costmodel::RegisterSourceEstimates(*left).ok());
+    EXPECT_TRUE(costmodel::RegisterSourceEstimates(*right).ok());
+    EXPECT_TRUE(costmodel::RegisterWindowEstimates(*lwin).ok());
+    EXPECT_TRUE(costmodel::RegisterWindowEstimates(*rwin).ok());
+    EXPECT_TRUE(
+        costmodel::RegisterJoinEstimates(*join, static_hint, adaptive).ok());
+  }
+
+  void Run(Duration d) {
+    left->Start();
+    right->Start();
+    engine.RunFor(d);
+  }
+};
+
+TEST(AdaptiveCostModelTest, IncludesDistinctKeysOnlyInAdaptiveMode) {
+  AdaptivePlan fixed(20, /*adaptive=*/false);
+  auto sub1 = fixed.engine.metadata().Subscribe(*fixed.join, keys::kEstCpuUsage);
+  ASSERT_TRUE(sub1.ok());
+  EXPECT_FALSE(fixed.lwin->metadata_registry().IsIncluded(keys::kDistinctKeys));
+
+  AdaptivePlan adaptive(20, /*adaptive=*/true);
+  auto sub2 =
+      adaptive.engine.metadata().Subscribe(*adaptive.join, keys::kEstCpuUsage);
+  ASSERT_TRUE(sub2.ok());
+  EXPECT_TRUE(
+      adaptive.lwin->metadata_registry().IsIncluded(keys::kDistinctKeys));
+  EXPECT_TRUE(
+      adaptive.rwin->metadata_registry().IsIncluded(keys::kDistinctKeys));
+}
+
+TEST(AdaptiveCostModelTest, AdaptiveEstimateTracksMeasuredCpu) {
+  // Wrong static hint (1 = nested-loops assumption) vs. adaptive: the
+  // adaptive estimate converges to the measured cost of the hash join.
+  const int64_t kKeys = 25;
+  AdaptivePlan plan(kKeys, /*adaptive=*/true, /*static_hint=*/1.0);
+  auto est = plan.engine.metadata().Subscribe(*plan.join, keys::kEstCpuUsage).value();
+  auto measured = plan.engine.metadata().Subscribe(*plan.join, keys::kCpuUsage).value();
+  plan.Run(Seconds(15));
+  double e = est.GetDouble();
+  double m = measured.GetDouble();
+  ASSERT_GT(m, 0.0);
+  EXPECT_NEAR(e / m, 1.0, 0.3);
+
+  // The non-adaptive twin with the same wrong hint overestimates ~kKeys x.
+  AdaptivePlan fixed(kKeys, /*adaptive=*/false, /*static_hint=*/1.0);
+  auto est_fixed =
+      fixed.engine.metadata().Subscribe(*fixed.join, keys::kEstCpuUsage).value();
+  fixed.Run(Seconds(15));
+  EXPECT_GT(est_fixed.GetDouble() / m, 5.0);
+}
+
+TEST(AdaptiveCostModelTest, AdaptsWhenKeyDomainShrinks) {
+  // The workload's key domain is what the estimate keys off; with a smaller
+  // domain the hash join examines more same-key candidates and the adaptive
+  // estimate is correspondingly higher.
+  AdaptivePlan wide(100, /*adaptive=*/true);
+  auto est_wide =
+      wide.engine.metadata().Subscribe(*wide.join, keys::kEstCpuUsage).value();
+  wide.Run(Seconds(15));
+
+  AdaptivePlan narrow(4, /*adaptive=*/true);
+  auto est_narrow =
+      narrow.engine.metadata().Subscribe(*narrow.join, keys::kEstCpuUsage).value();
+  narrow.Run(Seconds(15));
+
+  EXPECT_GT(est_narrow.GetDouble(), est_wide.GetDouble() * 5.0);
+}
+
+TEST(AdaptiveCostModelTest, UnsubscribeReleasesDistinctKeys) {
+  AdaptivePlan plan(10, /*adaptive=*/true);
+  {
+    auto sub =
+        plan.engine.metadata().Subscribe(*plan.join, keys::kEstCpuUsage).value();
+    EXPECT_TRUE(plan.lwin->metadata_registry().IsIncluded(keys::kDistinctKeys));
+  }
+  EXPECT_FALSE(plan.lwin->metadata_registry().IsIncluded(keys::kDistinctKeys));
+  EXPECT_EQ(plan.engine.metadata().active_handler_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,209 @@
+/// Cost model (Figure 3): estimate formulas, the dependency closure of the
+/// estimated-CPU item, trigger-driven re-estimation on window resize (§3.3),
+/// and convergence of estimates against measurements.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "costmodel/costmodel.h"
+#include "stream/engine.h"
+#include "stream/sink.h"
+
+namespace pipes {
+namespace {
+
+struct Fig3Plan {
+  StreamEngine engine{EngineMode::kVirtualTime, 1, Seconds(1)};
+  std::shared_ptr<SyntheticSource> left, right;
+  std::shared_ptr<TimeWindowOperator> lwin, rwin;
+  std::shared_ptr<SlidingWindowJoin> join;
+  std::shared_ptr<CollectorSink> sink;
+
+  Fig3Plan(Duration window = Seconds(2), double rate_per_sec = 50.0,
+           int64_t keys = 20) {
+    auto& g = engine.graph();
+    Duration interval =
+        static_cast<Duration>(kMicrosPerSecond / rate_per_sec);
+    left = g.AddNode<SyntheticSource>(
+        "left", PairSchema(), std::make_unique<ConstantArrivals>(interval),
+        MakeUniformPairGenerator(keys), /*seed=*/1);
+    right = g.AddNode<SyntheticSource>(
+        "right", PairSchema(), std::make_unique<ConstantArrivals>(interval),
+        MakeUniformPairGenerator(keys), /*seed=*/2);
+    lwin = g.AddNode<TimeWindowOperator>("lwin", window);
+    rwin = g.AddNode<TimeWindowOperator>("rwin", window);
+    join = g.AddNode<SlidingWindowJoin>("join", EquiJoinPredicate(0, 0));
+    sink = g.AddNode<CollectorSink>("sink", /*capacity=*/16);
+    EXPECT_TRUE(g.Connect(*left, *lwin).ok());
+    EXPECT_TRUE(g.Connect(*right, *rwin).ok());
+    EXPECT_TRUE(g.Connect(*lwin, *join).ok());
+    EXPECT_TRUE(g.Connect(*rwin, *join).ok());
+    EXPECT_TRUE(g.Connect(*join, *sink).ok());
+    EXPECT_TRUE(costmodel::RegisterWindowJoinPlanEstimates(
+                    *left, *right, *lwin, *rwin, *join)
+                    .ok());
+  }
+
+  void Run(Duration d) {
+    left->Start();
+    right->Start();
+    engine.RunFor(d);
+  }
+};
+
+TEST(CostModelTest, EstCpuDependencyClosureMatchesFigure3) {
+  Fig3Plan p;
+  auto sub = p.engine.metadata().Subscribe(*p.join, keys::kEstCpuUsage);
+  ASSERT_TRUE(sub.ok());
+
+  // Inter-node: estimated rates and validities at the windows; recursively
+  // the estimated/measured rates at the sources.
+  EXPECT_TRUE(p.lwin->metadata_registry().IsIncluded(keys::kEstOutputRate));
+  EXPECT_TRUE(p.lwin->metadata_registry().IsIncluded(keys::kEstElementValidity));
+  EXPECT_TRUE(p.rwin->metadata_registry().IsIncluded(keys::kEstOutputRate));
+  EXPECT_TRUE(p.lwin->metadata_registry().IsIncluded(keys::kWindowSize));
+  EXPECT_TRUE(p.left->metadata_registry().IsIncluded(keys::kEstOutputRate));
+  EXPECT_TRUE(p.left->metadata_registry().IsIncluded(keys::kOutputRate));
+  // Intra-node: predicate cost.
+  EXPECT_TRUE(p.join->metadata_registry().IsIncluded(keys::kPredicateCost));
+  // Unsubscribed siblings stay excluded ("available but unused", Figure 3's
+  // est. output rate of the join).
+  EXPECT_FALSE(p.join->metadata_registry().IsIncluded(keys::kEstOutputRate));
+  EXPECT_FALSE(p.join->metadata_registry().IsIncluded(keys::kEstMemoryUsage));
+}
+
+TEST(CostModelTest, EstimatesMatchClosedForm) {
+  // r = 50 el/s per input, w = 2 s, c = 1: est_cpu = c*2*r*(r*w) + 2r.
+  Fig3Plan p;
+  auto cpu = p.engine.metadata().Subscribe(*p.join, keys::kEstCpuUsage);
+  auto state = p.engine.metadata().Subscribe(*p.join, keys::kEstStateSize);
+  auto mem = p.engine.metadata().Subscribe(*p.join, keys::kEstMemoryUsage);
+  ASSERT_TRUE(cpu.ok());
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(mem.ok());
+  p.Run(Seconds(10));
+
+  double r = 50.0, w = 2.0;
+  double s = static_cast<double>(PairSchema().ElementSizeBytes());
+  EXPECT_NEAR(state->Get().AsDouble(), 2 * r * w, 4.0);
+  EXPECT_NEAR(cpu->Get().AsDouble(), 2 * r * (r * w) + 2 * r, 300.0);
+  EXPECT_NEAR(mem->Get().AsDouble(), 2 * r * w * s, 5 * s);
+}
+
+TEST(CostModelTest, EstimatedCpuTracksMeasuredCpu) {
+  Fig3Plan p;
+  auto est = p.engine.metadata().Subscribe(*p.join, keys::kEstCpuUsage);
+  auto measured = p.engine.metadata().Subscribe(*p.join, keys::kCpuUsage);
+  ASSERT_TRUE(est.ok());
+  ASSERT_TRUE(measured.ok());
+  p.Run(Seconds(15));
+  double e = est->Get().AsDouble();
+  double m = measured->Get().AsDouble();
+  ASSERT_GT(m, 0.0);
+  EXPECT_NEAR(e / m, 1.0, 0.25);  // within 25%
+}
+
+TEST(CostModelTest, EstimatedOutputRateUsesMatchSelectivity) {
+  Fig3Plan p(Seconds(2), 50.0, /*keys=*/20);
+  auto est = p.engine.metadata().Subscribe(*p.join, keys::kEstOutputRate);
+  auto result_rate = p.engine.metadata().Subscribe(*p.sink, keys::kResultRate);
+  ASSERT_TRUE(est.ok());
+  ASSERT_TRUE(result_rate.ok());
+  p.Run(Seconds(20));
+  double e = est->Get().AsDouble();
+  double m = result_rate->Get().AsDouble();
+  ASSERT_GT(m, 0.0);
+  EXPECT_NEAR(e / m, 1.0, 0.3);
+}
+
+TEST(CostModelTest, WindowResizeRetriggersEstimates) {
+  // §3.3: "When the window size is changed, an event is fired. This event
+  // triggers the handler of the estimated element validity ... An inter-node
+  // update triggers the re-estimation of the join CPU usage."
+  Fig3Plan p;
+  auto cpu = p.engine.metadata().Subscribe(*p.join, keys::kEstCpuUsage);
+  ASSERT_TRUE(cpu.ok());
+  p.Run(Seconds(10));
+  double before = cpu->Get().AsDouble();
+  ASSERT_GT(before, 0.0);
+
+  p.lwin->set_window_size(Seconds(1));  // halve the left window
+  p.rwin->set_window_size(Seconds(1));
+  // The effect is immediate (no further stream progress needed).
+  double after = cpu->Get().AsDouble();
+  EXPECT_LT(after, before * 0.7);
+  EXPECT_NEAR(after / before, 0.5, 0.15);
+}
+
+TEST(CostModelTest, HashJoinCandidateReductionLowersEstimate) {
+  Fig3Plan nl;
+  auto nl_cpu = nl.engine.metadata().Subscribe(*nl.join, keys::kEstCpuUsage);
+  ASSERT_TRUE(nl_cpu.ok());
+  nl.Run(Seconds(10));
+
+  // Same plan but the cost model knows the hash join only examines 1/20 of
+  // the candidates.
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto l = g.AddNode<SyntheticSource>(
+      "l", PairSchema(), std::make_unique<ConstantArrivals>(Millis(20)),
+      MakeUniformPairGenerator(20), 1);
+  auto r = g.AddNode<SyntheticSource>(
+      "r", PairSchema(), std::make_unique<ConstantArrivals>(Millis(20)),
+      MakeUniformPairGenerator(20), 2);
+  auto lw = g.AddNode<TimeWindowOperator>("lw", Seconds(2));
+  auto rw = g.AddNode<TimeWindowOperator>("rw", Seconds(2));
+  auto join = g.AddNode<SlidingWindowJoin>("join", 0, 0);
+  ASSERT_TRUE(g.Connect(*l, *lw).ok());
+  ASSERT_TRUE(g.Connect(*r, *rw).ok());
+  ASSERT_TRUE(g.Connect(*lw, *join).ok());
+  ASSERT_TRUE(g.Connect(*rw, *join).ok());
+  ASSERT_TRUE(costmodel::RegisterWindowJoinPlanEstimates(
+                  *l, *r, *lw, *rw, *join, /*candidate_reduction=*/20.0)
+                  .ok());
+  auto h_cpu = engine.metadata().Subscribe(*join, keys::kEstCpuUsage);
+  ASSERT_TRUE(h_cpu.ok());
+  l->Start();
+  r->Start();
+  engine.RunFor(Seconds(10));
+
+  EXPECT_LT(h_cpu->Get().AsDouble(), nl_cpu->Get().AsDouble() / 5.0);
+}
+
+TEST(CostModelTest, FilterEstimateCombinesSelectivityAndInputRate) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<SyntheticSource>(
+      "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(10), 3);
+  auto filter = g.AddNode<FilterOperator>(
+      "filter", [](const Tuple& t) { return t.IntAt(0) < 3; });
+  auto sink = g.AddNode<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *filter).ok());
+  ASSERT_TRUE(g.Connect(*filter, *sink).ok());
+  ASSERT_TRUE(costmodel::RegisterSourceEstimates(*src).ok());
+  ASSERT_TRUE(costmodel::RegisterFilterEstimates(*filter).ok());
+
+  auto est = engine.metadata().Subscribe(*filter, keys::kEstOutputRate);
+  ASSERT_TRUE(est.ok());
+  src->Start();
+  engine.RunFor(Seconds(15));
+  EXPECT_NEAR(est->Get().AsDouble(), 100.0 * 0.3, 6.0);
+}
+
+TEST(CostModelTest, InvalidCandidateReductionRejected) {
+  Fig3Plan p;
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto l = g.AddNode<ManualSource>("l", PairSchema());
+  auto r = g.AddNode<ManualSource>("r", PairSchema());
+  auto join = g.AddNode<SlidingWindowJoin>("join", 0, 0);
+  ASSERT_TRUE(g.Connect(*l, *join).ok());
+  ASSERT_TRUE(g.Connect(*r, *join).ok());
+  EXPECT_EQ(costmodel::RegisterJoinEstimates(*join, 0.0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,174 @@
+/// End-to-end reproductions of the paper's figure scenarios, asserted
+/// quantitatively (the bench harnesses print the same scenarios as tables).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "costmodel/costmodel.h"
+#include "runtime/monitor.h"
+#include "stream/engine.h"
+#include "stream/operators/join.h"
+#include "stream/operators/window.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+// --------------------------------------------------------------------------
+// Figure 1: the PIPES infrastructure — a shared operator graph between raw
+// streams and queries, with metadata at every level.
+// --------------------------------------------------------------------------
+TEST(Figure1Test, SharedGraphWithMetadataAtEveryLevel) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto s1 = g.AddNode<SyntheticSource>(
+      "s1", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(10), 1);
+  auto s2 = g.AddNode<SyntheticSource>(
+      "s2", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(10), 2);
+  auto w1 = g.AddNode<TimeWindowOperator>("w1", Seconds(1));
+  auto w2 = g.AddNode<TimeWindowOperator>("w2", Seconds(1));
+  auto join = g.AddNode<SlidingWindowJoin>("join", 0, 0);
+  auto q1 = g.AddNode<CountingSink>("q1");
+  auto q2 = g.AddNode<CountingSink>("q2");
+  ASSERT_TRUE(g.Connect(*s1, *w1).ok());
+  ASSERT_TRUE(g.Connect(*s2, *w2).ok());
+  ASSERT_TRUE(g.Connect(*w1, *join).ok());
+  ASSERT_TRUE(g.Connect(*w2, *join).ok());
+  ASSERT_TRUE(g.Connect(*join, *q1).ok());
+  ASSERT_TRUE(g.Connect(*join, *q2).ok());  // subquery sharing
+  auto id1 = g.RegisterQuery(q1);
+  auto id2 = g.RegisterQuery(q2);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(join->use_count(), 2);
+
+  // Metadata at source level (stream rate), operator level (selectivity-ish
+  // items), and query level (QoS):
+  auto src_rate = engine.metadata().Subscribe(*s1, keys::kOutputRate);
+  auto op_mem = engine.metadata().Subscribe(*join, keys::kMemoryUsage);
+  auto qos = engine.metadata().Subscribe(*q1, keys::kQosMaxLatency);
+  ASSERT_TRUE(src_rate.ok());
+  ASSERT_TRUE(op_mem.ok());
+  ASSERT_TRUE(qos.ok());
+
+  s1->Start();
+  s2->Start();
+  engine.RunFor(Seconds(5));
+  EXPECT_NEAR(src_rate->Get().AsDouble(), 100.0, 2.0);
+  EXPECT_GT(op_mem->Get().AsInt(), 0);
+  EXPECT_GT(q1->count(), 0u);
+  EXPECT_EQ(q1->count(), q2->count());
+}
+
+// --------------------------------------------------------------------------
+// Figure 3 + §3.3: the cost-model scenario around the window join.
+// --------------------------------------------------------------------------
+TEST(Figure3Test, MonitoringToolComparesEstimatedAndMeasuredCpu) {
+  StreamEngine engine{EngineMode::kVirtualTime, 1, Seconds(1)};
+  auto& g = engine.graph();
+  auto s1 = g.AddNode<SyntheticSource>(
+      "s1", PairSchema(), std::make_unique<ConstantArrivals>(Millis(20)),
+      MakeUniformPairGenerator(10), 1);
+  auto s2 = g.AddNode<SyntheticSource>(
+      "s2", PairSchema(), std::make_unique<ConstantArrivals>(Millis(20)),
+      MakeUniformPairGenerator(10), 2);
+  auto w1 = g.AddNode<TimeWindowOperator>("w1", Seconds(1));
+  auto w2 = g.AddNode<TimeWindowOperator>("w2", Seconds(1));
+  auto join = g.AddNode<SlidingWindowJoin>("join", EquiJoinPredicate(0, 0));
+  auto sink = g.AddNode<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(*s1, *w1).ok());
+  ASSERT_TRUE(g.Connect(*s2, *w2).ok());
+  ASSERT_TRUE(g.Connect(*w1, *join).ok());
+  ASSERT_TRUE(g.Connect(*w2, *join).ok());
+  ASSERT_TRUE(g.Connect(*join, *sink).ok());
+  ASSERT_TRUE(costmodel::RegisterWindowJoinPlanEstimates(*s1, *s2, *w1, *w2,
+                                                         *join)
+                  .ok());
+
+  // "Suppose a monitoring tool should plot the estimated CPU usage of the
+  // join, maybe with the aim to compare it with the currently measured CPU
+  // usage."
+  MetadataMonitor monitor(engine.metadata(), engine.scheduler());
+  ASSERT_TRUE(monitor.Watch(*join, keys::kEstCpuUsage, "est").ok());
+  ASSERT_TRUE(monitor.Watch(*join, keys::kCpuUsage, "measured").ok());
+  monitor.StartSampling(Seconds(1));
+
+  s1->Start();
+  s2->Start();
+  engine.RunFor(Seconds(20));
+
+  // Skip warm-up (windows fill in 1 s, estimates need one measured window).
+  const auto& est = monitor.series("est").points();
+  const auto& meas = monitor.series("measured").points();
+  ASSERT_GT(est.size(), 10u);
+  ASSERT_GT(meas.size(), 10u);
+  double est_tail = 0, meas_tail = 0;
+  for (size_t i = 5; i < 15; ++i) {
+    est_tail += est[i].second;
+    meas_tail += meas[i].second;
+  }
+  EXPECT_NEAR(est_tail / meas_tail, 1.0, 0.3);
+}
+
+TEST(Figure3Test, UnusedItemsStayExcluded) {
+  // "an item without a handler indicates that this item is available but
+  // unused, e.g., the estimated output rate of the join".
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto s1 = g.AddNode<ManualSource>("s1", PairSchema());
+  auto s2 = g.AddNode<ManualSource>("s2", PairSchema());
+  auto w1 = g.AddNode<TimeWindowOperator>("w1", Seconds(1));
+  auto w2 = g.AddNode<TimeWindowOperator>("w2", Seconds(1));
+  auto join = g.AddNode<SlidingWindowJoin>("join", 0, 0);
+  ASSERT_TRUE(g.Connect(*s1, *w1).ok());
+  ASSERT_TRUE(g.Connect(*s2, *w2).ok());
+  ASSERT_TRUE(g.Connect(*w1, *join).ok());
+  ASSERT_TRUE(g.Connect(*w2, *join).ok());
+  ASSERT_TRUE(costmodel::RegisterWindowJoinPlanEstimates(*s1, *s2, *w1, *w2,
+                                                         *join)
+                  .ok());
+  auto sub = engine.metadata().Subscribe(*join, keys::kEstCpuUsage);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(join->metadata_registry().IsAvailable(keys::kEstOutputRate));
+  EXPECT_FALSE(join->metadata_registry().IsIncluded(keys::kEstOutputRate));
+}
+
+// --------------------------------------------------------------------------
+// §3.3 end-to-end: resize event -> triggered re-estimation cascade.
+// --------------------------------------------------------------------------
+TEST(Section33Test, ResizeEventCascadesThroughDependencyGraph) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto s1 = g.AddNode<ManualSource>("s1", PairSchema());
+  auto s2 = g.AddNode<ManualSource>("s2", PairSchema());
+  auto w1 = g.AddNode<TimeWindowOperator>("w1", Seconds(4));
+  auto w2 = g.AddNode<TimeWindowOperator>("w2", Seconds(4));
+  auto join = g.AddNode<SlidingWindowJoin>("join", 0, 0);
+  ASSERT_TRUE(g.Connect(*s1, *w1).ok());
+  ASSERT_TRUE(g.Connect(*s2, *w2).ok());
+  ASSERT_TRUE(g.Connect(*w1, *join).ok());
+  ASSERT_TRUE(g.Connect(*w2, *join).ok());
+  ASSERT_TRUE(costmodel::RegisterWindowJoinPlanEstimates(*s1, *s2, *w1, *w2,
+                                                         *join)
+                  .ok());
+
+  auto validity = engine.metadata().Subscribe(*w1, keys::kEstElementValidity);
+  auto est_state = engine.metadata().Subscribe(*join, keys::kEstStateSize);
+  ASSERT_TRUE(validity.ok());
+  ASSERT_TRUE(est_state.ok());
+  EXPECT_DOUBLE_EQ(validity->Get().AsDouble(), 4.0);
+
+  uint64_t refreshes_before = engine.metadata().stats().wave_refreshes;
+  w1->set_window_size(Seconds(2));
+  // Intra-node: validity follows the window size.
+  EXPECT_DOUBLE_EQ(validity->Get().AsDouble(), 2.0);
+  // Inter-node: the join estimate was refreshed by the same wave.
+  EXPECT_GT(engine.metadata().stats().wave_refreshes, refreshes_before);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,176 @@
+/// Parameterized property sweeps across the measurement and scheduling
+/// subsystems: rate-measurement accuracy, join state bounds, Chain envelope
+/// invariants, and queue thread-safety.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <tuple>
+
+#include "common/rng.h"
+#include "runtime/chain_scheduler.h"
+#include "stream/engine.h"
+#include "stream/operators/join.h"
+#include "stream/operators/window.h"
+#include "stream/queue.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Measured rate accuracy: for any (rate, period), the periodic measurement
+// converges to the true rate within counting quantization (1 element per
+// window).
+// ---------------------------------------------------------------------------
+
+class RateAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<double, Duration>> {};
+
+TEST_P(RateAccuracyTest, MeasuredRateWithinQuantization) {
+  auto [rate, period] = GetParam();
+  StreamEngine engine(EngineMode::kVirtualTime, 1, period);
+  auto& g = engine.graph();
+  auto src = g.AddNode<SyntheticSource>(
+      "src", PairSchema(),
+      std::make_unique<ConstantArrivals>(
+          static_cast<Duration>(kMicrosPerSecond / rate)),
+      MakeUniformPairGenerator(4), 11);
+  auto sink = g.AddNode<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  auto measured = engine.metadata().Subscribe(*src, keys::kOutputRate).value();
+
+  src->Start();
+  engine.RunFor(Seconds(20));
+  double quantization = 1.0 / ToSeconds(period);
+  EXPECT_NEAR(measured.Get().AsDouble(), rate, quantization + rate * 0.02)
+      << "rate=" << rate << " period=" << period;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RateAccuracyTest,
+    ::testing::Combine(::testing::Values(5.0, 50.0, 400.0, 2000.0),
+                       ::testing::Values(Millis(100), Millis(500),
+                                         Seconds(1))));
+
+// ---------------------------------------------------------------------------
+// Join state bound: with a time window w and rate r per input, the steady
+// state of each sweep area never exceeds r*w + 1 elements.
+// ---------------------------------------------------------------------------
+
+class JoinStateBoundTest
+    : public ::testing::TestWithParam<std::tuple<double, Duration, bool>> {};
+
+TEST_P(JoinStateBoundTest, StateNeverExceedsWindowContents) {
+  auto [rate, window, hash] = GetParam();
+  StreamEngine engine;
+  auto& g = engine.graph();
+  Duration interval = static_cast<Duration>(kMicrosPerSecond / rate);
+  auto l = g.AddNode<SyntheticSource>(
+      "l", PairSchema(), std::make_unique<ConstantArrivals>(interval),
+      MakeUniformPairGenerator(4), 1);
+  auto r = g.AddNode<SyntheticSource>(
+      "r", PairSchema(), std::make_unique<ConstantArrivals>(interval),
+      MakeUniformPairGenerator(4), 2);
+  auto lw = g.AddNode<TimeWindowOperator>("lw", window);
+  auto rw = g.AddNode<TimeWindowOperator>("rw", window);
+  std::shared_ptr<SlidingWindowJoin> join;
+  if (hash) {
+    join = g.AddNode<SlidingWindowJoin>("j", 0, 0);
+  } else {
+    join = g.AddNode<SlidingWindowJoin>("j", EquiJoinPredicate(0, 0));
+  }
+  auto sink = g.AddNode<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(*l, *lw).ok());
+  ASSERT_TRUE(g.Connect(*r, *rw).ok());
+  ASSERT_TRUE(g.Connect(*lw, *join).ok());
+  ASSERT_TRUE(g.Connect(*rw, *join).ok());
+  ASSERT_TRUE(g.Connect(*join, *sink).ok());
+
+  l->Start();
+  r->Start();
+  size_t bound = static_cast<size_t>(rate * ToSeconds(window)) + 1;
+  for (int step = 0; step < 40; ++step) {
+    engine.RunFor(window / 4);
+    EXPECT_LE(join->left_area().Size(), bound) << "step " << step;
+    EXPECT_LE(join->right_area().Size(), bound) << "step " << step;
+  }
+  EXPECT_GT(sink->count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinStateBoundTest,
+    ::testing::Combine(::testing::Values(20.0, 100.0),
+                       ::testing::Values(Millis(200), Seconds(1), Seconds(4)),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Chain envelope invariants over random pipelines: priorities are positive
+// for selective operators, and segment slopes are non-increasing along the
+// pipeline (the lower-envelope property of the Chain construction).
+// ---------------------------------------------------------------------------
+
+class ChainEnvelopeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainEnvelopeTest, EnvelopeSlopesAreNonIncreasing) {
+  Rng rng(GetParam() * 101 + 13);
+  for (int round = 0; round < 50; ++round) {
+    size_t n = static_cast<size_t>(rng.UniformInt(1, 8));
+    std::vector<double> costs, sels;
+    for (size_t i = 0; i < n; ++i) {
+      costs.push_back(rng.UniformDouble(0.1, 10.0));
+      sels.push_back(rng.UniformDouble(0.0, 1.0));
+    }
+    auto prios = ChainScheduler::ComputeChainPriorities(costs, sels);
+    ASSERT_EQ(prios.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GE(prios[i], 0.0);
+      if (i > 0) {
+        // Priorities never increase along the pipeline: the lower envelope
+        // is convex.
+        EXPECT_LE(prios[i], prios[i - 1] + 1e-9)
+            << "round " << round << " op " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainEnvelopeTest, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// InputQueue under concurrent producers and consumers.
+// ---------------------------------------------------------------------------
+
+TEST(InputQueueConcurrencyTest, CountsBalanceAcrossThreads) {
+  InputQueue q;
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push({StreamElement(Tuple({Value(int64_t{p}), Value(0.0)}), i), 0});
+      }
+    });
+  }
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<bool> done_producing{false};
+  std::thread consumer([&] {
+    InputQueue::Entry e;
+    while (!done_producing.load() || !q.empty()) {
+      if (q.Pop(&e)) consumed.fetch_add(1);
+    }
+  });
+  for (auto& t : threads) t.join();
+  done_producing.store(true);
+  consumer.join();
+  EXPECT_EQ(consumed.load(), uint64_t{kProducers * kPerProducer});
+  EXPECT_EQ(q.total_enqueued(), uint64_t{kProducers * kPerProducer});
+  EXPECT_EQ(q.total_dequeued(), q.total_enqueued());
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,142 @@
+/// Derived statistics items (§2.3's online aggregates, generalized):
+/// running average/variance, EWMA, min/max, rate of change.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metadata/derived.h"
+#include "metadata/handler.h"
+#include "test_support.h"
+
+namespace pipes {
+namespace {
+
+using testing::MetaFixture;
+using testing::SimpleProvider;
+
+/// Periodic source item emitting a scripted sequence, one value per tick.
+struct ScriptedSource {
+  MetaFixture fx;
+  SimpleProvider p{"p"};
+  std::shared_ptr<std::vector<double>> script =
+      std::make_shared<std::vector<double>>();
+  std::shared_ptr<size_t> pos = std::make_shared<size_t>(0);
+
+  ScriptedSource(std::vector<double> values) {
+    *script = std::move(values);
+    auto s = script;
+    auto i = pos;
+    EXPECT_TRUE(p.metadata_registry()
+                    .Define(MetadataDescriptor::Periodic("src", 100)
+                                .WithEvaluator(
+                                    [s, i](EvalContext& ctx) -> MetadataValue {
+                                      if (ctx.elapsed() <= 0) {
+                                        return MetadataValue::Null();
+                                      }
+                                      if (*i >= s->size()) return ctx.Previous();
+                                      return (*s)[(*i)++];
+                                    }))
+                    .ok());
+  }
+
+  /// Runs exactly n ticks.
+  void Tick(int n) { fx.RunFor(100 * n); }
+};
+
+TEST(DerivedTest, RunningAverage) {
+  ScriptedSource s({2, 4, 6, 8});
+  ASSERT_TRUE(derived::DefineRunningAverage(s.p.metadata_registry(), "avg",
+                                            "src")
+                  .ok());
+  auto sub = s.fx.manager.Subscribe(s.p, "avg").value();
+  EXPECT_TRUE(sub.Get().is_null());  // no samples yet
+  s.Tick(4);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 5.0);
+}
+
+TEST(DerivedTest, RunningVariance) {
+  ScriptedSource s({2, 4, 4, 4, 5, 5, 7, 9});
+  ASSERT_TRUE(derived::DefineRunningVariance(s.p.metadata_registry(), "var",
+                                             "src")
+                  .ok());
+  auto sub = s.fx.manager.Subscribe(s.p, "var").value();
+  s.Tick(8);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 4.0);
+}
+
+TEST(DerivedTest, EwmaFollowsRecency) {
+  ScriptedSource s({10, 0, 0});
+  ASSERT_TRUE(
+      derived::DefineEwma(s.p.metadata_registry(), "ewma", "src", 0.5).ok());
+  auto sub = s.fx.manager.Subscribe(s.p, "ewma").value();
+  s.Tick(1);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 10.0);
+  s.Tick(1);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 5.0);
+  s.Tick(1);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 2.5);
+}
+
+TEST(DerivedTest, EwmaRejectsBadAlpha) {
+  SimpleProvider p("p");
+  EXPECT_EQ(derived::DefineEwma(p.metadata_registry(), "e", "src", 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(derived::DefineEwma(p.metadata_registry(), "e", "src", 1.5).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DerivedTest, MinAndMax) {
+  ScriptedSource s({5, 1, 9, 3});
+  ASSERT_TRUE(derived::DefineMin(s.p.metadata_registry(), "lo", "src").ok());
+  ASSERT_TRUE(derived::DefineMax(s.p.metadata_registry(), "hi", "src").ok());
+  auto lo = s.fx.manager.Subscribe(s.p, "lo").value();
+  auto hi = s.fx.manager.Subscribe(s.p, "hi").value();
+  s.Tick(4);
+  EXPECT_DOUBLE_EQ(lo.Get().AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(hi.Get().AsDouble(), 9.0);
+}
+
+TEST(DerivedTest, RateOfChange) {
+  ScriptedSource s({100, 150, 150, 130});
+  ASSERT_TRUE(
+      derived::DefineRateOfChange(s.p.metadata_registry(), "slope", "src")
+          .ok());
+  auto sub = s.fx.manager.Subscribe(s.p, "slope").value();
+  s.Tick(1);
+  EXPECT_TRUE(sub.Get().is_null());  // needs two samples
+  s.Tick(1);  // +50 over 100 us = 5e5 per second
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 50.0 / (100.0 / 1e6));
+  s.Tick(1);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 0.0);
+  s.Tick(1);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), -20.0 / (100.0 / 1e6));
+}
+
+TEST(DerivedTest, ReinclusionStartsFresh) {
+  ScriptedSource s({100, 0, 0, 0});
+  ASSERT_TRUE(derived::DefineMax(s.p.metadata_registry(), "hi", "src").ok());
+  {
+    auto sub = s.fx.manager.Subscribe(s.p, "hi").value();
+    s.Tick(1);
+    EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 100.0);
+  }
+  // Re-included: the 100 from the first inclusion must not leak.
+  auto sub = s.fx.manager.Subscribe(s.p, "hi").value();
+  s.Tick(2);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 0.0);
+}
+
+TEST(DerivedTest, ChainsWithOtherDerivedItems) {
+  // variance of the EWMA: derived over derived, all triggered.
+  ScriptedSource s({1, 2, 3, 4, 5, 6});
+  auto& reg = s.p.metadata_registry();
+  ASSERT_TRUE(derived::DefineEwma(reg, "ewma", "src", 1.0).ok());  // identity
+  ASSERT_TRUE(derived::DefineRunningAverage(reg, "avg_of_ewma", "ewma").ok());
+  auto sub = s.fx.manager.Subscribe(s.p, "avg_of_ewma").value();
+  s.Tick(6);
+  EXPECT_DOUBLE_EQ(sub.Get().AsDouble(), 3.5);
+}
+
+}  // namespace
+}  // namespace pipes

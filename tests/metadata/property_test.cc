@@ -1,0 +1,198 @@
+/// Property-based tests over randomly generated dependency DAGs:
+/// inclusion/exclusion are exact inverses, reference counts never leak, and
+/// propagation refreshes each affected handler exactly once per wave.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "metadata/handler.h"
+#include "test_support.h"
+
+namespace pipes {
+namespace {
+
+using testing::MetaFixture;
+using testing::SimpleProvider;
+
+struct RandomDag {
+  // item i depends on a subset of items with larger indices (guarantees
+  // acyclicity); item names are "m<i>".
+  std::vector<std::vector<int>> deps;
+};
+
+RandomDag MakeRandomDag(Rng& rng, int n, double edge_prob) {
+  RandomDag dag;
+  dag.deps.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.NextDouble() < edge_prob) dag.deps[i].push_back(j);
+    }
+  }
+  return dag;
+}
+
+void DefineDag(SimpleProvider& p, const RandomDag& dag,
+               std::shared_ptr<std::vector<int>> eval_log) {
+  int n = static_cast<int>(dag.deps.size());
+  for (int i = 0; i < n; ++i) {
+    std::string key = "m" + std::to_string(i);
+    std::vector<DependencySpec> specs;
+    for (int j : dag.deps[i]) {
+      specs.push_back(DependencySpec::Self("m" + std::to_string(j)));
+    }
+    auto desc =
+        MetadataDescriptor::Triggered(key)
+            .DependsOn(std::move(specs))
+            .WithEvaluator([i, eval_log](EvalContext& ctx) -> MetadataValue {
+              eval_log->push_back(i);
+              double sum = 1.0;
+              for (size_t d = 0; d < ctx.dep_count(); ++d) {
+                sum += ctx.DepDouble(d);
+              }
+              return sum;
+            });
+    ASSERT_TRUE(p.metadata_registry().Define(std::move(desc)).ok());
+  }
+}
+
+class DagPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagPropertyTest, InclusionAndExclusionAreExactInverses) {
+  Rng rng(GetParam());
+  const int n = 3 + static_cast<int>(rng.UniformInt(0, 17));
+  RandomDag dag = MakeRandomDag(rng, n, 0.3);
+
+  MetaFixture fx;
+  SimpleProvider p("p");
+  auto log = std::make_shared<std::vector<int>>();
+  DefineDag(p, dag, log);
+
+  // Subscribe to a random sample of items, in random order; then release in
+  // a different random order. At the end, nothing may remain included.
+  std::vector<MetadataSubscription> subs;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.5) {
+      auto s = fx.manager.Subscribe(p, "m" + std::to_string(i));
+      ASSERT_TRUE(s.ok());
+      subs.push_back(std::move(s.value()));
+    }
+  }
+  // Random release order.
+  while (!subs.empty()) {
+    size_t idx = static_cast<size_t>(rng.UniformInt(0, subs.size() - 1));
+    subs.erase(subs.begin() + idx);
+  }
+  EXPECT_EQ(fx.manager.active_handler_count(), 0u);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_FALSE(p.metadata_registry().IsIncluded("m" + std::to_string(i)))
+        << "item m" << i << " leaked";
+  }
+  auto stats = fx.manager.stats();
+  EXPECT_EQ(stats.handlers_created, stats.handlers_removed);
+}
+
+TEST_P(DagPropertyTest, SubscriptionIncludesExactlyTheClosure) {
+  Rng rng(GetParam() * 77 + 1);
+  const int n = 3 + static_cast<int>(rng.UniformInt(0, 17));
+  RandomDag dag = MakeRandomDag(rng, n, 0.25);
+
+  MetaFixture fx;
+  SimpleProvider p("p");
+  auto log = std::make_shared<std::vector<int>>();
+  DefineDag(p, dag, log);
+
+  int root = static_cast<int>(rng.UniformInt(0, n - 1));
+  // Reference closure.
+  std::set<int> closure;
+  std::vector<int> stack{root};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    if (!closure.insert(cur).second) continue;
+    for (int d : dag.deps[cur]) stack.push_back(d);
+  }
+
+  auto sub = fx.manager.Subscribe(p, "m" + std::to_string(root));
+  ASSERT_TRUE(sub.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(p.metadata_registry().IsIncluded("m" + std::to_string(i)),
+              closure.count(i) > 0)
+        << "item m" << i;
+  }
+  EXPECT_EQ(fx.manager.active_handler_count(), closure.size());
+}
+
+TEST_P(DagPropertyTest, WaveRefreshesEachAffectedHandlerOnceInTopoOrder) {
+  Rng rng(GetParam() * 1337 + 5);
+  const int n = 4 + static_cast<int>(rng.UniformInt(0, 12));
+  RandomDag dag = MakeRandomDag(rng, n, 0.35);
+
+  MetaFixture fx;
+  SimpleProvider p("p");
+  auto log = std::make_shared<std::vector<int>>();
+  DefineDag(p, dag, log);
+  // A periodic base item that every leaf (no-dependency item) depends on:
+  // rebuild item 'n-1'... simpler: make every item additionally depend on
+  // "base" via a fresh DAG where base is appended.
+  auto ticks = std::make_shared<int>(0);
+  ASSERT_TRUE(p.metadata_registry()
+                  .Define(MetadataDescriptor::Periodic("base", 100)
+                              .WithEvaluator([ticks](EvalContext&) {
+                                return MetadataValue(double(++*ticks));
+                              }))
+                  .ok());
+  // Redefine leaves to depend on base.
+  for (int i = 0; i < n; ++i) {
+    if (!dag.deps[i].empty()) continue;
+    std::string key = "m" + std::to_string(i);
+    ASSERT_TRUE(
+        p.metadata_registry()
+            .Redefine(MetadataDescriptor::Triggered(key)
+                          .DependsOnSelf("base")
+                          .WithEvaluator([i, log](EvalContext& ctx) {
+                            log->push_back(i);
+                            return MetadataValue(1.0 + ctx.DepDouble(0));
+                          }))
+            .ok());
+  }
+
+  // Subscribe to every item so the whole DAG is live.
+  std::vector<MetadataSubscription> subs;
+  for (int i = 0; i < n; ++i) {
+    auto s = fx.manager.Subscribe(p, "m" + std::to_string(i));
+    ASSERT_TRUE(s.ok());
+    subs.push_back(std::move(s.value()));
+  }
+
+  log->clear();
+  fx.RunFor(100);  // exactly one tick -> one wave
+
+  // Every item refreshed exactly once.
+  std::map<int, int> counts;
+  for (int i : *log) counts[i]++;
+  EXPECT_EQ(log->size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i], 1) << "item m" << i;
+  }
+  // Topological order: an item appears after all its dependencies.
+  std::map<int, size_t> position;
+  for (size_t pos = 0; pos < log->size(); ++pos) position[(*log)[pos]] = pos;
+  for (int i = 0; i < n; ++i) {
+    for (int j : dag.deps[i]) {
+      EXPECT_GT(position[i], position[j])
+          << "m" << i << " refreshed before its dependency m" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DagPropertyTest,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace pipes

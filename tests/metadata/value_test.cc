@@ -1,0 +1,73 @@
+/// MetadataValue: coercions, equality, rendering.
+
+#include <gtest/gtest.h>
+
+#include "metadata/value.h"
+
+namespace pipes {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  MetadataValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.AsDouble(), 0.0);
+  EXPECT_EQ(v.AsInt(), 0);
+  EXPECT_FALSE(v.AsBool());
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, BoolValue) {
+  MetadataValue v(true);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.AsDouble(), 1.0);
+  EXPECT_EQ(v.AsInt(), 1);
+  EXPECT_EQ(v.ToString(), "true");
+}
+
+TEST(ValueTest, IntValue) {
+  MetadataValue v(int64_t{-5});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsDouble(), -5.0);
+  EXPECT_EQ(v.AsInt(), -5);
+  EXPECT_TRUE(v.AsBool());
+  EXPECT_EQ(v.ToString(), "-5");
+}
+
+TEST(ValueTest, IntFromPlainIntLiteral) {
+  MetadataValue v(7);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 7);
+}
+
+TEST(ValueTest, DoubleValue) {
+  MetadataValue v(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_EQ(v.AsDouble(), 2.5);
+  EXPECT_EQ(v.AsInt(), 2);
+  EXPECT_TRUE(v.AsBool());
+}
+
+TEST(ValueTest, StringValue) {
+  MetadataValue v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.AsDouble(), 0.0);
+  EXPECT_EQ(v.ToString(), "hello");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(MetadataValue(1.0), MetadataValue(1.0));
+  EXPECT_NE(MetadataValue(1.0), MetadataValue(int64_t{1}));  // typed equality
+  EXPECT_EQ(MetadataValue(), MetadataValue::Null());
+  EXPECT_NE(MetadataValue("a"), MetadataValue("b"));
+}
+
+TEST(ValueTest, AsStringOnNonString) {
+  EXPECT_EQ(MetadataValue(1.0).AsString(), "");
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,91 @@
+/// Chain scheduling (motivation 1): pure priority computation and the
+/// metadata-driven scheduler reacting to selectivity changes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/chain_scheduler.h"
+#include "stream/engine.h"
+#include "stream/operators/basic.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+TEST(ChainPrioritiesTest, SingleOperator) {
+  auto p = ChainScheduler::ComputeChainPriorities({2.0}, {0.5});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);  // drop 0.5 over cost 2
+}
+
+TEST(ChainPrioritiesTest, SelectiveCheapOperatorGetsHighPriority) {
+  // op0: cost 1, sel 0.1 (drops a lot, cheap) -> steep.
+  // op1: cost 10, sel 0.9 -> shallow.
+  auto p = ChainScheduler::ComputeChainPriorities({1.0, 10.0}, {0.1, 0.9});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(ChainPrioritiesTest, LowerEnvelopeGroupsOperators) {
+  // Classic Chain: a non-selective operator followed by a very selective one
+  // forms a single segment; both get the segment's slope.
+  auto p = ChainScheduler::ComputeChainPriorities({1.0, 1.0}, {1.0, 0.01});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], p[1]);
+  EXPECT_NEAR(p[0], 0.99 / 2.0, 1e-9);
+}
+
+TEST(ChainPrioritiesTest, IndependentSegmentsKeepOwnSlopes) {
+  // A steep segment followed by a shallow one.
+  auto p = ChainScheduler::ComputeChainPriorities({1.0, 1.0}, {0.1, 0.9});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 0.9, 1e-9);
+  EXPECT_NEAR(p[1], 0.01, 1e-9);  // 0.1 -> 0.09: drop 0.01 over cost 1
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(ChainPrioritiesTest, EmptyPipeline) {
+  EXPECT_TRUE(ChainScheduler::ComputeChainPriorities({}, {}).empty());
+}
+
+TEST(ChainSchedulerTest, ComputesPrioritiesFromLiveMetadata) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<SyntheticSource>(
+      "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(5)),
+      MakeUniformPairGenerator(10), 1);
+  auto selective = g.AddNode<FilterOperator>(
+      "selective", [](const Tuple& t) { return t.IntAt(0) == 0; });  // ~0.1
+  auto loose = g.AddNode<FilterOperator>(
+      "loose", [](const Tuple& t) { return t.IntAt(0) != 0; });  // ~0.9 of rest
+  auto sink = g.AddNode<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *selective).ok());
+  ASSERT_TRUE(g.Connect(*selective, *loose).ok());
+  ASSERT_TRUE(g.Connect(*loose, *sink).ok());
+
+  ChainScheduler sched(engine.metadata(), engine.scheduler());
+  ASSERT_TRUE(sched.AddPipeline({selective.get(), loose.get()}).ok());
+  // Subscriptions exist now.
+  EXPECT_TRUE(selective->metadata_registry().IsIncluded(keys::kAvgSelectivity));
+
+  src->Start();
+  sched.Start(Seconds(2));
+  engine.RunFor(Seconds(20));
+
+  EXPECT_GT(sched.priority(selective.get()), 0.0);
+  auto order = sched.PriorityOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], selective.get());
+  EXPECT_GT(sched.change_count(), 0u);
+}
+
+TEST(ChainSchedulerTest, EmptyPipelineRejected) {
+  StreamEngine engine;
+  ChainScheduler sched(engine.metadata(), engine.scheduler());
+  EXPECT_EQ(sched.AddPipeline({}).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipes

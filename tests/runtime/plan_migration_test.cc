@@ -1,0 +1,134 @@
+/// Dynamic plan migration (motivation 3): variants, valves, cold switch,
+/// estimate-driven plan comparison, and the full advisor -> migrate loop.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/optimizer.h"
+#include "runtime/plan_migration.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+struct MigrationFixture {
+  StreamEngine engine{EngineMode::kVirtualTime, 1, Seconds(1)};
+  std::vector<std::shared_ptr<SourceNode>> sources;
+  std::unique_ptr<MigratableThreeWayJoin> plan;
+
+  /// Rates in elements/second for the three streams.
+  MigrationFixture(double r0, double r1, double r2, Duration window = Seconds(1)) {
+    auto& g = engine.graph();
+    double rates[3] = {r0, r1, r2};
+    for (int i = 0; i < 3; ++i) {
+      auto interval = static_cast<Duration>(kMicrosPerSecond / rates[i]);
+      auto src = g.AddNode<SyntheticSource>(
+          "s" + std::to_string(i), PairSchema(),
+          std::make_unique<ConstantArrivals>(interval),
+          MakeUniformPairGenerator(8), 10 + i);
+      sources.push_back(src);
+    }
+    plan = std::make_unique<MigratableThreeWayJoin>(
+        engine,
+        std::vector<std::shared_ptr<Node>>(sources.begin(), sources.end()),
+        window);
+    for (auto& s : sources) {
+      static_cast<SyntheticSource*>(s.get())->Start();
+    }
+  }
+};
+
+TEST(PlanMigrationTest, RejectsInvalidOrders) {
+  MigrationFixture fx(10, 10, 10);
+  EXPECT_FALSE(fx.plan->ActivatePlan({0, 1}).ok());
+  EXPECT_FALSE(fx.plan->ActivatePlan({0, 1, 1}).ok());
+  EXPECT_FALSE(fx.plan->ActivatePlan({0, 1, 5}).ok());
+  EXPECT_TRUE(fx.plan->active_order().empty());
+}
+
+TEST(PlanMigrationTest, ActivePlanProducesResults) {
+  MigrationFixture fx(40, 40, 40);
+  ASSERT_TRUE(fx.plan->ActivatePlan({0, 1, 2}).ok());
+  fx.engine.RunFor(Seconds(5));
+  EXPECT_GT(fx.plan->sink().count(), 0u);
+  EXPECT_EQ(fx.plan->migration_count(), 0u);
+  EXPECT_GT(fx.plan->MeasuredJoinCpu(), 0.0);
+}
+
+TEST(PlanMigrationTest, ReactivatingSameOrderIsNoop) {
+  MigrationFixture fx(40, 40, 40);
+  ASSERT_TRUE(fx.plan->ActivatePlan({0, 1, 2}).ok());
+  ASSERT_TRUE(fx.plan->ActivatePlan({0, 1, 2}).ok());
+  EXPECT_EQ(fx.plan->migration_count(), 0u);
+}
+
+TEST(PlanMigrationTest, MigrationSwitchesThePlanAndLowersCost) {
+  // Worst order joins the two fast streams first; the greedy order joins
+  // the slow streams first. Measured join CPU must drop significantly.
+  MigrationFixture fx(400, 20, 20);
+  ASSERT_TRUE(fx.plan->ActivatePlan({0, 1, 2}).ok());  // fast stream first
+  fx.engine.RunFor(Seconds(10));
+  double cpu_bad = fx.plan->MeasuredJoinCpu();
+  ASSERT_GT(cpu_bad, 0.0);
+  uint64_t results_before = fx.plan->sink().count();
+
+  ASSERT_TRUE(fx.plan->ActivatePlan({1, 2, 0}).ok());  // slow streams first
+  EXPECT_EQ(fx.plan->migration_count(), 1u);
+  EXPECT_EQ(fx.plan->active_order(), (std::vector<size_t>{1, 2, 0}));
+  fx.engine.RunFor(Seconds(10));
+  double cpu_good = fx.plan->MeasuredJoinCpu();
+  EXPECT_LT(cpu_good, cpu_bad * 0.6);
+  // The new variant warms up and keeps producing results.
+  EXPECT_GT(fx.plan->sink().count(), results_before);
+}
+
+TEST(PlanMigrationTest, EstimatesRankPlansWithoutSwitching) {
+  MigrationFixture fx(400, 20, 20);
+  ASSERT_TRUE(fx.plan->ActivatePlan({0, 1, 2}).ok());
+  // First calls deploy the estimate subscriptions; run until the measured
+  // rates feeding them settle, then read.
+  ASSERT_TRUE(fx.plan->EstimatedJoinCpu({0, 1, 2}).ok());
+  ASSERT_TRUE(fx.plan->EstimatedJoinCpu({1, 2, 0}).ok());
+  fx.engine.RunFor(Seconds(8));
+
+  auto est_active = fx.plan->EstimatedJoinCpu({0, 1, 2});
+  auto est_greedy = fx.plan->EstimatedJoinCpu({1, 2, 0});
+  ASSERT_TRUE(est_active.ok());
+  ASSERT_TRUE(est_greedy.ok());
+  EXPECT_GT(est_active.value(), 0.0);
+  EXPECT_GT(est_greedy.value(), 0.0);
+  // The greedy order is estimated cheaper — before any migration happened.
+  // (Under the pair-selectivity model the final join's candidate rate is
+  // order-independent, so the win comes from the intermediate join and is
+  // structural ~25% here.)
+  EXPECT_LT(est_greedy.value(), est_active.value() * 0.85);
+  EXPECT_EQ(fx.plan->migration_count(), 0u);
+  EXPECT_EQ(fx.plan->active_order(), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(PlanMigrationTest, AdvisorDrivenMigrationLoop) {
+  // Full motivation-3 loop: advisor watches rate metadata, recommends an
+  // order, the migratable plan executes it.
+  MigrationFixture fx(400, 20, 20);
+  ASSERT_TRUE(fx.plan->ActivatePlan({0, 1, 2}).ok());
+
+  JoinOrderAdvisor::Options opt;
+  opt.window_seconds = 1.0;
+  JoinOrderAdvisor advisor(fx.engine.metadata(), fx.engine.scheduler(), opt);
+  for (auto& s : fx.sources) {
+    ASSERT_TRUE(advisor.AddStream(*s).ok());
+  }
+
+  fx.engine.RunFor(Seconds(5));
+  ASSERT_TRUE(advisor.Evaluate());
+  ASSERT_TRUE(fx.plan->ActivatePlan(advisor.recommended_order()).ok());
+  EXPECT_EQ(fx.plan->migration_count(), 1u);
+  // Greedy: the slow streams first, the fast one last.
+  EXPECT_EQ(fx.plan->active_order().back(), 0u);
+  fx.engine.RunFor(Seconds(5));
+  EXPECT_GT(fx.plan->sink().count(), 0u);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,105 @@
+/// StreamEngine facade and remaining graph/provider edges.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stream/engine.h"
+#include "stream/operators/basic.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+TEST(EngineTest, VirtualTimeControl) {
+  StreamEngine engine;
+  EXPECT_EQ(engine.mode(), EngineMode::kVirtualTime);
+  EXPECT_EQ(engine.Now(), 0);
+  engine.RunUntil(1000);
+  EXPECT_EQ(engine.Now(), 1000);
+  engine.RunFor(500);
+  EXPECT_EQ(engine.Now(), 1500);
+  EXPECT_EQ(&engine.virtual_scheduler().clock(), &engine.clock());
+}
+
+TEST(EngineTest, MetadataPeriodPlumbsToNodes) {
+  StreamEngine engine(EngineMode::kVirtualTime, 1, Millis(250));
+  auto src = engine.graph().AddNode<ManualSource>("s", PairSchema());
+  EXPECT_EQ(src->metadata_period(), Millis(250));
+  // The standard periodic items use it.
+  auto desc = src->metadata_registry().Find(keys::kOutputRate);
+  ASSERT_NE(desc, nullptr);
+  EXPECT_EQ(desc->period(), Millis(250));
+}
+
+TEST(EngineTest, RealTimeModeShutsDownCleanly) {
+  auto engine = std::make_unique<StreamEngine>(EngineMode::kRealTime, 2);
+  auto src = engine->graph().AddNode<SyntheticSource>(
+      "s", PairSchema(), std::make_unique<ConstantArrivals>(Millis(1)),
+      MakeUniformPairGenerator(4));
+  auto sink = engine->graph().AddNode<CountingSink>("sink");
+  ASSERT_TRUE(engine->graph().Connect(*src, *sink).ok());
+  src->Start();
+  engine.reset();  // must join workers without touching dead nodes
+}
+
+TEST(EngineTest, RegisterSameQueryTwiceCountsTwice) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("s", PairSchema());
+  auto sink = g.AddNode<CountingSink>("q");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  auto q1 = g.RegisterQuery(sink);
+  auto q2 = g.RegisterQuery(sink);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_NE(*q1, *q2);
+  EXPECT_EQ(src->use_count(), 2);
+  ASSERT_TRUE(g.RemoveQuery(*q1).ok());
+  EXPECT_EQ(src->use_count(), 1);
+  EXPECT_EQ(g.node_count(), 2u);  // still used by q2
+}
+
+TEST(ProviderTest, IdsAreUniqueAndLabelsStick) {
+  StreamEngine engine;
+  auto a = engine.graph().AddNode<ManualSource>("alpha", PairSchema());
+  auto b = engine.graph().AddNode<ManualSource>("beta", PairSchema());
+  EXPECT_NE(a->provider_id(), b->provider_id());
+  EXPECT_EQ(a->label(), "alpha");
+  EXPECT_EQ(b->label(), "beta");
+}
+
+TEST(ProviderTest, ModuleRegistrationAndUnregistration) {
+  StreamEngine engine;
+  auto op = engine.graph().AddNode<FilterOperator>(
+      "op", [](const Tuple&) { return true; });
+  MetadataProvider module("op/aux");
+  op->RegisterModule("aux", &module);
+  EXPECT_EQ(op->MetadataModule("aux"), &module);
+  EXPECT_EQ(module.metadata_manager(), &engine.metadata());
+  auto names = op->ModuleNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "aux");
+  op->UnregisterModule("aux");
+  EXPECT_EQ(op->MetadataModule("aux"), nullptr);
+}
+
+TEST(ValueTest, Uint64Construction) {
+  MetadataValue v(uint64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 42);
+}
+
+TEST(SinkTest, OutputSchemaFollowsUpstream) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto sink = g.AddNode<CollectorSink>("sink");
+  EXPECT_EQ(sink->output_schema().arity(), 0u);  // unconnected
+  auto src = g.AddNode<ManualSource>("s", PairSchema());
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  EXPECT_EQ(sink->output_schema(), PairSchema());
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,163 @@
+/// Expression language: evaluation, validation, cost, compilation into
+/// filters and projections, builder integration.
+
+#include <gtest/gtest.h>
+
+#include "stream/expr.h"
+#include "stream/query_builder.h"
+
+namespace pipes {
+namespace {
+
+using namespace pipes::expr;  // NOLINT
+
+Tuple Row(int64_t id, double value) {
+  return Tuple({Value(id), Value(value)});
+}
+
+TEST(ExprTest, ColumnsAndConstants) {
+  Tuple t = Row(7, 2.5);
+  EXPECT_EQ(ValueAsInt(Col(0)->Eval(t)), 7);
+  EXPECT_EQ(ValueAsDouble(Col(1)->Eval(t)), 2.5);
+  EXPECT_EQ(ValueAsInt(Const(int64_t{3})->Eval(t)), 3);
+  EXPECT_EQ(ValueAsDouble(Const(1.5)->Eval(t)), 1.5);
+  EXPECT_EQ(ValueToString(Const("abc")->Eval(t)), "abc");
+}
+
+TEST(ExprTest, IntegerArithmeticStaysIntegral) {
+  Tuple t = Row(7, 0.0);
+  Value v = Add(Col(0), Const(int64_t{3}))->Eval(t);
+  ASSERT_TRUE(std::holds_alternative<int64_t>(v));
+  EXPECT_EQ(std::get<int64_t>(v), 10);
+  EXPECT_EQ(ValueAsInt(Mod(Col(0), Const(int64_t{4}))->Eval(t)), 3);
+  EXPECT_EQ(ValueAsInt(Mul(Col(0), Const(int64_t{2}))->Eval(t)), 14);
+  EXPECT_EQ(ValueAsInt(Sub(Col(0), Const(int64_t{9}))->Eval(t)), -2);
+}
+
+TEST(ExprTest, DivisionPromotesToDouble) {
+  Tuple t = Row(7, 0.0);
+  Value v = Div(Col(0), Const(int64_t{2}))->Eval(t);
+  ASSERT_TRUE(std::holds_alternative<double>(v));
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 3.5);
+  // Division by zero yields 0 rather than UB.
+  EXPECT_EQ(ValueAsDouble(Div(Col(0), Const(0.0))->Eval(t)), 0.0);
+  EXPECT_EQ(ValueAsInt(Mod(Col(0), Const(int64_t{0}))->Eval(t)), 0);
+}
+
+TEST(ExprTest, Comparisons) {
+  Tuple t = Row(7, 2.5);
+  EXPECT_TRUE(ValueAsDouble(Gt(Col(1), Const(2.0))->Eval(t)) != 0.0);
+  EXPECT_FALSE(ValueAsDouble(Lt(Col(1), Const(2.0))->Eval(t)) != 0.0);
+  EXPECT_TRUE(ValueAsDouble(Eq(Col(0), Const(int64_t{7}))->Eval(t)) != 0.0);
+  EXPECT_TRUE(ValueAsDouble(Ge(Col(0), Const(int64_t{7}))->Eval(t)) != 0.0);
+  EXPECT_TRUE(ValueAsDouble(Le(Col(0), Const(int64_t{7}))->Eval(t)) != 0.0);
+  EXPECT_TRUE(ValueAsDouble(Ne(Col(0), Const(int64_t{8}))->Eval(t)) != 0.0);
+}
+
+TEST(ExprTest, StringComparison) {
+  Tuple t({Value(std::string("banana"))});
+  EXPECT_TRUE(ValueAsDouble(Eq(Col(0), Const("banana"))->Eval(t)) != 0.0);
+  EXPECT_TRUE(ValueAsDouble(Lt(Col(0), Const("cherry"))->Eval(t)) != 0.0);
+  EXPECT_FALSE(ValueAsDouble(Gt(Col(0), Const("cherry"))->Eval(t)) != 0.0);
+}
+
+TEST(ExprTest, BooleanConnectivesShortCircuit) {
+  Tuple t = Row(7, 2.5);
+  ExprPtr truthy = Gt(Col(1), Const(0.0));
+  ExprPtr falsy = Lt(Col(1), Const(0.0));
+  EXPECT_TRUE(ValueAsDouble(And(truthy, truthy)->Eval(t)) != 0.0);
+  EXPECT_FALSE(ValueAsDouble(And(truthy, falsy)->Eval(t)) != 0.0);
+  EXPECT_TRUE(ValueAsDouble(Or(falsy, truthy)->Eval(t)) != 0.0);
+  EXPECT_FALSE(ValueAsDouble(Or(falsy, falsy)->Eval(t)) != 0.0);
+  EXPECT_TRUE(ValueAsDouble(Not(falsy)->Eval(t)) != 0.0);
+}
+
+TEST(ExprTest, ValidateChecksColumnsAndTypes) {
+  Schema schema({Field{"id", DataType::kInt64},
+                 Field{"value", DataType::kDouble},
+                 Field{"name", DataType::kString}});
+  EXPECT_TRUE(Col(2)->Validate(schema).ok());
+  EXPECT_FALSE(Col(3)->Validate(schema).ok());
+  EXPECT_FALSE(Add(Col(0), Col(2))->Validate(schema).ok());  // int + string
+  EXPECT_FALSE(Lt(Col(0), Col(2))->Validate(schema).ok());  // int < string
+  EXPECT_TRUE(Eq(Col(2), Const("x"))->Validate(schema).ok());
+  EXPECT_FALSE(And(Col(2), Col(0))->Validate(schema).ok());
+
+  EXPECT_EQ(Add(Col(0), Col(0))->Validate(schema).value(), DataType::kInt64);
+  EXPECT_EQ(Add(Col(0), Col(1))->Validate(schema).value(), DataType::kDouble);
+  EXPECT_EQ(Div(Col(0), Col(0))->Validate(schema).value(), DataType::kDouble);
+  EXPECT_EQ(Gt(Col(0), Col(1))->Validate(schema).value(), DataType::kBool);
+}
+
+TEST(ExprTest, CostCountsNodes) {
+  EXPECT_DOUBLE_EQ(Col(0)->Cost(), 1.0);
+  EXPECT_DOUBLE_EQ(Gt(Col(1), Const(0.5))->Cost(), 3.0);
+  EXPECT_DOUBLE_EQ(Eq(Col(0), Const("abc"))->Cost(), 6.0);  // string penalty
+  EXPECT_GT(And(Gt(Col(1), Const(0.5)), Lt(Col(1), Const(0.9)))->Cost(), 6.0);
+}
+
+TEST(ExprTest, ToStringRendersInfix) {
+  EXPECT_EQ(Gt(Col(1), Const(0.5))->ToString(), "(col1 > 0.5)");
+  EXPECT_EQ(Not(Eq(Col(0), Const(int64_t{3})))->ToString(),
+            "!((col0 == 3))");
+}
+
+TEST(ExprTest, CompilePredicate) {
+  Schema schema = PairSchema();
+  auto pred = CompilePredicate(Eq(Mod(Col(0), Const(int64_t{2})),
+                                  Const(int64_t{0})),
+                               schema);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE((*pred)(Row(4, 0.0)));
+  EXPECT_FALSE((*pred)(Row(5, 0.0)));
+
+  EXPECT_FALSE(CompilePredicate(Col(9), schema).ok());
+  EXPECT_FALSE(CompilePredicate(nullptr, schema).ok());
+  // A bare string column is not a predicate.
+  Schema s2({Field{"s", DataType::kString}});
+  EXPECT_FALSE(CompilePredicate(Col(0), s2).ok());
+}
+
+TEST(ExprTest, CompileProjection) {
+  Schema schema = PairSchema();
+  auto proj = CompileProjection(
+      {{"double_value", Mul(Col(1), Const(2.0))},
+       {"key_mod", Mod(Col(0), Const(int64_t{3}))}},
+      schema);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->first.ToString(), "double_value:double, key_mod:int64");
+  Tuple out = proj->second(Row(7, 2.5));
+  EXPECT_DOUBLE_EQ(out.DoubleAt(0), 5.0);
+  EXPECT_EQ(out.IntAt(1), 1);
+
+  EXPECT_FALSE(CompileProjection({}, schema).ok());
+  EXPECT_FALSE(CompileProjection({{"bad", Col(9)}}, schema).ok());
+}
+
+TEST(ExprTest, BuilderIntegration) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto built = qb.FromSynthetic("src", 100.0, 10)
+                   .Filter(Lt(Col(0), Const(int64_t{5})))
+                   .Select({{"scaled", Mul(Col(1), Const(10.0))}})
+                   .Collect("out");
+  ASSERT_TRUE(built.ok());
+  engine.RunFor(Seconds(2));
+  auto* sink = dynamic_cast<CollectorSink*>(built->sink.get());
+  ASSERT_GT(sink->size(), 50u);
+  for (const auto& e : sink->Elements()) {
+    EXPECT_EQ(e.tuple.arity(), 1u);
+    EXPECT_GE(e.tuple.DoubleAt(0), 0.0);
+    EXPECT_LT(e.tuple.DoubleAt(0), 10.0);
+  }
+}
+
+TEST(ExprTest, BuilderSurfacesValidationErrors) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto bad = qb.FromSynthetic("src", 100.0, 10).Filter(Col(17));
+  EXPECT_FALSE(bad.status().ok());
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,148 @@
+/// QueryGraph: wiring validation, subquery sharing, query registration and
+/// removal.
+
+#include <gtest/gtest.h>
+
+#include "stream/engine.h"
+#include "stream/operators/basic.h"
+#include "stream/operators/window.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+TEST(GraphTest, ConnectValidatesKinds) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("src", PairSchema());
+  auto src2 = g.AddNode<ManualSource>("src2", PairSchema());
+  auto sink = g.AddNode<CollectorSink>("sink");
+  auto f = g.AddNode<FilterOperator>("f", [](const Tuple&) { return true; });
+
+  EXPECT_EQ(g.Connect(*src, *src2).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(g.Connect(*src, *f).ok());
+  EXPECT_TRUE(g.Connect(*f, *sink).ok());
+  EXPECT_EQ(g.Connect(*sink, *f).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, ConnectRejectsFullInputs) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto a = g.AddNode<ManualSource>("a", PairSchema());
+  auto b = g.AddNode<ManualSource>("b", PairSchema());
+  auto f = g.AddNode<FilterOperator>("f", [](const Tuple&) { return true; });
+  EXPECT_TRUE(g.Connect(*a, *f).ok());
+  EXPECT_EQ(g.Connect(*b, *f).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphTest, ConnectRejectsCycles) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto f1 = g.AddNode<UnionOperator>("f1");
+  auto f2 = g.AddNode<UnionOperator>("f2");
+  ASSERT_TRUE(g.Connect(*f1, *f2).ok());
+  EXPECT_EQ(g.Connect(*f2, *f1).code(), StatusCode::kCycleDetected);
+}
+
+TEST(GraphTest, ForeignNodeRejected) {
+  StreamEngine e1, e2;
+  auto a = e1.graph().AddNode<ManualSource>("a", PairSchema());
+  auto sink = e2.graph().AddNode<CollectorSink>("sink");
+  EXPECT_EQ(e1.graph().Connect(*a, *sink).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RegisterQueryCountsSharedNodes) {
+  // Two queries sharing source + filter (subquery sharing, Figure 1).
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("src", PairSchema());
+  auto shared = g.AddNode<FilterOperator>("shared",
+                                          [](const Tuple&) { return true; });
+  auto s1 = g.AddNode<CollectorSink>("s1");
+  auto s2 = g.AddNode<CollectorSink>("s2");
+  ASSERT_TRUE(g.Connect(*src, *shared).ok());
+  ASSERT_TRUE(g.Connect(*shared, *s1).ok());
+  ASSERT_TRUE(g.Connect(*shared, *s2).ok());
+
+  auto q1 = g.RegisterQuery(s1);
+  auto q2 = g.RegisterQuery(s2);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(g.query_count(), 2u);
+  EXPECT_EQ(shared->use_count(), 2);
+  EXPECT_EQ(src->use_count(), 2);
+  EXPECT_EQ(s1->use_count(), 1);
+
+  // The reuse-count metadata item reflects sharing.
+  auto reuse = g.metadata_manager().Subscribe(*shared, keys::kReuseCount);
+  ASSERT_TRUE(reuse.ok());
+  EXPECT_EQ(reuse->Get().AsInt(), 2);
+}
+
+TEST(GraphTest, RemoveQueryKeepsSharedNodes) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("src", PairSchema());
+  auto shared = g.AddNode<FilterOperator>("shared",
+                                          [](const Tuple&) { return true; });
+  auto only1 = g.AddNode<FilterOperator>("only1",
+                                         [](const Tuple&) { return true; });
+  auto s1 = g.AddNode<CollectorSink>("s1");
+  auto s2 = g.AddNode<CollectorSink>("s2");
+  ASSERT_TRUE(g.Connect(*src, *shared).ok());
+  ASSERT_TRUE(g.Connect(*shared, *only1).ok());
+  ASSERT_TRUE(g.Connect(*only1, *s1).ok());
+  ASSERT_TRUE(g.Connect(*shared, *s2).ok());
+  auto q1 = g.RegisterQuery(s1);
+  auto q2 = g.RegisterQuery(s2);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(g.node_count(), 5u);
+
+  ASSERT_TRUE(g.RemoveQuery(*q1).ok());
+  // only1 and s1 removed; shared prefix stays.
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(shared->use_count(), 1);
+  EXPECT_TRUE(shared->downstream_edges().size() == 1);
+
+  // Data still flows to the remaining query.
+  src->Push(Tuple({Value(int64_t{1}), Value(0.0)}));
+  EXPECT_EQ(s2->size(), 1u);
+}
+
+TEST(GraphTest, RemoveQueryRefusesWhileMetadataIncluded) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("src", PairSchema());
+  auto sink = g.AddNode<CollectorSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  auto q = g.RegisterQuery(sink);
+  ASSERT_TRUE(q.ok());
+
+  auto sub = g.metadata_manager().Subscribe(*sink, keys::kResultRate);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(g.RemoveQuery(*q).code(), StatusCode::kFailedPrecondition);
+  sub->Reset();
+  EXPECT_TRUE(g.RemoveQuery(*q).ok());
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+TEST(GraphTest, RemoveUnknownQuery) {
+  StreamEngine engine;
+  EXPECT_EQ(engine.graph().RemoveQuery(999).code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, NodesAreAttachedToMetadataManager) {
+  StreamEngine engine;
+  auto src = engine.graph().AddNode<ManualSource>("src", PairSchema());
+  EXPECT_EQ(src->metadata_manager(), &engine.metadata());
+  EXPECT_EQ(src->graph(), &engine.graph());
+  // Standard metadata was registered.
+  EXPECT_TRUE(src->metadata_registry().IsAvailable(keys::kOutputRate));
+  EXPECT_TRUE(src->metadata_registry().IsAvailable(keys::kSchema));
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,183 @@
+/// Stateless operators, window operator, and tumbling aggregates.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stream/engine.h"
+#include "stream/operators/aggregate.h"
+#include "stream/operators/basic.h"
+#include "stream/operators/window.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+struct Pipe {
+  StreamEngine engine;
+  std::shared_ptr<ManualSource> source;
+  std::shared_ptr<CollectorSink> sink;
+
+  Pipe() {
+    source = engine.graph().AddNode<ManualSource>("src", PairSchema());
+    sink = engine.graph().AddNode<CollectorSink>("sink");
+  }
+
+  template <typename Op, typename... Args>
+  std::shared_ptr<Op> Through(Args&&... args) {
+    auto op = engine.graph().AddNode<Op>(std::forward<Args>(args)...);
+    EXPECT_TRUE(engine.graph().Connect(*source, *op).ok());
+    EXPECT_TRUE(engine.graph().Connect(*op, *sink).ok());
+    return op;
+  }
+
+  void Push(int64_t id, double value, Timestamp at) {
+    engine.RunUntil(at);
+    source->Push(Tuple({Value(id), Value(value)}));
+  }
+};
+
+TEST(FilterTest, KeepsMatchingTuples) {
+  Pipe p;
+  auto filter = p.Through<FilterOperator>(
+      "filter", [](const Tuple& t) { return t.IntAt(0) % 2 == 0; });
+  for (int i = 0; i < 10; ++i) p.Push(i, 0.0, i + 1);
+  EXPECT_EQ(p.sink->size(), 5u);
+  EXPECT_EQ(filter->total_received(), 10u);
+  EXPECT_EQ(filter->total_emitted(), 5u);
+}
+
+TEST(MapTest, TransformsTuples) {
+  Pipe p;
+  Schema out({Field{"doubled", DataType::kDouble}});
+  auto map = p.Through<MapOperator>("map", out, [](const Tuple& t) {
+    return Tuple({Value(t.DoubleAt(1) * 2)});
+  });
+  p.Push(1, 2.5, 1);
+  ASSERT_EQ(p.sink->size(), 1u);
+  EXPECT_EQ(p.sink->Elements()[0].tuple.DoubleAt(0), 5.0);
+  EXPECT_EQ(map->output_schema().field(0).name, "doubled");
+}
+
+TEST(MapTest, PreservesTemporalAnnotations) {
+  Pipe p;
+  p.Through<MapOperator>("map", PairSchema(),
+                         [](const Tuple& t) { return t; });
+  p.engine.RunUntil(42);
+  p.source->PushElement(
+      StreamElement(Tuple({Value(int64_t{1}), Value(0.0)}), 42, 99));
+  ASSERT_EQ(p.sink->size(), 1u);
+  EXPECT_EQ(p.sink->Elements()[0].timestamp, 42);
+  EXPECT_EQ(p.sink->Elements()[0].validity_end, 99);
+}
+
+TEST(UnionTest, MergesMultipleInputs) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto a = g.AddNode<ManualSource>("a", PairSchema());
+  auto b = g.AddNode<ManualSource>("b", PairSchema());
+  auto u = g.AddNode<UnionOperator>("union");
+  auto sink = g.AddNode<CollectorSink>("sink");
+  ASSERT_TRUE(g.Connect(*a, *u).ok());
+  ASSERT_TRUE(g.Connect(*b, *u).ok());
+  ASSERT_TRUE(g.Connect(*u, *sink).ok());
+  a->Push(Tuple({Value(int64_t{1}), Value(0.0)}));
+  b->Push(Tuple({Value(int64_t{2}), Value(0.0)}));
+  a->Push(Tuple({Value(int64_t{3}), Value(0.0)}));
+  EXPECT_EQ(sink->size(), 3u);
+}
+
+TEST(RandomDropTest, DropsApproximatelyTheConfiguredFraction) {
+  Pipe p;
+  auto drop = p.Through<RandomDropOperator>("drop", 0.3, /*seed=*/5);
+  for (int i = 0; i < 10000; ++i) p.Push(i, 0.0, i + 1);
+  double kept = static_cast<double>(p.sink->size()) / 10000.0;
+  EXPECT_NEAR(kept, 0.7, 0.03);
+  EXPECT_EQ(drop->dropped_count() + p.sink->size(), 10000u);
+}
+
+TEST(RandomDropTest, ZeroAndFullDrop) {
+  Pipe p;
+  auto drop = p.Through<RandomDropOperator>("drop", 0.0);
+  for (int i = 0; i < 100; ++i) p.Push(i, 0.0, i + 1);
+  EXPECT_EQ(p.sink->size(), 100u);
+  drop->set_drop_probability(1.0);
+  for (int i = 0; i < 100; ++i) p.Push(i, 0.0, 200 + i);
+  EXPECT_EQ(p.sink->size(), 100u);
+}
+
+TEST(TimeWindowTest, AssignsValidity) {
+  Pipe p;
+  auto win = p.Through<TimeWindowOperator>("win", 500);
+  p.Push(1, 0.0, 100);
+  ASSERT_EQ(p.sink->size(), 1u);
+  EXPECT_EQ(p.sink->Elements()[0].validity_end, 600);
+  EXPECT_EQ(win->window_size(), 500);
+}
+
+TEST(TumblingAggregateTest, CountPerWindow) {
+  Pipe p;
+  p.Through<TumblingAggregateOperator>("agg", 100, AggKind::kCount);
+  for (Timestamp t : {10, 20, 30, 110, 120, 210}) p.Push(1, 1.0, t);
+  // Windows [0,100) and [100,200) closed; [200,300) still open.
+  ASSERT_EQ(p.sink->size(), 2u);
+  EXPECT_EQ(p.sink->Elements()[0].tuple.IntAt(0), 0);    // window start
+  EXPECT_EQ(p.sink->Elements()[0].tuple.DoubleAt(1), 3.0);
+  EXPECT_EQ(p.sink->Elements()[1].tuple.IntAt(0), 100);
+  EXPECT_EQ(p.sink->Elements()[1].tuple.DoubleAt(1), 2.0);
+}
+
+TEST(TumblingAggregateTest, SumAvgMinMax) {
+  for (auto [kind, expected] :
+       std::vector<std::pair<AggKind, double>>{{AggKind::kSum, 6.0},
+                                               {AggKind::kAvg, 2.0},
+                                               {AggKind::kMin, 1.0},
+                                               {AggKind::kMax, 3.0}}) {
+    Pipe p;
+    p.Through<TumblingAggregateOperator>("agg", 100, kind, /*column=*/1);
+    p.Push(1, 1.0, 10);
+    p.Push(1, 2.0, 20);
+    p.Push(1, 3.0, 30);
+    p.Push(1, 9.0, 150);  // closes the first window
+    ASSERT_EQ(p.sink->size(), 1u);
+    EXPECT_EQ(p.sink->Elements()[0].tuple.DoubleAt(1), expected)
+        << "kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(TumblingAggregateTest, EmptyGapsProduceNoOutput) {
+  Pipe p;
+  p.Through<TumblingAggregateOperator>("agg", 100, AggKind::kCount);
+  p.Push(1, 0.0, 50);
+  p.Push(1, 0.0, 950);  // long gap; only the first window closes
+  EXPECT_EQ(p.sink->size(), 1u);
+}
+
+TEST(CollectorSinkTest, CapacityBound) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("s", PairSchema());
+  auto sink = g.AddNode<CollectorSink>("sink", /*capacity=*/3);
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  for (int i = 0; i < 10; ++i) src->Push(Tuple({Value(i), Value(0.0)}));
+  EXPECT_EQ(sink->size(), 3u);
+  EXPECT_EQ(sink->Elements()[0].tuple.IntAt(0), 7);  // oldest kept
+  sink->Clear();
+  EXPECT_EQ(sink->size(), 0u);
+}
+
+TEST(CallbackSinkTest, InvokesCallback) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("s", PairSchema());
+  int seen = 0;
+  auto sink = g.AddNode<CallbackSink>(
+      "cb", [&seen](const StreamElement&) { ++seen; });
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  src->Push(Tuple({Value(int64_t{1}), Value(0.0)}));
+  EXPECT_EQ(seen, 1);
+}
+
+}  // namespace
+}  // namespace pipes

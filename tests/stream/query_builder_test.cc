@@ -1,0 +1,143 @@
+/// Fluent query builder: construction, error accumulation, auto cost model.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metadata/handler.h"
+#include "stream/query_builder.h"
+
+namespace pipes {
+namespace {
+
+TEST(QueryBuilderTest, LinearPipelineDeliversResults) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto built = qb.FromSynthetic("src", 100.0, 10)
+                   .Filter([](const Tuple& t) { return t.IntAt(0) < 5; })
+                   .Map(Schema({Field{"v", DataType::kDouble}}),
+                        [](const Tuple& t) {
+                          return Tuple({Value(t.DoubleAt(1) * 2)});
+                        })
+                   .Collect("out");
+  ASSERT_TRUE(built.ok());
+  engine.RunFor(Seconds(2));
+  auto* sink = dynamic_cast<CollectorSink*>(built->sink.get());
+  ASSERT_NE(sink, nullptr);
+  EXPECT_NEAR(static_cast<double>(sink->size()), 100.0, 20.0);
+  EXPECT_EQ(engine.graph().query_count(), 1u);
+}
+
+TEST(QueryBuilderTest, WindowJoinWithAutoCostModel) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto left = qb.FromSynthetic("l", 50.0, 10, 1).Window(Seconds(1));
+  auto right = qb.FromSynthetic("r", 50.0, 10, 2).Window(Seconds(1));
+  auto joined = left.JoinOn(right, 0, 0);
+  ASSERT_TRUE(joined.status().ok());
+  auto built = joined.Count("out");
+  ASSERT_TRUE(built.ok());
+
+  // The cost model was registered automatically: the join's estimated CPU
+  // usage is subscribable and adaptive (distinct keys included).
+  auto* join = dynamic_cast<SlidingWindowJoin*>(joined.node().get());
+  ASSERT_NE(join, nullptr);
+  auto est = engine.metadata().Subscribe(*join, keys::kEstCpuUsage);
+  ASSERT_TRUE(est.ok());
+  auto measured = engine.metadata().Subscribe(*join, keys::kCpuUsage);
+  ASSERT_TRUE(measured.ok());
+  engine.RunFor(Seconds(15));
+  double e = est->Get().AsDouble();
+  double m = measured->Get().AsDouble();
+  ASSERT_GT(m, 0.0);
+  EXPECT_NEAR(e / m, 1.0, 0.35);
+}
+
+TEST(QueryBuilderTest, MergeCombinesStreams) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto a = qb.FromSynthetic("a", 100.0, 10, 1);
+  auto b = qb.FromSynthetic("b", 100.0, 10, 2);
+  auto built = a.Merge(b).Count("out");
+  ASSERT_TRUE(built.ok());
+  engine.RunFor(Seconds(2));
+  auto* sink = dynamic_cast<CountingSink*>(built->sink.get());
+  EXPECT_NEAR(static_cast<double>(sink->count()), 400.0, 40.0);
+}
+
+TEST(QueryBuilderTest, ForkSharesThePrefix) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto base = qb.FromSynthetic("src", 100.0, 10)
+                  .Filter([](const Tuple&) { return true; });
+  auto q1 = base.Aggregate(Seconds(1), AggKind::kCount).Count("q1");
+  auto q2 = base.Count("q2");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  // The filter is shared between the two queries (subquery sharing).
+  EXPECT_EQ(base.node()->use_count(), 2);
+  engine.RunFor(Seconds(3));
+  EXPECT_GT(dynamic_cast<CountingSink*>(q2->sink.get())->count(), 0u);
+}
+
+TEST(QueryBuilderTest, GroupByProducesPerKeyRows) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto built = qb.FromSynthetic("src", 100.0, 4)
+                   .GroupBy(Seconds(1), AggKind::kCount)
+                   .Collect("out");
+  ASSERT_TRUE(built.ok());
+  engine.RunFor(Millis(3500));
+  auto* sink = dynamic_cast<CollectorSink*>(built->sink.get());
+  // 3 closed windows x 4 keys (all keys appear at 25 el/key/s).
+  EXPECT_EQ(sink->size(), 12u);
+}
+
+TEST(QueryBuilderTest, ErrorsAccumulateAndSurfaceAtTerminal) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto bad = qb.FromSynthetic("src", 100.0, 10)
+                 .Window(0)  // invalid
+                 .Filter([](const Tuple&) { return true; });
+  EXPECT_FALSE(bad.status().ok());
+  auto built = bad.Count("out");
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBuilderTest, InvalidSourceParameters) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  EXPECT_FALSE(qb.FromSynthetic("bad", -1.0, 10).status().ok());
+  EXPECT_FALSE(qb.FromSynthetic("bad2", 10.0, 0).status().ok());
+  EXPECT_FALSE(qb.From(nullptr).status().ok());
+}
+
+TEST(QueryBuilderTest, FromExistingSourceAndSink) {
+  StreamEngine engine;
+  auto src = std::make_shared<ManualSource>("manual", PairSchema());
+  auto sink = std::make_shared<CollectorSink>("manual_sink");
+  QueryBuilder qb(engine);
+  auto built = qb.From(src)
+                   .Filter([](const Tuple&) { return true; })
+                   .To(sink);
+  ASSERT_TRUE(built.ok());
+  src->Push(Tuple({Value(int64_t{1}), Value(0.5)}));
+  EXPECT_EQ(sink->size(), 1u);
+}
+
+TEST(QueryBuilderTest, CountWindowAndShedInPipeline) {
+  StreamEngine engine;
+  QueryBuilder qb(engine);
+  auto built = qb.FromSynthetic("src", 100.0, 10)
+                   .Shed(0.0)
+                   .CountWindow(10)
+                   .Count("out");
+  ASSERT_TRUE(built.ok());
+  engine.RunFor(Seconds(1));
+  // 100 emitted, 10 pending in the count window.
+  EXPECT_EQ(dynamic_cast<CountingSink*>(built->sink.get())->count(), 90u);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,146 @@
+/// Synthetic sources and arrival processes under virtual time.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stream/engine.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+TEST(ConstantArrivalsTest, FixedInterval) {
+  ConstantArrivals a(100);
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.NextInterval(rng), 100);
+}
+
+TEST(PoissonArrivalsTest, MeanMatchesRate) {
+  PoissonArrivals a(100.0);  // 100 el/s -> mean gap 10ms
+  Rng rng(2);
+  double sum = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(a.NextInterval(rng));
+  EXPECT_NEAR(sum / kN, 10000.0, 300.0);
+}
+
+TEST(BurstyArrivalsTest, AlternatesBurstAndSilence) {
+  BurstyArrivals a(/*burst_length=*/3, /*on_interval=*/10,
+                   /*off_duration=*/500);
+  Rng rng(3);
+  EXPECT_EQ(a.NextInterval(rng), 10);
+  EXPECT_EQ(a.NextInterval(rng), 10);
+  EXPECT_EQ(a.NextInterval(rng), 10);
+  EXPECT_EQ(a.NextInterval(rng), 500);  // gap
+  EXPECT_EQ(a.NextInterval(rng), 10);
+}
+
+TEST(SyntheticSourceTest, EmitsAtConstantRate) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<SyntheticSource>(
+      "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(100));
+  auto sink = g.AddNode<CollectorSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  src->Start();
+  engine.RunFor(Seconds(1));
+  EXPECT_EQ(sink->size(), 100u);
+  auto elems = sink->Elements();
+  EXPECT_EQ(elems[0].timestamp, Millis(10));
+  EXPECT_EQ(elems[1].timestamp, Millis(20));
+}
+
+TEST(SyntheticSourceTest, StopHaltsEmission) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<SyntheticSource>(
+      "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(10)),
+      MakeUniformPairGenerator(100));
+  auto sink = g.AddNode<CollectorSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  src->Start();
+  engine.RunFor(Millis(100));
+  src->Stop();
+  size_t at_stop = sink->size();
+  engine.RunFor(Seconds(1));
+  EXPECT_EQ(sink->size(), at_stop);
+
+  // Restart works.
+  src->Start();
+  engine.RunFor(Millis(50));
+  EXPECT_GT(sink->size(), at_stop);
+}
+
+TEST(SyntheticSourceTest, GeneratorsRespectSchemaAndDomain) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<SyntheticSource>(
+      "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(1)),
+      MakeUniformPairGenerator(10, 5.0, 6.0));
+  auto sink = g.AddNode<CollectorSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  src->Start();
+  engine.RunFor(Millis(200));
+  for (const auto& e : sink->Elements()) {
+    EXPECT_GE(e.tuple.IntAt(0), 0);
+    EXPECT_LT(e.tuple.IntAt(0), 10);
+    EXPECT_GE(e.tuple.DoubleAt(1), 5.0);
+    EXPECT_LT(e.tuple.DoubleAt(1), 6.0);
+  }
+}
+
+TEST(SyntheticSourceTest, ZipfGeneratorSkewsKeys) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto zipf = std::make_shared<ZipfDistribution>(100, 1.2);
+  auto src = g.AddNode<SyntheticSource>(
+      "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(1)),
+      MakeZipfPairGenerator(zipf));
+  auto sink = g.AddNode<CollectorSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  src->Start();
+  engine.RunFor(Seconds(5));
+  int zero_keys = 0;
+  for (const auto& e : sink->Elements()) {
+    if (e.tuple.IntAt(0) == 0) ++zero_keys;
+  }
+  EXPECT_GT(zero_keys, static_cast<int>(sink->size()) / 10);
+}
+
+TEST(SyntheticSourceTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    StreamEngine engine;
+    auto& g = engine.graph();
+    auto src = g.AddNode<SyntheticSource>(
+        "src", PairSchema(), std::make_unique<PoissonArrivals>(1000.0),
+        MakeUniformPairGenerator(100), /*seed=*/99);
+    auto sink = g.AddNode<CollectorSink>("sink");
+    EXPECT_TRUE(g.Connect(*src, *sink).ok());
+    src->Start();
+    engine.RunFor(Millis(100));
+    std::vector<std::pair<Timestamp, int64_t>> out;
+    for (const auto& e : sink->Elements()) {
+      out.emplace_back(e.timestamp, e.tuple.IntAt(0));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ManualSourceTest, PushUsesCurrentTime) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("src", PairSchema());
+  auto sink = g.AddNode<CollectorSink>("sink");
+  ASSERT_TRUE(g.Connect(*src, *sink).ok());
+  engine.RunUntil(777);
+  src->Push(Tuple({Value(int64_t{1}), Value(0.0)}));
+  ASSERT_EQ(sink->size(), 1u);
+  EXPECT_EQ(sink->Elements()[0].timestamp, 777);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,204 @@
+/// The standard metadata items every node kind registers: measured rates,
+/// selectivity, io-ratio, memory/state usage, schema, element size, QoS.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stream/engine.h"
+#include "stream/operators/basic.h"
+#include "stream/operators/join.h"
+#include "stream/operators/window.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+struct RatePlan {
+  StreamEngine engine{EngineMode::kVirtualTime, 1, Seconds(1)};
+  std::shared_ptr<SyntheticSource> src;
+  std::shared_ptr<FilterOperator> filter;
+  std::shared_ptr<CollectorSink> sink;
+
+  explicit RatePlan(Duration interval = Millis(10)) {
+    auto& g = engine.graph();
+    src = g.AddNode<SyntheticSource>(
+        "src", PairSchema(), std::make_unique<ConstantArrivals>(interval),
+        MakeUniformPairGenerator(10));
+    filter = g.AddNode<FilterOperator>(
+        "filter", [](const Tuple& t) { return t.IntAt(0) < 5; });
+    sink = g.AddNode<CollectorSink>("sink");
+    EXPECT_TRUE(g.Connect(*src, *filter).ok());
+    EXPECT_TRUE(g.Connect(*filter, *sink).ok());
+  }
+};
+
+TEST(StandardMetadataTest, SourceOutputRateIsMeasuredCorrectly) {
+  RatePlan p;  // 100 elements/s
+  auto rate = p.engine.metadata().Subscribe(*p.src, keys::kOutputRate);
+  ASSERT_TRUE(rate.ok());
+  p.src->Start();
+  p.engine.RunFor(Seconds(5));
+  EXPECT_NEAR(rate->Get().AsDouble(), 100.0, 1.0);
+}
+
+TEST(StandardMetadataTest, UnsubscribedRateCostsNothing) {
+  RatePlan p;
+  p.src->Start();
+  p.engine.RunFor(Seconds(5));
+  // No subscription: no handler, no evaluations, probe disabled.
+  EXPECT_EQ(p.engine.metadata().stats().evaluations, 0u);
+  EXPECT_FALSE(p.src->output_probe().enabled());
+  EXPECT_EQ(p.src->output_probe().Value(), 0u);
+}
+
+TEST(StandardMetadataTest, OperatorInputRateAndSelectivity) {
+  RatePlan p;
+  auto in_rate = p.engine.metadata().Subscribe(*p.filter, keys::kInputRate);
+  auto sel = p.engine.metadata().Subscribe(*p.filter, keys::kSelectivity);
+  ASSERT_TRUE(in_rate.ok());
+  ASSERT_TRUE(sel.ok());
+  p.src->Start();
+  p.engine.RunFor(Seconds(10));
+  EXPECT_NEAR(in_rate->Get().AsDouble(), 100.0, 1.0);
+  EXPECT_NEAR(sel->Get().AsDouble(), 0.5, 0.1);  // keys 0..4 of 0..9 pass
+}
+
+TEST(StandardMetadataTest, IoRatioDerivedFromRates) {
+  RatePlan p;
+  auto ratio = p.engine.metadata().Subscribe(*p.filter, keys::kIoRatio);
+  ASSERT_TRUE(ratio.ok());
+  // The §2.3 example: io-ratio is derived from two existing items, both
+  // included automatically.
+  EXPECT_TRUE(p.filter->metadata_registry().IsIncluded(keys::kInputRate));
+  EXPECT_TRUE(p.filter->metadata_registry().IsIncluded(keys::kOutputRate));
+  p.src->Start();
+  p.engine.RunFor(Seconds(10));
+  EXPECT_NEAR(ratio->Get().AsDouble(), 2.0, 0.4);  // in/out = 1/0.5
+}
+
+TEST(StandardMetadataTest, AvgRateConvergesToMeasuredRate) {
+  RatePlan p;
+  auto avg = p.engine.metadata().Subscribe(*p.src, keys::kAvgOutputRate);
+  ASSERT_TRUE(avg.ok());
+  p.src->Start();
+  p.engine.RunFor(Seconds(20));
+  EXPECT_NEAR(avg->Get().AsDouble(), 100.0, 6.0);
+}
+
+TEST(StandardMetadataTest, VarianceOfConstantRateIsNearZero) {
+  RatePlan p;
+  auto var = p.engine.metadata().Subscribe(*p.filter, keys::kVarInputRate);
+  ASSERT_TRUE(var.ok());
+  p.src->Start();
+  p.engine.RunFor(Seconds(20));
+  EXPECT_LT(var->Get().AsDouble(), 600.0);  // dominated by the startup window
+}
+
+TEST(StandardMetadataTest, SchemaAndElementSize) {
+  RatePlan p;
+  auto schema = p.engine.metadata().Subscribe(*p.src, keys::kSchema);
+  auto size = p.engine.metadata().Subscribe(*p.src, keys::kElementSize);
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(schema->Get().AsString(), "id:int64, value:double");
+  EXPECT_EQ(size->Get().AsInt(),
+            static_cast<int64_t>(PairSchema().ElementSizeBytes()));
+}
+
+TEST(StandardMetadataTest, ElementCountOnDemand) {
+  RatePlan p;
+  auto count = p.engine.metadata().Subscribe(*p.src, keys::kElementCount);
+  ASSERT_TRUE(count.ok());
+  p.src->Start();
+  p.engine.RunFor(Seconds(1));
+  EXPECT_EQ(count->Get().AsInt(), 100);
+}
+
+TEST(StandardMetadataTest, JoinMemoryUsageDerivedFromModules) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto left = g.AddNode<ManualSource>("l", PairSchema());
+  auto right = g.AddNode<ManualSource>("r", PairSchema());
+  auto lw = g.AddNode<TimeWindowOperator>("lw", Seconds(1));
+  auto rw = g.AddNode<TimeWindowOperator>("rw", Seconds(1));
+  auto join = g.AddNode<SlidingWindowJoin>("join", EquiJoinPredicate(0, 0));
+  ASSERT_TRUE(g.Connect(*left, *lw).ok());
+  ASSERT_TRUE(g.Connect(*right, *rw).ok());
+  ASSERT_TRUE(g.Connect(*lw, *join).ok());
+  ASSERT_TRUE(g.Connect(*rw, *join).ok());
+
+  auto mem = engine.metadata().Subscribe(*join, keys::kMemoryUsage);
+  ASSERT_TRUE(mem.ok());
+  // Module items are included automatically (paper §4.5 / Figure 3).
+  EXPECT_TRUE(join->left_area().metadata_registry().IsIncluded(
+      keys::kMemoryUsage));
+  EXPECT_EQ(mem->Get().AsInt(), 0);
+  left->Push(Tuple({Value(int64_t{1}), Value(0.5)}));
+  EXPECT_GT(mem->Get().AsInt(), 0);
+  EXPECT_EQ(mem->Get().AsInt(),
+            static_cast<int64_t>(join->StateMemoryBytes()));
+}
+
+TEST(StandardMetadataTest, StateSizeAndImplementationType) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto left = g.AddNode<ManualSource>("l", PairSchema());
+  auto right = g.AddNode<ManualSource>("r", PairSchema());
+  auto join = g.AddNode<SlidingWindowJoin>("join", 0, 0);  // hash
+  ASSERT_TRUE(g.Connect(*left, *join).ok());
+  ASSERT_TRUE(g.Connect(*right, *join).ok());
+
+  auto state = engine.metadata().Subscribe(*join, keys::kStateSize);
+  auto impl = engine.metadata().Subscribe(*join, keys::kImplementationType);
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(impl.ok());
+  EXPECT_EQ(impl->Get().AsString(), "hash");
+  left->Push(Tuple({Value(int64_t{1}), Value(0.0)}));
+  left->Push(Tuple({Value(int64_t{2}), Value(0.0)}));
+  EXPECT_EQ(state->Get().AsInt(), 2);
+}
+
+TEST(StandardMetadataTest, SinkQosAndResultRate) {
+  RatePlan p;
+  p.sink->set_qos_max_latency(Millis(250));
+  p.sink->set_priority(3.5);
+  auto qos = p.engine.metadata().Subscribe(*p.sink, keys::kQosMaxLatency);
+  auto prio = p.engine.metadata().Subscribe(*p.sink, keys::kPriority);
+  auto rate = p.engine.metadata().Subscribe(*p.sink, keys::kResultRate);
+  ASSERT_TRUE(qos.ok());
+  ASSERT_TRUE(prio.ok());
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(qos->Get().AsDouble(), 0.25);
+  EXPECT_DOUBLE_EQ(prio->Get().AsDouble(), 3.5);
+  p.src->Start();
+  p.engine.RunFor(Seconds(10));
+  EXPECT_NEAR(rate->Get().AsDouble(), 50.0, 5.0);
+}
+
+TEST(StandardMetadataTest, CpuUsageMeasuresWorkRate) {
+  RatePlan p;
+  auto cpu = p.engine.metadata().Subscribe(*p.filter, keys::kCpuUsage);
+  ASSERT_TRUE(cpu.ok());
+  p.src->Start();
+  p.engine.RunFor(Seconds(5));
+  // Filter charges 1 work unit per element at 100 el/s.
+  EXPECT_NEAR(cpu->Get().AsDouble(), 100.0, 2.0);
+}
+
+TEST(StandardMetadataTest, WindowSizeItemReflectsResize) {
+  StreamEngine engine;
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("s", PairSchema());
+  auto win = g.AddNode<TimeWindowOperator>("w", Seconds(2));
+  ASSERT_TRUE(g.Connect(*src, *win).ok());
+  auto ws = engine.metadata().Subscribe(*win, keys::kWindowSize);
+  ASSERT_TRUE(ws.ok());
+  EXPECT_DOUBLE_EQ(ws->Get().AsDouble(), 2.0);
+  win->set_window_size(Millis(500));
+  EXPECT_DOUBLE_EQ(ws->Get().AsDouble(), 0.5);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,125 @@
+/// Sweep areas: semantics of the list and hash implementations and their
+/// behavioral equivalence on equi-joins (property-style sweep).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "stream/operators/sweep_area.h"
+
+namespace pipes {
+namespace {
+
+StreamElement MakeElem(int64_t key, Timestamp ts, Timestamp end) {
+  return StreamElement(Tuple({Value(key), Value(0.0)}), ts, end);
+}
+
+TEST(ListSweepAreaTest, InsertProbeExpire) {
+  ListSweepArea area("a");
+  area.Insert(MakeElem(1, 0, 100));
+  area.Insert(MakeElem(2, 10, 50));
+  EXPECT_EQ(area.Size(), 2u);
+  EXPECT_GT(area.MemoryBytes(), 0u);
+
+  int candidates = 0;
+  size_t examined = area.Probe(MakeElem(9, 20, 120),
+                               [&](const StreamElement&) { ++candidates; });
+  EXPECT_EQ(examined, 2u);  // list probes everything
+  EXPECT_EQ(candidates, 2);
+
+  EXPECT_EQ(area.Expire(50), 1u);  // validity_end 50 expires at t=50
+  EXPECT_EQ(area.Size(), 1u);
+  EXPECT_EQ(area.Expire(1000), 1u);
+  EXPECT_EQ(area.Size(), 0u);
+  EXPECT_EQ(area.MemoryBytes(), 0u);
+}
+
+TEST(HashSweepAreaTest, ProbesOnlyMatchingKeys) {
+  HashSweepArea area("a", KeyColumn(0));
+  area.Insert(MakeElem(1, 0, 100));
+  area.Insert(MakeElem(1, 5, 100));
+  area.Insert(MakeElem(2, 10, 100));
+
+  int candidates = 0;
+  size_t examined = area.Probe(MakeElem(1, 20, 120),
+                               [&](const StreamElement& e) {
+                                 EXPECT_EQ(e.tuple.IntAt(0), 1);
+                                 ++candidates;
+                               });
+  EXPECT_EQ(examined, 2u);
+  EXPECT_EQ(candidates, 2);
+}
+
+TEST(HashSweepAreaTest, ExpireRemovesFromTableAndBytes) {
+  HashSweepArea area("a", KeyColumn(0));
+  area.Insert(MakeElem(1, 0, 50));
+  area.Insert(MakeElem(1, 0, 150));
+  EXPECT_EQ(area.Expire(100), 1u);
+  EXPECT_EQ(area.Size(), 1u);
+  int candidates = 0;
+  area.Probe(MakeElem(1, 0, 0), [&](const StreamElement&) { ++candidates; });
+  EXPECT_EQ(candidates, 1);
+  EXPECT_EQ(area.Expire(1000), 1u);
+  EXPECT_EQ(area.MemoryBytes(), 0u);
+}
+
+TEST(HashSweepAreaTest, ProbeKeyMayDifferFromStoreKey) {
+  // Left area stores by column 0; right elements probe with column 1.
+  HashSweepArea area("a", KeyColumn(0));
+  area.set_probe_key(KeyColumn(1));
+  area.Insert(MakeElem(7, 0, 100));
+  StreamElement probe(Tuple({Value(int64_t{0}), Value(int64_t{7})}), 10, 100);
+  int candidates = 0;
+  area.Probe(probe, [&](const StreamElement&) { ++candidates; });
+  EXPECT_EQ(candidates, 1);
+}
+
+TEST(SweepAreaModuleTest, RegistersModuleMetadata) {
+  ListSweepArea area("join/left");
+  area.RegisterModuleMetadata();
+  EXPECT_TRUE(area.metadata_registry().IsAvailable("state_size"));
+  EXPECT_TRUE(area.metadata_registry().IsAvailable("memory_usage"));
+  EXPECT_TRUE(area.metadata_registry().IsAvailable("implementation_type"));
+}
+
+class SweepAreaEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepAreaEquivalenceTest, ListAndHashProduceSameMatchSets) {
+  Rng rng(GetParam());
+  ListSweepArea list("list");
+  HashSweepArea hash("hash", KeyColumn(0));
+
+  // Random interleaving of inserts, probes, and expirations.
+  Timestamp now = 0;
+  for (int step = 0; step < 300; ++step) {
+    now += rng.UniformInt(1, 10);
+    double action = rng.NextDouble();
+    if (action < 0.6) {
+      StreamElement e = MakeElem(rng.UniformInt(0, 5), now,
+                                 now + rng.UniformInt(10, 200));
+      list.Insert(e);
+      hash.Insert(e);
+    } else if (action < 0.8) {
+      list.Expire(now);
+      hash.Expire(now);
+      EXPECT_EQ(list.Size(), hash.Size());
+    } else {
+      StreamElement probe = MakeElem(rng.UniformInt(0, 5), now, now + 100);
+      int64_t key = probe.tuple.IntAt(0);
+      std::multiset<Timestamp> list_matches, hash_matches;
+      list.Probe(probe, [&](const StreamElement& e) {
+        if (e.tuple.IntAt(0) == key) list_matches.insert(e.timestamp);
+      });
+      hash.Probe(probe,
+                 [&](const StreamElement& e) { hash_matches.insert(e.timestamp); });
+      EXPECT_EQ(list_matches, hash_matches) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SweepAreaEquivalenceTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "stream/element.h"
+#include "stream/tuple.h"
+
+namespace pipes {
+namespace {
+
+TEST(ValueHelpersTest, TypesAndCoercion) {
+  EXPECT_EQ(ValueType(Value(true)), DataType::kBool);
+  EXPECT_EQ(ValueType(Value(int64_t{1})), DataType::kInt64);
+  EXPECT_EQ(ValueType(Value(1.5)), DataType::kDouble);
+  EXPECT_EQ(ValueType(Value(std::string("x"))), DataType::kString);
+  EXPECT_EQ(ValueAsDouble(Value(int64_t{3})), 3.0);
+  EXPECT_EQ(ValueAsInt(Value(3.7)), 3);
+  EXPECT_EQ(ValueAsDouble(Value(std::string("x"))), 0.0);
+  EXPECT_EQ(ValueToString(Value(true)), "true");
+}
+
+TEST(TupleTest, AccessAndConcat) {
+  Tuple a({Value(int64_t{1}), Value(2.0)});
+  Tuple b({Value(std::string("s"))});
+  EXPECT_EQ(a.arity(), 2u);
+  EXPECT_EQ(a.IntAt(0), 1);
+  EXPECT_EQ(a.DoubleAt(1), 2.0);
+  Tuple c = Tuple::Concat(a, b);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c.IntAt(0), 1);
+  EXPECT_EQ(ValueToString(c.at(2)), "s");
+  EXPECT_EQ(a.ToString(), "(1, 2)");
+}
+
+TEST(TupleTest, EqualityAndMemory) {
+  Tuple a({Value(int64_t{1})});
+  Tuple b({Value(int64_t{1})});
+  Tuple c({Value(int64_t{2})});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_GT(a.MemoryBytes(), 0u);
+}
+
+TEST(SchemaTest, FieldsAndLookup) {
+  Schema s({Field{"id", DataType::kInt64}, Field{"v", DataType::kDouble}});
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.IndexOf("v"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_EQ(s.ToString(), "id:int64, v:double");
+  // Mirrors the in-memory layout: timestamps + tuple header + one variant
+  // slot per column.
+  EXPECT_EQ(s.ElementSizeBytes(), 16u + sizeof(Tuple) + 2 * sizeof(Value));
+  // And matches what an actual element of this schema measures.
+  StreamElement e(Tuple({Value(int64_t{1}), Value(2.0)}), 0);
+  EXPECT_EQ(s.ElementSizeBytes(), e.MemoryBytes());
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a({Field{"x", DataType::kInt64}});
+  Schema b({Field{"y", DataType::kBool}});
+  Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.arity(), 2u);
+  EXPECT_EQ(c.field(1).name, "y");
+  EXPECT_EQ(a, Schema({Field{"x", DataType::kInt64}}));
+}
+
+TEST(StreamElementTest, ValidityWindow) {
+  StreamElement e(Tuple({Value(int64_t{1})}), 100, 200);
+  EXPECT_TRUE(e.ValidAt(150));
+  EXPECT_TRUE(e.ValidAt(100));
+  EXPECT_FALSE(e.ValidAt(200));
+  StreamElement unbounded(Tuple(), 0);
+  EXPECT_TRUE(unbounded.ValidAt(kTimestampMax - 1));
+}
+
+}  // namespace
+}  // namespace pipes

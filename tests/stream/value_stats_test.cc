@@ -1,0 +1,100 @@
+/// Value-distribution quantile metadata over a shared histogram sketch.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metadata/handler.h"
+#include "stream/engine.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+#include "stream/value_stats.h"
+
+namespace pipes {
+namespace {
+
+TEST(ValueStatsTest, QuantileKeyNames) {
+  EXPECT_EQ(ValueQuantileKey(0.5), "value_p50");
+  EXPECT_EQ(ValueQuantileKey(0.99), "value_p99");
+  EXPECT_EQ(ValueQuantileKey(0.999), "value_p99.9");
+}
+
+TEST(ValueStatsTest, RejectsBadParameters) {
+  StreamEngine engine;
+  auto src = engine.graph().AddNode<ManualSource>("s", PairSchema());
+  EXPECT_FALSE(RegisterValueQuantiles(*src, 1, 1.0, 0.0).ok());
+  EXPECT_FALSE(RegisterValueQuantiles(*src, 1, 0.0, 1.0, {}).ok());
+  EXPECT_FALSE(RegisterValueQuantiles(*src, 1, 0.0, 1.0, {1.5}).ok());
+  EXPECT_FALSE(RegisterValueQuantiles(*src, 1, 0.0, 1.0, {0.5}, 0).ok());
+}
+
+struct QuantilePlan {
+  StreamEngine engine{EngineMode::kVirtualTime, 1, Seconds(1)};
+  std::shared_ptr<SyntheticSource> src;
+
+  QuantilePlan() {
+    src = engine.graph().AddNode<SyntheticSource>(
+        "src", PairSchema(), std::make_unique<ConstantArrivals>(Millis(2)),
+        MakeUniformPairGenerator(10, 0.0, 1.0), 5);
+    EXPECT_TRUE(
+        RegisterValueQuantiles(*src, 1, 0.0, 1.0, {0.5, 0.9}, 200).ok());
+  }
+};
+
+TEST(ValueStatsTest, QuantilesOfUniformValues) {
+  QuantilePlan p;
+  auto p50 = p.engine.metadata().Subscribe(*p.src, "value_p50").value();
+  auto p90 = p.engine.metadata().Subscribe(*p.src, "value_p90").value();
+  // Both quantile items share one epoch handler and one sketch.
+  EXPECT_EQ(p.engine.metadata().active_handler_count(), 3u);
+  p.src->Start();
+  p.engine.RunFor(Seconds(5));
+  EXPECT_NEAR(p50.Get().AsDouble(), 0.5, 0.07);
+  EXPECT_NEAR(p90.Get().AsDouble(), 0.9, 0.07);
+  EXPECT_GT(p50.Get().AsDouble() + 0.2, 0.5);
+}
+
+TEST(ValueStatsTest, ObserverRemovedWithLastQuantile) {
+  QuantilePlan p;
+  {
+    auto p50 = p.engine.metadata().Subscribe(*p.src, "value_p50").value();
+    auto p90 = p.engine.metadata().Subscribe(*p.src, "value_p90").value();
+    p.src->Start();
+    p.engine.RunFor(Seconds(2));
+    EXPECT_GT(p50.Get().AsDouble(), 0.0);
+  }
+  // Everything excluded again; the sketch no longer gathers.
+  EXPECT_EQ(p.engine.metadata().active_handler_count(), 0u);
+  EXPECT_FALSE(
+      p.src->metadata_registry().IsIncluded(kValueDistributionEpoch));
+}
+
+TEST(ValueStatsTest, QuantilesFollowDistributionShift) {
+  // Values jump from U[0,1] to U[2,3] mid-run (on a fresh source): the
+  // quantiles of the *last window* follow.
+  StreamEngine engine(EngineMode::kVirtualTime, 1, Seconds(1));
+  auto& g = engine.graph();
+  auto src = g.AddNode<ManualSource>("src", PairSchema());
+  ASSERT_TRUE(RegisterValueQuantiles(*src, 1, 0.0, 4.0, {0.5}, 400).ok());
+  auto p50 = engine.metadata().Subscribe(*src, "value_p50").value();
+
+  // 480 pushes stay clear of the window boundary at each full second, so
+  // every snapshot holds a full phase's sample.
+  Rng rng(3);
+  for (int i = 0; i < 480; ++i) {
+    engine.RunFor(Millis(2));
+    src->Push(Tuple({Value(int64_t{1}), Value(rng.UniformDouble(0.0, 1.0))}));
+  }
+  engine.RunFor(Millis(540));  // cross the 1 s tick
+  EXPECT_NEAR(p50.Get().AsDouble(), 0.5, 0.15);
+
+  for (int i = 0; i < 480; ++i) {
+    engine.RunFor(Millis(2));
+    src->Push(Tuple({Value(int64_t{1}), Value(rng.UniformDouble(2.0, 3.0))}));
+  }
+  engine.RunFor(Seconds(1));
+  EXPECT_NEAR(p50.Get().AsDouble(), 2.5, 0.15);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,191 @@
+/// Sliding-window join semantics: windows bound state, matches respect
+/// validity intervals, hash and nested-loops agree with a naive reference
+/// join under random streams.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "stream/engine.h"
+#include "stream/operators/join.h"
+#include "stream/operators/window.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace pipes {
+namespace {
+
+struct JoinPlan {
+  StreamEngine engine;
+  std::shared_ptr<ManualSource> left, right;
+  std::shared_ptr<TimeWindowOperator> lwin, rwin;
+  std::shared_ptr<SlidingWindowJoin> join;
+  std::shared_ptr<CollectorSink> sink;
+
+  explicit JoinPlan(Duration window, bool hash) {
+    auto& g = engine.graph();
+    left = g.AddNode<ManualSource>("left", PairSchema());
+    right = g.AddNode<ManualSource>("right", PairSchema());
+    lwin = g.AddNode<TimeWindowOperator>("lwin", window);
+    rwin = g.AddNode<TimeWindowOperator>("rwin", window);
+    if (hash) {
+      join = g.AddNode<SlidingWindowJoin>("join", 0, 0);
+    } else {
+      join = g.AddNode<SlidingWindowJoin>("join", EquiJoinPredicate(0, 0));
+    }
+    sink = g.AddNode<CollectorSink>("sink");
+    EXPECT_TRUE(g.Connect(*left, *lwin).ok());
+    EXPECT_TRUE(g.Connect(*right, *rwin).ok());
+    EXPECT_TRUE(g.Connect(*lwin, *join).ok());
+    EXPECT_TRUE(g.Connect(*rwin, *join).ok());
+    EXPECT_TRUE(g.Connect(*join, *sink).ok());
+  }
+
+  void PushLeft(int64_t key, Timestamp at) {
+    engine.RunUntil(at);
+    left->Push(Tuple({Value(key), Value(1.0)}));
+  }
+  void PushRight(int64_t key, Timestamp at) {
+    engine.RunUntil(at);
+    right->Push(Tuple({Value(key), Value(2.0)}));
+  }
+};
+
+TEST(WindowJoinTest, MatchesWithinWindow) {
+  JoinPlan p(/*window=*/100, /*hash=*/false);
+  p.PushLeft(1, 10);
+  p.PushRight(1, 50);  // left still valid (10+100 > 50)
+  ASSERT_EQ(p.sink->size(), 1u);
+  StreamElement out = p.sink->Elements()[0];
+  EXPECT_EQ(out.tuple.arity(), 4u);
+  EXPECT_EQ(out.tuple.IntAt(0), 1);
+  EXPECT_EQ(out.tuple.DoubleAt(1), 1.0);  // left columns first
+  EXPECT_EQ(out.tuple.DoubleAt(3), 2.0);
+  EXPECT_EQ(out.timestamp, 50);
+}
+
+TEST(WindowJoinTest, NoMatchOutsideWindow) {
+  JoinPlan p(100, false);
+  p.PushLeft(1, 10);
+  p.PushRight(1, 110);  // left expired at 110
+  EXPECT_EQ(p.sink->size(), 0u);
+}
+
+TEST(WindowJoinTest, NoMatchOnDifferentKeys) {
+  JoinPlan p(100, false);
+  p.PushLeft(1, 10);
+  p.PushRight(2, 20);
+  EXPECT_EQ(p.sink->size(), 0u);
+}
+
+TEST(WindowJoinTest, ResultValidityIsIntersection) {
+  JoinPlan p(100, false);
+  p.PushLeft(1, 10);   // valid until 110
+  p.PushRight(1, 60);  // valid until 160
+  ASSERT_EQ(p.sink->size(), 1u);
+  EXPECT_EQ(p.sink->Elements()[0].validity_end, 110);
+}
+
+TEST(WindowJoinTest, StateIsBoundedByWindow) {
+  JoinPlan p(50, false);
+  for (Timestamp t = 0; t < 1000; t += 10) {
+    p.PushLeft(t, t + 1);
+  }
+  // Only elements within the last 50 time units may remain after expiry on
+  // the next insert.
+  p.PushRight(-1, 1001);
+  EXPECT_LE(p.join->left_area().Size(), 6u);
+  EXPECT_EQ(p.join->StateCount(),
+            p.join->left_area().Size() + p.join->right_area().Size());
+}
+
+TEST(WindowJoinTest, WindowResizeTakesEffectForNewElements) {
+  JoinPlan p(100, false);
+  p.lwin->set_window_size(10);
+  p.PushLeft(1, 100);
+  p.PushRight(1, 105);  // inside the new 10-unit window
+  EXPECT_EQ(p.sink->size(), 1u);
+  p.PushLeft(2, 200);
+  p.PushRight(2, 215);  // outside
+  EXPECT_EQ(p.sink->size(), 1u);
+}
+
+TEST(WindowJoinTest, ImplementationTypeAndModules) {
+  JoinPlan nl(100, false);
+  EXPECT_EQ(nl.join->ImplementationType(), "nested-loops");
+  EXPECT_EQ(nl.join->left_area().ImplementationType(), "list");
+  JoinPlan h(100, true);
+  EXPECT_EQ(h.join->ImplementationType(), "hash");
+  EXPECT_NE(h.join->MetadataModule("left_state"), nullptr);
+  EXPECT_NE(h.join->MetadataModule("right_state"), nullptr);
+}
+
+TEST(WindowJoinTest, WorkAccountingCountsCandidates) {
+  JoinPlan p(1000, false);
+  p.join->work_probe().Enable();
+  p.PushLeft(1, 10);
+  p.PushLeft(2, 20);
+  p.PushLeft(3, 30);
+  double before = p.join->work_probe().Value();
+  p.PushRight(1, 40);  // probes 3 stored left elements
+  double delta = p.join->work_probe().Value() - before;
+  EXPECT_DOUBLE_EQ(delta, 1.0 + 3.0);
+}
+
+// Reference join: brute force over full histories.
+struct RefEvent {
+  int side;
+  int64_t key;
+  Timestamp ts;
+  Timestamp end;
+};
+
+size_t ReferenceJoinCount(const std::vector<RefEvent>& events) {
+  size_t matches = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const RefEvent& newer = events[i];
+      const RefEvent& older = events[j];
+      if (newer.side == older.side) continue;
+      if (newer.key != older.key) continue;
+      if (older.end > newer.ts) ++matches;  // older still valid
+    }
+  }
+  return matches;
+}
+
+class JoinEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(JoinEquivalenceTest, AgreesWithBruteForceReference) {
+  auto [seed, hash] = GetParam();
+  Rng rng(seed);
+  const Duration kWindow = 80;
+  JoinPlan p(kWindow, hash);
+
+  std::vector<RefEvent> events;
+  Timestamp now = 0;
+  for (int i = 0; i < 400; ++i) {
+    now += rng.UniformInt(1, 15);
+    int side = rng.Bernoulli(0.5) ? 0 : 1;
+    int64_t key = rng.UniformInt(0, 7);
+    events.push_back(RefEvent{side, key, now, now + kWindow});
+    if (side == 0) {
+      p.PushLeft(key, now);
+    } else {
+      p.PushRight(key, now);
+    }
+  }
+  EXPECT_EQ(p.sink->size(), ReferenceJoinCount(events));
+  EXPECT_EQ(p.join->match_count(), ReferenceJoinCount(events));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSeeds, JoinEquivalenceTest,
+    ::testing::Combine(::testing::Range(1, 9), ::testing::Bool()));
+
+}  // namespace
+}  // namespace pipes
