@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_deps.dir/ablation_dynamic_deps.cc.o"
+  "CMakeFiles/ablation_dynamic_deps.dir/ablation_dynamic_deps.cc.o.d"
+  "ablation_dynamic_deps"
+  "ablation_dynamic_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

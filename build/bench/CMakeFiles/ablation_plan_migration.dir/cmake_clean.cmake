@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_plan_migration.dir/ablation_plan_migration.cc.o"
+  "CMakeFiles/ablation_plan_migration.dir/ablation_plan_migration.cc.o.d"
+  "ablation_plan_migration"
+  "ablation_plan_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plan_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sweep_area.dir/ablation_sweep_area.cc.o"
+  "CMakeFiles/ablation_sweep_area.dir/ablation_sweep_area.cc.o.d"
+  "ablation_sweep_area"
+  "ablation_sweep_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sweep_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

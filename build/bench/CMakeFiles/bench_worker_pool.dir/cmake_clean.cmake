@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worker_pool.dir/bench_worker_pool.cc.o"
+  "CMakeFiles/bench_worker_pool.dir/bench_worker_pool.cc.o.d"
+  "bench_worker_pool"
+  "bench_worker_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worker_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_infrastructure.dir/fig1_infrastructure.cc.o"
+  "CMakeFiles/fig1_infrastructure.dir/fig1_infrastructure.cc.o.d"
+  "fig1_infrastructure"
+  "fig1_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_taxonomy.dir/fig2_taxonomy.cc.o"
+  "CMakeFiles/fig2_taxonomy.dir/fig2_taxonomy.cc.o.d"
+  "fig2_taxonomy"
+  "fig2_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

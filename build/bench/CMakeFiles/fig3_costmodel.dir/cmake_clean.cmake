@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_costmodel.dir/fig3_costmodel.cc.o"
+  "CMakeFiles/fig3_costmodel.dir/fig3_costmodel.cc.o.d"
+  "fig3_costmodel"
+  "fig3_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

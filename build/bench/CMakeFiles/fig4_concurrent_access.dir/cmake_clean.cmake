@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_concurrent_access.dir/fig4_concurrent_access.cc.o"
+  "CMakeFiles/fig4_concurrent_access.dir/fig4_concurrent_access.cc.o.d"
+  "fig4_concurrent_access"
+  "fig4_concurrent_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_concurrent_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

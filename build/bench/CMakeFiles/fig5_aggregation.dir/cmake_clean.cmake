@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_aggregation.dir/fig5_aggregation.cc.o"
+  "CMakeFiles/fig5_aggregation.dir/fig5_aggregation.cc.o.d"
+  "fig5_aggregation"
+  "fig5_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

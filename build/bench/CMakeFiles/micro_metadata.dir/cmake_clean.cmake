@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_metadata.dir/micro_metadata.cc.o"
+  "CMakeFiles/micro_metadata.dir/micro_metadata.cc.o.d"
+  "micro_metadata"
+  "micro_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_freshness.dir/scale_freshness.cc.o"
+  "CMakeFiles/scale_freshness.dir/scale_freshness.cc.o.d"
+  "scale_freshness"
+  "scale_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

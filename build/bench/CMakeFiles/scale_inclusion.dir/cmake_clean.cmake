@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_inclusion.dir/scale_inclusion.cc.o"
+  "CMakeFiles/scale_inclusion.dir/scale_inclusion.cc.o.d"
+  "scale_inclusion"
+  "scale_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_provision.dir/scale_provision.cc.o"
+  "CMakeFiles/scale_provision.dir/scale_provision.cc.o.d"
+  "scale_provision"
+  "scale_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

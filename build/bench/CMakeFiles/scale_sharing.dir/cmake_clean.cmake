@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_sharing.dir/scale_sharing.cc.o"
+  "CMakeFiles/scale_sharing.dir/scale_sharing.cc.o.d"
+  "scale_sharing"
+  "scale_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

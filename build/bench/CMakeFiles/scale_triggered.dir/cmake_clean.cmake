@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_triggered.dir/scale_triggered.cc.o"
+  "CMakeFiles/scale_triggered.dir/scale_triggered.cc.o.d"
+  "scale_triggered"
+  "scale_triggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_triggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

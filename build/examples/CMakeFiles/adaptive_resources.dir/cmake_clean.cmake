@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_resources.dir/adaptive_resources.cpp.o"
+  "CMakeFiles/adaptive_resources.dir/adaptive_resources.cpp.o.d"
+  "adaptive_resources"
+  "adaptive_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

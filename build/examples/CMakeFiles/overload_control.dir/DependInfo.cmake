@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/overload_control.cpp" "examples/CMakeFiles/overload_control.dir/overload_control.cpp.o" "gcc" "examples/CMakeFiles/overload_control.dir/overload_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pipes_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/pipes_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipes_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/pipes_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/pipes_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipes_common.dir/clock.cc.o"
+  "CMakeFiles/pipes_common.dir/clock.cc.o.d"
+  "CMakeFiles/pipes_common.dir/reentrant_shared_mutex.cc.o"
+  "CMakeFiles/pipes_common.dir/reentrant_shared_mutex.cc.o.d"
+  "CMakeFiles/pipes_common.dir/rng.cc.o"
+  "CMakeFiles/pipes_common.dir/rng.cc.o.d"
+  "CMakeFiles/pipes_common.dir/scheduler.cc.o"
+  "CMakeFiles/pipes_common.dir/scheduler.cc.o.d"
+  "CMakeFiles/pipes_common.dir/stats.cc.o"
+  "CMakeFiles/pipes_common.dir/stats.cc.o.d"
+  "CMakeFiles/pipes_common.dir/status.cc.o"
+  "CMakeFiles/pipes_common.dir/status.cc.o.d"
+  "CMakeFiles/pipes_common.dir/table_printer.cc.o"
+  "CMakeFiles/pipes_common.dir/table_printer.cc.o.d"
+  "libpipes_common.a"
+  "libpipes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipes_costmodel.dir/costmodel.cc.o"
+  "CMakeFiles/pipes_costmodel.dir/costmodel.cc.o.d"
+  "libpipes_costmodel.a"
+  "libpipes_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipes_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

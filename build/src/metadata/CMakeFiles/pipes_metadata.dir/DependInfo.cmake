@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/derived.cc" "src/metadata/CMakeFiles/pipes_metadata.dir/derived.cc.o" "gcc" "src/metadata/CMakeFiles/pipes_metadata.dir/derived.cc.o.d"
+  "/root/repo/src/metadata/descriptor.cc" "src/metadata/CMakeFiles/pipes_metadata.dir/descriptor.cc.o" "gcc" "src/metadata/CMakeFiles/pipes_metadata.dir/descriptor.cc.o.d"
+  "/root/repo/src/metadata/handler.cc" "src/metadata/CMakeFiles/pipes_metadata.dir/handler.cc.o" "gcc" "src/metadata/CMakeFiles/pipes_metadata.dir/handler.cc.o.d"
+  "/root/repo/src/metadata/manager.cc" "src/metadata/CMakeFiles/pipes_metadata.dir/manager.cc.o" "gcc" "src/metadata/CMakeFiles/pipes_metadata.dir/manager.cc.o.d"
+  "/root/repo/src/metadata/provider.cc" "src/metadata/CMakeFiles/pipes_metadata.dir/provider.cc.o" "gcc" "src/metadata/CMakeFiles/pipes_metadata.dir/provider.cc.o.d"
+  "/root/repo/src/metadata/registry.cc" "src/metadata/CMakeFiles/pipes_metadata.dir/registry.cc.o" "gcc" "src/metadata/CMakeFiles/pipes_metadata.dir/registry.cc.o.d"
+  "/root/repo/src/metadata/value.cc" "src/metadata/CMakeFiles/pipes_metadata.dir/value.cc.o" "gcc" "src/metadata/CMakeFiles/pipes_metadata.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipes_metadata.dir/derived.cc.o"
+  "CMakeFiles/pipes_metadata.dir/derived.cc.o.d"
+  "CMakeFiles/pipes_metadata.dir/descriptor.cc.o"
+  "CMakeFiles/pipes_metadata.dir/descriptor.cc.o.d"
+  "CMakeFiles/pipes_metadata.dir/handler.cc.o"
+  "CMakeFiles/pipes_metadata.dir/handler.cc.o.d"
+  "CMakeFiles/pipes_metadata.dir/manager.cc.o"
+  "CMakeFiles/pipes_metadata.dir/manager.cc.o.d"
+  "CMakeFiles/pipes_metadata.dir/provider.cc.o"
+  "CMakeFiles/pipes_metadata.dir/provider.cc.o.d"
+  "CMakeFiles/pipes_metadata.dir/registry.cc.o"
+  "CMakeFiles/pipes_metadata.dir/registry.cc.o.d"
+  "CMakeFiles/pipes_metadata.dir/value.cc.o"
+  "CMakeFiles/pipes_metadata.dir/value.cc.o.d"
+  "libpipes_metadata.a"
+  "libpipes_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipes_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/chain_scheduler.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/chain_scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/chain_scheduler.cc.o.d"
+  "/root/repo/src/runtime/load_shedder.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/load_shedder.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/load_shedder.cc.o.d"
+  "/root/repo/src/runtime/monitor.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/monitor.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/monitor.cc.o.d"
+  "/root/repo/src/runtime/optimizer.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/optimizer.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/optimizer.cc.o.d"
+  "/root/repo/src/runtime/plan_migration.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/plan_migration.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/plan_migration.cc.o.d"
+  "/root/repo/src/runtime/profiler.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/profiler.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/profiler.cc.o.d"
+  "/root/repo/src/runtime/queued_runtime.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/queued_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/queued_runtime.cc.o.d"
+  "/root/repo/src/runtime/resource_manager.cc" "src/runtime/CMakeFiles/pipes_runtime.dir/resource_manager.cc.o" "gcc" "src/runtime/CMakeFiles/pipes_runtime.dir/resource_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/pipes_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipes_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/pipes_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

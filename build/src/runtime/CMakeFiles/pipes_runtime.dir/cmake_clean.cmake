@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipes_runtime.dir/chain_scheduler.cc.o"
+  "CMakeFiles/pipes_runtime.dir/chain_scheduler.cc.o.d"
+  "CMakeFiles/pipes_runtime.dir/load_shedder.cc.o"
+  "CMakeFiles/pipes_runtime.dir/load_shedder.cc.o.d"
+  "CMakeFiles/pipes_runtime.dir/monitor.cc.o"
+  "CMakeFiles/pipes_runtime.dir/monitor.cc.o.d"
+  "CMakeFiles/pipes_runtime.dir/optimizer.cc.o"
+  "CMakeFiles/pipes_runtime.dir/optimizer.cc.o.d"
+  "CMakeFiles/pipes_runtime.dir/plan_migration.cc.o"
+  "CMakeFiles/pipes_runtime.dir/plan_migration.cc.o.d"
+  "CMakeFiles/pipes_runtime.dir/profiler.cc.o"
+  "CMakeFiles/pipes_runtime.dir/profiler.cc.o.d"
+  "CMakeFiles/pipes_runtime.dir/queued_runtime.cc.o"
+  "CMakeFiles/pipes_runtime.dir/queued_runtime.cc.o.d"
+  "CMakeFiles/pipes_runtime.dir/resource_manager.cc.o"
+  "CMakeFiles/pipes_runtime.dir/resource_manager.cc.o.d"
+  "libpipes_runtime.a"
+  "libpipes_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipes_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpipes_runtime.a"
+)

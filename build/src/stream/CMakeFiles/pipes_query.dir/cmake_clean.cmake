@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipes_query.dir/query_builder.cc.o"
+  "CMakeFiles/pipes_query.dir/query_builder.cc.o.d"
+  "libpipes_query.a"
+  "libpipes_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipes_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

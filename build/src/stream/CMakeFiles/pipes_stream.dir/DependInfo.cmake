@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/engine.cc" "src/stream/CMakeFiles/pipes_stream.dir/engine.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/engine.cc.o.d"
+  "/root/repo/src/stream/expr.cc" "src/stream/CMakeFiles/pipes_stream.dir/expr.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/expr.cc.o.d"
+  "/root/repo/src/stream/graph.cc" "src/stream/CMakeFiles/pipes_stream.dir/graph.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/graph.cc.o.d"
+  "/root/repo/src/stream/node.cc" "src/stream/CMakeFiles/pipes_stream.dir/node.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/node.cc.o.d"
+  "/root/repo/src/stream/operators/aggregate.cc" "src/stream/CMakeFiles/pipes_stream.dir/operators/aggregate.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/operators/aggregate.cc.o.d"
+  "/root/repo/src/stream/operators/basic.cc" "src/stream/CMakeFiles/pipes_stream.dir/operators/basic.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/operators/basic.cc.o.d"
+  "/root/repo/src/stream/operators/count_window.cc" "src/stream/CMakeFiles/pipes_stream.dir/operators/count_window.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/operators/count_window.cc.o.d"
+  "/root/repo/src/stream/operators/group_aggregate.cc" "src/stream/CMakeFiles/pipes_stream.dir/operators/group_aggregate.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/operators/group_aggregate.cc.o.d"
+  "/root/repo/src/stream/operators/join.cc" "src/stream/CMakeFiles/pipes_stream.dir/operators/join.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/operators/join.cc.o.d"
+  "/root/repo/src/stream/operators/sweep_area.cc" "src/stream/CMakeFiles/pipes_stream.dir/operators/sweep_area.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/operators/sweep_area.cc.o.d"
+  "/root/repo/src/stream/operators/window.cc" "src/stream/CMakeFiles/pipes_stream.dir/operators/window.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/operators/window.cc.o.d"
+  "/root/repo/src/stream/sink.cc" "src/stream/CMakeFiles/pipes_stream.dir/sink.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/sink.cc.o.d"
+  "/root/repo/src/stream/source.cc" "src/stream/CMakeFiles/pipes_stream.dir/source.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/source.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/stream/CMakeFiles/pipes_stream.dir/tuple.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/tuple.cc.o.d"
+  "/root/repo/src/stream/value_stats.cc" "src/stream/CMakeFiles/pipes_stream.dir/value_stats.cc.o" "gcc" "src/stream/CMakeFiles/pipes_stream.dir/value_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metadata/CMakeFiles/pipes_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

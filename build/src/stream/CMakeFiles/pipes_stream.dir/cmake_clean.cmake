@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipes_stream.dir/engine.cc.o"
+  "CMakeFiles/pipes_stream.dir/engine.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/expr.cc.o"
+  "CMakeFiles/pipes_stream.dir/expr.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/graph.cc.o"
+  "CMakeFiles/pipes_stream.dir/graph.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/node.cc.o"
+  "CMakeFiles/pipes_stream.dir/node.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/operators/aggregate.cc.o"
+  "CMakeFiles/pipes_stream.dir/operators/aggregate.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/operators/basic.cc.o"
+  "CMakeFiles/pipes_stream.dir/operators/basic.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/operators/count_window.cc.o"
+  "CMakeFiles/pipes_stream.dir/operators/count_window.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/operators/group_aggregate.cc.o"
+  "CMakeFiles/pipes_stream.dir/operators/group_aggregate.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/operators/join.cc.o"
+  "CMakeFiles/pipes_stream.dir/operators/join.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/operators/sweep_area.cc.o"
+  "CMakeFiles/pipes_stream.dir/operators/sweep_area.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/operators/window.cc.o"
+  "CMakeFiles/pipes_stream.dir/operators/window.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/sink.cc.o"
+  "CMakeFiles/pipes_stream.dir/sink.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/source.cc.o"
+  "CMakeFiles/pipes_stream.dir/source.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/tuple.cc.o"
+  "CMakeFiles/pipes_stream.dir/tuple.cc.o.d"
+  "CMakeFiles/pipes_stream.dir/value_stats.cc.o"
+  "CMakeFiles/pipes_stream.dir/value_stats.cc.o.d"
+  "libpipes_stream.a"
+  "libpipes_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipes_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_costmodel_test.dir/costmodel/adaptive_costmodel_test.cc.o"
+  "CMakeFiles/adaptive_costmodel_test.dir/costmodel/adaptive_costmodel_test.cc.o.d"
+  "adaptive_costmodel_test"
+  "adaptive_costmodel_test.pdb"
+  "adaptive_costmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_costmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

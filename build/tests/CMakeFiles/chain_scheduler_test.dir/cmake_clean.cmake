@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_scheduler_test.dir/runtime/chain_scheduler_test.cc.o"
+  "CMakeFiles/chain_scheduler_test.dir/runtime/chain_scheduler_test.cc.o.d"
+  "chain_scheduler_test"
+  "chain_scheduler_test.pdb"
+  "chain_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_deps_test.dir/metadata/dynamic_deps_test.cc.o"
+  "CMakeFiles/dynamic_deps_test.dir/metadata/dynamic_deps_test.cc.o.d"
+  "dynamic_deps_test"
+  "dynamic_deps_test.pdb"
+  "dynamic_deps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_deps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_operators_test.dir/stream/extended_operators_test.cc.o"
+  "CMakeFiles/extended_operators_test.dir/stream/extended_operators_test.cc.o.d"
+  "extended_operators_test"
+  "extended_operators_test.pdb"
+  "extended_operators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

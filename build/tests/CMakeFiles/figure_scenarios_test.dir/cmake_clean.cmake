@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_scenarios_test.dir/integration/figure_scenarios_test.cc.o"
+  "CMakeFiles/figure_scenarios_test.dir/integration/figure_scenarios_test.cc.o.d"
+  "figure_scenarios_test"
+  "figure_scenarios_test.pdb"
+  "figure_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handlers_test.dir/metadata/handlers_test.cc.o"
+  "CMakeFiles/handlers_test.dir/metadata/handlers_test.cc.o.d"
+  "handlers_test"
+  "handlers_test.pdb"
+  "handlers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handlers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

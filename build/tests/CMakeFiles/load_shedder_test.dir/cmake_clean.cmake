@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_shedder_test.dir/runtime/load_shedder_test.cc.o"
+  "CMakeFiles/load_shedder_test.dir/runtime/load_shedder_test.cc.o.d"
+  "load_shedder_test"
+  "load_shedder_test.pdb"
+  "load_shedder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_shedder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

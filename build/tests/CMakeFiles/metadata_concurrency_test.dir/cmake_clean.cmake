@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_concurrency_test.dir/metadata/concurrency_test.cc.o"
+  "CMakeFiles/metadata_concurrency_test.dir/metadata/concurrency_test.cc.o.d"
+  "metadata_concurrency_test"
+  "metadata_concurrency_test.pdb"
+  "metadata_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_lifecycle_test.dir/metadata/lifecycle_test.cc.o"
+  "CMakeFiles/metadata_lifecycle_test.dir/metadata/lifecycle_test.cc.o.d"
+  "metadata_lifecycle_test"
+  "metadata_lifecycle_test.pdb"
+  "metadata_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

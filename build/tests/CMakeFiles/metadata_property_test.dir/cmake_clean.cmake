@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_property_test.dir/metadata/property_test.cc.o"
+  "CMakeFiles/metadata_property_test.dir/metadata/property_test.cc.o.d"
+  "metadata_property_test"
+  "metadata_property_test.pdb"
+  "metadata_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_migration_test.dir/runtime/plan_migration_test.cc.o"
+  "CMakeFiles/plan_migration_test.dir/runtime/plan_migration_test.cc.o.d"
+  "plan_migration_test"
+  "plan_migration_test.pdb"
+  "plan_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

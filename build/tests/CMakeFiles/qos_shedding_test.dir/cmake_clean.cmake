@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_shedding_test.dir/runtime/qos_shedding_test.cc.o"
+  "CMakeFiles/qos_shedding_test.dir/runtime/qos_shedding_test.cc.o.d"
+  "qos_shedding_test"
+  "qos_shedding_test.pdb"
+  "qos_shedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_shedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

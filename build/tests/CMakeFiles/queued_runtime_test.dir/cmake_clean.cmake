@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queued_runtime_test.dir/runtime/queued_runtime_test.cc.o"
+  "CMakeFiles/queued_runtime_test.dir/runtime/queued_runtime_test.cc.o.d"
+  "queued_runtime_test"
+  "queued_runtime_test.pdb"
+  "queued_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queued_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

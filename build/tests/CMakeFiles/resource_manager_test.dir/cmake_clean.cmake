@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_manager_test.dir/runtime/resource_manager_test.cc.o"
+  "CMakeFiles/resource_manager_test.dir/runtime/resource_manager_test.cc.o.d"
+  "resource_manager_test"
+  "resource_manager_test.pdb"
+  "resource_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwlock_test.dir/common/rwlock_test.cc.o"
+  "CMakeFiles/rwlock_test.dir/common/rwlock_test.cc.o.d"
+  "rwlock_test"
+  "rwlock_test.pdb"
+  "rwlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standard_metadata_test.dir/stream/standard_metadata_test.cc.o"
+  "CMakeFiles/standard_metadata_test.dir/stream/standard_metadata_test.cc.o.d"
+  "standard_metadata_test"
+  "standard_metadata_test.pdb"
+  "standard_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standard_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

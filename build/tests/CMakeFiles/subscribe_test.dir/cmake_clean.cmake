@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscribe_test.dir/metadata/subscribe_test.cc.o"
+  "CMakeFiles/subscribe_test.dir/metadata/subscribe_test.cc.o.d"
+  "subscribe_test"
+  "subscribe_test.pdb"
+  "subscribe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscribe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

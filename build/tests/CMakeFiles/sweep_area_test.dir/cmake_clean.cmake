@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_area_test.dir/stream/sweep_area_test.cc.o"
+  "CMakeFiles/sweep_area_test.dir/stream/sweep_area_test.cc.o.d"
+  "sweep_area_test"
+  "sweep_area_test.pdb"
+  "sweep_area_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_stats_test.dir/stream/value_stats_test.cc.o"
+  "CMakeFiles/value_stats_test.dir/stream/value_stats_test.cc.o.d"
+  "value_stats_test"
+  "value_stats_test.pdb"
+  "value_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_join_test.dir/stream/window_join_test.cc.o"
+  "CMakeFiles/window_join_test.dir/stream/window_join_test.cc.o.d"
+  "window_join_test"
+  "window_join_test.pdb"
+  "window_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
