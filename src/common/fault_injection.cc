@@ -1,0 +1,91 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace pipes {
+
+const char* FaultActionToString(FaultAction a) {
+  switch (a) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kThrow:
+      return "throw";
+    case FaultAction::kReturnNan:
+      return "nan";
+    case FaultAction::kSleep:
+      return "sleep";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::Arm(const std::string& scope, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_[scope] = spec;
+}
+
+void FaultInjector::Disarm(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.erase(scope);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+}
+
+const FaultSpec* FaultInjector::FindSpec(const std::string& scope) const {
+  auto it = specs_.find(scope);
+  if (it != specs_.end()) return &it->second;
+  it = specs_.find("*");
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+bool FaultInjector::armed(const std::string& scope) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindSpec(scope) != nullptr;
+}
+
+FaultAction FaultInjector::Decide(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FaultSpec* spec = FindSpec(scope);
+  if (spec == nullptr) return FaultAction::kNone;
+  ++stats_.decisions;
+  double u = rng_.NextDouble();
+  double edge = std::max(0.0, spec->throw_probability);
+  if (u < edge) {
+    ++stats_.throws;
+    return FaultAction::kThrow;
+  }
+  edge += std::max(0.0, spec->nan_probability);
+  if (u < edge) {
+    ++stats_.nans;
+    return FaultAction::kReturnNan;
+  }
+  edge += std::max(0.0, spec->sleep_probability);
+  if (u < edge) {
+    ++stats_.sleeps;
+    return FaultAction::kSleep;
+  }
+  return FaultAction::kNone;
+}
+
+void FaultInjector::SleepNow(const std::string& scope) {
+  Duration d = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const FaultSpec* spec = FindSpec(scope);
+    if (spec != nullptr) d = spec->sleep_duration;
+  }
+  if (d > 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pipes

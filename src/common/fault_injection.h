@@ -1,0 +1,148 @@
+/// \file fault_injection.h
+/// \brief Seeded, deterministic fault injection for chaos tests and benches.
+///
+/// Production stream processors must tolerate partially failing components:
+/// a single misbehaving metadata evaluator or monitoring hook must not
+/// poison an update-propagation wave or wedge a scheduler worker. The
+/// `FaultInjector` makes that failure mode reproducible: any callable can be
+/// wrapped so that, with configured per-scope probabilities, an invocation
+/// throws, returns NaN, or stalls (real-time sleep). All draws come from one
+/// seeded generator, so a virtual-time run replays the exact same fault
+/// sequence every time.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pipes {
+
+/// What an injection site does on one invocation.
+enum class FaultAction {
+  kNone,       ///< run the wrapped callable normally
+  kThrow,      ///< raise InjectedFault instead of running it
+  kReturnNan,  ///< return quiet NaN instead of running it
+  kSleep,      ///< stall (real-time sleep), then run it normally
+};
+
+/// Human-readable name of a fault action.
+const char* FaultActionToString(FaultAction a);
+
+/// \brief Per-scope fault probabilities. Probabilities are cumulative over
+/// one uniform draw, so their sum is clamped to 1.
+struct FaultSpec {
+  double throw_probability = 0.0;
+  double nan_probability = 0.0;
+  double sleep_probability = 0.0;
+  /// Real-time stall length for kSleep (virtual clocks do not advance).
+  Duration sleep_duration = 5 * kMicrosPerMilli;
+
+  static FaultSpec Throwing(double p) {
+    FaultSpec s;
+    s.throw_probability = p;
+    return s;
+  }
+  static FaultSpec Nan(double p) {
+    FaultSpec s;
+    s.nan_probability = p;
+    return s;
+  }
+  static FaultSpec Sleeping(double p, Duration d) {
+    FaultSpec s;
+    s.sleep_probability = p;
+    s.sleep_duration = d;
+    return s;
+  }
+};
+
+/// \brief Counters of decisions taken by a FaultInjector.
+struct FaultInjectorStats {
+  uint64_t decisions = 0;  ///< Decide() calls against an armed scope
+  uint64_t throws = 0;
+  uint64_t nans = 0;
+  uint64_t sleeps = 0;
+  uint64_t injected() const { return throws + nans + sleeps; }
+};
+
+/// \brief The exception raised by injected kThrow faults.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& scope)
+      : std::runtime_error("injected fault in scope '" + scope + "'") {}
+};
+
+/// \brief Seeded, scope-keyed fault-decision source.
+///
+/// Scopes are free-form strings (the convention for metadata evaluators is
+/// "<provider label>.<key>"). Arming the wildcard scope "*" applies to every
+/// scope without an exact entry. Thread safe; decisions are serialized, so a
+/// single-threaded (virtual-time) run is fully deterministic.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xC0FFEEULL);
+
+  /// Installs/replaces the fault spec for `scope` ("*" = wildcard).
+  void Arm(const std::string& scope, FaultSpec spec);
+
+  /// Removes the spec for `scope`. No-op when not armed.
+  void Disarm(const std::string& scope);
+
+  /// Removes all specs: every subsequent decision is kNone.
+  void DisarmAll();
+
+  /// True if `scope` matches an armed spec (exact or wildcard).
+  bool armed(const std::string& scope) const;
+
+  /// Draws the action for one invocation in `scope`. kNone when unarmed.
+  FaultAction Decide(const std::string& scope);
+
+  /// Snapshot of decision counters.
+  FaultInjectorStats stats() const;
+
+  /// Wraps a callable: each invocation first consults Decide(scope).
+  /// kThrow raises InjectedFault; kReturnNan returns the callable's result
+  /// type constructed from a quiet NaN; kSleep stalls in real time and then
+  /// delegates. The result type must be constructible from double.
+  template <typename Fn>
+  auto Wrap(std::string scope, Fn inner) {
+    return [this, scope = std::move(scope),
+            inner = std::move(inner)](auto&&... args) {
+      using R = std::decay_t<decltype(inner(std::forward<decltype(args)>(args)...))>;
+      switch (Decide(scope)) {
+        case FaultAction::kThrow:
+          throw InjectedFault(scope);
+        case FaultAction::kReturnNan:
+          return R(std::numeric_limits<double>::quiet_NaN());
+        case FaultAction::kSleep:
+          SleepNow(scope);
+          break;
+        case FaultAction::kNone:
+          break;
+      }
+      return inner(std::forward<decltype(args)>(args)...);
+    };
+  }
+
+ private:
+  /// Performs the real-time stall configured for `scope`.
+  void SleepNow(const std::string& scope);
+
+  /// Spec lookup honoring the wildcard; nullptr when unarmed.
+  const FaultSpec* FindSpec(const std::string& scope) const;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::unordered_map<std::string, FaultSpec> specs_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace pipes

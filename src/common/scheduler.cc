@@ -6,6 +6,52 @@
 
 namespace pipes {
 
+namespace {
+
+/// Real (steady-clock) microseconds; task runtimes are measured against real
+/// time even under a virtual clock, because a stalled evaluator stalls the
+/// hosting worker/run loop in real time.
+Timestamp SteadyMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskScheduler watchdog
+// ---------------------------------------------------------------------------
+
+void TaskScheduler::SetWatchdog(double overrun_factor, OverrunCallback cb) {
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  overrun_factor_ = overrun_factor;
+  overrun_cb_ = std::move(cb);
+}
+
+double TaskScheduler::watchdog_overrun_factor() const {
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  return overrun_factor_ > 0 ? overrun_factor_ : 0.0;
+}
+
+bool TaskScheduler::IsOverrun(Duration period, Duration runtime) const {
+  if (period <= 0) return false;
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  if (overrun_factor_ <= 0) return false;
+  return static_cast<double>(runtime) >
+         overrun_factor_ * static_cast<double>(period);
+}
+
+void TaskScheduler::NotifyOverrun(Timestamp scheduled_at, Duration period,
+                                  Duration runtime) {
+  OverrunCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    cb = overrun_cb_;
+  }
+  if (cb) cb(OverrunReport{scheduled_at, period, runtime});
+}
+
 // ---------------------------------------------------------------------------
 // VirtualTimeScheduler
 // ---------------------------------------------------------------------------
@@ -67,17 +113,23 @@ uint64_t VirtualTimeScheduler::RunUntil(Timestamp t) {
   Entry e;
   while (PopDue(t, &e)) {
     clock_->Set(e.when);
+    Timestamp started = SteadyMicrosNow();
     e.fn();
+    Duration runtime = SteadyMicrosNow() - started;
     ++run;
+    bool overrun = IsOverrun(e.period, runtime);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.tasks_run;
+      stats_.max_task_runtime = std::max(stats_.max_task_runtime, runtime);
+      if (overrun) ++stats_.overruns;
       if (e.period > 0 &&
           !e.state->cancelled.load(std::memory_order_acquire)) {
         queue_.push(Entry{e.when + e.period, next_seq_++, std::move(e.fn),
                           e.state, e.period});
       }
     }
+    if (overrun) NotifyOverrun(e.when, e.period, runtime);
   }
   clock_->Set(t);
   return run;
@@ -87,15 +139,21 @@ bool VirtualTimeScheduler::RunNext() {
   Entry e;
   if (!PopDue(kTimestampMax, &e)) return false;
   clock_->Set(e.when);
+  Timestamp started = SteadyMicrosNow();
   e.fn();
+  Duration runtime = SteadyMicrosNow() - started;
+  bool overrun = IsOverrun(e.period, runtime);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.tasks_run;
+    stats_.max_task_runtime = std::max(stats_.max_task_runtime, runtime);
+    if (overrun) ++stats_.overruns;
     if (e.period > 0 && !e.state->cancelled.load(std::memory_order_acquire)) {
       queue_.push(Entry{e.when + e.period, next_seq_++, std::move(e.fn),
                         e.state, e.period});
     }
   }
+  if (overrun) NotifyOverrun(e.when, e.period, runtime);
   return true;
 }
 
@@ -199,8 +257,16 @@ void ThreadPoolScheduler::WorkerLoop() {
       queue_.push(Entry{next, next_seq_++, e.fn, e.state, e.period});
     }
     lock.unlock();
+    Timestamp started = SteadyMicrosNow();
     (*e.fn)();
+    Duration runtime = SteadyMicrosNow() - started;
+    bool overrun = IsOverrun(e.period, runtime);
+    // Report before re-locking: a wedged worker's overrun must surface even
+    // while other workers keep the queue busy.
+    if (overrun) NotifyOverrun(e.when, e.period, runtime);
     lock.lock();
+    stats_.max_task_runtime = std::max(stats_.max_task_runtime, runtime);
+    if (overrun) ++stats_.overruns;
   }
 }
 

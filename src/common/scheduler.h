@@ -67,6 +67,11 @@ struct SchedulerStats {
   /// Sum over all executed tasks of (actual start - scheduled time), in us.
   Duration total_lateness = 0;
   Duration max_lateness = 0;
+  /// Periodic-task executions whose measured (real-time) runtime exceeded
+  /// the watchdog's overrun_factor * period. 0 while the watchdog is off.
+  uint64_t overruns = 0;
+  /// Longest measured task runtime, in real microseconds.
+  Duration max_task_runtime = 0;
 };
 
 /// \brief Interface for time-based task execution.
@@ -95,6 +100,40 @@ class TaskScheduler {
 
   /// Snapshot of execution statistics.
   virtual SchedulerStats stats() const = 0;
+
+  /// \brief One overrunning periodic-task execution, as seen by the watchdog.
+  struct OverrunReport {
+    Timestamp scheduled_at = 0;  ///< the execution's deadline
+    Duration period = 0;         ///< the task's period
+    Duration runtime = 0;        ///< measured real runtime, microseconds
+  };
+  using OverrunCallback = std::function<void(const OverrunReport&)>;
+
+  /// \brief Arms the scheduler watchdog (paper §4.3 hardening): a periodic
+  /// task whose measured real-time runtime exceeds `overrun_factor * period`
+  /// is counted in stats().overruns and reported through `cb`.
+  ///
+  /// The callback runs on the thread that executed the task, outside all
+  /// scheduler locks, so a stalled task is reported without blocking other
+  /// workers. `overrun_factor <= 0` disarms the watchdog.
+  void SetWatchdog(double overrun_factor, OverrunCallback cb = nullptr);
+
+  /// The armed overrun factor (0 when the watchdog is off).
+  double watchdog_overrun_factor() const;
+
+ protected:
+  /// True when the watchdog is armed and a periodic task of `period` ran for
+  /// `runtime` real microseconds past the allowed overrun factor.
+  bool IsOverrun(Duration period, Duration runtime) const;
+
+  /// Delivers one overrun report to the armed callback, if any. Must be
+  /// called outside the implementation's queue lock.
+  void NotifyOverrun(Timestamp scheduled_at, Duration period, Duration runtime);
+
+ private:
+  mutable std::mutex watchdog_mu_;
+  double overrun_factor_ = 0.0;
+  OverrunCallback overrun_cb_;
 };
 
 /// \brief Deterministic scheduler driving a VirtualClock.

@@ -111,4 +111,15 @@ MetadataDescriptor&& MetadataDescriptor::WithDescription(std::string text) && {
   return std::move(*this);
 }
 
+MetadataDescriptor&& MetadataDescriptor::WithRetryPolicy(RetryPolicy policy) && {
+  retry_policy_ = policy;
+  return std::move(*this);
+}
+
+MetadataDescriptor&& MetadataDescriptor::WithFallbackValue(
+    MetadataValue value) && {
+  fallback_ = std::move(value);
+  return std::move(*this);
+}
+
 }  // namespace pipes

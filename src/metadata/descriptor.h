@@ -157,6 +157,29 @@ class EvalContext {
 /// Computes the current value of an item.
 using Evaluator = std::function<MetadataValue(EvalContext&)>;
 
+/// \brief How a handler reacts to evaluator failures (thrown exceptions and
+/// non-finite numeric results).
+///
+/// Failures advance the handler's health state machine
+/// (kHealthy -> kDegraded -> kQuarantined); while quarantined, re-evaluation
+/// is retried with exponential backoff and the handler serves its last-known
+/// -good value (or the descriptor's fallback). N consecutive successes
+/// recover the handler to kHealthy.
+struct RetryPolicy {
+  /// Consecutive failures after which the handler is kDegraded.
+  int failures_to_degrade = 1;
+  /// Consecutive failures after which the handler is kQuarantined.
+  int failures_to_quarantine = 3;
+  /// Consecutive successes that recover a degraded/quarantined handler.
+  int successes_to_recover = 2;
+  /// First retry delay once quarantined.
+  Duration initial_backoff = 10 * kMicrosPerMilli;
+  /// Backoff growth per successive quarantined failure.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  Duration max_backoff = 10 * kMicrosPerSecond;
+};
+
 /// Enables/disables node-side monitoring code for an item.
 using MonitoringHook = std::function<void(MetadataProvider&)>;
 
@@ -204,6 +227,14 @@ class MetadataDescriptor {
                                       MonitoringHook deactivate) &&;
   MetadataDescriptor&& WithDescription(std::string text) &&;
 
+  /// Overrides the default fault-handling policy of the item's handler.
+  MetadataDescriptor&& WithRetryPolicy(RetryPolicy policy) &&;
+
+  /// Value served when the handler has no last-known-good value to fall back
+  /// on (e.g. the very first evaluation fails, or the provider is being torn
+  /// down before the item was ever computed).
+  MetadataDescriptor&& WithFallbackValue(MetadataValue value) &&;
+
   // Accessors -----------------------------------------------------------------
   const MetadataKey& key() const { return key_; }
   UpdateMechanism mechanism() const { return mechanism_; }
@@ -215,6 +246,9 @@ class MetadataDescriptor {
   const MonitoringHook& activate_monitoring() const { return activate_; }
   const MonitoringHook& deactivate_monitoring() const { return deactivate_; }
   const std::string& description() const { return description_; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  const MetadataValue& fallback_value() const { return fallback_; }
+  bool has_fallback() const { return !fallback_.is_null(); }
 
  private:
   MetadataDescriptor(MetadataKey key, UpdateMechanism mechanism)
@@ -232,6 +266,8 @@ class MetadataDescriptor {
   MonitoringHook activate_;
   MonitoringHook deactivate_;
   std::string description_;
+  RetryPolicy retry_policy_;
+  MetadataValue fallback_;
 };
 
 }  // namespace pipes

@@ -2,11 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "metadata/manager.h"
 #include "metadata/provider.h"
 
 namespace pipes {
+
+const char* HandlerHealthToString(HandlerHealth h) {
+  switch (h) {
+    case HandlerHealth::kHealthy:
+      return "healthy";
+    case HandlerHealth::kDegraded:
+      return "degraded";
+    case HandlerHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -59,12 +72,51 @@ MetadataHandler::~MetadataHandler() = default;
 
 MetadataValue MetadataHandler::Get() {
   access_count_.fetch_add(1, std::memory_order_relaxed);
+  if (retired()) {
+    // The provider is (being) torn down: neither the evaluator nor the
+    // owner may be touched. Serve the declared fallback, else whatever was
+    // last computed.
+    if (desc_->has_fallback()) return desc_->fallback_value();
+    return LoadValue();
+  }
   return DoGet(manager_.clock().Now());
 }
 
 Timestamp MetadataHandler::last_updated() const {
   std::lock_guard<std::mutex> lock(value_mu_);
   return last_updated_;
+}
+
+Duration MetadataHandler::staleness(Timestamp now) const {
+  std::lock_guard<std::mutex> lock(value_mu_);
+  if (last_updated_ == kTimestampNever) return 0;
+  return std::max<Duration>(0, now - last_updated_);
+}
+
+HandlerHealth MetadataHandler::health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_;
+}
+
+std::string MetadataHandler::last_error() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return last_error_;
+}
+
+int MetadataHandler::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return consecutive_failures_;
+}
+
+void MetadataHandler::Retire() {
+  bool expected = false;
+  if (!retired_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  // Cancel mechanism tasks so no periodic tick can reach the evaluator (and
+  // through it the dying provider) after this point.
+  Deactivate();
 }
 
 std::vector<MetadataHandler*> MetadataHandler::dependents() const {
@@ -81,6 +133,122 @@ MetadataValue MetadataHandler::Evaluate(Timestamp now, Duration elapsed) {
   return desc_->evaluator()(ctx);
 }
 
+bool MetadataHandler::InBackoff(Timestamp now) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_ == HandlerHealth::kQuarantined &&
+         retry_at_ != kTimestampNever && now < retry_at_;
+}
+
+MetadataValue MetadataHandler::EvaluateAndStore(Timestamp now, Duration elapsed,
+                                                bool* updated) {
+  if (updated != nullptr) *updated = false;
+
+  // A stale value served instead of a fresh evaluation: last-known-good if
+  // one exists, else the descriptor's fallback.
+  auto stale_or_fallback = [this]() -> MetadataValue {
+    MetadataValue lkg = LoadValue();
+    if (lkg.is_null() && desc_->has_fallback()) return desc_->fallback_value();
+    return lkg;
+  };
+
+  if (retired()) return stale_or_fallback();
+
+  // Quarantine gate: inside the backoff window the evaluator is not invoked
+  // at all — the item degrades gracefully to its last-known-good value.
+  if (InBackoff(now)) {
+    skipped_evals_.fetch_add(1, std::memory_order_relaxed);
+    manager_.CountSkippedEvaluation();
+    return stale_or_fallback();
+  }
+
+  bool ok = true;
+  std::string error;
+  MetadataValue v;
+  try {
+    v = Evaluate(now, elapsed);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+  } catch (...) {
+    ok = false;
+    error = "non-standard exception from evaluator";
+  }
+  if (ok && v.is_double() && !std::isfinite(v.AsDouble())) {
+    ok = false;
+    error = "non-finite evaluator result";
+  }
+
+  if (ok) {
+    StoreValue(std::move(v), now);
+    RecordSuccess(now);
+    if (updated != nullptr) *updated = true;
+    return LoadValue();
+  }
+
+  fault_count_.fetch_add(1, std::memory_order_relaxed);
+  manager_.CountEvaluationFailure();
+  RecordFailure(now, std::move(error));
+  return stale_or_fallback();
+}
+
+void MetadataHandler::RecordSuccess(Timestamp now) {
+  (void)now;
+  HandlerHealth old_health;
+  HandlerHealth new_health;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    consecutive_failures_ = 0;
+    current_backoff_ = 0;
+    retry_at_ = kTimestampNever;  // probes succeeded; stop gating evals
+    old_health = health_;
+    if (health_ == HandlerHealth::kHealthy) return;
+    ++consecutive_successes_;
+    if (consecutive_successes_ < desc_->retry_policy().successes_to_recover) {
+      return;
+    }
+    health_ = HandlerHealth::kHealthy;
+    consecutive_successes_ = 0;
+    last_error_.clear();
+    new_health = health_;
+  }
+  recovery_count_.fetch_add(1, std::memory_order_relaxed);
+  manager_.CountHealthTransition(old_health, new_health);
+}
+
+void MetadataHandler::RecordFailure(Timestamp now, std::string error) {
+  HandlerHealth old_health;
+  HandlerHealth new_health;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    const RetryPolicy& policy = desc_->retry_policy();
+    consecutive_successes_ = 0;
+    ++consecutive_failures_;
+    last_error_ = std::move(error);
+    old_health = health_;
+    if (consecutive_failures_ >= policy.failures_to_quarantine) {
+      health_ = HandlerHealth::kQuarantined;
+    } else if (consecutive_failures_ >= policy.failures_to_degrade) {
+      health_ = HandlerHealth::kDegraded;
+    }
+    if (health_ == HandlerHealth::kQuarantined) {
+      // Exponential backoff between retry probes, capped by the policy.
+      if (current_backoff_ <= 0) {
+        current_backoff_ = std::max<Duration>(1, policy.initial_backoff);
+      } else {
+        double next = static_cast<double>(current_backoff_) *
+                      std::max(1.0, policy.backoff_multiplier);
+        current_backoff_ = static_cast<Duration>(
+            std::min(next, static_cast<double>(policy.max_backoff)));
+      }
+      retry_at_ = now + current_backoff_;
+    }
+    new_health = health_;
+  }
+  if (old_health != new_health) {
+    manager_.CountHealthTransition(old_health, new_health);
+  }
+}
+
 void MetadataHandler::StoreValue(MetadataValue v, Timestamp now) {
   std::lock_guard<std::mutex> lock(value_mu_);
   value_ = std::move(v);
@@ -91,6 +259,12 @@ void MetadataHandler::StoreValue(MetadataValue v, Timestamp now) {
 MetadataValue MetadataHandler::LoadValue() const {
   std::lock_guard<std::mutex> lock(value_mu_);
   return value_;
+}
+
+MetadataValue MetadataHandler::LoadValueOrFallback() const {
+  MetadataValue v = LoadValue();
+  if (v.is_null() && desc_->has_fallback()) return desc_->fallback_value();
+  return v;
 }
 
 void MetadataHandler::RefreshFromWave(Timestamp) {}
@@ -116,13 +290,15 @@ void MetadataHandler::RemoveDependent(MetadataHandler* h) {
 void StaticMetadataHandler::Activate(Timestamp now) {
   // Either a literal value or a one-time evaluation.
   if (desc_->evaluator()) {
-    StoreValue(Evaluate(now, 0), now);
+    EvaluateAndStore(now, 0);
   } else {
     StoreValue(desc_->static_value(), now);
   }
 }
 
-MetadataValue StaticMetadataHandler::DoGet(Timestamp) { return LoadValue(); }
+MetadataValue StaticMetadataHandler::DoGet(Timestamp) {
+  return LoadValueOrFallback();
+}
 
 // --- OnDemandMetadataHandler -------------------------------------------------
 
@@ -133,10 +309,10 @@ void OnDemandMetadataHandler::Activate(Timestamp now) {
 }
 
 MetadataValue OnDemandMetadataHandler::DoGet(Timestamp now) {
+  // elapsed() spans back to the last *successful* evaluation, so a contained
+  // failure leaves rate computations consistent.
   Duration elapsed = now - last_updated();
-  MetadataValue v = Evaluate(now, elapsed);
-  StoreValue(v, now);
-  return v;
+  return EvaluateAndStore(now, elapsed);
 }
 
 // --- PeriodicMetadataHandler -------------------------------------------------
@@ -144,7 +320,7 @@ MetadataValue OnDemandMetadataHandler::DoGet(Timestamp now) {
 void PeriodicMetadataHandler::Activate(Timestamp now) {
   assert(period() > 0 && "periodic metadata item requires a positive period");
   // The value for the (empty) zeroth window; evaluators guard elapsed()==0.
-  StoreValue(Evaluate(now, 0), now);
+  EvaluateAndStore(now, 0);
   std::weak_ptr<MetadataHandler> weak = weak_from_this();
   task_ = manager_.scheduler().SchedulePeriodic(
       period(),
@@ -160,15 +336,17 @@ void PeriodicMetadataHandler::Activate(Timestamp now) {
 void PeriodicMetadataHandler::Deactivate() { task_.Cancel(); }
 
 void PeriodicMetadataHandler::Tick(Timestamp now) {
-  MetadataValue v = Evaluate(now, period());
-  StoreValue(std::move(v), now);
-  manager_.PropagateFrom(*this, now);
+  bool updated = false;
+  EvaluateAndStore(now, period(), &updated);
+  // A contained failure leaves the published value untouched, so there is
+  // nothing for dependents to react to: the wave starts only on success.
+  if (updated) manager_.PropagateFrom(*this, now);
 }
 
 MetadataValue PeriodicMetadataHandler::DoGet(Timestamp) {
   // Consumers always read the value of the last completed window — the
   // isolation condition of §3.1.
-  return LoadValue();
+  return LoadValueOrFallback();
 }
 
 // --- TriggeredMetadataHandler ------------------------------------------------
@@ -176,14 +354,16 @@ MetadataValue PeriodicMetadataHandler::DoGet(Timestamp) {
 void TriggeredMetadataHandler::Activate(Timestamp now) {
   // "The values of metadata items with triggered handlers are pre-computed
   // on the first subscription." (§3.2.3)
-  StoreValue(Evaluate(now, 0), now);
+  EvaluateAndStore(now, 0);
 }
 
 void TriggeredMetadataHandler::RefreshFromWave(Timestamp now) {
   Duration elapsed = now - last_updated();
-  StoreValue(Evaluate(now, elapsed), now);
+  EvaluateAndStore(now, elapsed);
 }
 
-MetadataValue TriggeredMetadataHandler::DoGet(Timestamp) { return LoadValue(); }
+MetadataValue TriggeredMetadataHandler::DoGet(Timestamp) {
+  return LoadValueOrFallback();
+}
 
 }  // namespace pipes

@@ -24,6 +24,23 @@ namespace pipes {
 class MetadataManager;
 class MetadataProvider;
 
+/// \brief Health of a handler's evaluator, driven by the fault-containment
+/// state machine (see RetryPolicy).
+///
+/// kHealthy: evaluations succeed. kDegraded: recent consecutive failures;
+/// evaluation still attempted on every occasion. kQuarantined: failures
+/// crossed the quarantine threshold; evaluation is retried with exponential
+/// backoff while consumers are served the last-known-good (stale) value or
+/// the descriptor's fallback.
+enum class HandlerHealth {
+  kHealthy = 0,
+  kDegraded = 1,
+  kQuarantined = 2,
+};
+
+/// Human-readable name of a health state.
+const char* HandlerHealthToString(HandlerHealth h);
+
 /// \brief Shared, synchronized proxy for one included metadata item.
 ///
 /// There is a 1-to-1 relationship between included items and handlers; all
@@ -58,6 +75,46 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
 
   /// Time of the last value update (kTimestampNever before the first).
   Timestamp last_updated() const;
+
+  /// Age of the current value: now - last_updated(), 0 before the first
+  /// update. Together with health() this tags values served during fault
+  /// containment with their staleness.
+  Duration staleness(Timestamp now) const;
+
+  /// Current health of the item's evaluator.
+  HandlerHealth health() const;
+
+  /// Message of the most recent contained evaluator failure ("" if none).
+  std::string last_error() const;
+
+  /// \name Fault-containment statistics
+  ///@{
+  /// Contained evaluator failures (exceptions + non-finite results).
+  uint64_t fault_count() const {
+    return fault_count_.load(std::memory_order_relaxed);
+  }
+  /// Evaluations skipped because the handler was quarantined and inside its
+  /// retry-backoff window.
+  uint64_t skipped_eval_count() const {
+    return skipped_evals_.load(std::memory_order_relaxed);
+  }
+  /// Transitions back to kHealthy after degradation/quarantine.
+  uint64_t recovery_count() const {
+    return recovery_count_.load(std::memory_order_relaxed);
+  }
+  /// Current run of consecutive failures (0 when the last eval succeeded).
+  int consecutive_failures() const;
+  ///@}
+
+  /// True once the owning provider started tearing down while this handler
+  /// was still referenced; Get() then serves the descriptor's fallback (or
+  /// the last-known-good value) without touching the provider.
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+
+  /// Internal: detaches the handler from its provider ahead of provider
+  /// destruction — cancels mechanism tasks and freezes the current value.
+  /// Idempotent; called by MetadataRegistry::RetireAllHandlers().
+  void Retire();
 
   /// Resolved dependency handlers, in resolver order.
   const std::vector<std::shared_ptr<MetadataHandler>>& dependencies() const {
@@ -99,14 +156,37 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   virtual MetadataValue DoGet(Timestamp now) = 0;
 
   /// Runs the descriptor's evaluator with a context exposing `deps_`,
-  /// `elapsed`, and the previous value. Serialized per handler.
+  /// `elapsed`, and the previous value. Serialized per handler. May throw
+  /// (whatever the evaluator throws); use EvaluateAndStore for containment.
   MetadataValue Evaluate(Timestamp now, Duration elapsed);
+
+  /// \brief Fault-contained evaluation (the only evaluation path handlers
+  /// use): runs the evaluator, rejecting thrown exceptions and non-finite
+  /// numeric results.
+  ///
+  /// On success the value is stored (advancing last_updated()) and the
+  /// health state machine records a success. On failure the last-known-good
+  /// value is kept — its staleness keeps growing — and the state machine
+  /// records a failure (kHealthy -> kDegraded -> kQuarantined per the
+  /// descriptor's RetryPolicy). While quarantined, evaluation is skipped
+  /// entirely until the exponential-backoff deadline passes.
+  ///
+  /// Returns the value consumers should see: the fresh value on success,
+  /// otherwise the last-known-good value or the descriptor's fallback.
+  /// Never throws. `updated` (optional) reports whether a fresh value was
+  /// stored.
+  MetadataValue EvaluateAndStore(Timestamp now, Duration elapsed,
+                                 bool* updated = nullptr);
 
   /// Stores `v` as the current value with update time `now`.
   void StoreValue(MetadataValue v, Timestamp now);
 
   /// Reads the stored value.
   MetadataValue LoadValue() const;
+
+  /// Reads the stored value, substituting the descriptor's fallback while no
+  /// value has ever been computed (e.g. every evaluation failed so far).
+  MetadataValue LoadValueOrFallback() const;
 
   MetadataProvider& owner_;
   std::shared_ptr<const MetadataDescriptor> desc_;
@@ -138,9 +218,28 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   void AddDependent(MetadataHandler* h);
   void RemoveDependent(MetadataHandler* h);
 
+  /// Health state machine (guarded by health_mu_).
+  void RecordSuccess(Timestamp now);
+  void RecordFailure(Timestamp now, std::string error);
+  /// True when a quarantined handler is still inside its backoff window.
+  bool InBackoff(Timestamp now) const;
+
   mutable std::mutex value_mu_;
   MetadataValue value_;
   Timestamp last_updated_ = kTimestampNever;
+
+  mutable std::mutex health_mu_;
+  HandlerHealth health_ = HandlerHealth::kHealthy;
+  int consecutive_failures_ = 0;
+  int consecutive_successes_ = 0;
+  Duration current_backoff_ = 0;
+  Timestamp retry_at_ = kTimestampNever;  ///< next allowed eval in quarantine
+  std::string last_error_;
+
+  std::atomic<bool> retired_{false};
+  std::atomic<uint64_t> fault_count_{0};
+  std::atomic<uint64_t> skipped_evals_{0};
+  std::atomic<uint64_t> recovery_count_{0};
 
   std::mutex eval_mu_;  // serializes evaluator invocations
 

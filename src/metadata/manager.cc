@@ -289,15 +289,55 @@ void MetadataManager::UnsubscribeExternal(
   MaybeRemove(handler);
 }
 
+void MetadataManager::CountHealthTransition(HandlerHealth from,
+                                            HandlerHealth to) {
+  switch (to) {
+    case HandlerHealth::kDegraded:
+      stats_degradations_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HandlerHealth::kQuarantined:
+      stats_quarantines_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HandlerHealth::kHealthy:
+      stats_recoveries_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (from == HandlerHealth::kDegraded) {
+    stats_degraded_now_.fetch_sub(1, std::memory_order_relaxed);
+  } else if (from == HandlerHealth::kQuarantined) {
+    stats_quarantined_now_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (to == HandlerHealth::kDegraded) {
+    stats_degraded_now_.fetch_add(1, std::memory_order_relaxed);
+  } else if (to == HandlerHealth::kQuarantined) {
+    stats_quarantined_now_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void MetadataManager::MaybeRemove(
     const std::shared_ptr<MetadataHandler>& handler) {
   if (handler->external_refs_ > 0 || handler->internal_refs_ > 0) return;
 
   handler->Deactivate();
-  if (handler->descriptor().deactivate_monitoring()) {
-    handler->descriptor().deactivate_monitoring()(handler->owner());
+  // A retired handler's owner is gone (or going): its registry and the
+  // monitoring hooks (which take the provider) must not be touched.
+  if (!handler->retired()) {
+    if (handler->descriptor().deactivate_monitoring()) {
+      handler->descriptor().deactivate_monitoring()(handler->owner());
+    }
+    handler->owner().metadata_registry().RemoveHandler(handler->key());
   }
-  handler->owner().metadata_registry().RemoveHandler(handler->key());
+  // Keep the health gauges consistent when an unhealthy handler dies.
+  switch (handler->health()) {
+    case HandlerHealth::kDegraded:
+      stats_degraded_now_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    case HandlerHealth::kQuarantined:
+      stats_quarantined_now_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    case HandlerHealth::kHealthy:
+      break;
+  }
   stats_removed_.fetch_add(1, std::memory_order_relaxed);
   stats_active_.fetch_sub(1, std::memory_order_relaxed);
 
@@ -330,6 +370,18 @@ void MetadataManager::FireEventDeferred(MetadataProvider& provider,
   scheduler_.ScheduleAt(clock().Now(), [this, p, k] { FireEvent(*p, k); });
 }
 
+void MetadataManager::RefreshContained(MetadataHandler& h, Timestamp now) {
+  // Handler-level containment (EvaluateAndStore) already catches evaluator
+  // faults; this guard additionally isolates the wave from anything a future
+  // handler override might let escape, so one poisoned refresh can never
+  // abort a whole propagation wave.
+  try {
+    h.RefreshFromWave(now);
+  } catch (...) {
+    stats_eval_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void MetadataManager::NaivePropagate(MetadataHandler& h, Timestamp now,
                                      int depth) {
   // Recursion bound as a safety net; the dependency graph is acyclic, but
@@ -337,7 +389,7 @@ void MetadataManager::NaivePropagate(MetadataHandler& h, Timestamp now,
   if (depth > 64) return;
   for (MetadataHandler* d : h.dependents()) {
     if (d->mechanism() == UpdateMechanism::kTriggered) {
-      d->RefreshFromWave(now);
+      RefreshContained(*d, now);
       stats_wave_refreshes_.fetch_add(1, std::memory_order_relaxed);
       NaivePropagate(*d, now, depth + 1);
     } else if (d->mechanism() == UpdateMechanism::kOnDemand) {
@@ -395,7 +447,7 @@ void MetadataManager::PropagateFrom(MetadataHandler& origin, Timestamp now) {
     ready.pop_front();
     ++processed;
     if (h->mechanism() == UpdateMechanism::kTriggered) {
-      h->RefreshFromWave(now);
+      RefreshContained(*h, now);
       stats_wave_refreshes_.fetch_add(1, std::memory_order_relaxed);
     }
     for (MetadataHandler* d : h->dependents()) {
@@ -420,6 +472,14 @@ MetadataManagerStats MetadataManager::stats() const {
   s.waves = stats_waves_.load(std::memory_order_relaxed);
   s.wave_refreshes = stats_wave_refreshes_.load(std::memory_order_relaxed);
   s.events_fired = stats_events_.load(std::memory_order_relaxed);
+  s.eval_failures = stats_eval_failures_.load(std::memory_order_relaxed);
+  s.evals_skipped = stats_evals_skipped_.load(std::memory_order_relaxed);
+  s.degradations = stats_degradations_.load(std::memory_order_relaxed);
+  s.quarantines = stats_quarantines_.load(std::memory_order_relaxed);
+  s.recoveries = stats_recoveries_.load(std::memory_order_relaxed);
+  s.degraded_handlers = stats_degraded_now_.load(std::memory_order_relaxed);
+  s.quarantined_handlers =
+      stats_quarantined_now_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -80,6 +80,15 @@ struct MetadataManagerStats {
   uint64_t waves = 0;              ///< propagation waves
   uint64_t wave_refreshes = 0;     ///< triggered-handler refreshes in waves
   uint64_t events_fired = 0;       ///< manual event notifications
+
+  // Fault containment (see HandlerHealth / RetryPolicy).
+  uint64_t eval_failures = 0;      ///< contained evaluator faults
+  uint64_t evals_skipped = 0;      ///< evals skipped by quarantine backoff
+  uint64_t degradations = 0;       ///< transitions into kDegraded
+  uint64_t quarantines = 0;        ///< transitions into kQuarantined
+  uint64_t recoveries = 0;         ///< transitions back to kHealthy
+  uint64_t degraded_handlers = 0;    ///< currently kDegraded (gauge)
+  uint64_t quarantined_handlers = 0; ///< currently kQuarantined (gauge)
 };
 
 /// How update-propagation waves refresh dependent handlers.
@@ -159,6 +168,20 @@ class MetadataManager {
     stats_evaluations_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Internal: one evaluator fault was contained (called by handlers).
+  void CountEvaluationFailure() {
+    stats_eval_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Internal: one evaluation was skipped by quarantine backoff.
+  void CountSkippedEvaluation() {
+    stats_evals_skipped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Internal: a handler's health changed from `from` to `to`; updates the
+  /// transition counters and the degraded/quarantined gauges.
+  void CountHealthTransition(HandlerHealth from, HandlerHealth to);
+
  private:
   friend class MetadataSubscription;
 
@@ -189,6 +212,10 @@ class MetadataManager {
   /// Refreshes `h`'s dependents depth-first without deduplication.
   void NaivePropagate(MetadataHandler& h, Timestamp now, int depth);
 
+  /// Refreshes one handler in a wave with exception containment, so a
+  /// faulting refresh cannot abort the wave.
+  void RefreshContained(MetadataHandler& h, Timestamp now);
+
   TaskScheduler& scheduler_;
   ReentrantSharedMutex structure_mu_;
   std::recursive_mutex propagation_mu_;
@@ -203,6 +230,13 @@ class MetadataManager {
   std::atomic<uint64_t> stats_waves_{0};
   std::atomic<uint64_t> stats_wave_refreshes_{0};
   std::atomic<uint64_t> stats_events_{0};
+  std::atomic<uint64_t> stats_eval_failures_{0};
+  std::atomic<uint64_t> stats_evals_skipped_{0};
+  std::atomic<uint64_t> stats_degradations_{0};
+  std::atomic<uint64_t> stats_quarantines_{0};
+  std::atomic<uint64_t> stats_recoveries_{0};
+  std::atomic<uint64_t> stats_degraded_now_{0};
+  std::atomic<uint64_t> stats_quarantined_now_{0};
 };
 
 }  // namespace pipes

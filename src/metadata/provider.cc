@@ -10,7 +10,13 @@ MetadataProvider::MetadataProvider(std::string label)
     : label_(std::move(label)),
       provider_id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {}
 
-MetadataProvider::~MetadataProvider() = default;
+MetadataProvider::~MetadataProvider() {
+  // Subscriptions may outlive their provider (e.g. a consumer still holds
+  // one while the query graph is torn down). Retire the remaining handlers
+  // so those subscriptions serve fallback values instead of reaching into
+  // freed provider state, and so no periodic task fires afterwards.
+  registry_.RetireAllHandlers();
+}
 
 void MetadataProvider::AttachMetadataManager(MetadataManager* manager) {
   manager_.store(manager, std::memory_order_release);

@@ -112,4 +112,15 @@ void MetadataRegistry::RemoveHandler(const MetadataKey& key) {
   handlers_.erase(key);
 }
 
+void MetadataRegistry::RetireAllHandlers() {
+  std::vector<std::shared_ptr<MetadataHandler>> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired.reserve(handlers_.size());
+    for (const auto& [k, h] : handlers_) retired.push_back(h);
+  }
+  // Outside the registry lock: Retire cancels scheduler tasks.
+  for (const auto& h : retired) h->Retire();
+}
+
 }  // namespace pipes

@@ -77,6 +77,12 @@ class MetadataRegistry {
   void AddHandler(const MetadataKey& key, std::shared_ptr<MetadataHandler> h);
   void RemoveHandler(const MetadataKey& key);
 
+  /// Retires every still-included handler (provider teardown): cancels their
+  /// mechanism tasks and freezes them on fallback/last-known-good values so
+  /// outstanding subscriptions degrade gracefully instead of hitting UB.
+  /// Called by ~MetadataProvider.
+  void RetireAllHandlers();
+
  private:
   mutable std::mutex mu_;
   std::map<MetadataKey, std::shared_ptr<const MetadataDescriptor>> descriptors_;

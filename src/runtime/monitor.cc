@@ -13,14 +13,38 @@ MetadataMonitor::~MetadataMonitor() { StopSampling(); }
 Status MetadataMonitor::Watch(MetadataProvider& provider,
                               const MetadataKey& key,
                               std::string series_name) {
-  if (series_name.empty()) series_name = provider.label() + "." + key;
+  return WatchInternal(provider, key, std::move(series_name),
+                       SampleKind::kValue, "");
+}
+
+Status MetadataMonitor::WatchHealth(MetadataProvider& provider,
+                                    const MetadataKey& key,
+                                    std::string series_name) {
+  return WatchInternal(provider, key, std::move(series_name),
+                       SampleKind::kHealth, ":health");
+}
+
+Status MetadataMonitor::WatchStaleness(MetadataProvider& provider,
+                                       const MetadataKey& key,
+                                       std::string series_name) {
+  return WatchInternal(provider, key, std::move(series_name),
+                       SampleKind::kStaleness, ":staleness");
+}
+
+Status MetadataMonitor::WatchInternal(MetadataProvider& provider,
+                                      const MetadataKey& key,
+                                      std::string series_name, SampleKind kind,
+                                      const char* default_suffix) {
+  if (series_name.empty()) {
+    series_name = provider.label() + "." + key + default_suffix;
+  }
   Result<MetadataSubscription> sub = manager_.Subscribe(provider, key);
   if (!sub.ok()) return sub.status();
   std::lock_guard<std::mutex> lock(mu_);
   if (watched_.count(series_name) > 0) {
     return Status::AlreadyExists("series already watched: " + series_name);
   }
-  watched_.emplace(series_name, Watched{std::move(sub.value())});
+  watched_.emplace(series_name, Watched{std::move(sub.value()), kind});
   series_[series_name];  // ensure the series exists
   return Status::OK();
 }
@@ -45,9 +69,28 @@ void MetadataMonitor::SampleOnce() {
   Timestamp now = scheduler_.clock().Now();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, watched] : watched_) {
-    MetadataValue v = watched.subscription.Get();
-    if (!v.is_null()) {
-      series_[name].Record(now, v.AsDouble());
+    switch (watched.kind) {
+      case SampleKind::kValue: {
+        MetadataValue v = watched.subscription.Get();
+        if (!v.is_null()) {
+          series_[name].Record(now, v.AsDouble());
+        }
+        break;
+      }
+      case SampleKind::kHealth: {
+        const auto& h = watched.subscription.handler();
+        if (h != nullptr) {
+          series_[name].Record(now, static_cast<double>(h->health()));
+        }
+        break;
+      }
+      case SampleKind::kStaleness: {
+        const auto& h = watched.subscription.handler();
+        if (h != nullptr) {
+          series_[name].Record(now, ToSeconds(h->staleness(now)));
+        }
+        break;
+      }
     }
   }
 }

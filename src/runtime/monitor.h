@@ -33,6 +33,19 @@ class MetadataMonitor {
   Status Watch(MetadataProvider& provider, const MetadataKey& key,
                std::string series_name = "");
 
+  /// Subscribes to (provider, key) and records the handler's *health* as a
+  /// numeric series (0 = healthy, 1 = degraded, 2 = quarantined; see
+  /// HandlerHealth). Default series name "<provider label>.<key>:health".
+  /// Together with WatchStaleness this makes fault containment observable.
+  Status WatchHealth(MetadataProvider& provider, const MetadataKey& key,
+                     std::string series_name = "");
+
+  /// Subscribes to (provider, key) and records the value's staleness in
+  /// seconds (age of last successful update). Default series name
+  /// "<provider label>.<key>:staleness".
+  Status WatchStaleness(MetadataProvider& provider, const MetadataKey& key,
+                        std::string series_name = "");
+
   /// Stops watching a series and drops its subscription (recorded samples
   /// are kept).
   Status Unwatch(const std::string& series_name);
@@ -62,9 +75,17 @@ class MetadataMonitor {
   void ExportCsv(std::ostream& out) const;
 
  private:
+  /// What a watched series samples from its subscription's handler.
+  enum class SampleKind { kValue, kHealth, kStaleness };
+
   struct Watched {
     MetadataSubscription subscription;
+    SampleKind kind = SampleKind::kValue;
   };
+
+  Status WatchInternal(MetadataProvider& provider, const MetadataKey& key,
+                       std::string series_name, SampleKind kind,
+                       const char* default_suffix);
 
   MetadataManager& manager_;
   TaskScheduler& scheduler_;

@@ -203,6 +203,74 @@ TEST(LifecycleTest, GetOnMovedFromSubscriptionIsNull) {
   EXPECT_EQ(b.Get().AsInt(), 1);
 }
 
+TEST(LifecycleTest, SubscriptionOutlivesProviderServesFallback) {
+  // A consumer holds its subscription while the provider (and its evaluator
+  // state) is torn down: Get() must serve the descriptor's fallback, not
+  // reach into the destroyed provider.
+  MetaFixture fx;
+  MetadataSubscription sub;
+  {
+    SimpleProvider p("p");
+    ASSERT_TRUE(p.metadata_registry()
+                    .Define(MetadataDescriptor::OnDemand("x")
+                                .WithEvaluator([&p](EvalContext&) {
+                                  // Touches provider state: must never run
+                                  // after ~SimpleProvider.
+                                  return MetadataValue(double(p.label().size()));
+                                })
+                                .WithFallbackValue(-7.0))
+                    .ok());
+    sub = fx.manager.Subscribe(p, "x").value();
+    EXPECT_EQ(sub.GetDouble(), 1.0);
+    EXPECT_FALSE(sub.handler()->retired());
+  }  // ~SimpleProvider retires the handler
+  EXPECT_TRUE(sub.handler()->retired());
+  EXPECT_EQ(sub.GetDouble(), -7.0);  // fallback, evaluator not invoked
+  sub.Reset();                       // must not crash on a retired handler
+}
+
+TEST(LifecycleTest, SubscriptionOutlivesProviderWithoutFallback) {
+  // Same teardown race, but no fallback declared: the last-known-good value
+  // is frozen and served.
+  MetaFixture fx;
+  MetadataSubscription sub;
+  {
+    SimpleProvider p("p");
+    auto evals = std::make_shared<int>(0);
+    ASSERT_TRUE(p.metadata_registry()
+                    .Define(MetadataDescriptor::OnDemand("x").WithEvaluator(
+                        [evals](EvalContext&) {
+                          return MetadataValue(double(++*evals));
+                        }))
+                    .ok());
+    sub = fx.manager.Subscribe(p, "x").value();
+    EXPECT_EQ(sub.GetDouble(), 1.0);
+  }
+  EXPECT_EQ(sub.GetDouble(), 1.0);  // frozen, not re-evaluated
+  EXPECT_EQ(sub.GetDouble(), 1.0);
+}
+
+TEST(LifecycleTest, PeriodicTaskStopsWhenProviderDies) {
+  MetaFixture fx;
+  auto evals = std::make_shared<int>(0);
+  MetadataSubscription sub;
+  {
+    SimpleProvider p("p");
+    ASSERT_TRUE(p.metadata_registry()
+                    .Define(MetadataDescriptor::Periodic("x", 100)
+                                .WithEvaluator([evals](EvalContext&) {
+                                  return MetadataValue(double(++*evals));
+                                }))
+                    .ok());
+    sub = fx.manager.Subscribe(p, "x").value();
+    fx.RunFor(250);
+    EXPECT_EQ(*evals, 3);  // activation + 2 ticks
+  }
+  fx.RunFor(Seconds(5));
+  EXPECT_EQ(*evals, 3);  // no tick fires into the dead provider
+  EXPECT_EQ(sub.GetDouble(), 3.0);
+}
+
 TEST(LifecycleTest, PeriodicZeroUpdatesWhenNeverIncluded) {
   MetaFixture fx;
   SimpleProvider p("p");
