@@ -23,17 +23,17 @@ const char* FaultActionToString(FaultAction a) {
 FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
 
 void FaultInjector::Arm(const std::string& scope, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   specs_[scope] = spec;
 }
 
 void FaultInjector::Disarm(const std::string& scope) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   specs_.erase(scope);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   specs_.clear();
 }
 
@@ -45,12 +45,12 @@ const FaultSpec* FaultInjector::FindSpec(const std::string& scope) const {
 }
 
 bool FaultInjector::armed(const std::string& scope) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FindSpec(scope) != nullptr;
 }
 
 FaultAction FaultInjector::Decide(const std::string& scope) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const FaultSpec* spec = FindSpec(scope);
   if (spec == nullptr) return FaultAction::kNone;
   ++stats_.decisions;
@@ -76,7 +76,7 @@ FaultAction FaultInjector::Decide(const std::string& scope) {
 void FaultInjector::SleepNow(const std::string& scope) {
   Duration d = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const FaultSpec* spec = FindSpec(scope);
     if (spec != nullptr) d = spec->sleep_duration;
   }
@@ -84,7 +84,7 @@ void FaultInjector::SleepNow(const std::string& scope) {
 }
 
 FaultInjectorStats FaultInjector::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

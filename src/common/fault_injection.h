@@ -14,14 +14,15 @@
 
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace pipes {
@@ -139,10 +140,13 @@ class FaultInjector {
   /// Spec lookup honoring the wildcard; nullptr when unarmed.
   const FaultSpec* FindSpec(const std::string& scope) const;
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::unordered_map<std::string, FaultSpec> specs_;
-  FaultInjectorStats stats_;
+  /// Unranked: fault decisions are drawn from arbitrary call sites (under
+  /// evaluator, propagation, or scheduler locks), so no fixed rank fits; the
+  /// validator still records its held-before edges by name.
+  mutable Mutex mu_{"FaultInjector::mu"};
+  Rng rng_ PIPES_GUARDED_BY(mu_);
+  std::unordered_map<std::string, FaultSpec> specs_ PIPES_GUARDED_BY(mu_);
+  FaultInjectorStats stats_ PIPES_GUARDED_BY(mu_);
 };
 
 }  // namespace pipes

@@ -23,15 +23,24 @@ void ReentrantSharedMutex::SetMyReadDepth(int depth) {
   }
 }
 
-void ReentrantSharedMutex::lock() {
+void ReentrantSharedMutex::lock() PIPES_NO_THREAD_SAFETY_ANALYSIS {
+  // Record before blocking, so a lock-order report exists even if this very
+  // acquisition is the one that deadlocks.
+  lockorder::OnAcquire(cls_, this, /*shared=*/false);
   std::unique_lock<std::mutex> lock(mu_);
   auto me = std::this_thread::get_id();
   if (writer_ == me) {
     ++write_depth_;
     return;
   }
-  assert(MyReadDepth() == 0 &&
-         "ReentrantSharedMutex: shared->exclusive upgrade is not supported");
+  if (MyReadDepth() > 0) {
+    // Reported in all builds: with only shared levels held this wait below
+    // can never finish (active_readers_ includes this thread).
+    lockorder::LockOrderValidator::Instance().ReportUpgrade(
+        lockorder::LockClassName(cls_));
+    assert(false &&
+           "ReentrantSharedMutex: shared->exclusive upgrade is not supported");
+  }
   ++waiting_writers_;
   writers_cv_.wait(lock, [this] {
     return write_depth_ == 0 && active_readers_ == 0;
@@ -41,22 +50,26 @@ void ReentrantSharedMutex::lock() {
   write_depth_ = 1;
 }
 
-void ReentrantSharedMutex::unlock() {
-  std::unique_lock<std::mutex> lock(mu_);
-  assert(writer_ == std::this_thread::get_id() && write_depth_ > 0);
-  if (--write_depth_ == 0) {
-    assert(writer_read_depth_ == 0 &&
-           "unlock() while still holding nested shared locks");
-    writer_ = std::thread::id{};
-    if (waiting_writers_ > 0) {
-      writers_cv_.notify_one();
-    } else {
-      readers_cv_.notify_all();
+void ReentrantSharedMutex::unlock() PIPES_NO_THREAD_SAFETY_ANALYSIS {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    assert(writer_ == std::this_thread::get_id() && write_depth_ > 0);
+    if (--write_depth_ == 0) {
+      assert(writer_read_depth_ == 0 &&
+             "unlock() while still holding nested shared locks");
+      writer_ = std::thread::id{};
+      if (waiting_writers_ > 0) {
+        writers_cv_.notify_one();
+      } else {
+        readers_cv_.notify_all();
+      }
     }
   }
+  lockorder::OnRelease(cls_, this);
 }
 
-void ReentrantSharedMutex::lock_shared() {
+void ReentrantSharedMutex::lock_shared() PIPES_NO_THREAD_SAFETY_ANALYSIS {
+  lockorder::OnAcquire(cls_, this, /*shared=*/true);
   std::unique_lock<std::mutex> lock(mu_);
   auto me = std::this_thread::get_id();
   if (writer_ == me) {
@@ -78,20 +91,40 @@ void ReentrantSharedMutex::lock_shared() {
   ++active_readers_;
 }
 
-void ReentrantSharedMutex::unlock_shared() {
+void ReentrantSharedMutex::unlock_shared() PIPES_NO_THREAD_SAFETY_ANALYSIS {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto me = std::this_thread::get_id();
+    if (writer_ == me) {
+      assert(writer_read_depth_ > 0);
+      --writer_read_depth_;
+    } else {
+      int depth = MyReadDepth();
+      assert(depth > 0 && "unlock_shared() without matching lock_shared()");
+      SetMyReadDepth(depth - 1);
+      if (--active_readers_ == 0 && waiting_writers_ > 0) {
+        writers_cv_.notify_one();
+      }
+    }
+  }
+  lockorder::OnRelease(cls_, this);
+}
+
+bool ReentrantSharedMutex::TryUpgrade() PIPES_NO_THREAD_SAFETY_ANALYSIS {
   std::unique_lock<std::mutex> lock(mu_);
-  auto me = std::this_thread::get_id();
-  if (writer_ == me) {
-    assert(writer_read_depth_ > 0);
-    --writer_read_depth_;
-    return;
+  if (writer_ == std::this_thread::get_id()) {
+    ++write_depth_;
+    lockorder::OnTryAcquired(cls_, this, /*shared=*/false);
+    return true;
   }
-  int depth = MyReadDepth();
-  assert(depth > 0 && "unlock_shared() without matching lock_shared()");
-  SetMyReadDepth(depth - 1);
-  if (--active_readers_ == 0 && waiting_writers_ > 0) {
-    writers_cv_.notify_one();
+  if (MyReadDepth() > 0) {
+    // The refused upgrade is the interesting event: code that *would have*
+    // upgraded under load is a latent deadlock, so it is reported in all
+    // builds even though this probe never blocks.
+    lockorder::LockOrderValidator::Instance().ReportUpgrade(
+        lockorder::LockClassName(cls_));
   }
+  return false;
 }
 
 bool ReentrantSharedMutex::HeldExclusiveByMe() const {

@@ -9,11 +9,17 @@
 ///   - write inside write (recursive exclusive acquisition),
 ///   - read inside write (the writer may take shared locks for free).
 /// Upgrading (requesting exclusive while holding only shared) is NOT
-/// supported and asserts in debug builds — upgrades are an unavoidable
-/// deadlock with two concurrent upgraders.
+/// supported — upgrades are an unavoidable deadlock with two concurrent
+/// upgraders. An upgrade attempt is reported through the lock-order
+/// validator in ALL builds (see lock_order.h) and asserts in debug builds;
+/// use TryUpgrade() where upgrade-or-bail semantics are needed.
 ///
 /// Writers are preferred over *new* readers to avoid writer starvation;
 /// reentrant readers are always admitted to avoid self-deadlock.
+///
+/// The class is a Clang Thread Safety capability and reports acquisitions to
+/// the lockdep-style lock-order validator; construct it with a class name
+/// and rank (lock_order.h) to participate in hierarchy checking.
 
 #pragma once
 
@@ -22,25 +28,40 @@
 #include <mutex>
 #include <thread>
 
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
 namespace pipes {
 
-class ReentrantSharedMutex {
+class PIPES_CAPABILITY("ReentrantSharedMutex") ReentrantSharedMutex {
  public:
-  ReentrantSharedMutex() = default;
+  ReentrantSharedMutex() : ReentrantSharedMutex("pipes::ReentrantSharedMutex") {}
+  /// `name` identifies this lock's class in lock-order reports; `rank` is
+  /// its position in the lock hierarchy (0 = unranked).
+  explicit ReentrantSharedMutex(const char* name, int rank = 0)
+      : cls_(lockorder::RegisterLockClass(name, rank, /*reentrant=*/true)) {}
   ReentrantSharedMutex(const ReentrantSharedMutex&) = delete;
   ReentrantSharedMutex& operator=(const ReentrantSharedMutex&) = delete;
 
   /// Acquires the lock exclusively; reentrant for the holding writer.
-  void lock();
+  void lock() PIPES_ACQUIRE();
 
   /// Releases one level of exclusive ownership.
-  void unlock();
+  void unlock() PIPES_RELEASE();
 
   /// Acquires the lock shared; reentrant, and free for the holding writer.
-  void lock_shared();
+  void lock_shared() PIPES_ACQUIRE_SHARED();
 
   /// Releases one level of shared ownership.
-  void unlock_shared();
+  void unlock_shared() PIPES_RELEASE_SHARED();
+
+  /// Non-blocking upgrade probe. Returns true — taking one more exclusive
+  /// level that must be released with unlock() — only when the calling
+  /// thread already holds the lock exclusively. A genuine shared→exclusive
+  /// upgrade (only shared levels held) is refused, returns false, and is
+  /// reported through the lock-order validator in all builds; callers must
+  /// release their shared levels and reacquire exclusively instead.
+  bool TryUpgrade() PIPES_TRY_ACQUIRE(true);
 
   /// True iff the calling thread currently holds the lock exclusively.
   bool HeldExclusiveByMe() const;
@@ -61,38 +82,37 @@ class ReentrantSharedMutex {
   int writer_read_depth_ = 0;  // shared acquisitions by the current writer
   int active_readers_ = 0;
   int waiting_writers_ = 0;
+  const lockorder::LockClass* cls_;
 };
 
 /// RAII shared lock.
-class SharedLock {
+class PIPES_SCOPED_CAPABILITY SharedLock {
  public:
-  explicit SharedLock(ReentrantSharedMutex& mu) : mu_(&mu) { mu_->lock_shared(); }
-  ~SharedLock() {
-    if (mu_) mu_->unlock_shared();
+  explicit SharedLock(ReentrantSharedMutex& mu) PIPES_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
   }
+  ~SharedLock() PIPES_RELEASE_GENERIC() { mu_.unlock_shared(); }
   SharedLock(const SharedLock&) = delete;
   SharedLock& operator=(const SharedLock&) = delete;
-  SharedLock(SharedLock&& other) noexcept : mu_(other.mu_) { other.mu_ = nullptr; }
 
  private:
-  ReentrantSharedMutex* mu_;
+  ReentrantSharedMutex& mu_;
 };
 
 /// RAII exclusive lock.
-class ExclusiveLock {
+class PIPES_SCOPED_CAPABILITY ExclusiveLock {
  public:
-  explicit ExclusiveLock(ReentrantSharedMutex& mu) : mu_(&mu) { mu_->lock(); }
-  ~ExclusiveLock() {
-    if (mu_) mu_->unlock();
+  explicit ExclusiveLock(ReentrantSharedMutex& mu) PIPES_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock();
   }
+  ~ExclusiveLock() PIPES_RELEASE_GENERIC() { mu_.unlock(); }
   ExclusiveLock(const ExclusiveLock&) = delete;
   ExclusiveLock& operator=(const ExclusiveLock&) = delete;
-  ExclusiveLock(ExclusiveLock&& other) noexcept : mu_(other.mu_) {
-    other.mu_ = nullptr;
-  }
 
  private:
-  ReentrantSharedMutex* mu_;
+  ReentrantSharedMutex& mu_;
 };
 
 }  // namespace pipes

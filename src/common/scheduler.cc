@@ -24,19 +24,19 @@ Timestamp SteadyMicrosNow() {
 // ---------------------------------------------------------------------------
 
 void TaskScheduler::SetWatchdog(double overrun_factor, OverrunCallback cb) {
-  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  MutexLock lock(watchdog_mu_);
   overrun_factor_ = overrun_factor;
   overrun_cb_ = std::move(cb);
 }
 
 double TaskScheduler::watchdog_overrun_factor() const {
-  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  MutexLock lock(watchdog_mu_);
   return overrun_factor_ > 0 ? overrun_factor_ : 0.0;
 }
 
 bool TaskScheduler::IsOverrun(Duration period, Duration runtime) const {
   if (period <= 0) return false;
-  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  MutexLock lock(watchdog_mu_);
   if (overrun_factor_ <= 0) return false;
   return static_cast<double>(runtime) >
          overrun_factor_ * static_cast<double>(period);
@@ -46,7 +46,7 @@ void TaskScheduler::NotifyOverrun(Timestamp scheduled_at, Duration period,
                                   Duration runtime) {
   OverrunCallback cb;
   {
-    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    MutexLock lock(watchdog_mu_);
     cb = overrun_cb_;
   }
   if (cb) cb(OverrunReport{scheduled_at, period, runtime});
@@ -61,7 +61,7 @@ VirtualTimeScheduler::VirtualTimeScheduler(VirtualClock* clock)
 
 TaskHandle VirtualTimeScheduler::ScheduleAt(Timestamp when, Task fn) {
   auto state = std::make_shared<TaskHandle::State>();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Tasks scheduled in the past run at the current time.
   when = std::max(when, clock_->Now());
   queue_.push(Entry{when, next_seq_++, std::move(fn), state, /*period=*/0});
@@ -72,7 +72,7 @@ TaskHandle VirtualTimeScheduler::SchedulePeriodic(Duration period, Task fn,
                                                   Timestamp first_at) {
   assert(period > 0 && "periodic task requires a positive period");
   auto state = std::make_shared<TaskHandle::State>();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Timestamp first =
       first_at == kTimestampNever ? clock_->Now() + period : first_at;
   queue_.push(Entry{first, next_seq_++, std::move(fn), state, period});
@@ -80,22 +80,22 @@ TaskHandle VirtualTimeScheduler::SchedulePeriodic(Duration period, Task fn,
 }
 
 SchedulerStats VirtualTimeScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t VirtualTimeScheduler::pending_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 Timestamp VirtualTimeScheduler::next_deadline() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.empty() ? kTimestampMax : queue_.top().when;
 }
 
 bool VirtualTimeScheduler::PopDue(Timestamp t, Entry* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
     if (top.when > t) return false;
@@ -119,7 +119,7 @@ uint64_t VirtualTimeScheduler::RunUntil(Timestamp t) {
     ++run;
     bool overrun = IsOverrun(e.period, runtime);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.tasks_run;
       stats_.max_task_runtime = std::max(stats_.max_task_runtime, runtime);
       if (overrun) ++stats_.overruns;
@@ -144,7 +144,7 @@ bool VirtualTimeScheduler::RunNext() {
   Duration runtime = SteadyMicrosNow() - started;
   bool overrun = IsOverrun(e.period, runtime);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.tasks_run;
     stats_.max_task_runtime = std::max(stats_.max_task_runtime, runtime);
     if (overrun) ++stats_.overruns;
@@ -179,7 +179,7 @@ ThreadPoolScheduler::~ThreadPoolScheduler() { Shutdown(); }
 
 void ThreadPoolScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -192,7 +192,7 @@ void ThreadPoolScheduler::Shutdown() {
 TaskHandle ThreadPoolScheduler::ScheduleAt(Timestamp when, Task fn) {
   auto state = std::make_shared<TaskHandle::State>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(Entry{when, next_seq_++,
                       std::make_shared<Task>(std::move(fn)), state,
                       /*period=*/0});
@@ -206,7 +206,7 @@ TaskHandle ThreadPoolScheduler::SchedulePeriodic(Duration period, Task fn,
   assert(period > 0 && "periodic task requires a positive period");
   auto state = std::make_shared<TaskHandle::State>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Timestamp first =
         first_at == kTimestampNever ? clock_->Now() + period : first_at;
     queue_.push(Entry{first, next_seq_++,
@@ -217,12 +217,12 @@ TaskHandle ThreadPoolScheduler::SchedulePeriodic(Duration period, Task fn,
 }
 
 SchedulerStats ThreadPoolScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void ThreadPoolScheduler::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<Mutex> lock(mu_);
   while (true) {
     if (stopping_) return;
     if (queue_.empty()) {

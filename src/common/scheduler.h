@@ -18,12 +18,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace pipes {
@@ -131,9 +132,10 @@ class TaskScheduler {
   void NotifyOverrun(Timestamp scheduled_at, Duration period, Duration runtime);
 
  private:
-  mutable std::mutex watchdog_mu_;
-  double overrun_factor_ = 0.0;
-  OverrunCallback overrun_cb_;
+  mutable Mutex watchdog_mu_{"TaskScheduler::watchdog_mu",
+                             lockorder::kRankWatchdog};
+  double overrun_factor_ PIPES_GUARDED_BY(watchdog_mu_) = 0.0;
+  OverrunCallback overrun_cb_ PIPES_GUARDED_BY(watchdog_mu_);
 };
 
 /// \brief Deterministic scheduler driving a VirtualClock.
@@ -191,10 +193,11 @@ class VirtualTimeScheduler final : public TaskScheduler {
 
   VirtualClock owned_clock_;
   VirtualClock* clock_;
-  mutable std::mutex mu_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  uint64_t next_seq_ = 0;
-  SchedulerStats stats_;
+  mutable Mutex mu_{"VirtualTimeScheduler::mu", lockorder::kRankScheduler};
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_
+      PIPES_GUARDED_BY(mu_);
+  uint64_t next_seq_ PIPES_GUARDED_BY(mu_) = 0;
+  SchedulerStats stats_ PIPES_GUARDED_BY(mu_);
 };
 
 /// \brief Real-time scheduler over a pool of worker threads (paper §4.3).
@@ -239,17 +242,22 @@ class ThreadPoolScheduler final : public TaskScheduler {
     }
   };
 
-  void WorkerLoop();
+  /// Lock/unlock around task execution is too dynamic for static analysis;
+  /// checked by the runtime lock-order validator instead.
+  void WorkerLoop() PIPES_NO_THREAD_SAFETY_ANALYSIS;
 
   std::unique_ptr<SystemClock> owned_clock_;
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  mutable Mutex mu_{"ThreadPoolScheduler::mu", lockorder::kRankScheduler};
+  /// condition_variable_any: the annotated pipes::Mutex is Lockable but is
+  /// not std::mutex, which plain std::condition_variable requires.
+  std::condition_variable_any cv_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_
+      PIPES_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  uint64_t next_seq_ = 0;
-  bool stopping_ = false;
-  SchedulerStats stats_;
+  uint64_t next_seq_ PIPES_GUARDED_BY(mu_) = 0;
+  bool stopping_ PIPES_GUARDED_BY(mu_) = false;
+  SchedulerStats stats_ PIPES_GUARDED_BY(mu_);
 };
 
 }  // namespace pipes

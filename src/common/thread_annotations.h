@@ -1,0 +1,107 @@
+/// \file thread_annotations.h
+/// \brief Clang Thread Safety Analysis macros (PIPES_* spellings).
+///
+/// These macros make the paper's locking discipline (§4.2: three levels of
+/// reentrant read/write locking) machine-checkable: a lock type is declared a
+/// *capability*, the state it protects is marked PIPES_GUARDED_BY, and
+/// functions declare what they acquire, release, or require. Under Clang with
+/// `-Wthread-safety` (CMake option PIPES_THREAD_SAFETY) violations are
+/// compile errors; under other compilers every macro expands to nothing.
+///
+/// The macro set mirrors the Clang documentation's canonical spelling
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Only the subset
+/// this codebase uses is defined; extend it here rather than spelling raw
+/// attributes at use sites.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PIPES_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef PIPES_THREAD_ANNOTATION
+#define PIPES_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (a lock). The string names the
+/// capability kind in diagnostics, e.g. PIPES_CAPABILITY("mutex").
+#define PIPES_CAPABILITY(x) PIPES_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PIPES_SCOPED_CAPABILITY PIPES_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability: reads
+/// require the capability held (shared or exclusive), writes require it held
+/// exclusively.
+#define PIPES_GUARDED_BY(x) PIPES_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like PIPES_GUARDED_BY, but protects the data *pointed to* by the member.
+#define PIPES_PT_GUARDED_BY(x) PIPES_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares acquisition-order edges between capabilities (checked statically
+/// by Clang, complementing the runtime validator in lock_order.h).
+#define PIPES_ACQUIRED_BEFORE(...) \
+  PIPES_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PIPES_ACQUIRED_AFTER(...) \
+  PIPES_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function must be called with the capability held exclusively; it is
+/// still held on return.
+#define PIPES_REQUIRES(...) \
+  PIPES_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function must be called with the capability held at least shared.
+#define PIPES_REQUIRES_SHARED(...) \
+  PIPES_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively and does not release it.
+#define PIPES_ACQUIRE(...) \
+  PIPES_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the capability shared and does not release it.
+#define PIPES_ACQUIRE_SHARED(...) \
+  PIPES_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (held exclusively on entry).
+#define PIPES_RELEASE(...) \
+  PIPES_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function releases the capability (held shared on entry).
+#define PIPES_RELEASE_SHARED(...) \
+  PIPES_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability regardless of how it was held
+/// (used by scoped guards whose destructor may release either mode).
+#define PIPES_RELEASE_GENERIC(...) \
+  PIPES_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value that signals success.
+#define PIPES_TRY_ACQUIRE(...) \
+  PIPES_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PIPES_TRY_ACQUIRE_SHARED(...) \
+  PIPES_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the capability held (guards against
+/// self-deadlock on non-reentrant locks).
+#define PIPES_EXCLUDES(...) PIPES_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at analysis level) that the calling thread already holds the
+/// capability — for code reachable only under the lock.
+#define PIPES_ASSERT_CAPABILITY(x) \
+  PIPES_THREAD_ANNOTATION(assert_capability(x))
+#define PIPES_ASSERT_SHARED_CAPABILITY(x) \
+  PIPES_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability (annotates lock
+/// accessors so analysis can resolve `Lock(obj.mutex())` to the member).
+#define PIPES_RETURN_CAPABILITY(x) PIPES_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function — used for the lock
+/// implementations themselves and for condition-variable wait loops whose
+/// lock/unlock pattern the analysis cannot follow.
+#define PIPES_NO_THREAD_SAFETY_ANALYSIS \
+  PIPES_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -83,28 +83,28 @@ MetadataValue MetadataHandler::Get() {
 }
 
 Timestamp MetadataHandler::last_updated() const {
-  std::lock_guard<std::mutex> lock(value_mu_);
+  MutexLock lock(value_mu_);
   return last_updated_;
 }
 
 Duration MetadataHandler::staleness(Timestamp now) const {
-  std::lock_guard<std::mutex> lock(value_mu_);
+  MutexLock lock(value_mu_);
   if (last_updated_ == kTimestampNever) return 0;
   return std::max<Duration>(0, now - last_updated_);
 }
 
 HandlerHealth MetadataHandler::health() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return health_;
 }
 
 std::string MetadataHandler::last_error() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return last_error_;
 }
 
 int MetadataHandler::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return consecutive_failures_;
 }
 
@@ -120,13 +120,13 @@ void MetadataHandler::Retire() {
 }
 
 std::vector<MetadataHandler*> MetadataHandler::dependents() const {
-  std::lock_guard<std::mutex> lock(dependents_mu_);
+  MutexLock lock(dependents_mu_);
   return dependents_;
 }
 
 MetadataValue MetadataHandler::Evaluate(Timestamp now, Duration elapsed) {
   if (!desc_->evaluator()) return MetadataValue::Null();
-  std::lock_guard<std::mutex> lock(eval_mu_);
+  MutexLock lock(eval_mu_);
   uint64_t index = eval_count_.fetch_add(1, std::memory_order_relaxed);
   manager_.CountEvaluation();
   HandlerEvalContext ctx(owner_, now, elapsed, LoadValue(), index, deps_);
@@ -134,7 +134,7 @@ MetadataValue MetadataHandler::Evaluate(Timestamp now, Duration elapsed) {
 }
 
 bool MetadataHandler::InBackoff(Timestamp now) const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return health_ == HandlerHealth::kQuarantined &&
          retry_at_ != kTimestampNever && now < retry_at_;
 }
@@ -196,7 +196,7 @@ void MetadataHandler::RecordSuccess(Timestamp now) {
   HandlerHealth old_health;
   HandlerHealth new_health;
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     consecutive_failures_ = 0;
     current_backoff_ = 0;
     retry_at_ = kTimestampNever;  // probes succeeded; stop gating evals
@@ -219,7 +219,7 @@ void MetadataHandler::RecordFailure(Timestamp now, std::string error) {
   HandlerHealth old_health;
   HandlerHealth new_health;
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     const RetryPolicy& policy = desc_->retry_policy();
     consecutive_successes_ = 0;
     ++consecutive_failures_;
@@ -250,14 +250,14 @@ void MetadataHandler::RecordFailure(Timestamp now, std::string error) {
 }
 
 void MetadataHandler::StoreValue(MetadataValue v, Timestamp now) {
-  std::lock_guard<std::mutex> lock(value_mu_);
+  MutexLock lock(value_mu_);
   value_ = std::move(v);
   last_updated_ = now;
   update_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 MetadataValue MetadataHandler::LoadValue() const {
-  std::lock_guard<std::mutex> lock(value_mu_);
+  MutexLock lock(value_mu_);
   return value_;
 }
 
@@ -270,7 +270,7 @@ MetadataValue MetadataHandler::LoadValueOrFallback() const {
 void MetadataHandler::RefreshFromWave(Timestamp) {}
 
 void MetadataHandler::AddDependent(MetadataHandler* h) {
-  std::lock_guard<std::mutex> lock(dependents_mu_);
+  MutexLock lock(dependents_mu_);
   // Duplicate subscriptions by the same dependent are detected to avoid
   // redundant notifications (paper §3.2.3).
   if (std::find(dependents_.begin(), dependents_.end(), h) ==
@@ -280,7 +280,7 @@ void MetadataHandler::AddDependent(MetadataHandler* h) {
 }
 
 void MetadataHandler::RemoveDependent(MetadataHandler* h) {
-  std::lock_guard<std::mutex> lock(dependents_mu_);
+  MutexLock lock(dependents_mu_);
   dependents_.erase(std::remove(dependents_.begin(), dependents_.end(), h),
                     dependents_.end());
 }

@@ -12,10 +12,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/scheduler.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "metadata/descriptor.h"
 
@@ -224,27 +225,32 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   /// True when a quarantined handler is still inside its backoff window.
   bool InBackoff(Timestamp now) const;
 
-  mutable std::mutex value_mu_;
-  MetadataValue value_;
-  Timestamp last_updated_ = kTimestampNever;
+  mutable Mutex value_mu_{"MetadataHandler::value_mu",
+                          lockorder::kRankHandlerValue};
+  MetadataValue value_ PIPES_GUARDED_BY(value_mu_);
+  Timestamp last_updated_ PIPES_GUARDED_BY(value_mu_) = kTimestampNever;
 
-  mutable std::mutex health_mu_;
-  HandlerHealth health_ = HandlerHealth::kHealthy;
-  int consecutive_failures_ = 0;
-  int consecutive_successes_ = 0;
-  Duration current_backoff_ = 0;
-  Timestamp retry_at_ = kTimestampNever;  ///< next allowed eval in quarantine
-  std::string last_error_;
+  mutable Mutex health_mu_{"MetadataHandler::health_mu",
+                           lockorder::kRankHandlerHealth};
+  HandlerHealth health_ PIPES_GUARDED_BY(health_mu_) = HandlerHealth::kHealthy;
+  int consecutive_failures_ PIPES_GUARDED_BY(health_mu_) = 0;
+  int consecutive_successes_ PIPES_GUARDED_BY(health_mu_) = 0;
+  Duration current_backoff_ PIPES_GUARDED_BY(health_mu_) = 0;
+  /// Next allowed eval in quarantine.
+  Timestamp retry_at_ PIPES_GUARDED_BY(health_mu_) = kTimestampNever;
+  std::string last_error_ PIPES_GUARDED_BY(health_mu_);
 
   std::atomic<bool> retired_{false};
   std::atomic<uint64_t> fault_count_{0};
   std::atomic<uint64_t> skipped_evals_{0};
   std::atomic<uint64_t> recovery_count_{0};
 
-  std::mutex eval_mu_;  // serializes evaluator invocations
+  /// Serializes evaluator invocations; guards no data directly.
+  Mutex eval_mu_{"MetadataHandler::eval_mu", lockorder::kRankHandlerEval};
 
-  mutable std::mutex dependents_mu_;
-  std::vector<MetadataHandler*> dependents_;
+  mutable Mutex dependents_mu_{"MetadataHandler::dependents_mu",
+                               lockorder::kRankHandlerDependents};
+  std::vector<MetadataHandler*> dependents_ PIPES_GUARDED_BY(dependents_mu_);
 
   // Guarded by the manager's structure lock.
   int external_refs_ = 0;

@@ -400,7 +400,7 @@ void MetadataManager::NaivePropagate(MetadataHandler& h, Timestamp now,
 
 void MetadataManager::PropagateFrom(MetadataHandler& origin, Timestamp now) {
   SharedLock lock(structure_mu_);
-  std::lock_guard<std::recursive_mutex> wave(propagation_mu_);
+  RecursiveMutexLock wave(propagation_mu_);
   stats_waves_.fetch_add(1, std::memory_order_relaxed);
 
   if (propagation_mode_ == PropagationMode::kNaiveRecursive) {

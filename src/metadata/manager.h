@@ -13,15 +13,16 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/reentrant_shared_mutex.h"
 #include "common/scheduler.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "metadata/handler.h"
 #include "metadata/provider.h"
 
@@ -148,7 +149,10 @@ class MetadataManager {
 
   /// Graph-level metadata lock (paper §4.2): exclusive during structural
   /// changes (inclusion/exclusion), shared during propagation.
-  ReentrantSharedMutex& structure_mutex() { return structure_mu_; }
+  ReentrantSharedMutex& structure_mutex()
+      PIPES_RETURN_CAPABILITY(structure_mu_) {
+    return structure_mu_;
+  }
 
   /// Selects the propagation algorithm (default kTopological). The naive
   /// mode exists for the ablation bench; production code should not use it.
@@ -193,21 +197,25 @@ class MetadataManager {
   };
 
   /// Depth-first planning of the inclusion closure (cycle + existence
-  /// checks); appends entries dependencies-first.
+  /// checks); appends entries dependencies-first. Runs under the exclusive
+  /// structure lock (machine-checked under Clang -Wthread-safety).
   Status PlanInclude(const MetadataRef& ref, std::vector<PlanEntry>* plan,
                      std::unordered_set<MetadataRef, MetadataRefHash>* planned,
-                     std::unordered_set<MetadataRef, MetadataRefHash>* in_path);
+                     std::unordered_set<MetadataRef, MetadataRefHash>* in_path)
+      PIPES_REQUIRES(structure_mu_);
 
   /// Creates the handler for one plan entry (dependencies already exist).
   std::shared_ptr<MetadataHandler> Instantiate(const PlanEntry& entry,
-                                               Timestamp now);
+                                               Timestamp now)
+      PIPES_REQUIRES(structure_mu_);
 
   /// Drops one external reference and removes the handler (and, recursively,
   /// its now-unneeded dependencies) when the last reference is gone.
   void UnsubscribeExternal(const std::shared_ptr<MetadataHandler>& handler);
 
   /// Removes `handler` if it has neither external nor internal references.
-  void MaybeRemove(const std::shared_ptr<MetadataHandler>& handler);
+  void MaybeRemove(const std::shared_ptr<MetadataHandler>& handler)
+      PIPES_REQUIRES(structure_mu_);
 
   /// Refreshes `h`'s dependents depth-first without deduplication.
   void NaivePropagate(MetadataHandler& h, Timestamp now, int depth);
@@ -217,8 +225,14 @@ class MetadataManager {
   void RefreshContained(MetadataHandler& h, Timestamp now);
 
   TaskScheduler& scheduler_;
-  ReentrantSharedMutex structure_mu_;
-  std::recursive_mutex propagation_mu_;
+  /// Graph-level lock of the three-level scheme (§4.2). Outer to the
+  /// propagation lock and every handler lock; see lock_order.h ranks.
+  ReentrantSharedMutex structure_mu_{"MetadataManager::structure_mu",
+                                     lockorder::kRankMetadataStructure};
+  /// Serializes propagation waves; recursive because a wave refresh may
+  /// synchronously fire a nested event (§3.2.3).
+  RecursiveMutex propagation_mu_{"MetadataManager::propagation_mu",
+                                 lockorder::kRankPropagation};
   PropagationMode propagation_mode_ = PropagationMode::kTopological;
 
   std::atomic<uint64_t> stats_subscriptions_{0};

@@ -20,7 +20,7 @@ MetadataProvider::~MetadataProvider() {
 
 void MetadataProvider::AttachMetadataManager(MetadataManager* manager) {
   manager_.store(manager, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(modules_mu_);
+  MutexLock lock(modules_mu_);
   for (auto& [name, module] : modules_) {
     module->AttachMetadataManager(manager);
   }
@@ -29,7 +29,7 @@ void MetadataProvider::AttachMetadataManager(MetadataManager* manager) {
 void MetadataProvider::RegisterModule(const std::string& name,
                                       MetadataProvider* module) {
   {
-    std::lock_guard<std::mutex> lock(modules_mu_);
+    MutexLock lock(modules_mu_);
     modules_[name] = module;
   }
   if (MetadataManager* mgr = metadata_manager()) {
@@ -38,19 +38,19 @@ void MetadataProvider::RegisterModule(const std::string& name,
 }
 
 void MetadataProvider::UnregisterModule(const std::string& name) {
-  std::lock_guard<std::mutex> lock(modules_mu_);
+  MutexLock lock(modules_mu_);
   modules_.erase(name);
 }
 
 MetadataProvider* MetadataProvider::MetadataModule(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(modules_mu_);
+  MutexLock lock(modules_mu_);
   auto it = modules_.find(name);
   return it == modules_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> MetadataProvider::ModuleNames() const {
-  std::lock_guard<std::mutex> lock(modules_mu_);
+  MutexLock lock(modules_mu_);
   std::vector<std::string> names;
   names.reserve(modules_.size());
   for (const auto& [name, module] : modules_) names.push_back(name);

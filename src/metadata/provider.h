@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/reentrant_shared_mutex.h"
+#include "common/thread_annotations.h"
 #include "metadata/registry.h"
 
 namespace pipes {
@@ -52,7 +54,10 @@ class MetadataProvider {
 
   /// Operator-level reentrant read/write lock (paper §4.2): guards the
   /// provider's processing state against concurrent metadata evaluation.
-  ReentrantSharedMutex& state_mutex() const { return state_mu_; }
+  ReentrantSharedMutex& state_mutex() const
+      PIPES_RETURN_CAPABILITY(state_mu_) {
+    return state_mu_;
+  }
 
   /// \name Topology hooks for dependency resolution
   /// Nodes override these; modules and standalone providers keep the empty
@@ -84,9 +89,12 @@ class MetadataProvider {
   uint64_t provider_id_;
   MetadataRegistry registry_;
   std::atomic<MetadataManager*> manager_{nullptr};
-  mutable ReentrantSharedMutex state_mu_;
-  mutable std::mutex modules_mu_;
-  std::map<std::string, MetadataProvider*> modules_;
+  mutable ReentrantSharedMutex state_mu_{"MetadataProvider::state_mu",
+                                         lockorder::kRankOperatorState};
+  mutable Mutex modules_mu_{"MetadataProvider::modules_mu",
+                            lockorder::kRankModules};
+  std::map<std::string, MetadataProvider*> modules_
+      PIPES_GUARDED_BY(modules_mu_);
 };
 
 }  // namespace pipes

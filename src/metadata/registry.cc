@@ -7,7 +7,7 @@
 namespace pipes {
 
 Status MetadataRegistry::Define(MetadataDescriptor desc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetadataKey key = desc.key();
   auto [it, inserted] = descriptors_.emplace(
       key, std::make_shared<const MetadataDescriptor>(std::move(desc)));
@@ -18,7 +18,7 @@ Status MetadataRegistry::Define(MetadataDescriptor desc) {
 }
 
 Status MetadataRegistry::Redefine(MetadataDescriptor desc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetadataKey key = desc.key();
   auto it = descriptors_.find(key);
   if (it == descriptors_.end()) {
@@ -33,7 +33,7 @@ Status MetadataRegistry::Redefine(MetadataDescriptor desc) {
 }
 
 Status MetadataRegistry::DefineOrRedefine(MetadataDescriptor desc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetadataKey key = desc.key();
   if (handlers_.count(key) > 0) {
     return Status::FailedPrecondition(
@@ -44,7 +44,7 @@ Status MetadataRegistry::DefineOrRedefine(MetadataDescriptor desc) {
 }
 
 Status MetadataRegistry::Undefine(const MetadataKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (handlers_.count(key) > 0) {
     return Status::FailedPrecondition(
         "cannot undefine currently included metadata item: " + key);
@@ -57,18 +57,18 @@ Status MetadataRegistry::Undefine(const MetadataKey& key) {
 
 std::shared_ptr<const MetadataDescriptor> MetadataRegistry::Find(
     const MetadataKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = descriptors_.find(key);
   return it == descriptors_.end() ? nullptr : it->second;
 }
 
 bool MetadataRegistry::IsAvailable(const MetadataKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return descriptors_.count(key) > 0;
 }
 
 std::vector<MetadataKey> MetadataRegistry::AvailableKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetadataKey> keys;
   keys.reserve(descriptors_.size());
   for (const auto& [k, d] : descriptors_) keys.push_back(k);
@@ -77,18 +77,18 @@ std::vector<MetadataKey> MetadataRegistry::AvailableKeys() const {
 
 std::shared_ptr<MetadataHandler> MetadataRegistry::GetHandler(
     const MetadataKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = handlers_.find(key);
   return it == handlers_.end() ? nullptr : it->second;
 }
 
 bool MetadataRegistry::IsIncluded(const MetadataKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return handlers_.count(key) > 0;
 }
 
 std::vector<MetadataKey> MetadataRegistry::IncludedKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetadataKey> keys;
   keys.reserve(handlers_.size());
   for (const auto& [k, h] : handlers_) keys.push_back(k);
@@ -96,26 +96,26 @@ std::vector<MetadataKey> MetadataRegistry::IncludedKeys() const {
 }
 
 size_t MetadataRegistry::included_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return handlers_.size();
 }
 
 void MetadataRegistry::AddHandler(const MetadataKey& key,
                                   std::shared_ptr<MetadataHandler> h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(handlers_.count(key) == 0);
   handlers_.emplace(key, std::move(h));
 }
 
 void MetadataRegistry::RemoveHandler(const MetadataKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handlers_.erase(key);
 }
 
 void MetadataRegistry::RetireAllHandlers() {
   std::vector<std::shared_ptr<MetadataHandler>> retired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     retired.reserve(handlers_.size());
     for (const auto& [k, h] : handlers_) retired.push_back(h);
   }

@@ -10,11 +10,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "metadata/descriptor.h"
 
 namespace pipes {
@@ -84,9 +85,11 @@ class MetadataRegistry {
   void RetireAllHandlers();
 
  private:
-  mutable std::mutex mu_;
-  std::map<MetadataKey, std::shared_ptr<const MetadataDescriptor>> descriptors_;
-  std::map<MetadataKey, std::shared_ptr<MetadataHandler>> handlers_;
+  mutable Mutex mu_{"MetadataRegistry::mu", lockorder::kRankRegistry};
+  std::map<MetadataKey, std::shared_ptr<const MetadataDescriptor>> descriptors_
+      PIPES_GUARDED_BY(mu_);
+  std::map<MetadataKey, std::shared_ptr<MetadataHandler>> handlers_
+      PIPES_GUARDED_BY(mu_);
 };
 
 }  // namespace pipes

@@ -40,7 +40,7 @@ Status MetadataMonitor::WatchInternal(MetadataProvider& provider,
   }
   Result<MetadataSubscription> sub = manager_.Subscribe(provider, key);
   if (!sub.ok()) return sub.status();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (watched_.count(series_name) > 0) {
     return Status::AlreadyExists("series already watched: " + series_name);
   }
@@ -50,7 +50,7 @@ Status MetadataMonitor::WatchInternal(MetadataProvider& provider,
 }
 
 Status MetadataMonitor::Unwatch(const std::string& series_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (watched_.erase(series_name) == 0) {
     return Status::NotFound("series not watched: " + series_name);
   }
@@ -67,7 +67,7 @@ void MetadataMonitor::StopSampling() { sampling_task_.Cancel(); }
 
 void MetadataMonitor::SampleOnce() {
   Timestamp now = scheduler_.clock().Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, watched] : watched_) {
     switch (watched.kind) {
       case SampleKind::kValue: {
@@ -97,13 +97,13 @@ void MetadataMonitor::SampleOnce() {
 
 const TimeSeries& MetadataMonitor::series(const std::string& name) const {
   static const TimeSeries kEmpty;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = series_.find(name);
   return it == series_.end() ? kEmpty : it->second;
 }
 
 std::vector<std::string> MetadataMonitor::series_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(series_.size());
   for (const auto& [name, s] : series_) names.push_back(name);
@@ -111,7 +111,7 @@ std::vector<std::string> MetadataMonitor::series_names() const {
 }
 
 void MetadataMonitor::ExportCsv(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out << "time_s,series,value\n";
   for (const auto& [name, series] : series_) {
     for (const auto& [t, v] : series.points()) {
@@ -121,7 +121,7 @@ void MetadataMonitor::ExportCsv(std::ostream& out) const {
 }
 
 double MetadataMonitor::LastValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = series_.find(name);
   if (it == series_.end() || it->second.empty()) return 0.0;
   return it->second.points().back().second;

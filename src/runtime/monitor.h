@@ -8,12 +8,13 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/scheduler.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "metadata/manager.h"
 
 namespace pipes {
@@ -89,9 +90,11 @@ class MetadataMonitor {
 
   MetadataManager& manager_;
   TaskScheduler& scheduler_;
-  mutable std::mutex mu_;
-  std::map<std::string, Watched> watched_;
-  std::map<std::string, TimeSeries> series_;
+  /// Held while dropping subscriptions (Unwatch -> UnsubscribeExternal ->
+  /// structure lock), so it ranks before the metadata structure lock.
+  mutable Mutex mu_{"MetadataMonitor::mu", lockorder::kRankMonitor};
+  std::map<std::string, Watched> watched_ PIPES_GUARDED_BY(mu_);
+  std::map<std::string, TimeSeries> series_ PIPES_GUARDED_BY(mu_);
   TaskHandle sampling_task_;
 };
 

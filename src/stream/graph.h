@@ -43,7 +43,9 @@ class QueryGraph {
   MetadataManager& metadata_manager() { return metadata_manager_; }
 
   /// Graph-level lock of the three-level locking scheme (paper §4.2).
-  ReentrantSharedMutex& graph_mutex() { return graph_mu_; }
+  ReentrantSharedMutex& graph_mutex() PIPES_RETURN_CAPABILITY(graph_mu_) {
+    return graph_mu_;
+  }
 
   /// Constructs a node of type `T`, attaches it to this graph (metadata
   /// manager, default period) and registers its standard metadata.
@@ -99,15 +101,18 @@ class QueryGraph {
   TaskScheduler& scheduler_;
   Duration metadata_period_;
   MetadataManager metadata_manager_;
-  mutable ReentrantSharedMutex graph_mu_;
+  /// Outermost lock of the hierarchy: structural ops may take every other
+  /// lock underneath (node teardown drops metadata subscriptions).
+  mutable ReentrantSharedMutex graph_mu_{"QueryGraph::graph_mu",
+                                         lockorder::kRankQueryGraph};
 
-  std::vector<std::shared_ptr<Node>> nodes_;
+  std::vector<std::shared_ptr<Node>> nodes_ PIPES_GUARDED_BY(graph_mu_);
   struct QueryInfo {
     std::shared_ptr<SinkNode> sink;
     std::vector<Node*> nodes;  // upstream closure incl. sink
   };
-  std::map<QueryId, QueryInfo> queries_;
-  QueryId next_query_id_ = 1;
+  std::map<QueryId, QueryInfo> queries_ PIPES_GUARDED_BY(graph_mu_);
+  QueryId next_query_id_ PIPES_GUARDED_BY(graph_mu_) = 1;
 };
 
 }  // namespace pipes

@@ -125,7 +125,7 @@ void Node::Emit(const StreamElement& e) {
 }
 
 void Node::AddEmitObserver(const std::string& id, EmitObserver fn) {
-  std::lock_guard<std::mutex> lock(observers_mu_);
+  MutexLock lock(observers_mu_);
   auto [it, inserted] = observers_.emplace(id, std::move(fn));
   if (!inserted) {
     it->second = std::move(fn);
@@ -135,14 +135,14 @@ void Node::AddEmitObserver(const std::string& id, EmitObserver fn) {
 }
 
 void Node::RemoveEmitObserver(const std::string& id) {
-  std::lock_guard<std::mutex> lock(observers_mu_);
+  MutexLock lock(observers_mu_);
   if (observers_.erase(id) > 0) {
     observer_count_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void Node::NotifyEmitObservers(const StreamElement& e) {
-  std::lock_guard<std::mutex> lock(observers_mu_);
+  MutexLock lock(observers_mu_);
   for (auto& [id, fn] : observers_) fn(e);
 }
 
@@ -212,6 +212,9 @@ void Node::RegisterStandardMetadata() {
     // integer keys (column 0) observed per window, gathered by an emit
     // observer that only runs while the item is included.
     struct KeySketch {
+      // Plain std::mutex: the sketch is a leaf local to this lambda capture,
+      // never held across another lock, so it stays outside the lock-order
+      // hierarchy.
       std::mutex mu;
       std::unordered_set<int64_t> keys;
     };

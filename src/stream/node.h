@@ -14,10 +14,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "metadata/keys.h"
 #include "metadata/probes.h"
@@ -181,8 +182,8 @@ class Node : public MetadataProvider {
   CounterProbe latency_count_probe_;
   std::unique_ptr<InputQueue> input_queue_;
   std::atomic<int> observer_count_{0};
-  mutable std::mutex observers_mu_;
-  std::map<std::string, EmitObserver> observers_;
+  mutable Mutex observers_mu_{"Node::observers_mu", lockorder::kRankLeaf};
+  std::map<std::string, EmitObserver> observers_ PIPES_GUARDED_BY(observers_mu_);
 
   // Cursors owned per standard metadata item (reset on activation).
   ProbeCursor output_rate_cursor_;

@@ -57,11 +57,21 @@ const Schema& SlidingWindowJoin::output_schema() const {
 }
 
 size_t SlidingWindowJoin::StateCount() const {
-  return areas_[0]->Size() + areas_[1]->Size();
+  size_t n = 0;
+  for (const auto& area : areas_) {
+    SharedLock lock(area->state_mutex());
+    n += area->Size();
+  }
+  return n;
 }
 
 size_t SlidingWindowJoin::StateMemoryBytes() const {
-  return areas_[0]->MemoryBytes() + areas_[1]->MemoryBytes();
+  size_t n = 0;
+  for (const auto& area : areas_) {
+    SharedLock lock(area->state_mutex());
+    n += area->MemoryBytes();
+  }
+  return n;
 }
 
 std::string SlidingWindowJoin::ImplementationType() const {
@@ -100,12 +110,27 @@ void SlidingWindowJoin::ProcessElement(const StreamElement& e,
   assert(input_index < 2);
   size_t other = 1 - input_index;
 
+  // The sweep areas are metadata modules with their own state locks: their
+  // size/memory evaluators run concurrently on scheduler workers, so every
+  // mutation is taken under the module's lock (write side of §4.2).
   // Purge both areas up to the new element's timestamp (time moves forward).
-  areas_[0]->Expire(e.timestamp);
-  areas_[1]->Expire(e.timestamp);
+  {
+    ExclusiveLock lock(areas_[0]->state_mutex());
+    areas_[0]->Expire(e.timestamp);
+  }
+  {
+    ExclusiveLock lock(areas_[1]->state_mutex());
+    areas_[1]->Expire(e.timestamp);
+  }
+  {
+    ExclusiveLock lock(areas_[input_index]->state_mutex());
+    areas_[input_index]->Insert(e);
+  }
 
-  areas_[input_index]->Insert(e);
-
+  // Probing is read-only: a shared hold lets metadata evaluators sample the
+  // probed area concurrently. Matches are emitted while it is held; the
+  // downstream locks taken by Emit are sibling instances, never this one.
+  SharedLock probe_lock(areas_[other]->state_mutex());
   size_t examined = areas_[other]->Probe(e, [&](const StreamElement& cand) {
     const Tuple& left = input_index == 0 ? e.tuple : cand.tuple;
     const Tuple& right = input_index == 0 ? cand.tuple : e.tuple;

@@ -10,14 +10,19 @@ KeyExtractor KeyColumn(size_t index) {
 }
 
 void SweepArea::RegisterModuleMetadata() {
+  // Evaluators run on scheduler workers concurrently with the owning join's
+  // element processing; both sides synchronize on this module's state lock
+  // (paper §4.2 applied recursively to modules, §4.5).
   auto& reg = metadata_registry();
   reg.Define(MetadataDescriptor::OnDemand(keys::kStateSize)
                  .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   SharedLock lock(state_mutex());
                    return static_cast<int64_t>(Size());
                  })
                  .WithDescription("elements stored in this sweep area"));
   reg.Define(MetadataDescriptor::OnDemand(keys::kMemoryUsage)
                  .WithEvaluator([this](EvalContext&) -> MetadataValue {
+                   SharedLock lock(state_mutex());
                    return static_cast<int64_t>(MemoryBytes());
                  })
                  .WithDescription("memory footprint of this sweep area [bytes]"));

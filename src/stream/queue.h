@@ -11,8 +11,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "stream/element.h"
 
 namespace pipes {
@@ -29,7 +30,7 @@ class InputQueue {
 
   /// Appends an entry.
   void Push(Entry entry) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bytes_ += entry.element.MemoryBytes();
     ++total_enqueued_;
     entries_.push_back(std::move(entry));
@@ -37,7 +38,7 @@ class InputQueue {
 
   /// Removes the oldest entry into `out`; false when empty.
   bool Pop(Entry* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (entries_.empty()) return false;
     *out = std::move(entries_.front());
     entries_.pop_front();
@@ -47,7 +48,7 @@ class InputQueue {
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
@@ -55,31 +56,31 @@ class InputQueue {
 
   /// Memory held by queued elements, in bytes.
   size_t bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bytes_;
   }
 
   /// Timestamp of the oldest queued element (kTimestampMax when empty).
   Timestamp oldest_timestamp() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.empty() ? kTimestampMax : entries_.front().element.timestamp;
   }
 
   uint64_t total_enqueued() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return total_enqueued_;
   }
   uint64_t total_dequeued() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return total_dequeued_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;
-  size_t bytes_ = 0;
-  uint64_t total_enqueued_ = 0;
-  uint64_t total_dequeued_ = 0;
+  mutable Mutex mu_{"InputQueue::mu", lockorder::kRankLeaf};
+  std::deque<Entry> entries_ PIPES_GUARDED_BY(mu_);
+  size_t bytes_ PIPES_GUARDED_BY(mu_) = 0;
+  uint64_t total_enqueued_ PIPES_GUARDED_BY(mu_) = 0;
+  uint64_t total_dequeued_ PIPES_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pipes

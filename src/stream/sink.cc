@@ -3,23 +3,23 @@
 namespace pipes {
 
 void CollectorSink::ProcessElement(const StreamElement& e, size_t) {
-  std::lock_guard<std::mutex> lock(buf_mu_);
+  MutexLock lock(buf_mu_);
   buffer_.push_back(e);
   if (buffer_.size() > capacity_) buffer_.pop_front();
 }
 
 std::vector<StreamElement> CollectorSink::Elements() const {
-  std::lock_guard<std::mutex> lock(buf_mu_);
+  MutexLock lock(buf_mu_);
   return std::vector<StreamElement>(buffer_.begin(), buffer_.end());
 }
 
 size_t CollectorSink::size() const {
-  std::lock_guard<std::mutex> lock(buf_mu_);
+  MutexLock lock(buf_mu_);
   return buffer_.size();
 }
 
 void CollectorSink::Clear() {
-  std::lock_guard<std::mutex> lock(buf_mu_);
+  MutexLock lock(buf_mu_);
   buffer_.clear();
 }
 

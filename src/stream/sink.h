@@ -5,9 +5,10 @@
 
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "stream/node.h"
 
 namespace pipes {
@@ -31,8 +32,8 @@ class CollectorSink final : public SinkNode {
 
  private:
   size_t capacity_;
-  mutable std::mutex buf_mu_;
-  std::deque<StreamElement> buffer_;
+  mutable Mutex buf_mu_{"CollectorSink::buf_mu", lockorder::kRankLeaf};
+  std::deque<StreamElement> buffer_ PIPES_GUARDED_BY(buf_mu_);
 };
 
 /// \brief Counts results without buffering.

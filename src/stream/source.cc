@@ -41,24 +41,33 @@ SyntheticSource::~SyntheticSource() { Stop(); }
 
 void SyntheticSource::Start() {
   assert(graph() != nullptr && "source must be registered with a graph");
-  if (running_) return;
-  running_ = true;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
   ScheduleNext();
 }
 
 void SyntheticSource::Stop() {
-  running_ = false;
+  running_.store(false, std::memory_order_release);
+  MutexLock lock(task_mu_);
   task_.Cancel();
 }
 
 void SyntheticSource::ScheduleNext() {
   Duration interval = arrivals_->NextInterval(rng_);
-  task_ = graph()->scheduler().ScheduleAfter(interval, [this] {
-    if (!running_) return;
+  // ScheduleAfter is called outside task_mu_ (it takes the scheduler's queue
+  // lock). If Stop() slips in between, the freshly stored handle escapes the
+  // Cancel() — the callback's running_ check makes that window harmless.
+  TaskHandle next = graph()->scheduler().ScheduleAfter(interval, [this] {
+    if (!running_.load(std::memory_order_acquire)) return;
     Timestamp now = graph()->scheduler().clock().Now();
     Produce(StreamElement(generator_(rng_, now), now));
     ScheduleNext();
   });
+  MutexLock lock(task_mu_);
+  task_ = std::move(next);
 }
 
 void ManualSource::Push(Tuple tuple) {

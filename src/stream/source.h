@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -113,7 +114,7 @@ class SyntheticSource final : public SourceNode {
   /// Stops emitting (idempotent).
   void Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
  private:
   void ScheduleNext();
@@ -122,8 +123,11 @@ class SyntheticSource final : public SourceNode {
   std::unique_ptr<ArrivalProcess> arrivals_;
   TupleGenerator generator_;
   Rng rng_;
-  TaskHandle task_;
-  bool running_ = false;
+  /// Guards task_: reassigned by the arrival callback on a scheduler worker
+  /// while Stop() cancels from the owner's thread.
+  Mutex task_mu_{"SyntheticSource::task_mu", lockorder::kRankLeaf};
+  TaskHandle task_ PIPES_GUARDED_BY(task_mu_);
+  std::atomic<bool> running_{false};
 };
 
 /// \brief A source emitting a fixed element on demand — for unit tests that

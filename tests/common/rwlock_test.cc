@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/reentrant_shared_mutex.h"
 
 namespace pipes {
@@ -97,6 +98,52 @@ TEST(ReentrantSharedMutexTest, ReentrantReadDoesNotBlockOnWaitingWriter) {
   mu.unlock_shared();
   mu.unlock_shared();
   writer.join();
+}
+
+TEST(ReentrantSharedMutexTest, TryUpgradeRefusedWhileShared) {
+  auto& v = lockorder::LockOrderValidator::Instance();
+  v.ClearViolations();
+  ReentrantSharedMutex mu("rwlock_test.upgrade_refused");
+  mu.lock_shared();
+  // Upgrading a reentrant-shared lock would self-deadlock (the writer waits
+  // for its own read to drain), so the probe refuses...
+  EXPECT_FALSE(mu.TryUpgrade());
+  EXPECT_FALSE(mu.HeldExclusiveByMe());
+  EXPECT_TRUE(mu.HeldByMe());
+  mu.unlock_shared();
+  // ...and the attempt is reported in every build, not just debug.
+  bool reported = false;
+  for (const auto& viol : v.violations()) {
+    if (viol.kind == lockorder::LockOrderViolation::Kind::kUpgrade &&
+        viol.message.find("rwlock_test.upgrade_refused") !=
+            std::string::npos) {
+      reported = true;
+    }
+  }
+  EXPECT_TRUE(reported);
+}
+
+TEST(ReentrantSharedMutexTest, TryUpgradeWhileWriterIsReentrant) {
+  ReentrantSharedMutex mu("rwlock_test.upgrade_writer");
+  mu.lock();
+  // The exclusive holder "upgrades" for free: one more write depth.
+  EXPECT_TRUE(mu.TryUpgrade());
+  EXPECT_TRUE(mu.HeldExclusiveByMe());
+  mu.unlock();  // pairs with the successful TryUpgrade
+  EXPECT_TRUE(mu.HeldExclusiveByMe());
+  mu.unlock();
+  EXPECT_FALSE(mu.HeldExclusiveByMe());
+}
+
+TEST(ReentrantSharedMutexTest, TryUpgradeUnheldIsPlainRefusal) {
+  auto& v = lockorder::LockOrderValidator::Instance();
+  v.ClearViolations();
+  ReentrantSharedMutex mu("rwlock_test.upgrade_unheld");
+  EXPECT_FALSE(mu.TryUpgrade());  // nothing held: refuse, nothing to report
+  for (const auto& viol : v.violations()) {
+    EXPECT_EQ(viol.message.find("rwlock_test.upgrade_unheld"),
+              std::string::npos);
+  }
 }
 
 TEST(ReentrantSharedMutexTest, StressReadersAndWriters) {

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every .cc file in src/ using the checks in .clang-tidy.
+#
+# Usage: tools/lint.sh [build-dir]
+#
+# The build dir must contain compile_commands.json; the script configures one
+# with CMAKE_EXPORT_COMPILE_COMMANDS if missing. Exits nonzero on findings.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-lint}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "lint.sh: clang-tidy not found on PATH." >&2
+  echo "lint.sh: install clang-tidy (e.g. 'apt-get install clang-tidy') or" >&2
+  echo "lint.sh: rely on the 'clang-tidy' job in .github/workflows/ci.yml." >&2
+  exit 0  # tooling gap, not a lint failure: keep local builds usable
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint.sh: configuring $BUILD_DIR for compile_commands.json"
+  cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || exit 1
+fi
+
+FILES="$(find "$ROOT/src" -name '*.cc' | sort)"
+echo "lint.sh: linting $(echo "$FILES" | wc -l) files"
+
+STATUS=0
+for f in $FILES; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "lint.sh: clang-tidy reported findings (see above)" >&2
+fi
+exit "$STATUS"
