@@ -156,6 +156,34 @@ void BM_PropagationWave(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagationWave)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
+void BM_PropagationWaveRebuild(benchmark::State& state) {
+  // Forced slow path: bump the structure epoch before every event so each
+  // wave rebuilds its plan into the manager's scratch buffers. The gap to
+  // BM_PropagationWave is the price of a structural change per wave.
+  Fixture fx;
+  int depth = static_cast<int>(state.range(0));
+  double value = 0.0;
+  (void)fx.provider.metadata_registry().Define(
+      MetadataDescriptor::OnDemand("t0").WithEvaluator(
+          [&value](EvalContext&) { return MetadataValue(value); }));
+  for (int i = 1; i < depth; ++i) {
+    (void)fx.provider.metadata_registry().Define(
+        MetadataDescriptor::Triggered("t" + std::to_string(i))
+            .DependsOnSelf("t" + std::to_string(i - 1))
+            .WithEvaluator([](EvalContext& ctx) { return ctx.Dep(0); }));
+  }
+  auto sub =
+      fx.manager.Subscribe(fx.provider, "t" + std::to_string(depth - 1))
+          .value();
+  for (auto _ : state) {
+    value += 1.0;
+    fx.manager.BumpStructureEpoch();
+    fx.manager.FireEvent(fx.provider, "t0");
+  }
+  state.SetItemsProcessed(state.iterations() * (depth - 1));
+}
+BENCHMARK(BM_PropagationWaveRebuild)->Arg(8)->Arg(32);
+
 void BM_ExprEval(benchmark::State& state) {
   // A realistic filter predicate: (id % 4 == 0) && (value > 0.25).
   using namespace pipes::expr;  // NOLINT

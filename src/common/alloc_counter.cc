@@ -1,0 +1,89 @@
+#include "common/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+// The counting overrides must not displace sanitizer interceptors, so they
+// exist only in non-sanitized builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PIPES_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define PIPES_ALLOC_COUNTING 0
+#else
+#define PIPES_ALLOC_COUNTING 1
+#endif
+#else
+#define PIPES_ALLOC_COUNTING 1
+#endif
+
+namespace pipes {
+
+namespace {
+thread_local uint64_t g_thread_allocs = 0;
+}  // namespace
+
+bool AllocCountingActive() { return PIPES_ALLOC_COUNTING != 0; }
+
+uint64_t ThreadAllocCount() { return g_thread_allocs; }
+
+}  // namespace pipes
+
+#if PIPES_ALLOC_COUNTING
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  ++pipes::g_thread_allocs;
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* CountedAlloc(std::size_t size, std::align_val_t align) {
+  ++pipes::g_thread_allocs;
+  std::size_t a = static_cast<std::size_t>(align);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  size = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++pipes::g_thread_allocs;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++pipes::g_thread_allocs;
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // PIPES_ALLOC_COUNTING

@@ -1,0 +1,50 @@
+/// \file alloc_counter.h
+/// \brief Thread-local heap-allocation counting for zero-allocation tests
+/// and the propagation benches.
+///
+/// When active (see AllocCountingActive), the global operator new/delete
+/// overrides in alloc_counter.cc count every allocation made by the calling
+/// thread. `ScopedAllocCounter` brackets a region and reports how many
+/// allocations happened inside it — the instrument behind the "zero heap
+/// allocations per steady-state propagation wave" acceptance check and the
+/// allocations/wave column of BENCH_propagation.json.
+///
+/// Under ASan/TSan/MSan the overrides are compiled out entirely: replacing
+/// global new/delete would displace the sanitizer interceptors. Tests and
+/// benches must consult AllocCountingActive() and skip (or report -1)
+/// instead of asserting.
+
+#pragma once
+
+#include <cstdint>
+
+namespace pipes {
+
+/// True when the counting operator new/delete overrides are linked in (i.e.
+/// not a sanitizer build). Constant for the lifetime of the process.
+bool AllocCountingActive();
+
+/// Number of heap allocations performed by this thread so far (0 forever
+/// when counting is inactive).
+uint64_t ThreadAllocCount();
+
+/// \brief RAII bracket over a code region counting this thread's heap
+/// allocations inside it.
+class ScopedAllocCounter {
+ public:
+  ScopedAllocCounter() : start_(ThreadAllocCount()) {}
+
+  ScopedAllocCounter(const ScopedAllocCounter&) = delete;
+  ScopedAllocCounter& operator=(const ScopedAllocCounter&) = delete;
+
+  /// Allocations since construction; -1 when counting is inactive.
+  int64_t delta() const {
+    if (!AllocCountingActive()) return -1;
+    return static_cast<int64_t>(ThreadAllocCount() - start_);
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace pipes

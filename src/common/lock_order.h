@@ -67,7 +67,10 @@ inline constexpr int kRankHandlerDependents = 400; ///< MetadataHandler::depende
 inline constexpr int kRankRegistry = 450;          ///< MetadataRegistry::mu
 inline constexpr int kRankHandlerEval = 500;       ///< MetadataHandler::eval_mu
 inline constexpr int kRankHandlerHealth = 540;     ///< MetadataHandler::health_mu
-inline constexpr int kRankHandlerValue = 560;      ///< MetadataHandler::value_mu
+/// MetadataHandler::value_mu — writer-serialization only since the seqlock
+/// value slot: readers (`Get()`/`LoadValue()`) never take it, writers hold
+/// it briefly around PublishSlot.
+inline constexpr int kRankHandlerValue = 560;
 inline constexpr int kRankModules = 650;           ///< MetadataProvider::modules_mu
 inline constexpr int kRankScheduler = 700;         ///< scheduler queue locks
 inline constexpr int kRankWatchdog = 720;          ///< TaskScheduler::watchdog_mu

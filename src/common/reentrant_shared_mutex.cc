@@ -5,8 +5,12 @@
 namespace pipes {
 
 namespace {
-// Per-thread shared-acquisition depth for each mutex instance. An entry is
-// erased when the depth drops to zero, so the map stays tiny.
+// Per-thread shared-acquisition depth for each mutex instance. Zero-depth
+// entries are kept: erasing on release would make every re-acquisition pay a
+// fresh node allocation, which shows up as per-wave heap traffic on the
+// propagation fast path. The map stays bounded by the distinct mutexes a
+// thread ever touched, and an address reused by a new mutex simply finds a
+// stale depth of 0.
 thread_local std::unordered_map<const ReentrantSharedMutex*, int> t_read_depth;
 }  // namespace
 
@@ -16,11 +20,7 @@ int ReentrantSharedMutex::MyReadDepth() const {
 }
 
 void ReentrantSharedMutex::SetMyReadDepth(int depth) {
-  if (depth == 0) {
-    t_read_depth.erase(this);
-  } else {
-    t_read_depth[this] = depth;
-  }
+  t_read_depth[this] = depth;
 }
 
 void ReentrantSharedMutex::lock() PIPES_NO_THREAD_SAFETY_ANALYSIS {

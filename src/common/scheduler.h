@@ -73,6 +73,11 @@ struct SchedulerStats {
   uint64_t overruns = 0;
   /// Longest measured task runtime, in real microseconds.
   Duration max_task_runtime = 0;
+  /// Worker wakeups issued by ScheduleAt/SchedulePeriodic (ThreadPool only).
+  uint64_t cv_notifies = 0;
+  /// Wakeups elided because the new task neither preempted the earliest
+  /// deadline nor had an idle worker to employ (ThreadPool only).
+  uint64_t cv_notifies_skipped = 0;
 };
 
 /// \brief Interface for time-based task execution.
@@ -257,7 +262,18 @@ class ThreadPoolScheduler final : public TaskScheduler {
   std::vector<std::thread> threads_;
   uint64_t next_seq_ PIPES_GUARDED_BY(mu_) = 0;
   bool stopping_ PIPES_GUARDED_BY(mu_) = false;
+  /// Workers blocked in the indefinite empty-queue wait. Schedule* must wake
+  /// one of these even when the new task does not preempt the earliest
+  /// deadline: a timed waiter wakes at that deadline on its own, an idle
+  /// waiter would sleep forever (and skipping it would also serialize
+  /// concurrent due tasks onto one worker).
+  uint64_t idle_waiters_ PIPES_GUARDED_BY(mu_) = 0;
   SchedulerStats stats_ PIPES_GUARDED_BY(mu_);
+
+  /// True when a task newly pushed at `when` needs a cv_ wakeup, given the
+  /// pre-push queue state; counts the decision in stats_.
+  bool NoteScheduled(bool was_empty, Timestamp prev_top_when, Timestamp when)
+      PIPES_REQUIRES(mu_);
 };
 
 }  // namespace pipes

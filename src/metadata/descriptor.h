@@ -44,11 +44,16 @@ struct MetadataRef {
   }
 };
 
-/// Hash so refs can key unordered containers.
+/// Hash so refs can key unordered containers (inclusion planning uses these
+/// on its hot path). The boost-style combiner keeps provider and key bits
+/// spread across the word, where the previous multiply-xor left the low bits
+/// dominated by the pointer alignment.
 struct MetadataRefHash {
   size_t operator()(const MetadataRef& r) const {
-    return std::hash<const void*>()(r.provider) * 1000003 ^
-           std::hash<std::string>()(r.key);
+    size_t h = std::hash<const void*>()(r.provider);
+    h ^= std::hash<std::string>()(r.key) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
   }
 };
 
@@ -220,6 +225,11 @@ class MetadataDescriptor {
 
   /// Replaces the whole dependency resolution with a dynamic resolver
   /// (paper §4.4.3). Overrides any DependsOn* specs.
+  ///
+  /// Redefining an item to change its (dynamic) dependencies — via
+  /// MetadataRegistry::Redefine / DefineOrRedefine / Undefine — bumps the
+  /// attached manager's structure epoch, so propagation waves never reuse a
+  /// wave plan cached against the old dependency shape.
   MetadataDescriptor&& WithDynamicDependencies(DependencyResolver resolver) &&;
 
   MetadataDescriptor&& WithEvaluator(Evaluator fn) &&;

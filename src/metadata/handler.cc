@@ -1,6 +1,7 @@
 #include "metadata/handler.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -71,7 +72,7 @@ MetadataHandler::MetadataHandler(
 MetadataHandler::~MetadataHandler() = default;
 
 MetadataValue MetadataHandler::Get() {
-  access_count_.fetch_add(1, std::memory_order_relaxed);
+  access_count_.Increment();
   if (retired()) {
     // The provider is (being) torn down: neither the evaluator nor the
     // owner may be touched. Serve the declared fallback, else whatever was
@@ -83,14 +84,13 @@ MetadataValue MetadataHandler::Get() {
 }
 
 Timestamp MetadataHandler::last_updated() const {
-  MutexLock lock(value_mu_);
-  return last_updated_;
+  return last_updated_.load(std::memory_order_acquire);
 }
 
 Duration MetadataHandler::staleness(Timestamp now) const {
-  MutexLock lock(value_mu_);
-  if (last_updated_ == kTimestampNever) return 0;
-  return std::max<Duration>(0, now - last_updated_);
+  Timestamp updated = last_updated_.load(std::memory_order_acquire);
+  if (updated == kTimestampNever) return 0;
+  return std::max<Duration>(0, now - updated);
 }
 
 HandlerHealth MetadataHandler::health() const {
@@ -117,6 +117,11 @@ void MetadataHandler::Retire() {
   // Cancel mechanism tasks so no periodic tick can reach the evaluator (and
   // through it the dying provider) after this point.
   Deactivate();
+  // Retirement changes what waves may touch (retired handlers are skipped),
+  // so cached wave plans through this handler must not be reused. The bump
+  // is a plain atomic increment — safe without the structure lock; at worst
+  // it over-invalidates and costs one plan rebuild.
+  manager_.BumpStructureEpoch();
 }
 
 std::vector<MetadataHandler*> MetadataHandler::dependents() const {
@@ -249,17 +254,77 @@ void MetadataHandler::RecordFailure(Timestamp now, std::string error) {
   }
 }
 
+void MetadataHandler::PublishSlot(const MetadataValue& v, Timestamp now) {
+  SlotTag tag = SlotTag::kNull;
+  uint64_t bits = 0;
+  MetadataValue::SharedString str;
+  if (v.is_bool()) {
+    tag = SlotTag::kBool;
+    bits = v.AsBool() ? 1 : 0;
+  } else if (v.is_int()) {
+    tag = SlotTag::kInt;
+    bits = std::bit_cast<uint64_t>(v.AsInt());
+  } else if (v.is_double()) {
+    tag = SlotTag::kDouble;
+    bits = std::bit_cast<uint64_t>(v.AsDouble());
+  } else if (v.is_string()) {
+    tag = SlotTag::kString;
+    str = v.shared_string();
+  }
+
+  // Seqlock write (Boehm's fence recipe): make the counter odd, publish the
+  // payload with relaxed stores, make it even again with release ordering.
+  // The release fence keeps the odd store from sinking below the payload
+  // stores; the final release store keeps the payload from sinking below it.
+  uint64_t seq = value_seq_.load(std::memory_order_relaxed);
+  value_seq_.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  value_tag_.store(static_cast<uint8_t>(tag), std::memory_order_relaxed);
+  value_bits_.store(bits, std::memory_order_relaxed);
+  value_str_.store(std::move(str), std::memory_order_relaxed);
+  last_updated_.store(now, std::memory_order_relaxed);
+  value_seq_.store(seq + 2, std::memory_order_release);
+}
+
+MetadataValue MetadataHandler::ReadSlot() const {
+  for (;;) {
+    uint64_t s1 = value_seq_.load(std::memory_order_acquire);
+    if (s1 & 1) continue;  // write in progress; writers are brief
+    SlotTag tag =
+        static_cast<SlotTag>(value_tag_.load(std::memory_order_relaxed));
+    uint64_t bits = value_bits_.load(std::memory_order_relaxed);
+    MetadataValue::SharedString str;
+    if (tag == SlotTag::kString) {
+      str = value_str_.load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (value_seq_.load(std::memory_order_relaxed) != s1) continue;
+    switch (tag) {
+      case SlotTag::kNull:
+        return MetadataValue::Null();
+      case SlotTag::kBool:
+        return MetadataValue(bits != 0);
+      case SlotTag::kInt:
+        return MetadataValue(std::bit_cast<int64_t>(bits));
+      case SlotTag::kDouble:
+        return MetadataValue(std::bit_cast<double>(bits));
+      case SlotTag::kString:
+        return MetadataValue(std::move(str));
+    }
+    return MetadataValue::Null();  // unreachable
+  }
+}
+
 void MetadataHandler::StoreValue(MetadataValue v, Timestamp now) {
+  // Writers still serialize: concurrent on-demand consumers evaluate one
+  // after another under eval_mu_ but then race here to publish; value_mu_
+  // orders those publishes so the slot never interleaves two writers.
   MutexLock lock(value_mu_);
-  value_ = std::move(v);
-  last_updated_ = now;
+  PublishSlot(v, now);
   update_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
-MetadataValue MetadataHandler::LoadValue() const {
-  MutexLock lock(value_mu_);
-  return value_;
-}
+MetadataValue MetadataHandler::LoadValue() const { return ReadSlot(); }
 
 MetadataValue MetadataHandler::LoadValueOrFallback() const {
   MetadataValue v = LoadValue();

@@ -16,6 +16,7 @@
 
 #include "common/mutex.h"
 #include "common/scheduler.h"
+#include "common/sharded_counter.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
 #include "metadata/descriptor.h"
@@ -127,9 +128,7 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
 
   /// \name Usage statistics (profiling, scale benches)
   ///@{
-  uint64_t access_count() const {
-    return access_count_.load(std::memory_order_relaxed);
-  }
+  uint64_t access_count() const { return access_count_.Value(); }
   uint64_t update_count() const {
     return update_count_.load(std::memory_order_relaxed);
   }
@@ -219,16 +218,63 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   void AddDependent(MetadataHandler* h);
   void RemoveDependent(MetadataHandler* h);
 
+  /// \brief Cached flattened wave plan for waves originating at this handler
+  /// (manager fast path; see MetadataManager::PropagateFrom).
+  ///
+  /// `refresh` lists the triggered handlers of the affected closure in
+  /// topological (dependencies-first) order. `epoch` is the manager's
+  /// structure epoch the plan was built at; a mismatch means the dependency
+  /// graph changed shape and the plan (including any raw pointers it holds)
+  /// must not be used. Guarded by the owning manager's `propagation_mu_` —
+  /// a cross-object guard Clang TSA cannot express, enforced by the runtime
+  /// lock-order validator and by construction (only the propagation path,
+  /// which holds that lock, touches these fields).
+  struct WavePlan {
+    uint64_t epoch = 0;  ///< 0 = never built
+    std::vector<MetadataHandler*> refresh;
+    /// Re-entrant walks of this plan currently on the stack. A nested wave
+    /// on the same origin (fired by a refresh evaluator) must not rebuild
+    /// `refresh` while an outer walk iterates it; walking a plan that went
+    /// stale mid-wave is safe because handler destruction requires the
+    /// exclusive structure lock, which waves exclude by holding it shared.
+    int walk_depth = 0;
+  };
+
   /// Health state machine (guarded by health_mu_).
   void RecordSuccess(Timestamp now);
   void RecordFailure(Timestamp now, std::string error);
   /// True when a quarantined handler is still inside its backoff window.
   bool InBackoff(Timestamp now) const;
 
+  /// \name Seqlock value slot
+  ///
+  /// The published value lives in a sequence-counter-validated slot so that
+  /// consumer reads (`Get()`, `LoadValue()`, `last_updated()`) never take a
+  /// lock: readers snapshot the payload fields between two even reads of
+  /// `value_seq_` and retry on mismatch. Writers serialize on `value_mu_`
+  /// (concurrent on-demand accesses may race to store after their serialized
+  /// evaluations finish) and flip the counter odd around their stores — the
+  /// paper's "consistent view on a metadata item for all consumers during
+  /// updates" (§2.1) without reader-side blocking. All payload fields are
+  /// relaxed atomics so torn-read freedom is machine-checkable under TSan;
+  /// string payloads are immutable and swapped whole via an atomic
+  /// shared_ptr.
+  ///@{
+  enum class SlotTag : uint8_t { kNull, kBool, kInt, kDouble, kString };
+
+  /// Writer side (requires value_mu_).
+  void PublishSlot(const MetadataValue& v, Timestamp now);
+  /// Reader side (lock-free).
+  MetadataValue ReadSlot() const;
+
   mutable Mutex value_mu_{"MetadataHandler::value_mu",
                           lockorder::kRankHandlerValue};
-  MetadataValue value_ PIPES_GUARDED_BY(value_mu_);
-  Timestamp last_updated_ PIPES_GUARDED_BY(value_mu_) = kTimestampNever;
+  std::atomic<uint64_t> value_seq_{0};
+  std::atomic<uint8_t> value_tag_{static_cast<uint8_t>(SlotTag::kNull)};
+  std::atomic<uint64_t> value_bits_{0};  ///< bit-cast bool/int64/double
+  std::atomic<Timestamp> last_updated_{kTimestampNever};
+  std::atomic<MetadataValue::SharedString> value_str_{nullptr};
+  ///@}
 
   mutable Mutex health_mu_{"MetadataHandler::health_mu",
                            lockorder::kRankHandlerHealth};
@@ -252,11 +298,20 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
                                lockorder::kRankHandlerDependents};
   std::vector<MetadataHandler*> dependents_ PIPES_GUARDED_BY(dependents_mu_);
 
+  // Wave-plan cache and graph-coloring scratch used by the manager's
+  // propagation path. Guarded by MetadataManager::propagation_mu_ (see the
+  // WavePlan doc comment); untouched by the handler's own code.
+  WavePlan wave_plan_;
+  uint64_t wave_mark_ = 0;  ///< last RebuildWavePlan stamp that visited us
+  int wave_indegree_ = 0;   ///< Kahn in-degree scratch during rebuilds
+
   // Guarded by the manager's structure lock.
   int external_refs_ = 0;
   int internal_refs_ = 0;
 
-  std::atomic<uint64_t> access_count_{0};
+  /// Sharded: Get() is the many-reader hot path and must not make all
+  /// consumers contend on one counter cache line.
+  ShardedCounter access_count_;
   std::atomic<uint64_t> update_count_{0};
   std::atomic<uint64_t> eval_count_{0};
 };

@@ -158,6 +158,9 @@ Result<MetadataSubscription> MetadataManager::Subscribe(
   for (const PlanEntry& entry : plan) {
     Instantiate(entry, now);
   }
+  // New handlers (and their dependent edges) change the graph shape: cached
+  // wave plans must be rebuilt before the next wave.
+  if (!plan.empty()) BumpStructureEpoch();
 
   std::shared_ptr<MetadataHandler> handler =
       provider.metadata_registry().GetHandler(key);
@@ -199,12 +202,15 @@ Status MetadataManager::PlanInclude(
       return Status::InvalidArgument("resolving dependencies of '" + ref.key +
                                      "': " + ctx.error());
     }
-    // De-duplicate while preserving order.
+    // De-duplicate while preserving resolver order: hashed membership test
+    // instead of a quadratic scan, since wide resolvers (e.g. all-upstream
+    // fan-in at an aggregation point) can return hundreds of refs.
+    std::unordered_set<MetadataRef, MetadataRefHash> seen;
+    seen.reserve(deps.size());
     std::vector<MetadataRef> unique;
+    unique.reserve(deps.size());
     for (const auto& d : deps) {
-      if (std::find(unique.begin(), unique.end(), d) == unique.end()) {
-        unique.push_back(d);
-      }
+      if (seen.insert(d).second) unique.push_back(d);
     }
     deps = std::move(unique);
   }
@@ -318,6 +324,11 @@ void MetadataManager::MaybeRemove(
     const std::shared_ptr<MetadataHandler>& handler) {
   if (handler->external_refs_ > 0 || handler->internal_refs_ > 0) return;
 
+  // The handler leaves the graph: cached wave plans may hold raw pointers to
+  // it, so invalidate them before the removal proceeds. The exclusive
+  // structure lock keeps any concurrent wave out until we are done.
+  BumpStructureEpoch();
+
   handler->Deactivate();
   // A retired handler's owner is gone (or going): its registry and the
   // monitoring hooks (which take the provider) must not be touched.
@@ -365,9 +376,24 @@ void MetadataManager::FireEvent(MetadataProvider& provider,
 
 void MetadataManager::FireEventDeferred(MetadataProvider& provider,
                                         const MetadataKey& key) {
-  MetadataProvider* p = &provider;
-  MetadataKey k = key;
-  scheduler_.ScheduleAt(clock().Now(), [this, p, k] { FireEvent(*p, k); });
+  // Resolve the handler now and hand the task a weak_ptr: the provider may
+  // be torn down before the scheduler runs the task, so capturing `&provider`
+  // (or a raw handler pointer) would dangle. A dead or retired handler means
+  // the event has nothing left to notify — drop it.
+  std::weak_ptr<MetadataHandler> weak;
+  {
+    SharedLock lock(structure_mu_);
+    std::shared_ptr<MetadataHandler> handler =
+        provider.metadata_registry().GetHandler(key);
+    if (handler == nullptr) return;
+    weak = handler;
+  }
+  scheduler_.ScheduleAt(clock().Now(), [this, weak] {
+    std::shared_ptr<MetadataHandler> handler = weak.lock();
+    if (handler == nullptr || handler->retired()) return;
+    stats_events_.fetch_add(1, std::memory_order_relaxed);
+    PropagateFrom(*handler, clock().Now());
+  });
 }
 
 void MetadataManager::RefreshContained(MetadataHandler& h, Timestamp now) {
@@ -408,56 +434,104 @@ void MetadataManager::PropagateFrom(MetadataHandler& origin, Timestamp now) {
     return;
   }
 
+  // Fast path: on an unchanged graph, a wave is one epoch compare and a
+  // linear walk over the cached flattened plan — no set, no map, no Kahn
+  // re-run, and zero heap allocations. Read the epoch *before* any rebuild
+  // so the stamp is conservative: a structural change racing with the
+  // rebuild (possible only for lock-free bumpers like handler retirement)
+  // makes the fresh plan look stale and costs one extra rebuild, never a
+  // stale walk. Plans stay valid mid-wave because waves hold the structure
+  // lock shared while structural changes need it exclusively.
+  uint64_t epoch = structure_epoch();
+  MetadataHandler::WavePlan& plan = origin.wave_plan_;
+  if (plan.epoch != epoch && plan.walk_depth == 0) {
+    RebuildWavePlan(origin, epoch);
+    stats_wave_plan_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_wave_plan_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (plan.refresh.empty()) return;
+  ++plan.walk_depth;
+  for (MetadataHandler* h : plan.refresh) {
+    RefreshContained(*h, now);
+  }
+  --plan.walk_depth;
+  stats_wave_refreshes_.fetch_add(plan.refresh.size(),
+                                  std::memory_order_relaxed);
+}
+
+void MetadataManager::RebuildWavePlan(MetadataHandler& origin, uint64_t epoch) {
   // Collect the affected closure: dependents reachable through triggered and
   // on-demand handlers. Periodic handlers update on their own cadence and
   // static handlers never change, so the wave does not continue past them.
-  std::unordered_set<MetadataHandler*> visited;
-  std::deque<MetadataHandler*> frontier;
-  for (MetadataHandler* d : origin.dependents()) frontier.push_back(d);
-  while (!frontier.empty()) {
-    MetadataHandler* h = frontier.front();
-    frontier.pop_front();
-    if (!visited.insert(h).second) continue;
-    if (h->PropagatesThrough()) {
-      for (MetadataHandler* d : h->dependents()) frontier.push_back(d);
-    }
-  }
-  if (visited.empty()) return;
+  // Membership ("visited") is a per-handler stamp compare against this
+  // rebuild's `wave_stamp_` — no hash set, nothing to clear.
+  const uint64_t stamp = ++wave_stamp_;
+  // Local aliases: the lambdas below are analyzed as separate functions by
+  // Clang TSA, which cannot see that this frame holds propagation_mu_; bind
+  // the guarded scratch buffers here, where the capability is established.
+  std::vector<MetadataHandler*>& closure = scratch_closure_;
+  std::vector<MetadataHandler*>& ready = scratch_ready_;
 
-  // Refresh in topological (dependencies-first) order: Kahn's algorithm over
-  // the dependency edges restricted to the affected closure. This is the
-  // paper's "update order is basically determined by the inverted dependency
-  // graph" (§3.2.3), and guarantees each handler refreshes at most once per
-  // wave with all its affected inputs already up to date.
-  std::unordered_map<MetadataHandler*, int> in_degree;
-  for (MetadataHandler* h : visited) {
+  // Iterate a handler's dependents in place (under its dependents lock,
+  // rank above propagation_mu_) instead of via dependents(), whose snapshot
+  // copy would allocate per handler per rebuild.
+  auto for_each_dependent = [](MetadataHandler& h, auto&& fn) {
+    MutexLock deps_lock(h.dependents_mu_);
+    for (MetadataHandler* d : h.dependents_) fn(d);
+  };
+
+  closure.clear();
+  auto discover = [&](MetadataHandler* d) {
+    if (d->wave_mark_ == stamp) return;
+    d->wave_mark_ = stamp;
+    closure.push_back(d);
+  };
+  for_each_dependent(origin, discover);
+  for (size_t i = 0; i < closure.size(); ++i) {
+    MetadataHandler* h = closure[i];
+    if (!h->PropagatesThrough()) continue;
+    for_each_dependent(*h, discover);
+  }
+
+  MetadataHandler::WavePlan& plan = origin.wave_plan_;
+  plan.refresh.clear();
+  plan.epoch = epoch;
+  if (closure.empty()) return;
+
+  // Order the closure topologically (dependencies-first): Kahn's algorithm
+  // over the dependency edges restricted to the closure, with in-degrees in
+  // the handlers' scratch field and the ready queue consumed by index. This
+  // is the paper's "update order is basically determined by the inverted
+  // dependency graph" (§3.2.3); flattening only the triggered handlers into
+  // the plan guarantees each refreshes at most once per wave with all its
+  // affected inputs already up to date.
+  for (MetadataHandler* h : closure) {
     int deg = 0;
     for (const auto& dep : h->dependencies()) {
-      if (visited.count(dep.get()) > 0) ++deg;
+      if (dep->wave_mark_ == stamp) ++deg;
     }
-    in_degree[h] = deg;
+    h->wave_indegree_ = deg;
   }
-  std::deque<MetadataHandler*> ready;
-  for (auto& [h, deg] : in_degree) {
-    if (deg == 0) ready.push_back(h);
+  ready.clear();
+  for (MetadataHandler* h : closure) {
+    if (h->wave_indegree_ == 0) ready.push_back(h);
   }
   size_t processed = 0;
-  while (!ready.empty()) {
-    MetadataHandler* h = ready.front();
-    ready.pop_front();
+  for (size_t i = 0; i < ready.size(); ++i) {
+    MetadataHandler* h = ready[i];
     ++processed;
     if (h->mechanism() == UpdateMechanism::kTriggered) {
-      RefreshContained(*h, now);
-      stats_wave_refreshes_.fetch_add(1, std::memory_order_relaxed);
+      plan.refresh.push_back(h);
     }
-    for (MetadataHandler* d : h->dependents()) {
-      auto it = in_degree.find(d);
-      if (it != in_degree.end() && --it->second == 0) {
+    for_each_dependent(*h, [&](MetadataHandler* d) {
+      if (d->wave_mark_ == stamp && --d->wave_indegree_ == 0) {
         ready.push_back(d);
       }
-    }
+    });
   }
-  assert(processed == visited.size() && "dependency cycle in propagation");
+  assert(processed == closure.size() && "dependency cycle in propagation");
   (void)processed;
 }
 
@@ -472,6 +546,9 @@ MetadataManagerStats MetadataManager::stats() const {
   s.waves = stats_waves_.load(std::memory_order_relaxed);
   s.wave_refreshes = stats_wave_refreshes_.load(std::memory_order_relaxed);
   s.events_fired = stats_events_.load(std::memory_order_relaxed);
+  s.wave_plan_hits = stats_wave_plan_hits_.load(std::memory_order_relaxed);
+  s.wave_plan_rebuilds =
+      stats_wave_plan_rebuilds_.load(std::memory_order_relaxed);
   s.eval_failures = stats_eval_failures_.load(std::memory_order_relaxed);
   s.evals_skipped = stats_evals_skipped_.load(std::memory_order_relaxed);
   s.degradations = stats_degradations_.load(std::memory_order_relaxed);

@@ -81,6 +81,8 @@ struct MetadataManagerStats {
   uint64_t waves = 0;              ///< propagation waves
   uint64_t wave_refreshes = 0;     ///< triggered-handler refreshes in waves
   uint64_t events_fired = 0;       ///< manual event notifications
+  uint64_t wave_plan_hits = 0;     ///< waves served by a cached plan
+  uint64_t wave_plan_rebuilds = 0; ///< waves that re-derived their plan
 
   // Fault containment (see HandlerHealth / RetryPolicy).
   uint64_t eval_failures = 0;      ///< contained evaluator faults
@@ -186,6 +188,27 @@ class MetadataManager {
   /// transition counters and the degraded/quarantined gauges.
   void CountHealthTransition(HandlerHealth from, HandlerHealth to);
 
+  /// \name Structure epoch (wave-plan cache invalidation)
+  ///
+  /// A monotonically increasing counter bumped by every structural change to
+  /// the dependency graph: inclusion, exclusion, handler retirement, and
+  /// dynamic-dependency redefinition in a provider's registry. Cached wave
+  /// plans (MetadataHandler::WavePlan) are stamped with the epoch they were
+  /// built at; PropagateFrom reuses a plan only when its stamp equals the
+  /// current epoch, so a stale plan — which may hold raw pointers to removed
+  /// handlers — is never walked. Bumping is a single relaxed atomic
+  /// increment: callers that cannot take the structure lock (retirement,
+  /// registry redefinition) may still bump, at worst over-invalidating one
+  /// cached plan.
+  ///@{
+  void BumpStructureEpoch() {
+    structure_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  uint64_t structure_epoch() const {
+    return structure_epoch_.load(std::memory_order_acquire);
+  }
+  ///@}
+
  private:
   friend class MetadataSubscription;
 
@@ -224,6 +247,19 @@ class MetadataManager {
   /// faulting refresh cannot abort the wave.
   void RefreshContained(MetadataHandler& h, Timestamp now);
 
+  /// \brief Rebuilds `origin`'s cached wave plan against `epoch`.
+  ///
+  /// Derives the affected closure (BFS over dependents through
+  /// propagate-through handlers) and Kahn-orders its triggered handlers into
+  /// `origin.wave_plan_.refresh`, reusing the manager-owned scratch buffers
+  /// and per-handler `wave_mark_`/`wave_indegree_` fields instead of
+  /// allocating per-wave hash containers. Caller holds `propagation_mu_` and
+  /// at least a shared structure lock (so the graph cannot change shape
+  /// underneath; `epoch` was read before the rebuild, making the stamp
+  /// conservative).
+  void RebuildWavePlan(MetadataHandler& origin, uint64_t epoch)
+      PIPES_REQUIRES(propagation_mu_);
+
   TaskScheduler& scheduler_;
   /// Graph-level lock of the three-level scheme (§4.2). Outer to the
   /// propagation lock and every handler lock; see lock_order.h ranks.
@@ -235,6 +271,26 @@ class MetadataManager {
                                  lockorder::kRankPropagation};
   PropagationMode propagation_mode_ = PropagationMode::kTopological;
 
+  /// Current structure epoch; see BumpStructureEpoch().
+  std::atomic<uint64_t> structure_epoch_{1};
+
+  /// \name Reusable wave-plan rebuild scratch
+  ///
+  /// Owned by the manager so plan rebuilds on a steady-state graph allocate
+  /// nothing once the buffers have grown to the high-water closure size.
+  ///@{
+  /// BFS closure of the current rebuild (affected handlers, discovery
+  /// order).
+  std::vector<MetadataHandler*> scratch_closure_
+      PIPES_GUARDED_BY(propagation_mu_);
+  /// Kahn ready-queue of the current rebuild (reused as a ring via index).
+  std::vector<MetadataHandler*> scratch_ready_
+      PIPES_GUARDED_BY(propagation_mu_);
+  /// Stamp for `MetadataHandler::wave_mark_`: incremented per rebuild, so
+  /// membership tests are one compare and never need clearing.
+  uint64_t wave_stamp_ PIPES_GUARDED_BY(propagation_mu_) = 0;
+  ///@}
+
   std::atomic<uint64_t> stats_subscriptions_{0};
   std::atomic<uint64_t> stats_unsubscriptions_{0};
   std::atomic<uint64_t> stats_created_{0};
@@ -243,6 +299,8 @@ class MetadataManager {
   std::atomic<uint64_t> stats_evaluations_{0};
   std::atomic<uint64_t> stats_waves_{0};
   std::atomic<uint64_t> stats_wave_refreshes_{0};
+  std::atomic<uint64_t> stats_wave_plan_hits_{0};
+  std::atomic<uint64_t> stats_wave_plan_rebuilds_{0};
   std::atomic<uint64_t> stats_events_{0};
   std::atomic<uint64_t> stats_eval_failures_{0};
   std::atomic<uint64_t> stats_evals_skipped_{0};

@@ -20,6 +20,9 @@ MetadataProvider::~MetadataProvider() {
 
 void MetadataProvider::AttachMetadataManager(MetadataManager* manager) {
   manager_.store(manager, std::memory_order_release);
+  // The registry bumps the manager's structure epoch on dynamic
+  // redefinitions, so cached wave plans never survive a dependency change.
+  registry_.AttachManager(manager);
   MutexLock lock(modules_mu_);
   for (auto& [name, module] : modules_) {
     module->AttachMetadataManager(manager);

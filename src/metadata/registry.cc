@@ -3,8 +3,19 @@
 #include <cassert>
 
 #include "metadata/handler.h"
+#include "metadata/manager.h"
 
 namespace pipes {
+
+void MetadataRegistry::AttachManager(MetadataManager* manager) {
+  manager_.store(manager, std::memory_order_release);
+}
+
+void MetadataRegistry::BumpManagerEpoch() {
+  if (MetadataManager* m = manager_.load(std::memory_order_acquire)) {
+    m->BumpStructureEpoch();
+  }
+}
 
 Status MetadataRegistry::Define(MetadataDescriptor desc) {
   MutexLock lock(mu_);
@@ -29,6 +40,9 @@ Status MetadataRegistry::Redefine(MetadataDescriptor desc) {
         "cannot redefine currently included metadata item: " + key);
   }
   it->second = std::make_shared<const MetadataDescriptor>(std::move(desc));
+  // The new definition may declare different dependencies: cached wave plans
+  // derived from the old shape must be rebuilt on the next wave.
+  BumpManagerEpoch();
   return Status::OK();
 }
 
@@ -40,6 +54,7 @@ Status MetadataRegistry::DefineOrRedefine(MetadataDescriptor desc) {
         "cannot redefine currently included metadata item: " + key);
   }
   descriptors_[key] = std::make_shared<const MetadataDescriptor>(std::move(desc));
+  BumpManagerEpoch();
   return Status::OK();
 }
 
@@ -52,6 +67,7 @@ Status MetadataRegistry::Undefine(const MetadataKey& key) {
   if (descriptors_.erase(key) == 0) {
     return Status::NotFound("unknown metadata item: " + key);
   }
+  BumpManagerEpoch();
   return Status::OK();
 }
 

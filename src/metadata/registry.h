@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 namespace pipes {
 
 class MetadataHandler;
+class MetadataManager;
 
 /// \brief Holds the metadata descriptors (available items) and the active
 /// handlers (included items) of one provider.
@@ -78,6 +80,13 @@ class MetadataRegistry {
   void AddHandler(const MetadataKey& key, std::shared_ptr<MetadataHandler> h);
   void RemoveHandler(const MetadataKey& key);
 
+  /// Ties this registry to the manager serving its provider's graph, so that
+  /// successful dynamic redefinitions (Redefine / DefineOrRedefine /
+  /// Undefine — the metadata-inheritance facility of §4.4.2) invalidate the
+  /// manager's cached wave plans via a structure-epoch bump. Called by
+  /// MetadataProvider::AttachMetadataManager; idempotent.
+  void AttachManager(MetadataManager* manager);
+
   /// Retires every still-included handler (provider teardown): cancels their
   /// mechanism tasks and freezes them on fallback/last-known-good values so
   /// outstanding subscriptions degrade gracefully instead of hitting UB.
@@ -85,11 +94,18 @@ class MetadataRegistry {
   void RetireAllHandlers();
 
  private:
+  /// Bumps the attached manager's structure epoch (no-op before attachment).
+  void BumpManagerEpoch();
+
   mutable Mutex mu_{"MetadataRegistry::mu", lockorder::kRankRegistry};
   std::map<MetadataKey, std::shared_ptr<const MetadataDescriptor>> descriptors_
       PIPES_GUARDED_BY(mu_);
   std::map<MetadataKey, std::shared_ptr<MetadataHandler>> handlers_
       PIPES_GUARDED_BY(mu_);
+  /// The manager of this provider's graph (nullptr until first inclusion or
+  /// explicit attachment). BumpStructureEpoch is a bare atomic increment, so
+  /// calling it under mu_ (rank 450) cannot violate the lock order.
+  std::atomic<MetadataManager*> manager_{nullptr};
 };
 
 }  // namespace pipes

@@ -27,8 +27,13 @@ bool MetadataValue::AsBool() const {
 
 const std::string& MetadataValue::AsString() const {
   static const std::string kEmpty;
-  if (is_string()) return std::get<std::string>(v_);
+  if (is_string()) return *std::get<SharedString>(v_);
   return kEmpty;
+}
+
+MetadataValue::SharedString MetadataValue::shared_string() const {
+  if (is_string()) return std::get<SharedString>(v_);
+  return nullptr;
 }
 
 std::string MetadataValue::ToString() const {
@@ -40,7 +45,16 @@ std::string MetadataValue::ToString() const {
     std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v_));
     return buf;
   }
-  return std::get<std::string>(v_);
+  return *std::get<SharedString>(v_);
+}
+
+bool MetadataValue::operator==(const MetadataValue& other) const {
+  // Strings compare by content, not by payload identity: two values built
+  // from equal text are equal even though their shared payloads differ.
+  if (is_string() || other.is_string()) {
+    return is_string() && other.is_string() && AsString() == other.AsString();
+  }
+  return v_ == other.v_;
 }
 
 }  // namespace pipes

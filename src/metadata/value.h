@@ -4,10 +4,16 @@
 /// Metadata items in the paper range from schema strings over rates (doubles)
 /// to booleans and counters. `MetadataValue` carries any of these plus a
 /// "null" state for items that have not been computed yet.
+///
+/// String payloads are held as immutable `shared_ptr<const std::string>`:
+/// copying a MetadataValue never allocates, and the handlers' seqlock value
+/// slot can publish a new string to concurrent readers with one atomic
+/// pointer swap (see handler.h).
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 
@@ -16,6 +22,9 @@ namespace pipes {
 /// \brief Tagged-union value of a metadata item.
 class MetadataValue {
  public:
+  /// Immutable shared string payload.
+  using SharedString = std::shared_ptr<const std::string>;
+
   /// Constructs a null value.
   MetadataValue() = default;
 
@@ -25,8 +34,14 @@ class MetadataValue {
   MetadataValue(int v) : v_(static_cast<int64_t>(v)) {}  // NOLINT
   MetadataValue(uint64_t v) : v_(static_cast<int64_t>(v)) {}  // NOLINT
   MetadataValue(double v) : v_(v) {}               // NOLINT
-  MetadataValue(std::string v) : v_(std::move(v)) {}  // NOLINT
-  MetadataValue(const char* v) : v_(std::string(v)) {}  // NOLINT
+  MetadataValue(std::string v)                     // NOLINT
+      : v_(std::make_shared<const std::string>(std::move(v))) {}
+  MetadataValue(const char* v)                     // NOLINT
+      : v_(std::make_shared<const std::string>(v)) {}
+  /// Adopts an already-shared immutable string (null pointer => null value).
+  MetadataValue(SharedString v) {                  // NOLINT
+    if (v != nullptr) v_ = std::move(v);
+  }
 
   /// The null value.
   static MetadataValue Null() { return MetadataValue(); }
@@ -35,7 +50,7 @@ class MetadataValue {
   bool is_bool() const { return std::holds_alternative<bool>(v_); }
   bool is_int() const { return std::holds_alternative<int64_t>(v_); }
   bool is_double() const { return std::holds_alternative<double>(v_); }
-  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_string() const { return std::holds_alternative<SharedString>(v_); }
   bool is_numeric() const { return is_int() || is_double() || is_bool(); }
 
   /// Numeric coercion: int/bool/double -> double; null/string -> 0.0.
@@ -50,14 +65,18 @@ class MetadataValue {
   /// The string payload ("" unless is_string()).
   const std::string& AsString() const;
 
+  /// The shared string payload (nullptr unless is_string()). Copying the
+  /// pointer shares the immutable payload without copying characters.
+  SharedString shared_string() const;
+
   /// Human-readable rendering for profiling output.
   std::string ToString() const;
 
-  bool operator==(const MetadataValue& other) const { return v_ == other.v_; }
+  bool operator==(const MetadataValue& other) const;
   bool operator!=(const MetadataValue& other) const { return !(*this == other); }
 
  private:
-  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+  std::variant<std::monostate, bool, int64_t, double, SharedString> v_;
 };
 
 }  // namespace pipes
