@@ -40,10 +40,17 @@ void Run() {
   }
 
   TablePrinter table({"handlers", "workers", "ticks/s", "mean late [us]",
-                      "max late [ms]", "cv notifies", "notifies skipped"});
+                      "max late [ms]", "miss %", "util %", "overloaded",
+                      "cv notifies", "notifies skipped"});
   for (int handlers : {10, 100, 1000}) {
     for (size_t workers : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
       ThreadPoolScheduler scheduler(workers);
+      // Deadline accounting on: a tick more than half a window late counts
+      // as a miss, and a miss-dominated EWMA flips the overload signal the
+      // degradation governor consumes.
+      SchedulerOverloadPolicy overload;
+      overload.deadline_slack = Millis(5);
+      scheduler.SetOverloadPolicy(overload);
       MetadataManager manager(scheduler);
       std::vector<std::unique_ptr<ProviderOnly>> providers;
       std::vector<MetadataSubscription> subs;
@@ -71,12 +78,18 @@ void Run() {
 
       uint64_t ticks = after.tasks_run - before.tasks_run;
       Duration lateness = after.total_lateness - before.total_lateness;
+      uint64_t misses = after.deadline_misses - before.deadline_misses;
       table.AddRow(
           {std::to_string(handlers), std::to_string(workers),
            TablePrinter::Fmt(ticks),
            TablePrinter::Fmt(ticks ? double(lateness) / double(ticks) : 0.0,
                              0),
            TablePrinter::Fmt(double(after.max_lateness) / 1000.0, 1),
+           TablePrinter::Fmt(ticks ? 100.0 * double(misses) / double(ticks)
+                                   : 0.0,
+                             1),
+           TablePrinter::Fmt(100.0 * after.utilization, 0),
+           after.overloaded ? "yes" : "no",
            TablePrinter::Fmt(after.cv_notifies - before.cv_notifies),
            TablePrinter::Fmt(after.cv_notifies_skipped -
                              before.cv_notifies_skipped)});

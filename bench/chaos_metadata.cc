@@ -11,9 +11,27 @@
 /// process never crashes, every propagation wave completes (100% completion
 /// at a 10% throw rate), faulty handlers serve their last-known-good value
 /// with growing staleness, and all handlers recover once faults stop.
+///
+/// C2 — Chaos: metadata maintenance under overload.
+///
+/// Three sub-phases exercise the overload-control machinery end to end and
+/// write the measurements to BENCH_overload.json:
+///  a) saturation: a 2-worker pool is offered 1x/2x/4x/8x its capacity with
+///     admission control armed — the queue stays bounded, the excess is
+///     rejected, and deadline misses flip the hysteretic overload signal;
+///  b) degradation: a brownout stretches periodic cadences, but an item's
+///     declared max_staleness caps its stretch — observed staleness never
+///     exceeds the bound;
+///  c) storm damping: a 1 kHz triggered-event storm collapses into a bounded
+///     wave stream (>= 10x reduction) via coalescing plus the batch-refresh
+///     circuit breaker.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/support.h"
@@ -172,10 +190,309 @@ void Run() {
                  : "FAIL (wave aborted or handlers never recovered)");
 }
 
+// ---------------------------------------------------------------------------
+// C2a — scheduler saturation: admission control + deadline accounting
+// ---------------------------------------------------------------------------
+
+struct SaturationResult {
+  double factor = 1.0;
+  uint64_t submitted = 0;
+  uint64_t executed = 0;
+  uint64_t rejected = 0;
+  uint64_t misses = 0;
+  size_t max_queue_depth = 0;
+  double miss_rate = 0.0;
+  bool overloaded = false;
+};
+
+SaturationResult RunSaturation(double factor) {
+  constexpr int kWorkers = 2;
+  static constexpr Duration kTaskCost = 1 * kMicrosPerMilli;  // 1 ms busy spin
+  constexpr int kBatchMs = 5;
+  constexpr int kBatches = 80;  // 400 ms offered-load phase
+  constexpr size_t kMaxPending = 256;
+
+  ThreadPoolScheduler scheduler(kWorkers);
+  SchedulerOverloadPolicy policy;
+  policy.max_pending = kMaxPending;
+  policy.deadline_slack = 10 * kMicrosPerMilli;
+  scheduler.SetOverloadPolicy(policy);
+
+  std::atomic<uint64_t> executed{0};
+  auto task = [&executed] {
+    auto end = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(kTaskCost);
+    while (std::chrono::steady_clock::now() < end) {
+    }
+    executed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Capacity per batch window: kWorkers tasks of kTaskCost each per
+  // kTaskCost of wall clock.
+  const int per_batch =
+      int(factor * kWorkers * (kBatchMs * kMicrosPerMilli) / kTaskCost);
+  SaturationResult r;
+  r.factor = factor;
+  for (int b = 0; b < kBatches; ++b) {
+    Timestamp now = scheduler.clock().Now();
+    for (int i = 0; i < per_batch; ++i) {
+      ++r.submitted;
+      scheduler.ScheduleAt(now, task);
+    }
+    r.max_queue_depth =
+        std::max(r.max_queue_depth, scheduler.stats().queue_depth);
+    std::this_thread::sleep_for(std::chrono::milliseconds(kBatchMs));
+  }
+  // Drain what was admitted.
+  for (int i = 0; i < 5000 && scheduler.stats().queue_depth > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  SchedulerStats st = scheduler.stats();
+  r.executed = executed.load();
+  r.rejected = st.tasks_rejected;
+  r.misses = st.deadline_misses;
+  r.miss_rate = st.miss_rate_ewma;
+  r.overloaded = st.overloaded;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// C2b — brownout degradation: staleness-bounded cadence stretching
+// ---------------------------------------------------------------------------
+
+struct DegradeResult {
+  Duration bounded_max = 0;    ///< worst observed staleness, bounded item
+  Duration unbounded_max = 0;  ///< worst observed staleness, unbounded item
+  uint64_t stretches = 0;
+  uint64_t brownout_enters = 0;
+  int state = 0;
+};
+
+constexpr Duration kDegradeBase = 10 * kMicrosPerMilli;
+constexpr Duration kStalenessBound = 50 * kMicrosPerMilli;
+
+DegradeResult RunDegradation() {
+  VirtualTimeScheduler scheduler;
+  MetadataManager manager(scheduler);
+  ChaosProvider p("deg");
+
+  (void)p.metadata_registry().Define(
+      MetadataDescriptor::Periodic("bounded", kDegradeBase)
+          .WithMaxStaleness(kStalenessBound)
+          .WithEvaluator([](EvalContext&) { return MetadataValue(1.0); }));
+  (void)p.metadata_registry().Define(
+      MetadataDescriptor::Periodic("unbounded", kDegradeBase)
+          .WithEvaluator([](EvalContext&) { return MetadataValue(2.0); }));
+  auto bounded = manager.Subscribe(p, "bounded").value();
+  auto unbounded = manager.Subscribe(p, "unbounded").value();
+
+  // A permanently hot probe drives the governor straight into brownout; the
+  // aggressive factor makes the per-item staleness caps do the limiting.
+  manager.SetPressureProbe([] { return true; });
+  OverloadControlOptions gov;
+  gov.governor_period = 50 * kMicrosPerMilli;
+  gov.ticks_to_pressure = 1;
+  gov.ticks_to_brownout = 2;
+  gov.brownout_factor = 16.0;
+  gov.default_staleness_factor = 8.0;
+  manager.EnableOverloadControl(gov);
+
+  DegradeResult r;
+  for (Timestamp t = kMicrosPerMilli; t <= 2 * kMicrosPerSecond;
+       t += kMicrosPerMilli) {
+    scheduler.RunUntil(t);
+    Timestamp now = scheduler.clock().Now();
+    r.bounded_max = std::max(r.bounded_max, bounded.handler()->staleness(now));
+    r.unbounded_max =
+        std::max(r.unbounded_max, unbounded.handler()->staleness(now));
+  }
+  auto stats = manager.stats();
+  r.stretches = stats.period_stretches;
+  r.brownout_enters = stats.brownout_enters;
+  r.state = stats.pressure_state;
+  manager.DisableOverloadControl();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// C2c — storm damping: 1 kHz event storm vs. bounded wave stream
+// ---------------------------------------------------------------------------
+
+struct StormResult {
+  uint64_t events = 0;
+  uint64_t waves = 0;
+  uint64_t coalesced = 0;
+  uint64_t flushes = 0;
+  uint64_t trips = 0;
+};
+
+StormResult RunStorm(bool damped) {
+  VirtualTimeScheduler scheduler;
+  MetadataManager manager(scheduler);
+  ChaosProvider p("storm");
+
+  (void)p.metadata_registry().Define(
+      MetadataDescriptor::OnDemand("src").WithEvaluator(
+          [](EvalContext& ctx) { return MetadataValue(ctx.eval_index()); }));
+  std::vector<MetadataSubscription> subs;
+  for (int i = 0; i < 4; ++i) {
+    (void)p.metadata_registry().Define(
+        MetadataDescriptor::Triggered("d" + std::to_string(i))
+            .DependsOnSelf("src")
+            .WithEvaluator(
+                [](EvalContext& ctx) { return MetadataValue(ctx.Dep(0)); }));
+    subs.push_back(manager.Subscribe(p, "d" + std::to_string(i)).value());
+  }
+
+  if (damped) {
+    StormDampingOptions opts;
+    opts.max_waves_per_sec = 50.0;
+    opts.burst = 4.0;
+    opts.breaker_trip_coalesced = 64;
+    opts.breaker_batch_interval = 100 * kMicrosPerMilli;
+    manager.EnableStormDamping(opts);
+  }
+
+  StormResult r;
+  // 1 kHz storm for 2 s.
+  for (Timestamp t = kMicrosPerMilli; t <= 2 * kMicrosPerSecond;
+       t += kMicrosPerMilli) {
+    scheduler.RunUntil(t);
+    p.FireMetadataEvent("src");
+    ++r.events;
+  }
+  // Let the trailing coalesced flush drain.
+  scheduler.RunFor(300 * kMicrosPerMilli);
+
+  auto stats = manager.stats();
+  r.waves = stats.waves;
+  r.coalesced = stats.events_coalesced;
+  r.flushes = stats.storm_flushes;
+  r.trips = stats.breaker_trips;
+  return r;
+}
+
+void RunOverload() {
+  Banner("C2", "chaos: metadata maintenance under overload",
+         "bounded queues and explicit rejections at 2x-8x saturation;\n"
+         "staleness <= max_staleness per item through a brownout; a 1 kHz\n"
+         "event storm collapses >= 10x into a bounded wave stream");
+
+  std::string json = "{\n  \"bench\": \"chaos_metadata overload (C2)\",\n";
+
+  // a) saturation
+  TablePrinter sat({"offered load", "submitted", "executed", "rejected",
+                    "deadline misses", "max queue depth", "miss-rate ewma",
+                    "overloaded"});
+  bool queues_bounded = true;
+  json += "  \"saturation\": [\n";
+  bool first = true;
+  for (double factor : {0.5, 2.0, 4.0, 8.0}) {
+    SaturationResult r = RunSaturation(factor);
+    queues_bounded = queues_bounded && r.max_queue_depth <= 256;
+    sat.AddRow({TablePrinter::Fmt(factor, 1) + "x", TablePrinter::Fmt(r.submitted),
+                TablePrinter::Fmt(r.executed), TablePrinter::Fmt(r.rejected),
+                TablePrinter::Fmt(r.misses),
+                TablePrinter::Fmt(uint64_t(r.max_queue_depth)),
+                TablePrinter::Fmt(r.miss_rate, 3), r.overloaded ? "yes" : "no"});
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s    {\"factor\": %.1f, \"submitted\": %llu, "
+                  "\"executed\": %llu, \"rejected\": %llu, \"misses\": %llu, "
+                  "\"max_queue_depth\": %llu, \"miss_rate_ewma\": %.3f, "
+                  "\"overloaded\": %s}",
+                  first ? "" : ",\n", factor,
+                  (unsigned long long)r.submitted, (unsigned long long)r.executed,
+                  (unsigned long long)r.rejected, (unsigned long long)r.misses,
+                  (unsigned long long)r.max_queue_depth, r.miss_rate,
+                  r.overloaded ? "true" : "false");
+    json += buf;
+    first = false;
+  }
+  json += "\n  ],\n";
+  std::printf("%s\n", sat.ToString().c_str());
+
+  // b) degradation
+  DegradeResult d = RunDegradation();
+  bool bound_held = d.bounded_max <= kStalenessBound;
+  TablePrinter deg({"item", "base period [ms]", "max_staleness [ms]",
+                    "worst observed [ms]", "bound held"});
+  deg.AddRow({"bounded", TablePrinter::Fmt(double(kDegradeBase) / kMicrosPerMilli, 0),
+              TablePrinter::Fmt(double(kStalenessBound) / kMicrosPerMilli, 0),
+              TablePrinter::Fmt(double(d.bounded_max) / kMicrosPerMilli, 1),
+              bound_held ? "yes" : "NO"});
+  deg.AddRow({"unbounded", TablePrinter::Fmt(double(kDegradeBase) / kMicrosPerMilli, 0),
+              "default x8",
+              TablePrinter::Fmt(double(d.unbounded_max) / kMicrosPerMilli, 1),
+              d.unbounded_max <= 8 * kDegradeBase ? "yes" : "NO"});
+  std::printf("%s\n", deg.ToString().c_str());
+  char dbuf[512];
+  std::snprintf(dbuf, sizeof(dbuf),
+                "  \"degradation\": {\"base_period_ms\": %.0f, "
+                "\"max_staleness_ms\": %.0f, \"bounded_worst_ms\": %.1f, "
+                "\"unbounded_worst_ms\": %.1f, \"period_stretches\": %llu, "
+                "\"brownout_enters\": %llu, \"bound_held\": %s},\n",
+                double(kDegradeBase) / kMicrosPerMilli,
+                double(kStalenessBound) / kMicrosPerMilli,
+                double(d.bounded_max) / kMicrosPerMilli,
+                double(d.unbounded_max) / kMicrosPerMilli,
+                (unsigned long long)d.stretches,
+                (unsigned long long)d.brownout_enters,
+                bound_held ? "true" : "false");
+  json += dbuf;
+
+  // c) storm damping
+  StormResult undamped = RunStorm(false);
+  StormResult dampedr = RunStorm(true);
+  double reduction = dampedr.waves > 0
+                         ? double(undamped.waves) / double(dampedr.waves)
+                         : 0.0;
+  TablePrinter storm({"mode", "events", "waves", "coalesced", "flushes",
+                      "breaker trips", "reduction"});
+  storm.AddRow({"off", TablePrinter::Fmt(undamped.events),
+                TablePrinter::Fmt(undamped.waves), TablePrinter::Fmt(undamped.coalesced),
+                TablePrinter::Fmt(undamped.flushes), TablePrinter::Fmt(undamped.trips),
+                "1.0x"});
+  storm.AddRow({"on", TablePrinter::Fmt(dampedr.events),
+                TablePrinter::Fmt(dampedr.waves), TablePrinter::Fmt(dampedr.coalesced),
+                TablePrinter::Fmt(dampedr.flushes), TablePrinter::Fmt(dampedr.trips),
+                TablePrinter::Fmt(reduction, 1) + "x"});
+  std::printf("%s\n", storm.ToString().c_str());
+  char sbuf[384];
+  std::snprintf(sbuf, sizeof(sbuf),
+                "  \"storm\": {\"events\": %llu, \"undamped_waves\": %llu, "
+                "\"damped_waves\": %llu, \"events_coalesced\": %llu, "
+                "\"storm_flushes\": %llu, \"breaker_trips\": %llu, "
+                "\"reduction_x\": %.1f}\n}\n",
+                (unsigned long long)dampedr.events,
+                (unsigned long long)undamped.waves,
+                (unsigned long long)dampedr.waves,
+                (unsigned long long)dampedr.coalesced,
+                (unsigned long long)dampedr.flushes,
+                (unsigned long long)dampedr.trips, reduction);
+  json += sbuf;
+
+  bool ok = queues_bounded && bound_held && reduction >= 10.0;
+  std::printf("verdict: %s\n",
+              ok ? "PASS (bounded queues, staleness bound held, >=10x storm "
+                   "reduction)"
+                 : "FAIL (queue unbounded, staleness bound broken, or <10x "
+                   "storm reduction)");
+
+  if (std::FILE* f = std::fopen("BENCH_overload.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_overload.json\n\n");
+  } else {
+    std::printf("could not write BENCH_overload.json\n\n");
+  }
+}
+
 }  // namespace
 }  // namespace pipes::bench
 
 int main() {
   pipes::bench::Run();
+  pipes::bench::RunOverload();
   return 0;
 }

@@ -63,9 +63,17 @@ inline constexpr int kRankMonitor = 150;           ///< MetadataMonitor::mu
 inline constexpr int kRankMetadataStructure = 200; ///< MetadataManager::structure_mu
 inline constexpr int kRankOperatorState = 300;     ///< MetadataProvider::state_mu
 inline constexpr int kRankPropagation = 350;       ///< MetadataManager::propagation_mu
+/// MetadataManager::pressure_mu — the overload-control (brownout) governor
+/// state. Taken under the exclusive structure lock (periodic-handler
+/// registration in Instantiate) and held while stretching handler cadences
+/// (handler period locks, scheduler locks).
+inline constexpr int kRankPressureControl = 360;
 inline constexpr int kRankHandlerDependents = 400; ///< MetadataHandler::dependents_mu
 inline constexpr int kRankRegistry = 450;          ///< MetadataRegistry::mu
 inline constexpr int kRankHandlerEval = 500;       ///< MetadataHandler::eval_mu
+/// PeriodicMetadataHandler::period_mu_ — guards the mechanism task handle
+/// while the overload governor swaps cadences; held across Schedule* calls.
+inline constexpr int kRankHandlerPeriod = 520;
 inline constexpr int kRankHandlerHealth = 540;     ///< MetadataHandler::health_mu
 /// MetadataHandler::value_mu — writer-serialization only since the seqlock
 /// value slot: readers (`Get()`/`LoadValue()`) never take it, writers hold
@@ -73,6 +81,9 @@ inline constexpr int kRankHandlerHealth = 540;     ///< MetadataHandler::health_
 inline constexpr int kRankHandlerValue = 560;
 inline constexpr int kRankModules = 650;           ///< MetadataProvider::modules_mu
 inline constexpr int kRankScheduler = 700;         ///< scheduler queue locks
+/// TaskScheduler::overload_mu_ — admission/deadline accounting; taken while
+/// a Schedule* call holds the implementation's queue lock.
+inline constexpr int kRankSchedulerOverload = 710;
 inline constexpr int kRankWatchdog = 720;          ///< TaskScheduler::watchdog_mu
 inline constexpr int kRankLeaf = 900;              ///< queues, sinks, observers
 

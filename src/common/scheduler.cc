@@ -53,6 +53,60 @@ void TaskScheduler::NotifyOverrun(Timestamp scheduled_at, Duration period,
 }
 
 // ---------------------------------------------------------------------------
+// TaskScheduler overload accounting
+// ---------------------------------------------------------------------------
+
+void TaskScheduler::SetOverloadPolicy(const SchedulerOverloadPolicy& policy) {
+  MutexLock lock(overload_mu_);
+  overload_policy_ = policy;
+  if (policy.deadline_slack <= 0) {
+    miss_rate_ewma_ = 0.0;
+    overloaded_.store(false, std::memory_order_release);
+  }
+}
+
+SchedulerOverloadPolicy TaskScheduler::overload_policy() const {
+  MutexLock lock(overload_mu_);
+  return overload_policy_;
+}
+
+bool TaskScheduler::AdmitOneShot(size_t pending) {
+  MutexLock lock(overload_mu_);
+  if (overload_policy_.max_pending == 0 ||
+      pending < overload_policy_.max_pending) {
+    return true;
+  }
+  ++tasks_rejected_;
+  return false;
+}
+
+void TaskScheduler::RecordExecutionLateness(Duration lateness) {
+  MutexLock lock(overload_mu_);
+  if (overload_policy_.deadline_slack <= 0) return;
+  bool miss = lateness > overload_policy_.deadline_slack;
+  if (miss) ++deadline_misses_;
+  double alpha = overload_policy_.ewma_alpha;
+  miss_rate_ewma_ = alpha * (miss ? 1.0 : 0.0) + (1.0 - alpha) * miss_rate_ewma_;
+  // Hysteresis: enter above the high mark, leave only below the low mark, so
+  // a miss rate oscillating around one threshold cannot flap the signal.
+  if (overloaded_.load(std::memory_order_relaxed)) {
+    if (miss_rate_ewma_ <= overload_policy_.exit_overload) {
+      overloaded_.store(false, std::memory_order_release);
+    }
+  } else if (miss_rate_ewma_ >= overload_policy_.enter_overload) {
+    overloaded_.store(true, std::memory_order_release);
+  }
+}
+
+void TaskScheduler::FillOverloadStats(SchedulerStats* stats) const {
+  MutexLock lock(overload_mu_);
+  stats->deadline_misses = deadline_misses_;
+  stats->tasks_rejected = tasks_rejected_;
+  stats->miss_rate_ewma = miss_rate_ewma_;
+  stats->overloaded = overloaded_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
 // VirtualTimeScheduler
 // ---------------------------------------------------------------------------
 
@@ -62,6 +116,7 @@ VirtualTimeScheduler::VirtualTimeScheduler(VirtualClock* clock)
 TaskHandle VirtualTimeScheduler::ScheduleAt(Timestamp when, Task fn) {
   auto state = std::make_shared<TaskHandle::State>();
   MutexLock lock(mu_);
+  if (!AdmitOneShot(queue_.size())) return TaskHandle();
   // Tasks scheduled in the past run at the current time.
   when = std::max(when, clock_->Now());
   queue_.push(Entry{when, next_seq_++, std::move(fn), state, /*period=*/0});
@@ -80,8 +135,14 @@ TaskHandle VirtualTimeScheduler::SchedulePeriodic(Duration period, Task fn,
 }
 
 SchedulerStats VirtualTimeScheduler::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  SchedulerStats s;
+  {
+    MutexLock lock(mu_);
+    s = stats_;
+    s.queue_depth = queue_.size();
+  }
+  FillOverloadStats(&s);
+  return s;
 }
 
 size_t VirtualTimeScheduler::pending_count() const {
@@ -210,6 +271,7 @@ TaskHandle ThreadPoolScheduler::ScheduleAt(Timestamp when, Task fn) {
   bool notify;
   {
     MutexLock lock(mu_);
+    if (!AdmitOneShot(queue_.size())) return TaskHandle();
     bool was_empty = queue_.empty();
     Timestamp prev_top = was_empty ? kTimestampMax : queue_.top().when;
     queue_.push(Entry{when, next_seq_++,
@@ -241,8 +303,19 @@ TaskHandle ThreadPoolScheduler::SchedulePeriodic(Duration period, Task fn,
 }
 
 SchedulerStats ThreadPoolScheduler::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  SchedulerStats s;
+  {
+    MutexLock lock(mu_);
+    s = stats_;
+    s.queue_depth = queue_.size();
+  }
+  FillOverloadStats(&s);
+  size_t workers = threads_.size();
+  if (workers > 0) {
+    s.utilization =
+        double(busy_workers_.load(std::memory_order_relaxed)) / double(workers);
+  }
+  return s;
 }
 
 void ThreadPoolScheduler::WorkerLoop() {
@@ -285,9 +358,12 @@ void ThreadPoolScheduler::WorkerLoop() {
       queue_.push(Entry{next, next_seq_++, e.fn, e.state, e.period});
     }
     lock.unlock();
+    RecordExecutionLateness(lateness);
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     Timestamp started = SteadyMicrosNow();
     (*e.fn)();
     Duration runtime = SteadyMicrosNow() - started;
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
     bool overrun = IsOverrun(e.period, runtime);
     // Report before re-locking: a wedged worker's overrun must surface even
     // while other workers keep the queue busy.

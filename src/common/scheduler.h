@@ -78,6 +78,46 @@ struct SchedulerStats {
   /// Wakeups elided because the new task neither preempted the earliest
   /// deadline nor had an idle worker to employ (ThreadPool only).
   uint64_t cv_notifies_skipped = 0;
+
+  // Overload accounting (see TaskScheduler::SetOverloadPolicy).
+  /// Executions that started more than the policy's deadline_slack past
+  /// their scheduled time. 0 while deadline tracking is off.
+  uint64_t deadline_misses = 0;
+  /// One-shot tasks rejected by run-queue admission control.
+  uint64_t tasks_rejected = 0;
+  /// EWMA of the per-execution deadline-miss indicator in [0, 1].
+  double miss_rate_ewma = 0.0;
+  /// Hysteretic overload signal derived from miss_rate_ewma.
+  bool overloaded = false;
+  /// Pending entries in the run queue at snapshot time (gauge).
+  size_t queue_depth = 0;
+  /// Fraction of workers currently executing a task (ThreadPool only).
+  double utilization = 0.0;
+};
+
+/// \brief Admission-control and deadline-accounting policy of a scheduler.
+///
+/// Under overload the metadata layer must degrade predictably instead of
+/// letting its own run queue grow without bound: one-shot tasks past the
+/// queue bound are rejected (callers see an invalid TaskHandle and shed the
+/// work), deadline misses are counted, and a hysteretic overload signal is
+/// derived for the MetadataManager's pressure governor. Periodic tasks are
+/// always admitted — they are the maintenance backbone whose *cadence* is
+/// degraded by the manager, never silently dropped.
+struct SchedulerOverloadPolicy {
+  /// Maximum pending entries before one-shot admissions are rejected.
+  /// 0 = unbounded (admission control off).
+  size_t max_pending = 0;
+  /// Lateness beyond which an execution counts as a deadline miss.
+  /// 0 = deadline tracking off (miss rate and overload signal stay 0).
+  Duration deadline_slack = 0;
+  /// EWMA weight of the newest execution's miss indicator.
+  double ewma_alpha = 0.25;
+  /// miss_rate_ewma at/above which the scheduler reports overloaded.
+  double enter_overload = 0.5;
+  /// miss_rate_ewma at/below which an overloaded scheduler recovers
+  /// (hysteresis: must be below enter_overload).
+  double exit_overload = 0.125;
 };
 
 /// \brief Interface for time-based task execution.
@@ -127,7 +167,35 @@ class TaskScheduler {
   /// The armed overrun factor (0 when the watchdog is off).
   double watchdog_overrun_factor() const;
 
+  /// \brief Arms run-queue admission control and deadline accounting.
+  ///
+  /// With a non-zero `max_pending`, ScheduleAt (one-shot tasks only) returns
+  /// an invalid TaskHandle once the run queue holds that many entries;
+  /// callers must treat a rejected admission as shed work. With a non-zero
+  /// `deadline_slack`, every execution's lateness is classified as a
+  /// deadline miss or not, feeding the miss-rate EWMA and the hysteretic
+  /// `overloaded()` signal in stats(). Safe to call at any time.
+  void SetOverloadPolicy(const SchedulerOverloadPolicy& policy);
+  SchedulerOverloadPolicy overload_policy() const;
+
+  /// Current hysteretic overload signal (false while deadline tracking is
+  /// off). Cheap: one atomic load — callable from governor hot paths.
+  bool overloaded() const {
+    return overloaded_.load(std::memory_order_acquire);
+  }
+
  protected:
+  /// True when a one-shot admission fits under the policy's queue bound;
+  /// otherwise counts the rejection. `pending` is the pre-push queue size.
+  bool AdmitOneShot(size_t pending);
+
+  /// Classifies one execution's lateness against the policy (miss counter,
+  /// EWMA, hysteretic overload flag). Call outside the queue lock.
+  void RecordExecutionLateness(Duration lateness);
+
+  /// Copies the overload counters/gauges into `stats`.
+  void FillOverloadStats(SchedulerStats* stats) const;
+
   /// True when the watchdog is armed and a periodic task of `period` ran for
   /// `runtime` real microseconds past the allowed overrun factor.
   bool IsOverrun(Duration period, Duration runtime) const;
@@ -141,6 +209,17 @@ class TaskScheduler {
                              lockorder::kRankWatchdog};
   double overrun_factor_ PIPES_GUARDED_BY(watchdog_mu_) = 0.0;
   OverrunCallback overrun_cb_ PIPES_GUARDED_BY(watchdog_mu_);
+
+  /// Ranked above the implementations' queue locks: AdmitOneShot runs while
+  /// a Schedule* call holds the queue lock.
+  mutable Mutex overload_mu_{"TaskScheduler::overload_mu",
+                             lockorder::kRankSchedulerOverload};
+  SchedulerOverloadPolicy overload_policy_ PIPES_GUARDED_BY(overload_mu_);
+  uint64_t deadline_misses_ PIPES_GUARDED_BY(overload_mu_) = 0;
+  uint64_t tasks_rejected_ PIPES_GUARDED_BY(overload_mu_) = 0;
+  double miss_rate_ewma_ PIPES_GUARDED_BY(overload_mu_) = 0.0;
+  /// Atomic mirror of the hysteretic flag so overloaded() is lock-free.
+  std::atomic<bool> overloaded_{false};
 };
 
 /// \brief Deterministic scheduler driving a VirtualClock.
@@ -269,6 +348,8 @@ class ThreadPoolScheduler final : public TaskScheduler {
   /// concurrent due tasks onto one worker).
   uint64_t idle_waiters_ PIPES_GUARDED_BY(mu_) = 0;
   SchedulerStats stats_ PIPES_GUARDED_BY(mu_);
+  /// Workers currently executing a task (pool-utilization gauge).
+  std::atomic<size_t> busy_workers_{0};
 
   /// True when a task newly pushed at `when` needs a cv_ wakeup, given the
   /// pre-push queue state; counts the decision in stats_.

@@ -122,4 +122,9 @@ MetadataDescriptor&& MetadataDescriptor::WithFallbackValue(
   return std::move(*this);
 }
 
+MetadataDescriptor&& MetadataDescriptor::WithMaxStaleness(Duration bound) && {
+  max_staleness_ = bound;
+  return std::move(*this);
+}
+
 }  // namespace pipes

@@ -245,6 +245,16 @@ class MetadataDescriptor {
   /// down before the item was ever computed).
   MetadataDescriptor&& WithFallbackValue(MetadataValue value) &&;
 
+  /// \brief Staleness bound for overload degradation (periodic items).
+  ///
+  /// Under sustained scheduler overload the MetadataManager's pressure
+  /// governor stretches periodic refresh cadences by a bounded backoff
+  /// factor; the stretched period never exceeds this bound, so the item's
+  /// observed staleness stays <= max_staleness no matter how deep the
+  /// brownout. 0 (default) means "no explicit bound": the governor caps the
+  /// stretch at its default_staleness_factor x period instead.
+  MetadataDescriptor&& WithMaxStaleness(Duration bound) &&;
+
   // Accessors -----------------------------------------------------------------
   const MetadataKey& key() const { return key_; }
   UpdateMechanism mechanism() const { return mechanism_; }
@@ -259,6 +269,7 @@ class MetadataDescriptor {
   const RetryPolicy& retry_policy() const { return retry_policy_; }
   const MetadataValue& fallback_value() const { return fallback_; }
   bool has_fallback() const { return !fallback_.is_null(); }
+  Duration max_staleness() const { return max_staleness_; }
 
  private:
   MetadataDescriptor(MetadataKey key, UpdateMechanism mechanism)
@@ -278,6 +289,7 @@ class MetadataDescriptor {
   std::string description_;
   RetryPolicy retry_policy_;
   MetadataValue fallback_;
+  Duration max_staleness_ = 0;  // 0 => governor default cap applies
 };
 
 }  // namespace pipes

@@ -386,23 +386,69 @@ void PeriodicMetadataHandler::Activate(Timestamp now) {
   assert(period() > 0 && "periodic metadata item requires a positive period");
   // The value for the (empty) zeroth window; evaluators guard elapsed()==0.
   EvaluateAndStore(now, 0);
+  effective_period_.store(period(), std::memory_order_release);
+  MutexLock lock(period_mu_);
+  Reschedule(period());
+}
+
+void PeriodicMetadataHandler::Deactivate() {
+  MutexLock lock(period_mu_);
+  task_.Cancel();
+}
+
+void PeriodicMetadataHandler::Reschedule(Duration new_period) {
+  task_.Cancel();
   std::weak_ptr<MetadataHandler> weak = weak_from_this();
+  Timestamp now = manager_.clock().Now();
+  // The first tick preserves the item's staleness bound across cadence
+  // changes: it lands one new_period after the last evaluation — immediately
+  // if that instant already passed (a restore after a long stretch). Without
+  // this, a stretch would restart the cadence from `now` and let staleness
+  // peak at old-staleness + new_period, overshooting max_staleness.
+  Timestamp first = now + new_period;
+  Timestamp last = last_updated();
+  if (last != kTimestampNever) {
+    first = std::max(now, last + new_period);
+  }
   task_ = manager_.scheduler().SchedulePeriodic(
-      period(),
+      new_period,
       [weak] {
         if (auto self = weak.lock()) {
           auto* h = static_cast<PeriodicMetadataHandler*>(self.get());
           h->Tick(h->manager_.clock().Now());
         }
       },
-      now + period());
+      first);
 }
 
-void PeriodicMetadataHandler::Deactivate() { task_.Cancel(); }
+Duration PeriodicMetadataHandler::ApplyDegradationFactor(
+    double factor, double default_cap_factor) {
+  const Duration base = period();
+  Duration cap = desc_->max_staleness();
+  if (cap <= 0) {
+    cap = static_cast<Duration>(static_cast<double>(base) *
+                                std::max(1.0, default_cap_factor));
+  }
+  cap = std::max(cap, base);
+  Duration target = base;
+  if (factor > 1.0) {
+    target = static_cast<Duration>(static_cast<double>(base) * factor);
+    target = std::min(std::max(target, base), cap);
+  }
+  MutexLock lock(period_mu_);
+  // Retired/deactivated handlers have no task to re-arm; leave them alone.
+  if (retired() || !task_.active()) return effective_period();
+  if (target == effective_period()) return target;
+  effective_period_.store(target, std::memory_order_release);
+  Reschedule(target);
+  return target;
+}
 
 void PeriodicMetadataHandler::Tick(Timestamp now) {
   bool updated = false;
-  EvaluateAndStore(now, period(), &updated);
+  // elapsed() is the width of the window that just closed — the *effective*
+  // cadence, so rate evaluators stay correct while degraded.
+  EvaluateAndStore(now, effective_period(), &updated);
   // A contained failure leaves the published value untouched, so there is
   // nothing for dependents to react to: the wave starts only on success.
   if (updated) manager_.PropagateFrom(*this, now);

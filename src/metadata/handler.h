@@ -218,6 +218,29 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   void AddDependent(MetadataHandler* h);
   void RemoveDependent(MetadataHandler* h);
 
+  /// \brief Per-origin storm-damping state (manager propagation path; see
+  /// MetadataManager::EnableStormDamping).
+  ///
+  /// Token-bucket admission of propagation waves originating here, event
+  /// coalescing while no token is available, and a circuit breaker that
+  /// converts a storming origin to fixed-cadence batch refresh. Guarded by
+  /// the owning manager's `propagation_mu_` like WavePlan below.
+  struct StormState {
+    double tokens = 0.0;
+    /// kTimestampNever until the first damped wave request (lazy init:
+    /// the bucket starts full).
+    Timestamp refill_at = kTimestampNever;
+    /// Events coalesced since the last executed wave from this origin.
+    uint64_t coalesced_run = 0;
+    /// A flush task is pending for the coalesced events.
+    bool flush_scheduled = false;
+    /// Handle of that pending flush — cancelled and re-armed onto the batch
+    /// cadence when the circuit breaker trips mid-deferral.
+    TaskHandle flush_task;
+    /// Circuit breaker: origin is in batch-refresh mode.
+    bool breaker = false;
+  };
+
   /// \brief Cached flattened wave plan for waves originating at this handler
   /// (manager fast path; see MetadataManager::PropagateFrom).
   ///
@@ -304,6 +327,7 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   WavePlan wave_plan_;
   uint64_t wave_mark_ = 0;  ///< last RebuildWavePlan stamp that visited us
   int wave_indegree_ = 0;   ///< Kahn in-degree scratch during rebuilds
+  StormState storm_;        ///< per-origin damping state (propagation_mu_)
 
   // Guarded by the manager's structure lock.
   int external_refs_ = 0;
@@ -348,9 +372,22 @@ class PeriodicMetadataHandler final : public MetadataHandler {
  public:
   using MetadataHandler::MetadataHandler;
 
+  /// The descriptor's base period (the calibrated freshness target).
   Duration period() const { return desc_->period(); }
 
+  /// \brief Current refresh cadence: the base period, possibly stretched by
+  /// the manager's overload governor (see MetadataManager pressure states).
+  ///
+  /// Equal to period() when not degraded; never exceeds the descriptor's
+  /// max_staleness (or the governor's default cap) while degraded.
+  Duration effective_period() const {
+    Duration p = effective_period_.load(std::memory_order_acquire);
+    return p > 0 ? p : period();
+  }
+
  private:
+  friend class MetadataManager;
+
   MetadataValue DoGet(Timestamp now) override;
   void Activate(Timestamp now) override;
   void Deactivate() override;
@@ -358,7 +395,28 @@ class PeriodicMetadataHandler final : public MetadataHandler {
   /// One window boundary: recompute, publish, propagate.
   void Tick(Timestamp now);
 
-  TaskHandle task_;
+  /// \brief Overload-governor hook: stretches (factor > 1) or restores
+  /// (factor <= 1) the refresh cadence.
+  ///
+  /// The stretched period is capped by the descriptor's max_staleness — or,
+  /// when that is 0, by default_cap_factor x period — so the item's
+  /// achievable staleness stays bounded however deep the brownout. Replaces
+  /// the mechanism task only when the cadence actually changes (rare,
+  /// hysteresis-gated transitions). No-op on retired or deactivated
+  /// handlers. Returns the cadence now in effect.
+  Duration ApplyDegradationFactor(double factor, double default_cap_factor);
+
+  /// Swaps the mechanism task for one firing every `new_period`, first fire
+  /// one `new_period` from now.
+  void Reschedule(Duration new_period) PIPES_REQUIRES(period_mu_);
+
+  /// Guards the mechanism task handle while the overload governor swaps
+  /// cadences (Activate/Deactivate/ApplyDegradationFactor may race).
+  mutable Mutex period_mu_{"PeriodicMetadataHandler::period_mu",
+                           lockorder::kRankHandlerPeriod};
+  TaskHandle task_ PIPES_GUARDED_BY(period_mu_);
+  /// 0 until Activate; then the cadence in effect (== the scheduled task's).
+  std::atomic<Duration> effective_period_{0};
 };
 
 /// \brief Handler recomputing the value when an underlying item changes

@@ -135,10 +135,27 @@ class ResolutionContextImpl final : public ResolutionContext {
 // MetadataManager
 // ---------------------------------------------------------------------------
 
+const char* PressureStateToString(PressureState s) {
+  switch (s) {
+    case PressureState::kNormal:
+      return "normal";
+    case PressureState::kPressured:
+      return "pressured";
+    case PressureState::kBrownout:
+      return "brownout";
+  }
+  return "unknown";
+}
+
 MetadataManager::MetadataManager(TaskScheduler& scheduler)
     : scheduler_(scheduler) {}
 
-MetadataManager::~MetadataManager() = default;
+MetadataManager::~MetadataManager() {
+  // Stop the governor before members start dying; a tick scheduled but not
+  // yet run sees the cancelled handle and never fires.
+  MutexLock lock(pressure_mu_);
+  governor_task_.Cancel();
+}
 
 Result<MetadataSubscription> MetadataManager::Subscribe(
     MetadataProvider& provider, const MetadataKey& key) {
@@ -280,6 +297,24 @@ std::shared_ptr<MetadataHandler> MetadataManager::Instantiate(
     entry.desc->activate_monitoring()(*entry.provider);
   }
   handler->Activate(now);
+
+  // Periodic items register with the overload governor; one included while
+  // the manager is already degraded starts degraded too, so a brownout
+  // cannot be escaped by re-subscribing.
+  if (entry.desc->mechanism() == UpdateMechanism::kPeriodic) {
+    MutexLock plock(pressure_mu_);
+    periodic_handlers_.push_back(handler);
+    if (overload_enabled_ && current_factor_ > 1.0) {
+      auto* ph = static_cast<PeriodicMetadataHandler*>(handler.get());
+      Duration before = ph->effective_period();
+      Duration after = ph->ApplyDegradationFactor(
+          current_factor_, overload_options_.default_staleness_factor);
+      if (after > before) {
+        stats_period_stretches_.fetch_add(1, std::memory_order_relaxed);
+        stats_stretched_now_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
 
   stats_created_.fetch_add(1, std::memory_order_relaxed);
   stats_active_.fetch_add(1, std::memory_order_relaxed);
@@ -427,6 +462,11 @@ void MetadataManager::NaivePropagate(MetadataHandler& h, Timestamp now,
 void MetadataManager::PropagateFrom(MetadataHandler& origin, Timestamp now) {
   SharedLock lock(structure_mu_);
   RecursiveMutexLock wave(propagation_mu_);
+  if (storm_damping_enabled_ && !AdmitWave(origin, now)) return;
+  RunWaveLocked(origin, now);
+}
+
+void MetadataManager::RunWaveLocked(MetadataHandler& origin, Timestamp now) {
   stats_waves_.fetch_add(1, std::memory_order_relaxed);
 
   if (propagation_mode_ == PropagationMode::kNaiveRecursive) {
@@ -535,6 +575,231 @@ void MetadataManager::RebuildWavePlan(MetadataHandler& origin, uint64_t epoch) {
   (void)processed;
 }
 
+// ---------------------------------------------------------------------------
+// Triggered-wave storm damping
+// ---------------------------------------------------------------------------
+
+void MetadataManager::EnableStormDamping(const StormDampingOptions& opts) {
+  RecursiveMutexLock lock(propagation_mu_);
+  assert(opts.max_waves_per_sec > 0 && "damping needs a positive wave budget");
+  storm_options_ = opts;
+  storm_damping_enabled_ = true;
+}
+
+void MetadataManager::DisableStormDamping() {
+  RecursiveMutexLock lock(propagation_mu_);
+  storm_damping_enabled_ = false;
+}
+
+bool MetadataManager::AdmitWave(MetadataHandler& origin, Timestamp now) {
+  MetadataHandler::StormState& st = origin.storm_;
+  const StormDampingOptions& opt = storm_options_;
+
+  // Token refill since the last admission decision; the bucket starts full
+  // so the first waves of a well-behaved origin are never deferred.
+  if (st.refill_at == kTimestampNever) {
+    st.tokens = opt.burst;
+  } else if (now > st.refill_at) {
+    double refill = static_cast<double>(now - st.refill_at) *
+                    opt.max_waves_per_sec / 1e6;
+    st.tokens = std::min(opt.burst, st.tokens + refill);
+  }
+  st.refill_at = now;
+
+  if (!st.breaker && st.tokens >= 1.0) {
+    st.tokens -= 1.0;
+    st.coalesced_run = 0;
+    return true;
+  }
+
+  // Out of budget (or batch-refreshing): coalesce. Metadata is
+  // last-writer-wins, so the deferred flush wave sees everything the
+  // collapsed events would have propagated.
+  ++st.coalesced_run;
+  stats_events_coalesced_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!st.breaker && st.coalesced_run >= opt.breaker_trip_coalesced) {
+    st.breaker = true;
+    stats_breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+    stats_breakers_now_.fetch_add(1, std::memory_order_relaxed);
+    // Batch refresh starts on the breaker cadence now — not at the possibly
+    // distant next-token instant a pre-trip flush was deferred to.
+    st.flush_task.Cancel();
+    st.flush_scheduled = false;
+  }
+
+  if (!st.flush_scheduled) {
+    Timestamp when;
+    if (st.breaker) {
+      when = now + opt.breaker_batch_interval;
+    } else {
+      // Earliest instant the bucket holds a whole token again.
+      double deficit = std::max(0.0, 1.0 - st.tokens);
+      when = now +
+             static_cast<Duration>(deficit * 1e6 / opt.max_waves_per_sec) + 1;
+    }
+    ScheduleStormFlush(origin, when);
+  }
+  return false;
+}
+
+void MetadataManager::ScheduleStormFlush(MetadataHandler& origin,
+                                         Timestamp when) {
+  std::weak_ptr<MetadataHandler> weak = origin.weak_from_this();
+  TaskHandle task =
+      scheduler_.ScheduleAt(when, [this, weak] { FlushStorm(weak); });
+  // A rejected admission (scheduler queue bound under overload) sheds the
+  // flush; flush_scheduled stays false so the next event tries again.
+  origin.storm_.flush_scheduled = task.valid();
+  origin.storm_.flush_task = std::move(task);
+}
+
+void MetadataManager::FlushStorm(const std::weak_ptr<MetadataHandler>& weak) {
+  std::shared_ptr<MetadataHandler> origin = weak.lock();
+  if (origin == nullptr || origin->retired()) return;
+  Timestamp now = clock().Now();
+
+  SharedLock lock(structure_mu_);
+  RecursiveMutexLock wave(propagation_mu_);
+  MetadataHandler::StormState& st = origin->storm_;
+  st.flush_scheduled = false;
+
+  if (st.coalesced_run == 0) {
+    // A whole deferral interval without one event: the storm is over.
+    if (st.breaker) {
+      st.breaker = false;
+      stats_breakers_now_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  st.coalesced_run = 0;
+  st.tokens = std::max(0.0, st.tokens - 1.0);
+  stats_storm_flushes_.fetch_add(1, std::memory_order_relaxed);
+  RunWaveLocked(*origin, now);
+
+  // A tripped origin keeps batch-refreshing on the breaker cadence; the
+  // quiet-interval branch above is the only way out.
+  if (st.breaker && storm_damping_enabled_) {
+    ScheduleStormFlush(*origin, now + storm_options_.breaker_batch_interval);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overload control (pressure governor)
+// ---------------------------------------------------------------------------
+
+void MetadataManager::EnableOverloadControl(const OverloadControlOptions& opts) {
+  MutexLock lock(pressure_mu_);
+  assert(opts.governor_period > 0 && "governor needs a positive period");
+  overload_options_ = opts;
+  governor_task_.Cancel();
+  overload_enabled_ = true;
+  governor_task_ =
+      scheduler_.SchedulePeriodic(opts.governor_period, [this] { GovernorTick(); });
+}
+
+void MetadataManager::DisableOverloadControl() {
+  MutexLock lock(pressure_mu_);
+  governor_task_.Cancel();
+  if (!overload_enabled_) return;
+  overload_enabled_ = false;
+  hot_ticks_ = 0;
+  cool_ticks_ = 0;
+  pressure_state_.store(static_cast<int>(PressureState::kNormal),
+                        std::memory_order_release);
+  if (current_factor_ != 1.0) {
+    current_factor_ = 1.0;
+    ApplyPressureFactorLocked(1.0);
+  }
+}
+
+void MetadataManager::SetPressureProbe(std::function<bool()> probe) {
+  MutexLock lock(pressure_mu_);
+  pressure_probe_ = std::move(probe);
+}
+
+void MetadataManager::GovernorTick() {
+  MutexLock lock(pressure_mu_);
+  if (!overload_enabled_) return;
+
+  bool hot = pressure_probe_ ? pressure_probe_() : scheduler_.overloaded();
+  if (hot) {
+    ++hot_ticks_;
+    cool_ticks_ = 0;
+  } else {
+    ++cool_ticks_;
+    hot_ticks_ = 0;
+  }
+
+  const OverloadControlOptions& opt = overload_options_;
+  PressureState cur = pressure_state();
+  PressureState next = cur;
+  switch (cur) {
+    case PressureState::kNormal:
+      if (hot_ticks_ >= opt.ticks_to_pressure) next = PressureState::kPressured;
+      break;
+    case PressureState::kPressured:
+      if (hot_ticks_ >= opt.ticks_to_brownout) {
+        next = PressureState::kBrownout;
+      } else if (cool_ticks_ >= opt.ticks_to_recover) {
+        next = PressureState::kNormal;
+      }
+      break;
+    case PressureState::kBrownout:
+      // Recovery steps down one state at a time: brownout -> pressured ->
+      // normal, each step needing a fresh run of calm ticks.
+      if (cool_ticks_ >= opt.ticks_to_recover) next = PressureState::kPressured;
+      break;
+  }
+  if (next == cur) return;
+
+  // Tick counters restart per state, so every threshold above reads as
+  // "consecutive ticks in the current state".
+  hot_ticks_ = 0;
+  cool_ticks_ = 0;
+  pressure_state_.store(static_cast<int>(next), std::memory_order_release);
+  switch (next) {
+    case PressureState::kPressured:
+      if (cur == PressureState::kNormal) {
+        stats_pressure_enters_.fetch_add(1, std::memory_order_relaxed);
+      }
+      current_factor_ = opt.pressured_factor;
+      break;
+    case PressureState::kBrownout:
+      stats_brownout_enters_.fetch_add(1, std::memory_order_relaxed);
+      current_factor_ = opt.brownout_factor;
+      break;
+    case PressureState::kNormal:
+      stats_pressure_exits_.fetch_add(1, std::memory_order_relaxed);
+      current_factor_ = 1.0;
+      break;
+  }
+  ApplyPressureFactorLocked(current_factor_);
+}
+
+void MetadataManager::ApplyPressureFactorLocked(double factor) {
+  const double cap = overload_options_.default_staleness_factor;
+  uint64_t stretched = 0;
+  size_t live = 0;
+  for (size_t i = 0; i < periodic_handlers_.size(); ++i) {
+    std::shared_ptr<MetadataHandler> h = periodic_handlers_[i].lock();
+    if (h == nullptr || h->retired()) continue;
+    periodic_handlers_[live++] = periodic_handlers_[i];
+    auto* ph = static_cast<PeriodicMetadataHandler*>(h.get());
+    Duration before = ph->effective_period();
+    Duration after = ph->ApplyDegradationFactor(factor, cap);
+    if (after > before) {
+      stats_period_stretches_.fetch_add(1, std::memory_order_relaxed);
+    } else if (after < before) {
+      stats_period_restores_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (after > ph->period()) ++stretched;
+  }
+  periodic_handlers_.resize(live);
+  stats_stretched_now_.store(stretched, std::memory_order_relaxed);
+}
+
 MetadataManagerStats MetadataManager::stats() const {
   MetadataManagerStats s;
   s.subscriptions = stats_subscriptions_.load(std::memory_order_relaxed);
@@ -557,6 +822,21 @@ MetadataManagerStats MetadataManager::stats() const {
   s.degraded_handlers = stats_degraded_now_.load(std::memory_order_relaxed);
   s.quarantined_handlers =
       stats_quarantined_now_.load(std::memory_order_relaxed);
+  s.pressure_state = pressure_state_.load(std::memory_order_relaxed);
+  s.pressure_enters = stats_pressure_enters_.load(std::memory_order_relaxed);
+  s.brownout_enters = stats_brownout_enters_.load(std::memory_order_relaxed);
+  s.pressure_exits = stats_pressure_exits_.load(std::memory_order_relaxed);
+  s.periods_stretched = stats_stretched_now_.load(std::memory_order_relaxed);
+  s.period_stretches = stats_period_stretches_.load(std::memory_order_relaxed);
+  s.period_restores = stats_period_restores_.load(std::memory_order_relaxed);
+  s.events_coalesced = stats_events_coalesced_.load(std::memory_order_relaxed);
+  s.storm_flushes = stats_storm_flushes_.load(std::memory_order_relaxed);
+  s.breaker_trips = stats_breaker_trips_.load(std::memory_order_relaxed);
+  s.breakers_active = stats_breakers_now_.load(std::memory_order_relaxed);
+  SchedulerStats sched = scheduler_.stats();
+  s.scheduler_deadline_misses = sched.deadline_misses;
+  s.scheduler_rejections = sched.tasks_rejected;
+  s.scheduler_overloaded = sched.overloaded;
   return s;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -92,6 +93,27 @@ struct MetadataManagerStats {
   uint64_t recoveries = 0;         ///< transitions back to kHealthy
   uint64_t degraded_handlers = 0;    ///< currently kDegraded (gauge)
   uint64_t quarantined_handlers = 0; ///< currently kQuarantined (gauge)
+
+  // Overload control (pressure governor; see EnableOverloadControl).
+  int pressure_state = 0;          ///< current PressureState (gauge)
+  uint64_t pressure_enters = 0;    ///< transitions kNormal -> kPressured
+  uint64_t brownout_enters = 0;    ///< transitions into kBrownout
+  uint64_t pressure_exits = 0;     ///< full recoveries back to kNormal
+  uint64_t periods_stretched = 0;  ///< periodic items currently degraded (gauge)
+  uint64_t period_stretches = 0;   ///< cadence-stretch applications
+  uint64_t period_restores = 0;    ///< cadence-restore applications
+
+  // Storm damping (see EnableStormDamping).
+  uint64_t events_coalesced = 0;   ///< damped events absorbed into pending waves
+  uint64_t storm_flushes = 0;      ///< coalesced-wave flushes executed
+  uint64_t breaker_trips = 0;      ///< origins converted to batch refresh
+  uint64_t breakers_active = 0;    ///< origins currently batch-refreshing (gauge)
+
+  // Mirrors of the scheduler's overload accounting, so one snapshot shows
+  // the whole degradation picture (see SchedulerStats for semantics).
+  uint64_t scheduler_deadline_misses = 0;
+  uint64_t scheduler_rejections = 0;
+  bool scheduler_overloaded = false;
 };
 
 /// How update-propagation waves refresh dependent handlers.
@@ -103,6 +125,64 @@ enum class PropagationMode {
   /// Diamond shapes refresh handlers multiple times per wave ("glitches"),
   /// possibly with inconsistent inputs.
   kNaiveRecursive,
+};
+
+/// \brief Pressure state of the manager's overload governor — a brownout
+/// state machine in the style of the handler health machine
+/// (kHealthy -> kDegraded -> kQuarantined).
+///
+/// kNormal: maintenance runs at declared cadences. kPressured: the scheduler
+/// reported sustained overload; periodic cadences are stretched by a first,
+/// moderate factor. kBrownout: overload persisted; cadences are stretched
+/// deeper — but never beyond each item's staleness bound, so consumers keep
+/// a predictable freshness floor. Transitions are hysteretic (consecutive
+/// governor ticks, not instantaneous signals) and recovery steps down one
+/// state at a time.
+enum class PressureState {
+  kNormal = 0,
+  kPressured = 1,
+  kBrownout = 2,
+};
+
+/// Human-readable name of a pressure state.
+const char* PressureStateToString(PressureState s);
+
+/// \brief Tuning of the overload governor (see
+/// MetadataManager::EnableOverloadControl).
+struct OverloadControlOptions {
+  /// Cadence of the governor's pressure evaluation.
+  Duration governor_period = 100 * kMicrosPerMilli;
+  /// Period-stretch factor applied in kPressured.
+  double pressured_factor = 2.0;
+  /// Period-stretch factor applied in kBrownout.
+  double brownout_factor = 4.0;
+  /// Consecutive overloaded ticks in kNormal before entering kPressured.
+  int ticks_to_pressure = 2;
+  /// Consecutive overloaded ticks in kPressured before entering kBrownout.
+  int ticks_to_brownout = 4;
+  /// Consecutive calm ticks before stepping one state toward kNormal
+  /// (hysteresis: recovery is gradual, re-entry needs fresh evidence).
+  int ticks_to_recover = 3;
+  /// Staleness cap for items without an explicit WithMaxStaleness bound:
+  /// the stretched period never exceeds this multiple of the base period.
+  double default_staleness_factor = 8.0;
+};
+
+/// \brief Tuning of triggered-wave storm damping (see
+/// MetadataManager::EnableStormDamping).
+struct StormDampingOptions {
+  /// Steady-state budget of propagation waves per origin, per second
+  /// (token-bucket refill rate).
+  double max_waves_per_sec = 100.0;
+  /// Token-bucket capacity: short bursts up to this many back-to-back waves
+  /// pass undamped.
+  double burst = 4.0;
+  /// Events coalesced since the last executed wave at which the origin's
+  /// circuit breaker trips into batch-refresh mode.
+  uint64_t breaker_trip_coalesced = 64;
+  /// Batch-refresh cadence of a tripped origin. The breaker resets when a
+  /// whole batch interval passes without a single event.
+  Duration breaker_batch_interval = 100 * kMicrosPerMilli;
 };
 
 /// \brief Publish-subscribe metadata coordinator for one query graph.
@@ -160,6 +240,46 @@ class MetadataManager {
   /// mode exists for the ablation bench; production code should not use it.
   void set_propagation_mode(PropagationMode mode) { propagation_mode_ = mode; }
   PropagationMode propagation_mode() const { return propagation_mode_; }
+
+  /// \name Overload control (pressure governor)
+  ///
+  /// Arms a periodic governor that watches the scheduler's hysteretic
+  /// overload signal (or an injected probe) and drives the
+  /// kNormal -> kPressured -> kBrownout state machine: under sustained
+  /// pressure every periodic item's refresh cadence is stretched by the
+  /// state's factor, bounded per item by its WithMaxStaleness declaration
+  /// (or default_staleness_factor x period), and restored the same way when
+  /// pressure clears. Off by default.
+  ///@{
+  void EnableOverloadControl(const OverloadControlOptions& opts = {});
+  /// Cancels the governor and restores all cadences to their base periods.
+  void DisableOverloadControl();
+  /// Current state of the pressure machine (kNormal while control is off).
+  PressureState pressure_state() const {
+    return static_cast<PressureState>(
+        pressure_state_.load(std::memory_order_acquire));
+  }
+  /// \brief Test seam: replaces the governor's overload input with `probe`
+  /// (called once per governor tick; true = overloaded). Pass nullptr to
+  /// return to the scheduler signal. Deterministic tests under
+  /// VirtualTimeScheduler need this — virtual time has no natural lateness.
+  void SetPressureProbe(std::function<bool()> probe);
+  ///@}
+
+  /// \name Triggered-wave storm damping
+  ///
+  /// Arms per-origin event coalescing: waves from one origin are admitted
+  /// through a token bucket; events arriving without a token are coalesced
+  /// into one deferred flush wave (metadata is last-writer-wins, so dropping
+  /// the intermediate waves loses nothing consumers could still observe). An
+  /// origin storming hard enough to coalesce breaker_trip_coalesced events
+  /// trips a circuit breaker that converts it to fixed-cadence batch refresh
+  /// until a whole batch interval passes quietly. Off by default: undamped
+  /// propagation stays exactly as before.
+  ///@{
+  void EnableStormDamping(const StormDampingOptions& opts = {});
+  void DisableStormDamping();
+  ///@}
 
   /// Snapshot of activity counters.
   MetadataManagerStats stats() const;
@@ -247,6 +367,38 @@ class MetadataManager {
   /// faulting refresh cannot abort the wave.
   void RefreshContained(MetadataHandler& h, Timestamp now);
 
+  /// Runs the wave proper (post-admission): naive or planned refresh walk.
+  /// Caller holds at least a shared structure lock and `propagation_mu_`.
+  void RunWaveLocked(MetadataHandler& origin, Timestamp now)
+      PIPES_REQUIRES(propagation_mu_);
+
+  /// \brief Storm-damping admission for a wave originating at `origin`.
+  ///
+  /// True = a token was available (wave runs now). False = the event was
+  /// coalesced into `origin`'s pending flush (scheduled here if none is);
+  /// may trip the origin's circuit breaker.
+  bool AdmitWave(MetadataHandler& origin, Timestamp now)
+      PIPES_REQUIRES(propagation_mu_);
+
+  /// Schedules a coalesced-flush task for `origin` at `when`. A rejected
+  /// admission (scheduler queue bound) leaves flush_scheduled false so the
+  /// next event retries — the coalesced events are shed, not leaked.
+  void ScheduleStormFlush(MetadataHandler& origin, Timestamp when)
+      PIPES_REQUIRES(propagation_mu_);
+
+  /// Deferred flush of an origin's coalesced events: runs one wave for the
+  /// whole run, re-arms the batch cadence while the breaker is tripped, and
+  /// resets the breaker after a quiet interval.
+  void FlushStorm(const std::weak_ptr<MetadataHandler>& weak);
+
+  /// One governor tick: sample the pressure signal, advance the state
+  /// machine, apply/restore cadence factors on transitions.
+  void GovernorTick();
+
+  /// Applies `factor` to every live registered periodic handler (pruning
+  /// dead ones) and refreshes the stretched-items gauge.
+  void ApplyPressureFactorLocked(double factor) PIPES_REQUIRES(pressure_mu_);
+
   /// \brief Rebuilds `origin`'s cached wave plan against `epoch`.
   ///
   /// Derives the affected closure (BFS over dependents through
@@ -291,6 +443,35 @@ class MetadataManager {
   uint64_t wave_stamp_ PIPES_GUARDED_BY(propagation_mu_) = 0;
   ///@}
 
+  /// \name Overload-governor state
+  ///
+  /// `pressure_mu_` ranks between the propagation and handler-dependents
+  /// locks: it is taken under the exclusive structure lock (periodic-handler
+  /// registration in Instantiate) and held while stretching handler cadences
+  /// (handler period locks, scheduler locks).
+  ///@{
+  mutable Mutex pressure_mu_{"MetadataManager::pressure_mu",
+                             lockorder::kRankPressureControl};
+  OverloadControlOptions overload_options_ PIPES_GUARDED_BY(pressure_mu_);
+  bool overload_enabled_ PIPES_GUARDED_BY(pressure_mu_) = false;
+  std::function<bool()> pressure_probe_ PIPES_GUARDED_BY(pressure_mu_);
+  TaskHandle governor_task_ PIPES_GUARDED_BY(pressure_mu_);
+  int hot_ticks_ PIPES_GUARDED_BY(pressure_mu_) = 0;
+  int cool_ticks_ PIPES_GUARDED_BY(pressure_mu_) = 0;
+  double current_factor_ PIPES_GUARDED_BY(pressure_mu_) = 1.0;
+  /// Every included periodic handler, for cadence stretching. Weak: the
+  /// governor must never extend handler lifetime past exclusion.
+  std::vector<std::weak_ptr<MetadataHandler>> periodic_handlers_
+      PIPES_GUARDED_BY(pressure_mu_);
+  /// Atomic mirror of the machine state so pressure_state() is lock-free.
+  std::atomic<int> pressure_state_{0};
+  ///@}
+
+  /// Storm damping configuration (guarded, like all per-origin StormState,
+  /// by the propagation lock).
+  bool storm_damping_enabled_ PIPES_GUARDED_BY(propagation_mu_) = false;
+  StormDampingOptions storm_options_ PIPES_GUARDED_BY(propagation_mu_);
+
   std::atomic<uint64_t> stats_subscriptions_{0};
   std::atomic<uint64_t> stats_unsubscriptions_{0};
   std::atomic<uint64_t> stats_created_{0};
@@ -309,6 +490,16 @@ class MetadataManager {
   std::atomic<uint64_t> stats_recoveries_{0};
   std::atomic<uint64_t> stats_degraded_now_{0};
   std::atomic<uint64_t> stats_quarantined_now_{0};
+  std::atomic<uint64_t> stats_pressure_enters_{0};
+  std::atomic<uint64_t> stats_brownout_enters_{0};
+  std::atomic<uint64_t> stats_pressure_exits_{0};
+  std::atomic<uint64_t> stats_period_stretches_{0};
+  std::atomic<uint64_t> stats_period_restores_{0};
+  std::atomic<uint64_t> stats_stretched_now_{0};
+  std::atomic<uint64_t> stats_events_coalesced_{0};
+  std::atomic<uint64_t> stats_storm_flushes_{0};
+  std::atomic<uint64_t> stats_breaker_trips_{0};
+  std::atomic<uint64_t> stats_breakers_now_{0};
 };
 
 }  // namespace pipes

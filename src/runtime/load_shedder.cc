@@ -60,7 +60,26 @@ void LoadShedder::ControlStep() {
 
   bool over_cpu = load > options_.cpu_capacity;
   bool qos_violated = qos_ratio > 1.0;
-  if (over_cpu || qos_violated) {
+  // Metadata pressure as a third raise signal: brownout raises the drop
+  // probability, and any non-normal state suppresses relaxation — shedding
+  // must not unwind while the metadata layer is still degraded.
+  PressureState pressure = manager_.pressure_state();
+  bool pressure_raises = options_.pressure_step > 0.0 &&
+                         pressure == PressureState::kBrownout;
+  bool pressure_holds = options_.pressure_step > 0.0 &&
+                        pressure != PressureState::kNormal;
+
+  // Control-law ordering: relax runs first, only while every signal is
+  // healthy, and clamps at zero *before* any raise applies. A raise must
+  // start from the clamped value — otherwise a tick where one signal
+  // relaxes while another raises would subtract relax_step below zero and
+  // silently eat part (or all) of the raise.
+  bool any_raise = over_cpu || qos_violated || pressure_raises;
+  if (!any_raise && !pressure_holds) {
+    // Relax gradually while healthy.
+    current_drop_ = std::max(0.0, current_drop_ - options_.relax_step);
+  }
+  if (any_raise) {
     if (current_drop_ == 0.0) ++activations_;
     if (over_cpu) {
       // Shed the fraction of input needed to come back to capacity.
@@ -73,9 +92,10 @@ void LoadShedder::ControlStep() {
       current_drop_ =
           std::min(options_.max_drop, current_drop_ + options_.qos_step);
     }
-  } else {
-    // Relax gradually while healthy.
-    current_drop_ = std::max(0.0, current_drop_ - options_.relax_step);
+    if (pressure_raises) {
+      current_drop_ =
+          std::min(options_.max_drop, current_drop_ + options_.pressure_step);
+    }
   }
   for (RandomDropOperator* p : shed_points_) {
     p->set_drop_probability(current_drop_);

@@ -30,6 +30,10 @@ class LoadShedder {
     double max_drop = 0.95;
     /// Per-step increase of the drop probability during a QoS violation.
     double qos_step = 0.1;
+    /// Per-step increase while the metadata manager reports kBrownout; any
+    /// non-normal pressure state also suppresses relaxation. 0 disables the
+    /// pressure input entirely (default — CPU and QoS behave as before).
+    double pressure_step = 0.0;
   };
 
   LoadShedder(MetadataManager& manager, TaskScheduler& scheduler,

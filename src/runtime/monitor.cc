@@ -31,6 +31,19 @@ Status MetadataMonitor::WatchStaleness(MetadataProvider& provider,
                        SampleKind::kStaleness, ":staleness");
 }
 
+Status MetadataMonitor::WatchPressure(std::string series_name) {
+  if (series_name.empty()) series_name = "metadata:pressure";
+  MutexLock lock(mu_);
+  if (watched_.count(series_name) > 0) {
+    return Status::AlreadyExists("series already watched: " + series_name);
+  }
+  Watched w;
+  w.kind = SampleKind::kPressure;
+  series_[series_name];  // ensure the series exists
+  watched_.emplace(std::move(series_name), std::move(w));
+  return Status::OK();
+}
+
 Status MetadataMonitor::WatchInternal(MetadataProvider& provider,
                                       const MetadataKey& key,
                                       std::string series_name, SampleKind kind,
@@ -89,6 +102,11 @@ void MetadataMonitor::SampleOnce() {
         if (h != nullptr) {
           series_[name].Record(now, ToSeconds(h->staleness(now)));
         }
+        break;
+      }
+      case SampleKind::kPressure: {
+        series_[name].Record(
+            now, static_cast<double>(manager_.pressure_state()));
         break;
       }
     }

@@ -47,6 +47,12 @@ class MetadataMonitor {
   Status WatchStaleness(MetadataProvider& provider, const MetadataKey& key,
                         std::string series_name = "");
 
+  /// Records the manager's overload-governor state as a numeric series
+  /// (0 = normal, 1 = pressured, 2 = brownout; see PressureState). Needs no
+  /// provider or subscription — the manager itself is the source. Feeds the
+  /// LoadShedder's pressure input in the runtime wiring.
+  Status WatchPressure(std::string series_name = "metadata:pressure");
+
   /// Stops watching a series and drops its subscription (recorded samples
   /// are kept).
   Status Unwatch(const std::string& series_name);
@@ -76,8 +82,9 @@ class MetadataMonitor {
   void ExportCsv(std::ostream& out) const;
 
  private:
-  /// What a watched series samples from its subscription's handler.
-  enum class SampleKind { kValue, kHealth, kStaleness };
+  /// What a watched series samples from its subscription's handler (or,
+  /// for kPressure, from the manager directly — no subscription).
+  enum class SampleKind { kValue, kHealth, kStaleness, kPressure };
 
   struct Watched {
     MetadataSubscription subscription;

@@ -187,6 +187,90 @@ TEST(ThreadPoolSchedulerTest, ManyTasksAcrossWorkers) {
   EXPECT_EQ(s.stats().tasks_run, static_cast<uint64_t>(kTasks));
 }
 
+TEST(SchedulerOverloadTest, AdmissionControlBoundsOneShotQueue) {
+  VirtualTimeScheduler s;
+  SchedulerOverloadPolicy policy;
+  policy.max_pending = 3;
+  s.SetOverloadPolicy(policy);
+
+  int ran = 0;
+  TaskHandle a = s.ScheduleAt(100, [&] { ++ran; });
+  TaskHandle b = s.ScheduleAt(200, [&] { ++ran; });
+  TaskHandle c = s.ScheduleAt(300, [&] { ++ran; });
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_TRUE(c.valid());
+
+  // The queue is full: the fourth one-shot bounces instead of growing it.
+  TaskHandle d = s.ScheduleAt(400, [&] { ++ran; });
+  EXPECT_FALSE(d.valid());
+  EXPECT_EQ(s.stats().tasks_rejected, 1u);
+  EXPECT_EQ(s.stats().queue_depth, 3u);
+
+  // Periodic maintenance is never rejected — it is the backbone the
+  // degradation machinery slows down instead.
+  TaskHandle p = s.SchedulePeriodic(1000, [] {});
+  EXPECT_TRUE(p.valid());
+  p.Cancel();
+
+  // Draining the queue restores admission.
+  s.RunUntil(500);
+  EXPECT_EQ(ran, 3);
+  TaskHandle e = s.ScheduleAt(600, [&] { ++ran; });
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(s.stats().tasks_rejected, 1u);
+}
+
+TEST(SchedulerOverloadTest, UnboundedByDefault) {
+  VirtualTimeScheduler s;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(s.ScheduleAt(1000 + i, [] {}).valid());
+  }
+  EXPECT_EQ(s.stats().tasks_rejected, 0u);
+}
+
+TEST(SchedulerOverloadTest, DeadlineMissesDriveHystereticOverloadSignal) {
+  ThreadPoolScheduler s(1);
+  SchedulerOverloadPolicy policy;
+  // Generous slack so on-time tasks never misclassify on a slow machine;
+  // tasks scheduled far in the past miss deterministically.
+  policy.deadline_slack = Millis(250);
+  policy.ewma_alpha = 0.5;
+  s.SetOverloadPolicy(policy);
+
+  std::atomic<int> ran{0};
+  Timestamp past = s.clock().Now() - Seconds(2);
+  constexpr int kLate = 4;
+  for (int i = 0; i < kLate; ++i) {
+    s.ScheduleAt(past, [&] { ran.fetch_add(1); });
+  }
+  for (int i = 0; i < 2000 && ran.load() < kLate; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(ran.load(), kLate);
+
+  SchedulerStats st = s.stats();
+  EXPECT_EQ(st.deadline_misses, static_cast<uint64_t>(kLate));
+  EXPECT_GT(st.miss_rate_ewma, policy.enter_overload);
+  EXPECT_TRUE(st.overloaded);
+  EXPECT_TRUE(s.overloaded());
+
+  // A run of on-time executions decays the EWMA through the exit mark.
+  constexpr int kOnTime = 8;
+  for (int i = 0; i < kOnTime; ++i) {
+    std::atomic<bool> done{false};
+    s.ScheduleAfter(0, [&] { done.store(true); });
+    for (int j = 0; j < 2000 && !done.load(); ++j) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(done.load());
+  }
+  st = s.stats();
+  EXPECT_EQ(st.deadline_misses, static_cast<uint64_t>(kLate));
+  EXPECT_LT(st.miss_rate_ewma, policy.exit_overload + 1e-9);
+  EXPECT_FALSE(st.overloaded);
+}
+
 TEST(TaskHandleTest, DefaultHandleIsInert) {
   TaskHandle h;
   EXPECT_FALSE(h.valid());

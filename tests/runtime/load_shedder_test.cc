@@ -105,5 +105,72 @@ TEST(LoadShedderTest, NoSheddingUnderCapacity) {
   EXPECT_DOUBLE_EQ(p.ldrop->drop_probability(), 0.0);
 }
 
+// Drives the shedder off the metadata manager's pressure state alone:
+// brownout raises the drop probability, pressured holds it, and — the clamp
+// regression — a raise in the same tick a relax would have fired starts from
+// the clamped value instead of a partially-relaxed (or negative) one.
+TEST(LoadShedderPressureTest, PressureRaisesHoldsAndClampsBeforeRaising) {
+  VirtualTimeScheduler scheduler;
+  MetadataManager manager(scheduler);
+  auto overloaded = std::make_shared<bool>(true);
+  manager.SetPressureProbe([overloaded] { return *overloaded; });
+  OverloadControlOptions gov;
+  gov.governor_period = 100 * kMicrosPerMilli;
+  gov.ticks_to_pressure = 1;
+  gov.ticks_to_brownout = 1;
+  gov.ticks_to_recover = 1;
+  manager.EnableOverloadControl(gov);
+
+  LoadShedder::Options opts;
+  opts.cpu_capacity = 1e9;  // CPU and QoS signals stay healthy throughout.
+  opts.relax_step = 0.07;
+  opts.pressure_step = 0.1;
+  LoadShedder shedder(manager, scheduler, opts);
+
+  // Two governor ticks under a hot probe: normal -> pressured -> brownout.
+  scheduler.RunFor(200 * kMicrosPerMilli);
+  ASSERT_EQ(manager.pressure_state(), PressureState::kBrownout);
+  shedder.ControlStep();
+  EXPECT_DOUBLE_EQ(shedder.current_drop(), 0.1);
+  EXPECT_EQ(shedder.activation_count(), 1u);
+
+  // Calm probe: brownout -> pressured -> normal, then one relax step.
+  *overloaded = false;
+  scheduler.RunFor(200 * kMicrosPerMilli);
+  ASSERT_EQ(manager.pressure_state(), PressureState::kNormal);
+  shedder.ControlStep();
+  EXPECT_DOUBLE_EQ(shedder.current_drop(), 0.03);
+
+  // Back to brownout. The raise must start from 0.03 exactly: the broken
+  // relax-then-raise ordering would first subtract relax_step (0.03 - 0.07,
+  // clamped or not) and yield 0.10 or less instead of 0.13.
+  *overloaded = true;
+  scheduler.RunFor(200 * kMicrosPerMilli);
+  ASSERT_EQ(manager.pressure_state(), PressureState::kBrownout);
+  shedder.ControlStep();
+  EXPECT_DOUBLE_EQ(shedder.current_drop(), 0.13);
+  EXPECT_GE(shedder.current_drop(), 0.0);
+
+  // One calm tick leaves the machine in kPressured: no raise, but also no
+  // relax — shedding holds while the metadata layer is still degraded.
+  *overloaded = false;
+  scheduler.RunFor(100 * kMicrosPerMilli);
+  ASSERT_EQ(manager.pressure_state(), PressureState::kPressured);
+  shedder.ControlStep();
+  EXPECT_DOUBLE_EQ(shedder.current_drop(), 0.13);
+
+  // Full recovery: relax resumes and clamps at zero, never below.
+  scheduler.RunFor(100 * kMicrosPerMilli);
+  ASSERT_EQ(manager.pressure_state(), PressureState::kNormal);
+  shedder.ControlStep();
+  EXPECT_DOUBLE_EQ(shedder.current_drop(), 0.06);
+  shedder.ControlStep();
+  EXPECT_DOUBLE_EQ(shedder.current_drop(), 0.0);
+  shedder.ControlStep();
+  EXPECT_DOUBLE_EQ(shedder.current_drop(), 0.0);
+
+  manager.DisableOverloadControl();
+}
+
 }  // namespace
 }  // namespace pipes
