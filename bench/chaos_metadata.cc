@@ -25,19 +25,33 @@
 ///  c) storm damping: a 1 kHz triggered-event storm collapses into a bounded
 ///     wave stream (>= 10x reduction) via coalescing plus the batch-refresh
 ///     circuit breaker.
+///
+/// C3 — Chaos: durable metadata (journal, checkpoint, crash recovery).
+///
+/// For registries of 100 / 1 000 / 10 000 items, the harness journals every
+/// definition, subscription, and committed value under group commit,
+/// checkpoints, tears the whole process state down, and recovers a fresh
+/// manager from disk. Measured (real time): journal append throughput,
+/// checkpoint duration, on-disk footprint, and recovery time; verified:
+/// 100% of committed definitions, subscriptions, and values are restored.
+/// Results go to BENCH_durability.json.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/support.h"
 #include "common/fault_injection.h"
+#include "common/journal.h"
 #include "metadata/handler.h"
 #include "metadata/manager.h"
+#include "metadata/persistence.h"
 #include "metadata/provider.h"
 
 namespace pipes::bench {
@@ -488,11 +502,190 @@ void RunOverload() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// C3: durable metadata
+// ---------------------------------------------------------------------------
+
+struct DurabilityResult {
+  int items = 0;
+  uint64_t journal_records = 0;
+  uint64_t journal_bytes = 0;
+  uint64_t disk_bytes = 0;  ///< all journal + snapshot files after checkpoint
+  double commit_ms = 0;     ///< define + subscribe + commit + flush, real time
+  double records_per_sec = 0;
+  double checkpoint_ms = 0;
+  double recovery_ms = 0;
+  uint64_t definitions_restored = 0;
+  uint64_t subscriptions_restored = 0;
+  uint64_t values_restored = 0;
+  bool complete = false;  ///< 100% of committed state restored
+};
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+DurabilityResult RunDurability(int items) {
+  DurabilityResult r;
+  r.items = items;
+  char tmpl[] = "/tmp/pipes_bench_durability_XXXXXX";
+  char* dirp = ::mkdtemp(tmpl);
+  if (dirp == nullptr) return r;
+  std::string dir = dirp;
+
+  {
+    VirtualTimeScheduler scheduler;
+    MetadataManager manager(scheduler);
+    ChaosProvider p("node");
+
+    DurabilityConfig cfg;
+    cfg.dir = dir;
+    cfg.fsync_policy = FsyncPolicy::kInterval;  // group commit
+    cfg.checkpoint_period = 0;                  // manual below
+    if (!manager.EnableDurability(cfg, {&p}).ok()) return r;
+
+    auto commit_start = std::chrono::steady_clock::now();
+    std::vector<MetadataSubscription> subs;
+    subs.reserve(items);
+    for (int i = 0; i < items; ++i) {
+      double value = double(i) + 0.5;
+      (void)p.metadata_registry().Define(
+          MetadataDescriptor::OnDemand("item" + std::to_string(i))
+              .WithEvaluator([value](EvalContext&) -> MetadataValue {
+                return value;
+              }));
+      auto sub = manager.Subscribe(p, "item" + std::to_string(i));
+      if (!sub.ok()) return r;
+      (void)sub.value().GetDouble();  // evaluate + commit the value
+      subs.push_back(std::move(sub.value()));
+    }
+    (void)manager.durability()->FlushJournal(true);
+    r.commit_ms = ElapsedMs(commit_start);
+
+    auto ckpt_start = std::chrono::steady_clock::now();
+    if (!manager.durability()->CheckpointNow().ok()) return r;
+    r.checkpoint_ms = ElapsedMs(ckpt_start);
+
+    auto stats = manager.stats();
+    r.journal_records = stats.journal_records;
+    r.journal_bytes = stats.journal_bytes;
+    r.records_per_sec =
+        r.commit_ms > 0 ? double(stats.journal_records) / (r.commit_ms / 1e3)
+                        : 0;
+    manager.DisableDurability();  // planned shutdown: keep the state
+  }
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    r.disk_bytes += std::filesystem::file_size(e.path());
+  }
+
+  // "Second process": recover everything into a fresh manager.
+  {
+    VirtualTimeScheduler scheduler;
+    MetadataManager manager(scheduler);
+    ChaosProvider p("node");
+    auto recover_start = std::chrono::steady_clock::now();
+    auto rep = manager.RecoverFrom(dir, {&p});
+    r.recovery_ms = ElapsedMs(recover_start);
+    if (rep.ok()) {
+      r.definitions_restored = rep.value().definitions_restored;
+      r.subscriptions_restored = rep.value().subscriptions_restored;
+      r.values_restored = rep.value().values_restored;
+      r.complete = r.definitions_restored == uint64_t(items) &&
+                   r.subscriptions_restored == uint64_t(items) &&
+                   r.values_restored == uint64_t(items);
+      // Spot-check served values through the recovered shells.
+      for (int i = 0; i < items && r.complete; i += std::max(1, items / 16)) {
+        auto sub = manager.Subscribe(p, "item" + std::to_string(i));
+        r.complete = sub.ok() &&
+                     sub.value().GetDouble() == double(i) + 0.5;
+      }
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return r;
+}
+
+void RunDurabilityPhase() {
+  Banner("C3", "chaos_metadata: durable metadata (journal/checkpoint/recovery)",
+         "after a full teardown, recovery restores 100% of committed "
+         "definitions, subscriptions, and values; recovery time stays "
+         "sub-second for a 10k-item registry");
+
+  std::string json = "{\n  \"bench\": \"chaos_metadata durability (C3)\",\n";
+  json += "  \"runs\": [\n";
+  TablePrinter table({"items", "journal records", "journal MB", "disk MB",
+                      "commit [ms]", "records/s", "checkpoint [ms]",
+                      "recovery [ms]", "restored", "complete"});
+  bool all_complete = true;
+  double recovery_10k_ms = -1;
+  bool first = true;
+  for (int items : {100, 1000, 10000}) {
+    DurabilityResult r = RunDurability(items);
+    all_complete = all_complete && r.complete;
+    if (items == 10000) recovery_10k_ms = r.recovery_ms;
+    table.AddRow(
+        {TablePrinter::Fmt(uint64_t(r.items)),
+         TablePrinter::Fmt(r.journal_records),
+         TablePrinter::Fmt(double(r.journal_bytes) / 1e6, 2),
+         TablePrinter::Fmt(double(r.disk_bytes) / 1e6, 2),
+         TablePrinter::Fmt(r.commit_ms, 1),
+         TablePrinter::Fmt(r.records_per_sec, 0),
+         TablePrinter::Fmt(r.checkpoint_ms, 1),
+         TablePrinter::Fmt(r.recovery_ms, 1),
+         TablePrinter::Fmt(r.definitions_restored) + "/" +
+             TablePrinter::Fmt(r.subscriptions_restored) + "/" +
+             TablePrinter::Fmt(r.values_restored),
+         r.complete ? "yes" : "NO"});
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"items\": %d, \"journal_records\": %llu, "
+        "\"journal_bytes\": %llu, \"disk_bytes\": %llu, "
+        "\"commit_ms\": %.2f, \"records_per_sec\": %.0f, "
+        "\"checkpoint_ms\": %.2f, \"recovery_ms\": %.2f, "
+        "\"definitions_restored\": %llu, \"subscriptions_restored\": %llu, "
+        "\"values_restored\": %llu, \"complete\": %s}",
+        first ? "" : ",\n", r.items, (unsigned long long)r.journal_records,
+        (unsigned long long)r.journal_bytes, (unsigned long long)r.disk_bytes,
+        r.commit_ms, r.records_per_sec, r.checkpoint_ms, r.recovery_ms,
+        (unsigned long long)r.definitions_restored,
+        (unsigned long long)r.subscriptions_restored,
+        (unsigned long long)r.values_restored, r.complete ? "true" : "false");
+    json += buf;
+    first = false;
+  }
+  json += "\n  ],\n";
+  std::printf("%s\n", table.ToString().c_str());
+
+  bool ok = all_complete && recovery_10k_ms >= 0;
+  char vbuf[192];
+  std::snprintf(vbuf, sizeof(vbuf),
+                "  \"recovery_10k_ms\": %.2f,\n  \"all_complete\": %s\n}\n",
+                recovery_10k_ms, all_complete ? "true" : "false");
+  json += vbuf;
+  std::printf("verdict: %s\n",
+              ok ? "PASS (100% of committed state recovered at every size)"
+                 : "FAIL (recovery incomplete)");
+
+  if (std::FILE* f = std::fopen("BENCH_durability.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_durability.json\n\n");
+  } else {
+    std::printf("could not write BENCH_durability.json\n\n");
+  }
+}
+
 }  // namespace
 }  // namespace pipes::bench
 
 int main() {
   pipes::bench::Run();
   pipes::bench::RunOverload();
+  pipes::bench::RunDurabilityPhase();
   return 0;
 }

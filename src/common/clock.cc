@@ -22,6 +22,10 @@ void VirtualClock::Set(Timestamp t) {
 SystemClock::SystemClock() {
   auto now = std::chrono::steady_clock::now().time_since_epoch();
   epoch_ = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  timespec wall{};
+  clock_gettime(CLOCK_REALTIME, &wall);
+  wall_anchor_ = static_cast<int64_t>(wall.tv_sec) * kMicrosPerSecond +
+                 wall.tv_nsec / 1000;
 }
 
 Timestamp SystemClock::Now() const {

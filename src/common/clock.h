@@ -23,6 +23,23 @@ class Clock {
 
   /// Returns the current time in microseconds.
   virtual Timestamp Now() const = 0;
+
+  /// Wall-clock (CLOCK_REALTIME) microseconds corresponding to this clock's
+  /// timestamp 0. Steady/virtual timestamps are meaningless across process
+  /// restarts; the anchor lets durable state persist value timestamps in
+  /// wall time and map them back after recovery. Default 0 (no anchor):
+  /// timestamps round-trip unchanged.
+  virtual int64_t wall_anchor_micros() const { return 0; }
+
+  /// Maps a timestamp of this clock to wall-clock microseconds.
+  int64_t ToWallMicros(Timestamp t) const { return wall_anchor_micros() + t; }
+
+  /// Maps wall-clock microseconds back to this clock's timeline. The result
+  /// may be negative when `wall` predates this process (a value recovered
+  /// from a previous run), which correctly reads as "old" to staleness math.
+  Timestamp FromWallMicros(int64_t wall) const {
+    return wall - wall_anchor_micros();
+  }
 };
 
 /// \brief A manually-advanced clock for deterministic execution.
@@ -41,8 +58,19 @@ class VirtualClock final : public Clock {
   /// Sets the clock to `t`. `t` must not be earlier than the current time.
   void Set(Timestamp t);
 
+  int64_t wall_anchor_micros() const override {
+    return wall_anchor_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the wall-clock instant of virtual time 0 (tests simulate process
+  /// restarts by giving the "second process" a later anchor).
+  void set_wall_anchor(int64_t wall_micros) {
+    wall_anchor_.store(wall_micros, std::memory_order_release);
+  }
+
  private:
   std::atomic<Timestamp> now_;
+  std::atomic<int64_t> wall_anchor_{0};
 };
 
 /// \brief Wall-clock time based on std::chrono::steady_clock.
@@ -54,8 +82,12 @@ class SystemClock final : public Clock {
   SystemClock();
   Timestamp Now() const override;
 
+  /// CLOCK_REALTIME at construction (= steady timestamp 0).
+  int64_t wall_anchor_micros() const override { return wall_anchor_; }
+
  private:
   Timestamp epoch_;
+  int64_t wall_anchor_;
 };
 
 /// \brief Measures CPU time consumed by the calling thread.

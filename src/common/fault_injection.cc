@@ -1,7 +1,14 @@
 #include "common/fault_injection.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <thread>
 
 namespace pipes {
@@ -86,6 +93,108 @@ void FaultInjector::SleepNow(const std::string& scope) {
 FaultInjectorStats FaultInjector::stats() const {
   MutexLock lock(mu_);
   return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Kill points
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Guarded by kill_mu; `kill_armed` is additionally an atomic fast-path flag
+// so unarmed KillPoint() calls never take the lock.
+std::mutex kill_mu;
+std::atomic<bool> kill_armed{false};
+std::string kill_site;              // armed site name
+std::atomic<uint64_t> kill_hits_remaining{0};
+std::once_flag kill_env_once;
+
+void LoadKillPointFromEnv() {
+  const char* env = std::getenv("PIPES_KILL_POINT");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string spec(env);
+  uint64_t hits = 1;
+  if (size_t colon = spec.rfind(':'); colon != std::string::npos) {
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(spec.c_str() + colon + 1, &end, 10);
+    if (end != nullptr && *end == '\0' && n > 0) {
+      hits = n;
+      spec.resize(colon);
+    }
+  }
+  ArmKillPoint(spec, hits);
+}
+
+}  // namespace
+
+void KillPoint(const char* site) {
+  std::call_once(kill_env_once, LoadKillPointFromEnv);
+  if (!kill_armed.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(kill_mu);
+    if (!kill_armed.load(std::memory_order_relaxed)) return;
+    if (kill_site != site) return;
+    if (kill_hits_remaining.fetch_sub(1, std::memory_order_relaxed) > 1) {
+      return;
+    }
+  }
+  // Crash "now": no destructors, no stream flushes — the file state left
+  // behind is exactly what a real crash at this instant would leave.
+  std::fprintf(stderr, "[kill-point] firing at '%s'\n", site);
+  ::_exit(kKillPointExitCode);
+}
+
+void ArmKillPoint(const std::string& site, uint64_t hits) {
+  std::lock_guard<std::mutex> lock(kill_mu);
+  kill_site = site;
+  kill_hits_remaining.store(hits == 0 ? 1 : hits, std::memory_order_relaxed);
+  kill_armed.store(true, std::memory_order_release);
+}
+
+void DisarmKillPoints() {
+  std::lock_guard<std::mutex> lock(kill_mu);
+  kill_armed.store(false, std::memory_order_release);
+  kill_site.clear();
+  kill_hits_remaining.store(0, std::memory_order_relaxed);
+}
+
+std::string ArmedKillPoint() {
+  std::lock_guard<std::mutex> lock(kill_mu);
+  return kill_armed.load(std::memory_order_relaxed) ? kill_site
+                                                    : std::string();
+}
+
+// ---------------------------------------------------------------------------
+// File-fault injectors
+// ---------------------------------------------------------------------------
+
+bool TruncateFileTail(const std::string& path, uint64_t bytes) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return false;
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return false;
+  }
+  off_t target = bytes >= static_cast<uint64_t>(size)
+                     ? 0
+                     : size - static_cast<off_t>(bytes);
+  bool ok = ::ftruncate(fd, target) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool FlipFileBit(const std::string& path, uint64_t offset, int bit) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return false;
+  unsigned char byte = 0;
+  bool ok = ::pread(fd, &byte, 1, static_cast<off_t>(offset)) == 1;
+  if (ok) {
+    byte = static_cast<unsigned char>(byte ^ (1u << (bit & 7)));
+    ok = ::pwrite(fd, &byte, 1, static_cast<off_t>(offset)) == 1;
+  }
+  ::close(fd);
+  return ok;
 }
 
 }  // namespace pipes

@@ -149,4 +149,45 @@ class FaultInjector {
   FaultInjectorStats stats_ PIPES_GUARDED_BY(mu_);
 };
 
+// ---------------------------------------------------------------------------
+// Kill points (crash-recovery harness)
+// ---------------------------------------------------------------------------
+
+/// Exit code of a process terminated by a fired kill point. Distinct from
+/// test-framework failure codes so a crash-matrix parent can tell "child
+/// crashed on schedule" from "child failed".
+inline constexpr int kKillPointExitCode = 86;
+
+/// Named crash sites for the recovery harness. Durability code calls
+/// `KillPoint("journal.flush.before_fsync")` at each crash-consistency
+/// window; a harness (same process, before forking a child) arms one with
+/// ArmKillPoint, or an external driver sets PIPES_KILL_POINT="name[:N]" in
+/// the child's environment. When the armed site's Nth hit arrives the
+/// process `_exit`s immediately with kKillPointExitCode — no destructors, no
+/// buffer flushes — simulating a crash at exactly that instant. Unarmed
+/// sites cost one relaxed atomic load.
+void KillPoint(const char* site);
+
+/// Arms `site` to kill the process on its `hits`-th invocation (1 = next).
+void ArmKillPoint(const std::string& site, uint64_t hits = 1);
+
+/// Disarms any armed kill point.
+void DisarmKillPoints();
+
+/// The armed site name, or empty when none (for diagnostics).
+std::string ArmedKillPoint();
+
+// ---------------------------------------------------------------------------
+// File-fault injectors (storage damage simulation)
+// ---------------------------------------------------------------------------
+
+/// Truncates the last `bytes` bytes off `path` (simulates a torn tail from a
+/// crash mid-write). Clamps to the file size. Returns false on IO error.
+bool TruncateFileTail(const std::string& path, uint64_t bytes);
+
+/// Flips one bit at byte `offset` (bit 0-7 `bit`) in `path` — simulates
+/// at-rest corruption a CRC must catch. Returns false when the offset is
+/// out of range or on IO error.
+bool FlipFileBit(const std::string& path, uint64_t offset, int bit = 0);
+
 }  // namespace pipes

@@ -1,0 +1,384 @@
+#include "common/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace pipes {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " '" + path + "': " + std::strerror(errno));
+}
+
+/// write() the whole buffer, retrying short writes and EINTR.
+Status WriteAll(int fd, const char* data, size_t size, const std::string& path) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  // Standard table-driven CRC-32 (poly 0xEDB88320), table built on first use.
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// RecordEncoder / RecordDecoder
+// ---------------------------------------------------------------------------
+
+void RecordEncoder::PutU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buf_.append(b, 4);
+}
+
+void RecordEncoder::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buf_.append(b, 8);
+}
+
+void RecordEncoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void RecordEncoder::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+bool RecordDecoder::Take(size_t count, const char** out) {
+  if (!ok_ || n_ < count) {
+    ok_ = false;
+    return false;
+  }
+  *out = p_;
+  p_ += count;
+  n_ -= count;
+  return true;
+}
+
+bool RecordDecoder::GetU8(uint8_t* out) {
+  const char* p;
+  if (!Take(1, &p)) return false;
+  *out = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool RecordDecoder::GetBool(bool* out) {
+  uint8_t v;
+  if (!GetU8(&v)) return false;
+  *out = v != 0;
+  return true;
+}
+
+bool RecordDecoder::GetU32(uint32_t* out) {
+  const char* p;
+  if (!Take(4, &p)) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *out = v;
+  return true;
+}
+
+bool RecordDecoder::GetU64(uint64_t* out) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *out = v;
+  return true;
+}
+
+bool RecordDecoder::GetI64(int64_t* out) {
+  uint64_t v;
+  if (!GetU64(&v)) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool RecordDecoder::GetDouble(double* out) {
+  uint64_t bits;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool RecordDecoder::GetString(std::string* out) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  const char* p;
+  if (len > kMaxRecordPayload || !Take(len, &p)) {
+    ok_ = false;
+    return false;
+  }
+  out->assign(p, len);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// File container
+// ---------------------------------------------------------------------------
+
+const char* FsyncPolicyToString(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kEveryRecord:
+      return "every-record";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+void AppendFileHeader(std::string* out, uint32_t magic, uint64_t generation) {
+  RecordEncoder enc;
+  enc.PutU32(magic);
+  enc.PutU32(kJournalFormatVersion);
+  enc.PutU64(generation);
+  out->append(enc.buffer());
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  RecordEncoder enc;
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload.data(), payload.size()));
+  out->append(enc.buffer());
+  out->append(payload.data(), payload.size());
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Create(
+    std::string path, uint32_t magic, uint64_t generation) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string header;
+  AppendFileHeader(&header, magic, generation);
+  Status st = WriteAll(fd, header.data(), header.size(), path);
+  if (st.ok() && ::fsync(fd) != 0) st = ErrnoStatus("fsync", path);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  auto writer = std::unique_ptr<JournalWriter>(
+      new JournalWriter(fd, std::move(path)));
+  writer->stats_.fsyncs += 1;
+  return writer;
+}
+
+JournalWriter::~JournalWriter() { Close(/*sync=*/false); }
+
+Status JournalWriter::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal closed: " + path_);
+  if (payload.size() > kMaxRecordPayload) {
+    return Status::InvalidArgument("journal record too large");
+  }
+  size_t before = buffer_.size();
+  AppendFrame(&buffer_, payload);
+  stats_.records_appended += 1;
+  stats_.bytes_appended += buffer_.size() - before;
+  return Status::OK();
+}
+
+Status JournalWriter::Flush(bool sync) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal closed: " + path_);
+  if (!buffer_.empty()) {
+    KillPoint("journal.flush.before_write");
+    Status st = WriteAll(fd_, buffer_.data(), buffer_.size(), path_);
+    if (!st.ok()) return st;
+    buffer_.clear();
+    stats_.flushes += 1;
+  }
+  if (sync) {
+    KillPoint("journal.flush.before_fsync");
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    stats_.fsyncs += 1;
+    KillPoint("journal.flush.after_fsync");
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Close(bool sync) {
+  if (fd_ < 0) return Status::OK();
+  Status st = Flush(sync);
+  ::close(fd_);
+  fd_ = -1;
+  return st;
+}
+
+Result<JournalScan> ScanJournalFile(const std::string& path,
+                                    uint32_t expected_magic) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("open", path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  JournalScan scan;
+  scan.file_bytes = data.size();
+  RecordDecoder header(std::string_view(data).substr(
+      0, std::min(data.size(), kFileHeaderSize)));
+  if (!header.GetU32(&scan.magic) || !header.GetU32(&scan.version) ||
+      !header.GetU64(&scan.generation)) {
+    return scan;  // too short for a header: nothing recoverable
+  }
+  if (scan.magic != expected_magic || scan.version != kJournalFormatVersion) {
+    return scan;
+  }
+  scan.header_ok = true;
+  scan.valid_bytes = kFileHeaderSize;
+
+  size_t off = kFileHeaderSize;
+  while (off < data.size()) {
+    if (data.size() - off < kFrameHeaderSize) {
+      scan.torn_tail = true;
+      break;
+    }
+    RecordDecoder frame(std::string_view(data).substr(off, kFrameHeaderSize));
+    uint32_t len = 0, crc = 0;
+    frame.GetU32(&len);
+    frame.GetU32(&crc);
+    if (len > kMaxRecordPayload || len > data.size() - off - kFrameHeaderSize) {
+      // Either a partially-written frame or a mangled length field; framing
+      // cannot be re-synchronized past this point, so treat it as the tail.
+      scan.torn_tail = true;
+      break;
+    }
+    std::string_view payload =
+        std::string_view(data).substr(off + kFrameHeaderSize, len);
+    size_t frame_end = off + kFrameHeaderSize + len;
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      if (frame_end == data.size()) {
+        // A CRC-failed *final* frame is indistinguishable from a torn
+        // payload write: truncate rather than serve a maybe-half record.
+        scan.torn_tail = true;
+        break;
+      }
+      scan.corrupt_records += 1;  // framing intact: skip, keep going
+    } else {
+      ScannedRecord rec;
+      rec.offset = off;
+      rec.payload.assign(payload.data(), payload.size());
+      scan.records.push_back(std::move(rec));
+    }
+    off = frame_end;
+    scan.valid_bytes = off;
+  }
+  return scan;
+}
+
+Status WriteFileDurably(const std::string& path, std::string_view content) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  Status st = WriteAll(fd, content.data(), content.size(), tmp);
+  KillPoint("snapshot.before_fsync");
+  if (st.ok() && ::fsync(fd) != 0) st = ErrnoStatus("fsync", tmp);
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  KillPoint("snapshot.before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status rs = ErrnoStatus("rename", path);
+    ::unlink(tmp.c_str());
+    return rs;
+  }
+  KillPoint("snapshot.after_rename");
+  std::string dir = ".";
+  if (size_t slash = path.find_last_of('/'); slash != std::string::npos) {
+    dir = path.substr(0, slash);
+    if (dir.empty()) dir = "/";
+  }
+  return SyncDir(dir);
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  Status st;
+  if (::fsync(fd) != 0) st = ErrnoStatus("fsync dir", dir);
+  ::close(fd);
+  return st;
+}
+
+Status MakeDirs(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t slash = dir.find('/', pos);
+    if (slash == std::string::npos) slash = dir.size();
+    partial = dir.substr(0, slash);
+    pos = slash + 1;
+    if (partial.empty()) continue;  // leading '/'
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", partial);
+    }
+  }
+  return Status::OK();
+}
+
+Status TruncateFileTo(const std::string& path, uint64_t new_size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(new_size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pipes

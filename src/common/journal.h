@@ -1,0 +1,217 @@
+/// \file journal.h
+/// \brief Binary record codec and append-only journal files for the metadata
+/// durability subsystem (see metadata/persistence.h).
+///
+/// File container format, shared by write-ahead journals and checkpoint
+/// snapshots:
+///
+///     [magic u32][version u32][generation u64]        16-byte file header
+///     frame*                                          zero or more frames
+///
+/// where each frame is a length-prefixed, CRC32-checksummed record:
+///
+///     [payload_len u32][crc32(payload) u32][payload payload_len bytes]
+///
+/// All integers are little-endian. The payload bytes are opaque here; the
+/// metadata layer encodes typed records into them with RecordEncoder (see
+/// metadata/persistence.h for the record schema).
+///
+/// The scanner classifies damage the way a recovery pass needs it:
+///  - a partial trailing frame (incomplete crash-time write) is a *torn
+///    tail* — recovery truncates it rather than serving half a record;
+///  - a CRC-mismatched frame in the middle of the file (bit rot) is a
+///    *corrupt record* — skipped and counted, the frames after it are kept;
+///  - a CRC-mismatched final frame is ambiguous (a torn payload looks the
+///    same) and is treated as a torn tail.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pipes {
+
+/// CRC-32 (polynomial 0xEDB88320, the zlib/ethernet one). `seed` chains
+/// incremental computations; pass the previous return value.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+// ---------------------------------------------------------------------------
+// Binary record codec (little-endian, fixed-width)
+// ---------------------------------------------------------------------------
+
+/// \brief Appends primitive fields to a byte buffer. Not thread safe.
+class RecordEncoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix (for splicing pre-encoded fragments).
+  void PutBytes(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  void Clear() { buf_.clear(); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Reads primitive fields back out of a record payload. Underflow or
+/// malformed fields latch `ok() == false`; every getter then returns false.
+class RecordDecoder {
+ public:
+  explicit RecordDecoder(std::string_view data)
+      : p_(data.data()), n_(data.size()) {}
+
+  bool GetU8(uint8_t* out);
+  bool GetBool(bool* out);
+  bool GetU32(uint32_t* out);
+  bool GetU64(uint64_t* out);
+  bool GetI64(int64_t* out);
+  bool GetDouble(double* out);
+  bool GetString(std::string* out);
+
+  /// True while no read has underflowed.
+  bool ok() const { return ok_; }
+  size_t remaining() const { return n_; }
+
+ private:
+  bool Take(size_t count, const char** out);
+
+  const char* p_;
+  size_t n_;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// File container
+// ---------------------------------------------------------------------------
+
+/// File-type magics ("PJL1" / "PSN1" as little-endian u32).
+inline constexpr uint32_t kJournalMagic = 0x314C4A50u;
+inline constexpr uint32_t kSnapshotMagic = 0x314E5350u;
+inline constexpr uint32_t kJournalFormatVersion = 1;
+inline constexpr size_t kFileHeaderSize = 16;
+inline constexpr size_t kFrameHeaderSize = 8;
+/// Framing sanity bound; a length field above this is unrecoverable damage.
+inline constexpr uint32_t kMaxRecordPayload = 64u << 20;
+
+/// When the journal writer pushes buffered records to disk (group commit).
+enum class FsyncPolicy {
+  kEveryRecord,  ///< write + fsync on every Append (maximum durability)
+  kInterval,     ///< buffered; a periodic flush task writes + fsyncs
+  kNone,         ///< write-through on Append, never fsync (OS decides)
+};
+
+const char* FsyncPolicyToString(FsyncPolicy p);
+
+/// Appends the 16-byte file header.
+void AppendFileHeader(std::string* out, uint32_t magic, uint64_t generation);
+
+/// Appends one length-prefixed CRC-framed record.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// \brief Counters of a JournalWriter's activity.
+struct JournalWriterStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;  ///< frame bytes (headers included)
+  uint64_t flushes = 0;         ///< write() pushes of the commit buffer
+  uint64_t fsyncs = 0;
+};
+
+/// \brief Append-only writer for one journal generation file.
+///
+/// Append() stages frames in a group-commit buffer; Flush() pushes the
+/// buffer to the file descriptor and optionally fsyncs. Not internally
+/// synchronized — the durability layer serializes access under its journal
+/// mutex. Named kill points (`journal.flush.*`, see fault_injection.h) mark
+/// the crash windows the recovery harness exercises.
+class JournalWriter {
+ public:
+  /// Creates (or truncates) `path`, writes the file header, and fsyncs it.
+  static Result<std::unique_ptr<JournalWriter>> Create(std::string path,
+                                                       uint32_t magic,
+                                                       uint64_t generation);
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Stages one record in the commit buffer.
+  Status Append(std::string_view payload);
+
+  /// Writes the commit buffer to the file; fsyncs when `sync`.
+  Status Flush(bool sync);
+
+  /// Flushes (with `sync`) and closes the descriptor. Idempotent.
+  Status Close(bool sync);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+  const std::string& path() const { return path_; }
+  const JournalWriterStats& stats() const { return stats_; }
+
+ private:
+  JournalWriter(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;
+  JournalWriterStats stats_;
+};
+
+/// One CRC-valid record recovered by a scan.
+struct ScannedRecord {
+  uint64_t offset = 0;  ///< frame start offset in the file
+  std::string payload;
+};
+
+/// \brief Result of scanning one container file (journal or snapshot).
+struct JournalScan {
+  bool header_ok = false;  ///< magic + version matched, header complete
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t generation = 0;
+  std::vector<ScannedRecord> records;  ///< CRC-valid records, file order
+  uint64_t corrupt_records = 0;  ///< framed but CRC-mismatched, skipped
+  bool torn_tail = false;        ///< trailing partial frame detected
+  uint64_t valid_bytes = 0;  ///< prefix length ending at the last whole frame
+  uint64_t file_bytes = 0;
+};
+
+/// Scans `path`, validating framing and checksums. `expected_magic` guards
+/// against feeding a snapshot to a journal replay (mismatch => header_ok
+/// false, no records). NotFound / IO errors surface as a non-OK status.
+Result<JournalScan> ScanJournalFile(const std::string& path,
+                                    uint32_t expected_magic);
+
+// ---------------------------------------------------------------------------
+// Durable file helpers
+// ---------------------------------------------------------------------------
+
+/// Writes `content` to `path` atomically: temp file in the same directory,
+/// fsync, rename over `path`, fsync the directory. Readers see either the
+/// old file or the complete new one, never a partial write.
+Status WriteFileDurably(const std::string& path, std::string_view content);
+
+/// fsyncs a directory (making renames/unlinks in it durable).
+Status SyncDir(const std::string& dir);
+
+/// mkdir -p: creates `dir` and any missing parents.
+Status MakeDirs(const std::string& dir);
+
+/// Truncates `path` to `new_size` bytes (torn-tail removal on replay).
+Status TruncateFileTo(const std::string& path, uint64_t new_size);
+
+}  // namespace pipes

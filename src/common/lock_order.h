@@ -60,7 +60,18 @@ namespace lockorder {
 /// paths that pin each constraint.
 inline constexpr int kRankQueryGraph = 100;        ///< QueryGraph::graph_mu
 inline constexpr int kRankMonitor = 150;           ///< MetadataMonitor::mu
+/// MetadataManager::durability_admin_mu — serializes Enable/DisableDurability
+/// and RecoverFrom; held while the durability layer starts (structure reads,
+/// scheduler registration), so it sits above everything metadata.
+inline constexpr int kRankDurabilityAdmin = 170;
+/// MetadataDurability::ckpt_mu — serializes checkpoints; held across the
+/// consistent-image gather (shared structure lock, provider registries).
+inline constexpr int kRankDurabilityCheckpoint = 180;
 inline constexpr int kRankMetadataStructure = 200; ///< MetadataManager::structure_mu
+/// MetadataDurability::providers_mu — the label→provider map journal hooks
+/// consult. Taken under the exclusive structure lock (hooks fired from
+/// Subscribe/Retire) and while reading provider registries (checkpoint).
+inline constexpr int kRankDurabilityProviders = 250;
 inline constexpr int kRankOperatorState = 300;     ///< MetadataProvider::state_mu
 inline constexpr int kRankPropagation = 350;       ///< MetadataManager::propagation_mu
 /// MetadataManager::pressure_mu — the overload-control (brownout) governor
@@ -79,6 +90,10 @@ inline constexpr int kRankHandlerHealth = 540;     ///< MetadataHandler::health_
 /// value slot: readers (`Get()`/`LoadValue()`) never take it, writers hold
 /// it briefly around PublishSlot.
 inline constexpr int kRankHandlerValue = 560;
+/// MetadataDurability::journal_mu — LSN assignment + group-commit buffer.
+/// Innermost of the metadata locks: value commits journal under value_mu,
+/// structure mutations journal under the exclusive structure lock.
+inline constexpr int kRankDurabilityJournal = 580;
 inline constexpr int kRankModules = 650;           ///< MetadataProvider::modules_mu
 inline constexpr int kRankScheduler = 700;         ///< scheduler queue locks
 /// TaskScheduler::overload_mu_ — admission/deadline accounting; taken while

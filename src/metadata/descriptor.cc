@@ -127,4 +127,9 @@ MetadataDescriptor&& MetadataDescriptor::WithMaxStaleness(Duration bound) && {
   return std::move(*this);
 }
 
+MetadataDescriptor&& MetadataDescriptor::AsRecoveredShell() && {
+  recovered_shell_ = true;
+  return std::move(*this);
+}
+
 }  // namespace pipes

@@ -245,6 +245,12 @@ class MetadataDescriptor {
   /// down before the item was ever computed).
   MetadataDescriptor&& WithFallbackValue(MetadataValue value) &&;
 
+  /// Marks this descriptor as a *recovered shell*: a definition rebuilt by
+  /// crash recovery (persistence.h) whose evaluator could not be persisted.
+  /// Shells serve the recovered last-known-good value through the fault
+  /// containment path until the application re-defines the item.
+  MetadataDescriptor&& AsRecoveredShell() &&;
+
   /// \brief Staleness bound for overload degradation (periodic items).
   ///
   /// Under sustained scheduler overload the MetadataManager's pressure
@@ -263,6 +269,17 @@ class MetadataDescriptor {
   const Evaluator& evaluator() const { return evaluator_; }
   const DependencyResolver& dependency_resolver() const { return resolver_; }
   bool has_dependencies() const { return static_cast<bool>(resolver_); }
+  /// The declared static dependency specs (empty when a dynamic resolver
+  /// replaced them). Persisted by the durability layer.
+  const std::vector<DependencySpec>& dependency_specs() const {
+    return static_specs_;
+  }
+  /// True when dependencies come from a dynamic resolver (paper §4.4.3) —
+  /// code, hence unknowable to the durability layer.
+  bool has_dynamic_dependencies() const {
+    return static_cast<bool>(resolver_) && static_specs_.empty();
+  }
+  bool is_recovered_shell() const { return recovered_shell_; }
   const MonitoringHook& activate_monitoring() const { return activate_; }
   const MonitoringHook& deactivate_monitoring() const { return deactivate_; }
   const std::string& description() const { return description_; }
@@ -290,6 +307,7 @@ class MetadataDescriptor {
   RetryPolicy retry_policy_;
   MetadataValue fallback_;
   Duration max_staleness_ = 0;  // 0 => governor default cap applies
+  bool recovered_shell_ = false;
 };
 
 }  // namespace pipes

@@ -122,6 +122,9 @@ void MetadataHandler::Retire() {
   // is a plain atomic increment — safe without the structure lock; at worst
   // it over-invalidates and costs one plan rebuild.
   manager_.BumpStructureEpoch();
+  // Journaled exactly once, while the owner is still alive (Retire is
+  // called from the owner's registry teardown or an explicit Undefine).
+  manager_.JournalRetire(owner_, desc_->key());
 }
 
 std::vector<MetadataHandler*> MetadataHandler::dependents() const {
@@ -322,6 +325,10 @@ void MetadataHandler::StoreValue(MetadataValue v, Timestamp now) {
   MutexLock lock(value_mu_);
   PublishSlot(v, now);
   update_count_.fetch_add(1, std::memory_order_relaxed);
+  // Journal inside value_mu_ so journal order matches publish order: the
+  // last kValue record for this key is the value the slot held at the
+  // crash. The hook is one atomic load when durability is off.
+  manager_.JournalValue(owner_, desc_->key(), v, now);
 }
 
 MetadataValue MetadataHandler::LoadValue() const { return ReadSlot(); }

@@ -5,6 +5,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "metadata/persistence.h"
+
 namespace pipes {
 
 // ---------------------------------------------------------------------------
@@ -151,6 +153,8 @@ MetadataManager::MetadataManager(TaskScheduler& scheduler)
     : scheduler_(scheduler) {}
 
 MetadataManager::~MetadataManager() {
+  // Stop durability first: its flush/checkpoint tasks walk manager state.
+  DisableDurability();
   // Stop the governor before members start dying; a tick scheduled but not
   // yet run sees the cancelled handle and never fires.
   MutexLock lock(pressure_mu_);
@@ -184,6 +188,12 @@ Result<MetadataSubscription> MetadataManager::Subscribe(
   assert(handler != nullptr);
   handler->external_refs_ += 1;
   stats_subscriptions_.fetch_add(1, std::memory_order_relaxed);
+  // Journaled under the exclusive structure lock, after the ref-count
+  // mutation: the checkpoint gather (shared structure lock) sees the count
+  // and the record's LSN move together, so replay never double-applies.
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    d->OnSubscribe(provider, key);
+  }
   return MetadataSubscription(this, std::move(handler));
 }
 
@@ -327,6 +337,13 @@ void MetadataManager::UnsubscribeExternal(
   assert(handler->external_refs_ > 0);
   handler->external_refs_ -= 1;
   stats_unsubscriptions_.fetch_add(1, std::memory_order_relaxed);
+  // Skipped for retired handlers: their owner may already be destroyed (the
+  // kRetire record has zeroed the durable subscription count anyway).
+  if (!handler->retired()) {
+    if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+      d->OnUnsubscribe(handler->owner(), handler->key());
+    }
+  }
   MaybeRemove(handler);
 }
 
@@ -837,7 +854,142 @@ MetadataManagerStats MetadataManager::stats() const {
   s.scheduler_deadline_misses = sched.deadline_misses;
   s.scheduler_rejections = sched.tasks_rejected;
   s.scheduler_overloaded = sched.overloaded;
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    DurabilityStats ds = d->stats();
+    s.durability_enabled = true;
+    s.journal_records = ds.journal_records;
+    s.journal_bytes = ds.journal_bytes;
+    s.journal_fsyncs = ds.fsyncs;
+    s.group_flushes = ds.group_flushes;
+    s.checkpoints = ds.checkpoints;
+    s.snapshot_generation = ds.current_generation;
+    s.last_checkpoint_duration = ds.last_checkpoint_duration;
+  }
+  s.last_recovery_duration =
+      stats_recovery_duration_.load(std::memory_order_relaxed);
+  s.values_recovered = stats_values_recovered_.load(std::memory_order_relaxed);
+  s.corrupt_records_skipped =
+      stats_corrupt_skipped_.load(std::memory_order_relaxed);
+  s.torn_bytes_truncated =
+      stats_torn_truncated_.load(std::memory_order_relaxed);
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+Status MetadataManager::EnableDurability(
+    const DurabilityConfig& config,
+    const std::vector<MetadataProvider*>& providers) {
+  MutexLock lock(durability_admin_mu_);
+  if (durability_owner_ != nullptr) {
+    return Status::FailedPrecondition("durability is already enabled");
+  }
+  auto engine = std::make_unique<MetadataDurability>(*this, config);
+  Status started = engine->Start();
+  if (!started.ok()) return started;
+  for (MetadataProvider* p : providers) {
+    if (p == nullptr) continue;
+    // Attach so the provider's teardown reaches NotifyProviderTeardown —
+    // the roster must never hold a pointer to a silently-dead provider.
+    if (p->metadata_manager() == nullptr) p->AttachMetadataManager(this);
+    engine->RegisterProvider(p);
+  }
+  // Capture everything that existed before enabling: the initial checkpoint
+  // is the durable baseline the journal then extends.
+  Status ckpt = engine->CheckpointNow();
+  if (!ckpt.ok()) {
+    engine->Stop();
+    return ckpt;
+  }
+  durability_.store(engine.get(), std::memory_order_release);
+  durability_owner_ = std::move(engine);
+  return Status::OK();
+}
+
+void MetadataManager::DisableDurability() {
+  std::unique_ptr<MetadataDurability> engine;
+  {
+    MutexLock lock(durability_admin_mu_);
+    if (durability_owner_ == nullptr) return;
+    durability_.store(nullptr, std::memory_order_release);
+    engine = std::move(durability_owner_);
+  }
+  // Stop outside the admin lock: Stop() waits for the flush/checkpoint
+  // tasks, which must not be serialized against a concurrent RecoverFrom.
+  engine->Stop();
+  MutexLock lock(durability_admin_mu_);
+  // Hooks that loaded the raw pointer just before the swap may still be
+  // inside the (now stopped) engine; keep it alive for the manager's
+  // lifetime rather than freeing under them.
+  durability_graveyard_.push_back(std::move(engine));
+}
+
+Result<RecoveryReport> MetadataManager::RecoverFrom(
+    const std::string& dir, const std::vector<MetadataProvider*>& providers) {
+  if (durability_enabled()) {
+    return Status::FailedPrecondition(
+        "disable durability before recovering (recover first, then enable)");
+  }
+  Result<RecoveryReport> result =
+      MetadataDurability::Recover(*this, dir, providers);
+  if (result.ok()) {
+    const RecoveryReport& r = result.value();
+    stats_recovery_duration_.store(r.recovery_duration,
+                                   std::memory_order_relaxed);
+    stats_values_recovered_.store(r.values_restored, std::memory_order_relaxed);
+    stats_corrupt_skipped_.store(r.corrupt_records_skipped,
+                                 std::memory_order_relaxed);
+    stats_torn_truncated_.store(r.torn_bytes_truncated,
+                                std::memory_order_relaxed);
+  }
+  return result;
+}
+
+void MetadataManager::JournalDefine(const MetadataProvider& provider,
+                                    const MetadataDescriptor& desc) {
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    d->OnDefine(provider, desc);
+  }
+}
+
+void MetadataManager::JournalUndefine(const MetadataProvider& provider,
+                                      const MetadataKey& key) {
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    d->OnUndefine(provider, key);
+  }
+}
+
+void MetadataManager::JournalValue(const MetadataProvider& provider,
+                                   const MetadataKey& key,
+                                   const MetadataValue& value, Timestamp now) {
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    d->OnValue(provider, key, value, now);
+  }
+}
+
+void MetadataManager::JournalRetire(const MetadataProvider& provider,
+                                    const MetadataKey& key) {
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    d->OnRetire(provider, key);
+  }
+}
+
+void MetadataManager::NotifyProviderTeardown(const MetadataProvider& provider) {
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    d->OnProviderTeardown(provider);
+  }
+}
+
+void MetadataManager::InjectRecoveredValue(MetadataHandler& handler,
+                                           const MetadataValue& v,
+                                           Timestamp ts) {
+  handler.StoreValue(v, ts);
+}
+
+MetadataValue MetadataManager::LoadHandlerValue(const MetadataHandler& handler) {
+  return handler.LoadValue();
 }
 
 }  // namespace pipes

@@ -30,6 +30,9 @@
 namespace pipes {
 
 class MetadataManager;
+class MetadataDurability;
+struct DurabilityConfig;
+struct RecoveryReport;
 
 /// \brief RAII consumer-side subscription to one metadata item (paper §2.1).
 ///
@@ -114,6 +117,21 @@ struct MetadataManagerStats {
   uint64_t scheduler_deadline_misses = 0;
   uint64_t scheduler_rejections = 0;
   bool scheduler_overloaded = false;
+
+  // Durability (journal/checkpoint/recovery; see EnableDurability and
+  // persistence.h). All zero while durability is off and no recovery ran.
+  bool durability_enabled = false;
+  uint64_t journal_records = 0;     ///< records appended to the journal
+  uint64_t journal_bytes = 0;       ///< frame bytes appended
+  uint64_t journal_fsyncs = 0;
+  uint64_t group_flushes = 0;       ///< commit-buffer pushes to disk
+  uint64_t checkpoints = 0;         ///< snapshot generations written
+  uint64_t snapshot_generation = 0; ///< current generation (gauge)
+  Duration last_checkpoint_duration = 0;
+  Duration last_recovery_duration = 0;   ///< set by RecoverFrom
+  uint64_t values_recovered = 0;         ///< set by RecoverFrom
+  uint64_t corrupt_records_skipped = 0;  ///< CRC-failed records at recovery
+  uint64_t torn_bytes_truncated = 0;     ///< torn journal tails removed
 };
 
 /// How update-propagation waves refresh dependent handlers.
@@ -281,6 +299,62 @@ class MetadataManager {
   void DisableStormDamping();
   ///@}
 
+  /// \name Durability (write-ahead journal + checkpoint/restore)
+  ///
+  /// With durability enabled, every definition, subscription, retirement,
+  /// and committed value is appended to a write-ahead journal, and a
+  /// periodic task checkpoints the full metadata image (descriptors,
+  /// subscription counts, last-known-good values with wall-clock
+  /// timestamps) into atomic snapshot files, rotating the journal. After a
+  /// crash, RecoverFrom rebuilds the state a fresh manager serves
+  /// immediately: recovered values appear as last-known-good with real
+  /// staleness; items whose evaluators are not yet re-defined come back as
+  /// shells degrading through the fault-containment path. Off by default —
+  /// the journal hooks then cost one atomic load each. See persistence.h.
+  ///@{
+  /// Starts journaling into `config.dir` and checkpoints the current state.
+  /// `providers` seeds the checkpoint roster with providers whose items
+  /// were defined before enabling (later definitions register themselves);
+  /// providers without a manager are attached to this one. Fails when
+  /// durability is already enabled or the directory cannot be prepared.
+  Status EnableDurability(const DurabilityConfig& config,
+                          const std::vector<MetadataProvider*>& providers = {});
+  /// Flushes, closes the journal, and stops journaling. Providers torn down
+  /// after this are not recorded as gone — the documented way to preserve
+  /// durable state across a planned shutdown.
+  void DisableDurability();
+  bool durability_enabled() const {
+    return durability_.load(std::memory_order_acquire) != nullptr;
+  }
+  /// The active durability engine (nullptr while disabled).
+  MetadataDurability* durability() const {
+    return durability_.load(std::memory_order_acquire);
+  }
+  /// \brief Rebuilds metadata state from the journal/snapshot directory
+  /// `dir`, resolving persisted provider labels against `providers`.
+  ///
+  /// Requires durability to be disabled (recover first, then enable). The
+  /// returned report owns the re-established subscriptions. See
+  /// MetadataDurability::Recover for the full protocol.
+  Result<RecoveryReport> RecoverFrom(
+      const std::string& dir, const std::vector<MetadataProvider*>& providers);
+
+  /// \name Journal hooks (internal; called by registries and handlers)
+  /// One acquire load + null check when durability is off.
+  ///@{
+  void JournalDefine(const MetadataProvider& provider,
+                     const MetadataDescriptor& desc);
+  void JournalUndefine(const MetadataProvider& provider,
+                       const MetadataKey& key);
+  void JournalValue(const MetadataProvider& provider, const MetadataKey& key,
+                    const MetadataValue& value, Timestamp now);
+  void JournalRetire(const MetadataProvider& provider, const MetadataKey& key);
+  /// Called by ~MetadataProvider: drops the provider from the checkpoint
+  /// roster and records it gone (its items will not be recovered).
+  void NotifyProviderTeardown(const MetadataProvider& provider);
+  ///@}
+  ///@}
+
   /// Snapshot of activity counters.
   MetadataManagerStats stats() const;
 
@@ -331,6 +405,7 @@ class MetadataManager {
 
  private:
   friend class MetadataSubscription;
+  friend class MetadataDurability;
 
   struct PlanEntry {
     MetadataProvider* provider;
@@ -398,6 +473,16 @@ class MetadataManager {
   /// Applies `factor` to every live registered periodic handler (pruning
   /// dead ones) and refreshes the stretched-items gauge.
   void ApplyPressureFactorLocked(double factor) PIPES_REQUIRES(pressure_mu_);
+
+  /// Recovery-time value injection: publishes `v` with update time `ts` as
+  /// `handler`'s last-known-good value without invoking its evaluator.
+  void InjectRecoveredValue(MetadataHandler& handler, const MetadataValue& v,
+                            Timestamp ts);
+
+  /// Checkpoint-time value read: the handler's stored value (lock-free slot
+  /// read; never invokes the evaluator, unlike Get()). Used by the
+  /// durability engine through its friendship with this class.
+  static MetadataValue LoadHandlerValue(const MetadataHandler& handler);
 
   /// \brief Rebuilds `origin`'s cached wave plan against `epoch`.
   ///
@@ -500,6 +585,27 @@ class MetadataManager {
   std::atomic<uint64_t> stats_storm_flushes_{0};
   std::atomic<uint64_t> stats_breaker_trips_{0};
   std::atomic<uint64_t> stats_breakers_now_{0};
+
+  /// \name Durability state
+  ///
+  /// The engine is owned under the admin lock; hot-path hooks read the
+  /// atomic mirror only. Disable parks the old engine in the graveyard
+  /// instead of destroying it, so a hook that loaded the raw pointer just
+  /// before the swap still dereferences live (stopped, journal closed —
+  /// appends fail harmlessly) memory.
+  ///@{
+  mutable Mutex durability_admin_mu_{"MetadataManager::durability_admin_mu",
+                                     lockorder::kRankDurabilityAdmin};
+  std::unique_ptr<MetadataDurability> durability_owner_
+      PIPES_GUARDED_BY(durability_admin_mu_);
+  std::vector<std::unique_ptr<MetadataDurability>> durability_graveyard_
+      PIPES_GUARDED_BY(durability_admin_mu_);
+  std::atomic<MetadataDurability*> durability_{nullptr};
+  std::atomic<Duration> stats_recovery_duration_{0};
+  std::atomic<uint64_t> stats_values_recovered_{0};
+  std::atomic<uint64_t> stats_corrupt_skipped_{0};
+  std::atomic<uint64_t> stats_torn_truncated_{0};
+  ///@}
 };
 
 }  // namespace pipes

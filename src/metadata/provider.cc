@@ -8,7 +8,9 @@ std::atomic<uint64_t> MetadataProvider::next_id_{1};
 
 MetadataProvider::MetadataProvider(std::string label)
     : label_(std::move(label)),
-      provider_id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {}
+      provider_id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {
+  registry_.AttachOwner(this);
+}
 
 MetadataProvider::~MetadataProvider() {
   // Subscriptions may outlive their provider (e.g. a consumer still holds
@@ -16,6 +18,13 @@ MetadataProvider::~MetadataProvider() {
   // so those subscriptions serve fallback values instead of reaching into
   // freed provider state, and so no periodic task fires afterwards.
   registry_.RetireAllHandlers();
+  // With durability on, a provider destroyed mid-run is gone for good: drop
+  // it from the checkpoint roster and journal kProviderGone so recovery does
+  // not resurrect its items. Planned shutdowns that want the state preserved
+  // call DisableDurability() before tearing providers down.
+  if (MetadataManager* mgr = metadata_manager()) {
+    mgr->NotifyProviderTeardown(*this);
+  }
 }
 
 void MetadataProvider::AttachMetadataManager(MetadataManager* manager) {

@@ -17,57 +17,92 @@ void MetadataRegistry::BumpManagerEpoch() {
   }
 }
 
-Status MetadataRegistry::Define(MetadataDescriptor desc) {
-  MutexLock lock(mu_);
-  MetadataKey key = desc.key();
-  auto [it, inserted] = descriptors_.emplace(
-      key, std::make_shared<const MetadataDescriptor>(std::move(desc)));
-  if (!inserted) {
-    return Status::AlreadyExists("metadata item already defined: " + key);
+void MetadataRegistry::JournalDefine(
+    const std::shared_ptr<const MetadataDescriptor>& stored) {
+  if (owner_ == nullptr) return;
+  if (MetadataManager* m = manager_.load(std::memory_order_acquire)) {
+    m->JournalDefine(*owner_, *stored);
   }
+}
+
+void MetadataRegistry::JournalUndefine(const MetadataKey& key) {
+  if (owner_ == nullptr) return;
+  if (MetadataManager* m = manager_.load(std::memory_order_acquire)) {
+    m->JournalUndefine(*owner_, key);
+  }
+}
+
+Status MetadataRegistry::Define(MetadataDescriptor desc) {
+  std::shared_ptr<const MetadataDescriptor> stored;
+  MetadataKey key = desc.key();
+  {
+    MutexLock lock(mu_);
+    auto [it, inserted] = descriptors_.emplace(
+        key, std::make_shared<const MetadataDescriptor>(std::move(desc)));
+    if (!inserted) {
+      return Status::AlreadyExists("metadata item already defined: " + key);
+    }
+    stored = it->second;
+  }
+  JournalDefine(stored);
   return Status::OK();
 }
 
 Status MetadataRegistry::Redefine(MetadataDescriptor desc) {
-  MutexLock lock(mu_);
+  std::shared_ptr<const MetadataDescriptor> stored;
   MetadataKey key = desc.key();
-  auto it = descriptors_.find(key);
-  if (it == descriptors_.end()) {
-    return Status::NotFound("cannot redefine unknown metadata item: " + key);
+  {
+    MutexLock lock(mu_);
+    auto it = descriptors_.find(key);
+    if (it == descriptors_.end()) {
+      return Status::NotFound("cannot redefine unknown metadata item: " + key);
+    }
+    if (handlers_.count(key) > 0) {
+      return Status::FailedPrecondition(
+          "cannot redefine currently included metadata item: " + key);
+    }
+    it->second = std::make_shared<const MetadataDescriptor>(std::move(desc));
+    stored = it->second;
   }
-  if (handlers_.count(key) > 0) {
-    return Status::FailedPrecondition(
-        "cannot redefine currently included metadata item: " + key);
-  }
-  it->second = std::make_shared<const MetadataDescriptor>(std::move(desc));
   // The new definition may declare different dependencies: cached wave plans
   // derived from the old shape must be rebuilt on the next wave.
   BumpManagerEpoch();
+  // A redefinition journals as kDefine: replay applies records in LSN order,
+  // so the last definition wins — exactly the redefine semantics.
+  JournalDefine(stored);
   return Status::OK();
 }
 
 Status MetadataRegistry::DefineOrRedefine(MetadataDescriptor desc) {
-  MutexLock lock(mu_);
+  std::shared_ptr<const MetadataDescriptor> stored;
   MetadataKey key = desc.key();
-  if (handlers_.count(key) > 0) {
-    return Status::FailedPrecondition(
-        "cannot redefine currently included metadata item: " + key);
+  {
+    MutexLock lock(mu_);
+    if (handlers_.count(key) > 0) {
+      return Status::FailedPrecondition(
+          "cannot redefine currently included metadata item: " + key);
+    }
+    stored = std::make_shared<const MetadataDescriptor>(std::move(desc));
+    descriptors_[key] = stored;
   }
-  descriptors_[key] = std::make_shared<const MetadataDescriptor>(std::move(desc));
   BumpManagerEpoch();
+  JournalDefine(stored);
   return Status::OK();
 }
 
 Status MetadataRegistry::Undefine(const MetadataKey& key) {
-  MutexLock lock(mu_);
-  if (handlers_.count(key) > 0) {
-    return Status::FailedPrecondition(
-        "cannot undefine currently included metadata item: " + key);
-  }
-  if (descriptors_.erase(key) == 0) {
-    return Status::NotFound("unknown metadata item: " + key);
+  {
+    MutexLock lock(mu_);
+    if (handlers_.count(key) > 0) {
+      return Status::FailedPrecondition(
+          "cannot undefine currently included metadata item: " + key);
+    }
+    if (descriptors_.erase(key) == 0) {
+      return Status::NotFound("unknown metadata item: " + key);
+    }
   }
   BumpManagerEpoch();
+  JournalUndefine(key);
   return Status::OK();
 }
 

@@ -23,6 +23,7 @@ namespace pipes {
 
 class MetadataHandler;
 class MetadataManager;
+class MetadataProvider;
 
 /// \brief Holds the metadata descriptors (available items) and the active
 /// handlers (included items) of one provider.
@@ -87,6 +88,12 @@ class MetadataRegistry {
   /// MetadataProvider::AttachMetadataManager; idempotent.
   void AttachManager(MetadataManager* manager);
 
+  /// Ties this registry to the provider that owns it, so definition changes
+  /// can be journaled with the provider's identity when durability is on.
+  /// Called once from the MetadataProvider constructor (before the registry
+  /// is visible to any other thread).
+  void AttachOwner(const MetadataProvider* owner) { owner_ = owner; }
+
   /// Retires every still-included handler (provider teardown): cancels their
   /// mechanism tasks and freezes them on fallback/last-known-good values so
   /// outstanding subscriptions degrade gracefully instead of hitting UB.
@@ -97,6 +104,13 @@ class MetadataRegistry {
   /// Bumps the attached manager's structure epoch (no-op before attachment).
   void BumpManagerEpoch();
 
+  /// Journals a (re)definition / undefinition through the attached manager.
+  /// Called *outside* mu_ — the journal hook takes the durability locks and
+  /// must not nest inside the registry lock. No-op until both a manager and
+  /// an owner are attached.
+  void JournalDefine(const std::shared_ptr<const MetadataDescriptor>& stored);
+  void JournalUndefine(const MetadataKey& key);
+
   mutable Mutex mu_{"MetadataRegistry::mu", lockorder::kRankRegistry};
   std::map<MetadataKey, std::shared_ptr<const MetadataDescriptor>> descriptors_
       PIPES_GUARDED_BY(mu_);
@@ -106,6 +120,8 @@ class MetadataRegistry {
   /// explicit attachment). BumpStructureEpoch is a bare atomic increment, so
   /// calling it under mu_ (rank 450) cannot violate the lock order.
   std::atomic<MetadataManager*> manager_{nullptr};
+  /// The owning provider (set once at construction, before concurrency).
+  const MetadataProvider* owner_ = nullptr;
 };
 
 }  // namespace pipes

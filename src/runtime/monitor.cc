@@ -44,6 +44,19 @@ Status MetadataMonitor::WatchPressure(std::string series_name) {
   return Status::OK();
 }
 
+Status MetadataMonitor::WatchDurability(std::string series_name) {
+  if (series_name.empty()) series_name = "metadata:durability";
+  MutexLock lock(mu_);
+  if (watched_.count(series_name) > 0) {
+    return Status::AlreadyExists("series already watched: " + series_name);
+  }
+  Watched w;
+  w.kind = SampleKind::kDurability;
+  series_[series_name];  // ensure the series exists
+  watched_.emplace(std::move(series_name), std::move(w));
+  return Status::OK();
+}
+
 Status MetadataMonitor::WatchInternal(MetadataProvider& provider,
                                       const MetadataKey& key,
                                       std::string series_name, SampleKind kind,
@@ -107,6 +120,11 @@ void MetadataMonitor::SampleOnce() {
       case SampleKind::kPressure: {
         series_[name].Record(
             now, static_cast<double>(manager_.pressure_state()));
+        break;
+      }
+      case SampleKind::kDurability: {
+        series_[name].Record(
+            now, static_cast<double>(manager_.stats().journal_records));
         break;
       }
     }

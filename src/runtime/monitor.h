@@ -53,6 +53,11 @@ class MetadataMonitor {
   /// LoadShedder's pressure input in the runtime wiring.
   Status WatchPressure(std::string series_name = "metadata:pressure");
 
+  /// Records the manager's durability activity as a numeric series: the
+  /// total journal records appended so far (a monotone counter; flat while
+  /// durability is off). Needs no provider or subscription.
+  Status WatchDurability(std::string series_name = "metadata:durability");
+
   /// Stops watching a series and drops its subscription (recorded samples
   /// are kept).
   Status Unwatch(const std::string& series_name);
@@ -84,7 +89,7 @@ class MetadataMonitor {
  private:
   /// What a watched series samples from its subscription's handler (or,
   /// for kPressure, from the manager directly — no subscription).
-  enum class SampleKind { kValue, kHealth, kStaleness, kPressure };
+  enum class SampleKind { kValue, kHealth, kStaleness, kPressure, kDurability };
 
   struct Watched {
     MetadataSubscription subscription;
