@@ -864,6 +864,9 @@ MetadataManagerStats MetadataManager::stats() const {
     s.checkpoints = ds.checkpoints;
     s.snapshot_generation = ds.current_generation;
     s.last_checkpoint_duration = ds.last_checkpoint_duration;
+    s.journal_write_failures = ds.journal_write_failures;
+    s.checkpoint_failures = ds.checkpoint_failures;
+    s.durability_degraded = ds.degraded;
   }
   s.last_recovery_duration =
       stats_recovery_duration_.load(std::memory_order_relaxed);
@@ -973,6 +976,13 @@ void MetadataManager::JournalRetire(const MetadataProvider& provider,
                                     const MetadataKey& key) {
   if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
     d->OnRetire(provider, key);
+  }
+}
+
+void MetadataManager::RegisterDurabilityProvider(
+    const MetadataProvider& provider) {
+  if (MetadataDurability* d = durability_.load(std::memory_order_acquire)) {
+    d->RegisterProvider(&provider);
   }
 }
 

@@ -128,6 +128,11 @@ struct MetadataManagerStats {
   uint64_t checkpoints = 0;         ///< snapshot generations written
   uint64_t snapshot_generation = 0; ///< current generation (gauge)
   Duration last_checkpoint_duration = 0;
+  uint64_t journal_write_failures = 0;  ///< append/flush errors (see below)
+  uint64_t checkpoint_failures = 0;     ///< failed CheckpointNow runs
+  /// Latched true on the first journal/checkpoint IO failure: acknowledged
+  /// mutations may no longer be durable (disk full, rotation failed, ...).
+  bool durability_degraded = false;
   Duration last_recovery_duration = 0;   ///< set by RecoverFrom
   uint64_t values_recovered = 0;         ///< set by RecoverFrom
   uint64_t corrupt_records_skipped = 0;  ///< CRC-failed records at recovery
@@ -349,6 +354,10 @@ class MetadataManager {
   void JournalValue(const MetadataProvider& provider, const MetadataKey& key,
                     const MetadataValue& value, Timestamp now);
   void JournalRetire(const MetadataProvider& provider, const MetadataKey& key);
+  /// Adds `provider` to the durability checkpoint roster. Called by
+  /// registries *before* taking the registry lock (the roster lock ranks
+  /// below it); no-op while durability is off.
+  void RegisterDurabilityProvider(const MetadataProvider& provider);
   /// Called by ~MetadataProvider: drops the provider from the checkpoint
   /// roster and records it gone (its items will not be recovered).
   void NotifyProviderTeardown(const MetadataProvider& provider);

@@ -327,9 +327,22 @@ void MetadataDurability::Stop() {
   checkpoint_task_.Cancel();
   MutexLock lock(journal_mu_);
   if (journal_ != nullptr) {
-    journal_->Close(true);
+    Status closed = journal_->Close(true);
+    if (!closed.ok()) NoteWriteFailure("journal close", closed);
     journal_.reset();
   }
+}
+
+void MetadataDurability::MarkDegraded(const char* what, const Status& st) {
+  if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+    std::fprintf(stderr, "[durability] degraded: %s: %s\n", what,
+                 st.ToString().c_str());
+  }
+}
+
+void MetadataDurability::NoteWriteFailure(const char* what, const Status& st) {
+  stats_write_failures_.fetch_add(1, std::memory_order_relaxed);
+  MarkDegraded(what, st);
 }
 
 uint64_t MetadataDurability::AppendRecord(DurabilityRecordType type,
@@ -341,7 +354,14 @@ uint64_t MetadataDurability::AppendRecord(DurabilityRecordType type,
   scratch_.PutU8(static_cast<uint8_t>(type));
   scratch_.PutU64(lsn);
   scratch_.PutBytes(body.buffer());
-  if (!journal_->Append(scratch_.buffer()).ok()) return lsn;
+  Status appended = journal_->Append(scratch_.buffer());
+  if (!appended.ok()) {
+    // The record is lost but the LSN stays consumed (monotonicity). The
+    // caller's mutation already happened in memory; all we can do is make
+    // the broken guarantee visible.
+    NoteWriteFailure("journal append", appended);
+    return lsn;
+  }
   stats_records_.fetch_add(1, std::memory_order_relaxed);
   stats_bytes_.fetch_add(scratch_.size() + kFrameHeaderSize,
                          std::memory_order_relaxed);
@@ -368,6 +388,8 @@ Status MetadataDurability::FlushLocked(bool sync) {
   if (st.ok()) {
     stats_flushes_.fetch_add(1, std::memory_order_relaxed);
     if (sync) stats_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    NoteWriteFailure("journal flush", st);
   }
   return st;
 }
@@ -385,7 +407,11 @@ void MetadataDurability::RegisterProvider(const MetadataProvider* provider) {
 
 void MetadataDurability::OnDefine(const MetadataProvider& provider,
                                   const MetadataDescriptor& desc) {
-  RegisterProvider(&provider);
+  // Journal-only: called while the registry lock (rank 450) is held, so the
+  // journal's LSN order matches the registry's mutation order for
+  // concurrent Define/Undefine of the same key. Roster registration
+  // (providers_mu_, rank 250 — would invert) happens before the registry
+  // lock, via MetadataRegistry's pre-registration.
   RecordEncoder body;
   body.PutString(provider.label());
   EncodeDescriptorImage(&body, MakeDescriptorImage(desc));
@@ -394,6 +420,7 @@ void MetadataDurability::OnDefine(const MetadataProvider& provider,
 
 void MetadataDurability::OnUndefine(const MetadataProvider& provider,
                                     const MetadataKey& key) {
+  // Journal-only, under the registry lock like OnDefine.
   RecordEncoder body;
   body.PutString(provider.label());
   body.PutString(key);
@@ -483,7 +510,21 @@ Status MetadataDurability::CheckpointNow() {
   }
   Timestamp t0 = manager_.clock().Now();
   MutexLock ckpt(ckpt_mu_);
+  Status st = CheckpointLocked(t0);
+  if (st.ok()) {
+    stats_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    stats_checkpoint_duration_.store(manager_.clock().Now() - t0,
+                                     std::memory_order_relaxed);
+  } else {
+    // Count + latch here so the periodic checkpoint task (which has nowhere
+    // to return the status to) still surfaces every failure.
+    stats_checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    MarkDegraded("checkpoint", st);
+  }
+  return st;
+}
 
+Status MetadataDurability::CheckpointLocked(Timestamp t0) {
   uint64_t watermark = 0;
   uint64_t new_gen = 0;
   std::string content;
@@ -495,18 +536,16 @@ Status MetadataDurability::CheckpointNow() {
     // (replayed on top). Without this the same subscription could be both
     // counted and replayed.
     SharedLock structure(manager_.structure_mutex());
+    // providers_mu_ is held for the whole roster walk, not just a copy:
+    // a provider dying concurrently blocks in ~MetadataProvider ->
+    // OnProviderTeardown on this mutex before its registry (a base-class
+    // member, destroyed after the destructor body) goes away, so the
+    // registry/handler dereferences below can never touch freed memory.
+    MutexLock p(providers_mu_);
     {
       MutexLock j(journal_mu_);
       watermark = next_lsn_ - 1;
       new_gen = current_generation_ + 1;
-    }
-    std::vector<const MetadataProvider*> providers;
-    {
-      MutexLock p(providers_mu_);
-      providers.reserve(providers_.size());
-      for (const auto& [label, provider] : providers_) {
-        providers.push_back(provider);
-      }
     }
 
     AppendFileHeader(&content, kSnapshotMagic, new_gen);
@@ -518,7 +557,8 @@ Status MetadataDurability::CheckpointNow() {
                            watermark, body);
       ++record_count;
     }
-    for (const MetadataProvider* provider : providers) {
+    for (const auto& entry : providers_) {
+      const MetadataProvider* provider = entry.second;
       const MetadataRegistry& registry = provider->metadata_registry();
       for (const MetadataKey& key : registry.AvailableKeys()) {
         std::shared_ptr<const MetadataDescriptor> desc = registry.Find(key);
@@ -571,10 +611,20 @@ Status MetadataDurability::CheckpointNow() {
   {
     MutexLock j(journal_mu_);
     PIPES_RETURN_NOT_OK(FlushLocked(true));
-    if (journal_ != nullptr) journal_->Close(true);
+    // Open the new generation *before* closing the old one: if Create fails
+    // (ENOSPC, ...) the old journal stays installed and open, so mutations
+    // keep journaling — the failure degrades to "stale snapshot horizon",
+    // never to silently-unjournaled. The early return also skips pruning,
+    // so nothing replay needs is unlinked after a partial rotation.
     Result<std::unique_ptr<JournalWriter>> writer =
         JournalWriter::Create(JournalPath(new_gen), kJournalMagic, new_gen);
     if (!writer.ok()) return writer.status();
+    if (journal_ != nullptr) {
+      // The buffer was flushed+fsynced above, so a close failure cannot
+      // drop records; still worth counting.
+      Status closed = journal_->Close(true);
+      if (!closed.ok()) NoteWriteFailure("journal rotation close", closed);
+    }
     journal_ = std::move(writer.value());
     current_generation_ = new_gen;
   }
@@ -600,11 +650,10 @@ Status MetadataDurability::CheckpointNow() {
   for (uint64_t gen : ListGenerations(config_.dir, "journal")) {
     if (gen < journal_horizon) ::unlink(JournalPath(gen).c_str());
   }
-  SyncDir(config_.dir);
-
-  stats_checkpoints_.fetch_add(1, std::memory_order_relaxed);
-  stats_checkpoint_duration_.store(manager_.clock().Now() - t0,
-                                   std::memory_order_relaxed);
+  // Makes the unlinks and the new journal's directory entry durable; on
+  // failure the checkpoint is reported failed (and counted by the caller)
+  // even though the snapshot file itself landed.
+  PIPES_RETURN_NOT_OK(SyncDir(config_.dir));
   return Status::OK();
 }
 
@@ -617,6 +666,11 @@ DurabilityStats MetadataDurability::stats() const {
   s.checkpoints = stats_checkpoints_.load(std::memory_order_relaxed);
   s.last_checkpoint_duration =
       stats_checkpoint_duration_.load(std::memory_order_relaxed);
+  s.journal_write_failures =
+      stats_write_failures_.load(std::memory_order_relaxed);
+  s.checkpoint_failures =
+      stats_checkpoint_failures_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_acquire);
   MutexLock lock(journal_mu_);
   s.current_generation = current_generation_;
   return s;

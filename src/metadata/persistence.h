@@ -148,6 +148,15 @@ struct DurabilityStats {
   uint64_t checkpoints = 0;
   uint64_t current_generation = 0;
   Duration last_checkpoint_duration = 0;
+  /// Journal Append/Flush errors. A non-zero count means records that were
+  /// acknowledged in memory may not be on disk.
+  uint64_t journal_write_failures = 0;
+  /// CheckpointNow failures (snapshot write, journal rotation, dir sync).
+  uint64_t checkpoint_failures = 0;
+  /// Latched true on the first journal/checkpoint IO failure; never resets
+  /// while the engine lives. While set, the durability guarantee is void —
+  /// some committed state may exist only in memory.
+  bool degraded = false;
 };
 
 /// \brief What MetadataManager::RecoverFrom rebuilt.
@@ -196,10 +205,12 @@ class RecoveryPendingError : public std::runtime_error {
 /// policy (inline for kEveryRecord, on the flush task for kInterval).
 ///
 /// Lock ranks (see lock_order.h): ckpt_mu_ (180) is held across the
-/// consistent gather (shared structure lock 200, providers_mu_ 250,
-/// registries 450); journal_mu_ (580) is the innermost metadata lock so
-/// value commits (under value_mu 560) and structure mutations (under the
-/// exclusive structure lock 200) may journal in place.
+/// consistent gather (shared structure lock 200, then providers_mu_ 250 for
+/// the whole gather, registries 450 inside it); journal_mu_ (580) is the
+/// innermost metadata lock so value commits (under value_mu 560), registry
+/// mutations (under the registry lock 450), and subscription changes (under
+/// the exclusive structure lock 200) may journal in place — which is what
+/// keeps journal LSN order consistent with in-memory mutation order.
 class MetadataDurability {
  public:
   MetadataDurability(MetadataManager& manager, DurabilityConfig config);
@@ -229,15 +240,25 @@ class MetadataDurability {
   void OnProviderTeardown(const MetadataProvider& provider);
   ///@}
 
-  /// Adds `provider` to the checkpoint roster (idempotent). Define and
-  /// Subscribe hooks register automatically; EnableDurability registers its
-  /// explicit provider list so pre-enable state is checkpointed too.
+  /// Adds `provider` to the checkpoint roster (idempotent). Registry
+  /// mutations pre-register *before* taking the registry lock (providers_mu_
+  /// rank 250 must not nest inside it), the Subscribe hook registers under
+  /// the structure lock, and EnableDurability registers its explicit
+  /// provider list so pre-enable state is checkpointed too.
   void RegisterProvider(const MetadataProvider* provider);
 
   /// Writes one snapshot generation now, rotates the journal, and prunes
   /// files older than the fallback horizon. Serialized; safe concurrent
-  /// with all journal hooks.
+  /// with all journal hooks. A failure (also when invoked by the periodic
+  /// checkpoint task) increments `checkpoint_failures` and latches the
+  /// degraded flag; a failed rotation leaves the previous journal open and
+  /// in use, so mutations keep journaling.
   Status CheckpointNow();
+
+  /// True once any journal or checkpoint IO failure has been observed.
+  /// Latched: the guarantee "acknowledged implies durable" no longer holds
+  /// for this engine's lifetime.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
 
   /// Pushes the group-commit buffer to disk (fsync when `sync`).
   Status FlushJournal(bool sync = true);
@@ -269,6 +290,15 @@ class MetadataDurability {
 
   Status FlushLocked(bool sync) PIPES_REQUIRES(journal_mu_);
 
+  /// The body of CheckpointNow (gather, snapshot write, rotation, prune).
+  Status CheckpointLocked(Timestamp t0) PIPES_REQUIRES(ckpt_mu_);
+
+  /// Counts a journal write failure and latches the degraded flag.
+  void NoteWriteFailure(const char* what, const Status& st);
+
+  /// Latches the degraded flag, logging the first transition.
+  void MarkDegraded(const char* what, const Status& st);
+
   /// File path helpers (zero-padded generation suffix).
   std::string JournalPath(uint64_t gen) const;
   std::string SnapshotPath(uint64_t gen) const;
@@ -281,8 +311,12 @@ class MetadataDurability {
                  lockorder::kRankDurabilityCheckpoint};
 
   /// The checkpoint roster: every provider that ever journaled through this
-  /// instance, by label. Pointers stay valid because providers notify
-  /// teardown (NotifyProviderTeardown) before dying.
+  /// instance, by label. The checkpoint gather holds this mutex for the
+  /// whole roster walk: ~MetadataProvider calls NotifyProviderTeardown ->
+  /// OnProviderTeardown (which acquires it) from its destructor *body*, and
+  /// the provider's registry is a base-class member destroyed only after
+  /// that body returns — so a dying provider blocks here until the gather
+  /// finishes, and every roster pointer stays valid while the lock is held.
   mutable Mutex providers_mu_{"MetadataDurability::providers_mu",
                               lockorder::kRankDurabilityProviders};
   std::map<std::string, const MetadataProvider*> providers_
@@ -306,6 +340,9 @@ class MetadataDurability {
   std::atomic<uint64_t> stats_flushes_{0};
   std::atomic<uint64_t> stats_checkpoints_{0};
   std::atomic<Duration> stats_checkpoint_duration_{0};
+  std::atomic<uint64_t> stats_write_failures_{0};
+  std::atomic<uint64_t> stats_checkpoint_failures_{0};
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace pipes

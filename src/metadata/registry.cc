@@ -32,24 +32,28 @@ void MetadataRegistry::JournalUndefine(const MetadataKey& key) {
   }
 }
 
-Status MetadataRegistry::Define(MetadataDescriptor desc) {
-  std::shared_ptr<const MetadataDescriptor> stored;
-  MetadataKey key = desc.key();
-  {
-    MutexLock lock(mu_);
-    auto [it, inserted] = descriptors_.emplace(
-        key, std::make_shared<const MetadataDescriptor>(std::move(desc)));
-    if (!inserted) {
-      return Status::AlreadyExists("metadata item already defined: " + key);
-    }
-    stored = it->second;
+void MetadataRegistry::PreRegisterForJournal() {
+  if (owner_ == nullptr) return;
+  if (MetadataManager* m = manager_.load(std::memory_order_acquire)) {
+    m->RegisterDurabilityProvider(*owner_);
   }
-  JournalDefine(stored);
+}
+
+Status MetadataRegistry::Define(MetadataDescriptor desc) {
+  PreRegisterForJournal();
+  MetadataKey key = desc.key();
+  MutexLock lock(mu_);
+  auto [it, inserted] = descriptors_.emplace(
+      key, std::make_shared<const MetadataDescriptor>(std::move(desc)));
+  if (!inserted) {
+    return Status::AlreadyExists("metadata item already defined: " + key);
+  }
+  JournalDefine(it->second);
   return Status::OK();
 }
 
 Status MetadataRegistry::Redefine(MetadataDescriptor desc) {
-  std::shared_ptr<const MetadataDescriptor> stored;
+  PreRegisterForJournal();
   MetadataKey key = desc.key();
   {
     MutexLock lock(mu_);
@@ -62,19 +66,18 @@ Status MetadataRegistry::Redefine(MetadataDescriptor desc) {
           "cannot redefine currently included metadata item: " + key);
     }
     it->second = std::make_shared<const MetadataDescriptor>(std::move(desc));
-    stored = it->second;
+    // A redefinition journals as kDefine: replay applies records in LSN
+    // order, so the last definition wins — exactly the redefine semantics.
+    JournalDefine(it->second);
   }
   // The new definition may declare different dependencies: cached wave plans
   // derived from the old shape must be rebuilt on the next wave.
   BumpManagerEpoch();
-  // A redefinition journals as kDefine: replay applies records in LSN order,
-  // so the last definition wins — exactly the redefine semantics.
-  JournalDefine(stored);
   return Status::OK();
 }
 
 Status MetadataRegistry::DefineOrRedefine(MetadataDescriptor desc) {
-  std::shared_ptr<const MetadataDescriptor> stored;
+  PreRegisterForJournal();
   MetadataKey key = desc.key();
   {
     MutexLock lock(mu_);
@@ -82,11 +85,11 @@ Status MetadataRegistry::DefineOrRedefine(MetadataDescriptor desc) {
       return Status::FailedPrecondition(
           "cannot redefine currently included metadata item: " + key);
     }
-    stored = std::make_shared<const MetadataDescriptor>(std::move(desc));
+    auto stored = std::make_shared<const MetadataDescriptor>(std::move(desc));
     descriptors_[key] = stored;
+    JournalDefine(stored);
   }
   BumpManagerEpoch();
-  JournalDefine(stored);
   return Status::OK();
 }
 
@@ -100,9 +103,9 @@ Status MetadataRegistry::Undefine(const MetadataKey& key) {
     if (descriptors_.erase(key) == 0) {
       return Status::NotFound("unknown metadata item: " + key);
     }
+    JournalUndefine(key);
   }
   BumpManagerEpoch();
-  JournalUndefine(key);
   return Status::OK();
 }
 

@@ -105,11 +105,19 @@ class MetadataRegistry {
   void BumpManagerEpoch();
 
   /// Journals a (re)definition / undefinition through the attached manager.
-  /// Called *outside* mu_ — the journal hook takes the durability locks and
-  /// must not nest inside the registry lock. No-op until both a manager and
-  /// an owner are attached.
-  void JournalDefine(const std::shared_ptr<const MetadataDescriptor>& stored);
-  void JournalUndefine(const MetadataKey& key);
+  /// Called *under* mu_, immediately after the map mutation, so the
+  /// journal's LSN order matches the in-memory mutation order for
+  /// concurrent Define/Undefine of the same key (the journal mutex, rank
+  /// 580, legally nests inside the registry lock, rank 450). No-op until
+  /// both a manager and an owner are attached.
+  void JournalDefine(const std::shared_ptr<const MetadataDescriptor>& stored)
+      PIPES_REQUIRES(mu_);
+  void JournalUndefine(const MetadataKey& key) PIPES_REQUIRES(mu_);
+
+  /// Adds the owner to the durability checkpoint roster. Called *before*
+  /// mu_: the roster lock (rank 250) must not nest inside the registry
+  /// lock. No-op while durability is off or nothing is attached.
+  void PreRegisterForJournal();
 
   mutable Mutex mu_{"MetadataRegistry::mu", lockorder::kRankRegistry};
   std::map<MetadataKey, std::shared_ptr<const MetadataDescriptor>> descriptors_

@@ -6,16 +6,20 @@
 /// verifies that everything acknowledged before the crash is restored.
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -587,6 +591,154 @@ TEST(DurabilityRecoveryTest, DurabilityIsOffByDefaultAndGuarded) {
   EXPECT_FALSE(fx.manager.RecoverFrom(tmp.path, {&p}).ok());
   fx.manager.DisableDurability();
   fx.manager.DisableDurability();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Failure surfacing and concurrency regressions
+// ---------------------------------------------------------------------------
+
+/// Fast journaling config for the concurrency tests: no fsync per record
+/// (DisableDurability's closing flush syncs everything), manual checkpoints.
+DurabilityConfig NoSyncConfig(const std::string& dir) {
+  DurabilityConfig cfg;
+  cfg.dir = dir;
+  cfg.fsync_policy = FsyncPolicy::kNone;
+  cfg.checkpoint_period = 0;
+  return cfg;
+}
+
+/// Regression: the checkpoint gather used to copy raw provider pointers and
+/// dereference them after releasing providers_mu_, so a provider destroyed
+/// mid-checkpoint was a use-after-free. The gather now holds providers_mu_
+/// across the roster walk, which blocks ~MetadataProvider's teardown
+/// notification until the walk is done. Run provider churn against
+/// back-to-back checkpoints; ASan/TSan turn a regression into a hard fail.
+TEST(DurabilityConcurrencyTest, ProviderTeardownDuringCheckpointIsSafe) {
+  TempDir tmp;
+  MetaFixture fx;
+  ASSERT_TRUE(fx.manager.EnableDurability(NoSyncConfig(tmp.path)).ok());
+
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    for (int i = 0; !done.load(std::memory_order_acquire); ++i) {
+      auto p = std::make_unique<SimpleProvider>("churn");
+      p->AttachMetadataManager(&fx.manager);
+      std::string key = "item" + std::to_string(i % 7);
+      ASSERT_TRUE(p->metadata_registry()
+                      .Define(MetadataDescriptor::Static(key, 1.0 + i))
+                      .ok());
+      // ~MetadataProvider -> NotifyProviderTeardown races the checkpoints.
+    }
+  });
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(fx.manager.durability()->CheckpointNow().ok());
+  }
+  done.store(true, std::memory_order_release);
+  churn.join();
+
+  EXPECT_FALSE(fx.manager.durability()->stats().degraded);
+  fx.manager.DisableDurability();
+}
+
+/// Regression: Define/Undefine used to journal *after* releasing the
+/// registry lock, so two threads mutating the same key could journal in the
+/// opposite order of the in-memory mutations — replay would then rebuild
+/// the wrong final state. Both now journal under the registry lock; the
+/// replayed definition state must match the live registry exactly.
+TEST(DurabilityConcurrencyTest, ConcurrentDefineUndefineReplaysToSameState) {
+  TempDir tmp;
+  bool defined_at_shutdown = false;
+  {
+    MetaFixture fx;
+    SimpleProvider p("src");
+    ASSERT_TRUE(fx.manager.EnableDurability(NoSyncConfig(tmp.path), {&p}).ok());
+
+    constexpr int kIters = 2000;
+    std::thread definer([&] {
+      for (int i = 0; i < kIters; ++i) {
+        (void)p.metadata_registry().Define(
+            MetadataDescriptor::Static("contended", 1.0));
+      }
+    });
+    std::thread undefiner([&] {
+      for (int i = 0; i < kIters; ++i) {
+        (void)p.metadata_registry().Undefine("contended");
+      }
+    });
+    definer.join();
+    undefiner.join();
+
+    defined_at_shutdown = p.metadata_registry().IsAvailable("contended");
+    fx.manager.DisableDurability();
+  }
+
+  MetaFixture fx2;
+  SimpleProvider p2("src");
+  auto rep = fx2.manager.RecoverFrom(tmp.path, {&p2});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().corrupt_records_skipped, 0u);
+  EXPECT_EQ(p2.metadata_registry().IsAvailable("contended"),
+            defined_at_shutdown);
+}
+
+/// A failed journal rotation (here: the next generation's path is occupied
+/// by a directory) must surface — counted, degraded-latched — and must keep
+/// the *old* journal open so later mutations are still journaled, not
+/// silently dropped into a closed writer.
+TEST(DurabilityFailureTest, FailedRotationLatchesDegradedAndKeepsJournaling) {
+  TempDir tmp;
+  bool defined_all = false;
+  {
+    MetaFixture fx;
+    SimpleProvider p("src");
+    ASSERT_TRUE(
+        p.metadata_registry().Define(MetadataDescriptor::Static("a", 1.0)).ok());
+    ASSERT_TRUE(
+        fx.manager.EnableDurability(EveryRecordConfig(tmp.path), {&p}).ok());
+
+    // Block the next journal generation with a directory: CheckpointNow's
+    // snapshot write succeeds, but JournalWriter::Create fails on it.
+    uint64_t gen = fx.manager.durability()->stats().current_generation;
+    char name[64];
+    std::snprintf(name, sizeof(name), "journal-%020" PRIu64, gen + 1);
+    std::string blocker = tmp.path + "/" + name;
+    ASSERT_EQ(::mkdir(blocker.c_str(), 0755), 0);
+
+    ASSERT_TRUE(
+        p.metadata_registry().Define(MetadataDescriptor::Static("b", 2.0)).ok());
+    EXPECT_FALSE(fx.manager.durability()->CheckpointNow().ok());
+
+    auto stats = fx.manager.stats();
+    EXPECT_EQ(stats.checkpoint_failures, 1u);
+    EXPECT_TRUE(stats.durability_degraded);
+    EXPECT_TRUE(fx.manager.durability()->degraded());
+    // Generation did not advance: the old journal is still installed.
+    EXPECT_EQ(fx.manager.durability()->stats().current_generation, gen);
+
+    // Mutations after the failed rotation still reach the (old) journal.
+    ASSERT_TRUE(
+        p.metadata_registry().Define(MetadataDescriptor::Static("c", 3.0)).ok());
+
+    // With the blocker gone the next checkpoint succeeds; the degraded
+    // latch stays up for the engine's lifetime.
+    ASSERT_EQ(::rmdir(blocker.c_str()), 0);
+    EXPECT_TRUE(fx.manager.durability()->CheckpointNow().ok());
+    EXPECT_TRUE(fx.manager.stats().durability_degraded);
+
+    defined_all = p.metadata_registry().IsAvailable("a") &&
+                  p.metadata_registry().IsAvailable("b") &&
+                  p.metadata_registry().IsAvailable("c");
+    EXPECT_TRUE(defined_all);
+    fx.manager.DisableDurability();
+  }
+
+  MetaFixture fx2;
+  SimpleProvider p2("src");
+  auto rep = fx2.manager.RecoverFrom(tmp.path, {&p2});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(p2.metadata_registry().IsAvailable("a"));
+  EXPECT_TRUE(p2.metadata_registry().IsAvailable("b"));
+  EXPECT_TRUE(p2.metadata_registry().IsAvailable("c"));
 }
 
 // ---------------------------------------------------------------------------
