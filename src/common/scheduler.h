@@ -275,8 +275,9 @@ class VirtualTimeScheduler final : public TaskScheduler {
   // Pops the next runnable entry with when <= t; returns false if none.
   bool PopDue(Timestamp t, Entry* out);
 
+  // pipes-analyze: unguarded(fixed at construction; only Run/RunFor advance the clock, single-threaded by contract)
   VirtualClock owned_clock_;
-  VirtualClock* clock_;
+  VirtualClock* clock_;  // pipes-analyze: unguarded(set once in the ctor, never reseated)
   mutable Mutex mu_{"VirtualTimeScheduler::mu", lockorder::kRankScheduler};
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_
       PIPES_GUARDED_BY(mu_);
@@ -330,14 +331,16 @@ class ThreadPoolScheduler final : public TaskScheduler {
   /// checked by the runtime lock-order validator instead.
   void WorkerLoop() PIPES_NO_THREAD_SAFETY_ANALYSIS;
 
+  // pipes-analyze: unguarded(fixed at construction, read-only afterwards)
   std::unique_ptr<SystemClock> owned_clock_;
-  Clock* clock_;
+  Clock* clock_;  // pipes-analyze: unguarded(set once in the ctor, never reseated)
   mutable Mutex mu_{"ThreadPoolScheduler::mu", lockorder::kRankScheduler};
   /// condition_variable_any: the annotated pipes::Mutex is Lockable but is
   /// not std::mutex, which plain std::condition_variable requires.
-  std::condition_variable_any cv_;
+  std::condition_variable_any cv_;  // pipes-analyze: unguarded(condition variables are internally synchronized)
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_
       PIPES_GUARDED_BY(mu_);
+  // pipes-analyze: unguarded(populated in the ctor, joined in Shutdown; never touched by workers)
   std::vector<std::thread> threads_;
   uint64_t next_seq_ PIPES_GUARDED_BY(mu_) = 0;
   bool stopping_ PIPES_GUARDED_BY(mu_) = false;

@@ -189,8 +189,10 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   MetadataValue LoadValueOrFallback() const;
 
   MetadataProvider& owner_;
+  // pipes-analyze: unguarded(immutable after construction; redefinition swaps handlers, never descriptors)
   std::shared_ptr<const MetadataDescriptor> desc_;
   MetadataManager& manager_;
+  // pipes-analyze: unguarded(wired in the ctor under the exclusive structure lock, read-only afterwards)
   std::vector<std::shared_ptr<MetadataHandler>> deps_;
 
  private:
@@ -324,17 +326,19 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   // Wave-plan cache and graph-coloring scratch used by the manager's
   // propagation path. Guarded by MetadataManager::propagation_mu_ (see the
   // WavePlan doc comment); untouched by the handler's own code.
-  WavePlan wave_plan_;
-  uint64_t wave_mark_ = 0;  ///< last RebuildWavePlan stamp that visited us
-  int wave_indegree_ = 0;   ///< Kahn in-degree scratch during rebuilds
-  StormState storm_;        ///< per-origin damping state (propagation_mu_)
+  WavePlan wave_plan_;      // pipes-analyze: unguarded(MetadataManager::propagation_mu_)
+  uint64_t wave_mark_ = 0;  // pipes-analyze: unguarded(MetadataManager::propagation_mu_) — last RebuildWavePlan stamp
+  int wave_indegree_ = 0;   // pipes-analyze: unguarded(MetadataManager::propagation_mu_) — Kahn in-degree scratch
+  StormState storm_;        // pipes-analyze: unguarded(MetadataManager::propagation_mu_) — per-origin damping state
 
-  // Guarded by the manager's structure lock.
-  int external_refs_ = 0;
-  int internal_refs_ = 0;
+  // Guarded by the manager's structure lock, which cannot be named in a
+  // PIPES_GUARDED_BY from here without a cyclic include.
+  int external_refs_ = 0;  // pipes-analyze: unguarded(MetadataManager structure lock)
+  int internal_refs_ = 0;  // pipes-analyze: unguarded(MetadataManager structure lock)
 
   /// Sharded: Get() is the many-reader hot path and must not make all
   /// consumers contend on one counter cache line.
+  // pipes-analyze: unguarded(ShardedCounter is internally atomic per shard)
   ShardedCounter access_count_;
   std::atomic<uint64_t> update_count_{0};
   std::atomic<uint64_t> eval_count_{0};

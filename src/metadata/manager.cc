@@ -486,7 +486,7 @@ void MetadataManager::PropagateFrom(MetadataHandler& origin, Timestamp now) {
 void MetadataManager::RunWaveLocked(MetadataHandler& origin, Timestamp now) {
   stats_waves_.fetch_add(1, std::memory_order_relaxed);
 
-  if (propagation_mode_ == PropagationMode::kNaiveRecursive) {
+  if (propagation_mode() == PropagationMode::kNaiveRecursive) {
     NaivePropagate(origin, now, 0);
     return;
   }

@@ -261,8 +261,13 @@ class MetadataManager {
 
   /// Selects the propagation algorithm (default kTopological). The naive
   /// mode exists for the ablation bench; production code should not use it.
-  void set_propagation_mode(PropagationMode mode) { propagation_mode_ = mode; }
-  PropagationMode propagation_mode() const { return propagation_mode_; }
+  /// Atomic so a configuration flip never tears against an in-flight wave.
+  void set_propagation_mode(PropagationMode mode) {
+    propagation_mode_.store(mode, std::memory_order_relaxed);
+  }
+  PropagationMode propagation_mode() const {
+    return propagation_mode_.load(std::memory_order_relaxed);
+  }
 
   /// \name Overload control (pressure governor)
   ///
@@ -515,7 +520,8 @@ class MetadataManager {
   /// synchronously fire a nested event (§3.2.3).
   RecursiveMutex propagation_mu_{"MetadataManager::propagation_mu",
                                  lockorder::kRankPropagation};
-  PropagationMode propagation_mode_ = PropagationMode::kTopological;
+  std::atomic<PropagationMode> propagation_mode_{
+      PropagationMode::kTopological};
 
   /// Current structure epoch; see BumpStructureEpoch().
   std::atomic<uint64_t> structure_epoch_{1};

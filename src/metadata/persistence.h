@@ -330,8 +330,10 @@ class MetadataDurability {
   uint64_t current_generation_ PIPES_GUARDED_BY(journal_mu_) = 0;
   RecordEncoder scratch_ PIPES_GUARDED_BY(journal_mu_);
 
-  TaskHandle flush_task_;
-  TaskHandle checkpoint_task_;
+  // Written only by Start/Stop, which the owning manager serializes; the
+  // handles' shared state is itself thread-safe.
+  TaskHandle flush_task_;       // pipes-analyze: unguarded(Start/Stop serialization)
+  TaskHandle checkpoint_task_;  // pipes-analyze: unguarded(Start/Stop serialization)
   std::atomic<bool> started_{false};
 
   std::atomic<uint64_t> stats_records_{0};

@@ -85,9 +85,9 @@ class MetadataProvider {
  private:
   static std::atomic<uint64_t> next_id_;
 
-  std::string label_;
-  uint64_t provider_id_;
-  MetadataRegistry registry_;
+  std::string label_;      // pipes-analyze: unguarded(fixed at construction)
+  uint64_t provider_id_;   // pipes-analyze: unguarded(fixed at construction)
+  MetadataRegistry registry_;  // pipes-analyze: unguarded(internally synchronized by its own mutex)
   std::atomic<MetadataManager*> manager_{nullptr};
   mutable ReentrantSharedMutex state_mu_{"MetadataProvider::state_mu",
                                          lockorder::kRankOperatorState};

@@ -107,7 +107,9 @@ class MetadataMonitor {
   mutable Mutex mu_{"MetadataMonitor::mu", lockorder::kRankMonitor};
   std::map<std::string, Watched> watched_ PIPES_GUARDED_BY(mu_);
   std::map<std::string, TimeSeries> series_ PIPES_GUARDED_BY(mu_);
-  TaskHandle sampling_task_;
+  // Written only by Start/Stop from the owning thread (monitor.cc); the
+  // handle's shared state is itself thread-safe.
+  TaskHandle sampling_task_;  // pipes-analyze: unguarded(Start/Stop serialization)
 };
 
 }  // namespace pipes

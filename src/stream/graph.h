@@ -99,8 +99,8 @@ class QueryGraph {
   static bool ReachesDownstream(Node* start, Node* target);
 
   TaskScheduler& scheduler_;
-  Duration metadata_period_;
-  MetadataManager metadata_manager_;
+  Duration metadata_period_;       // pipes-analyze: unguarded(fixed at construction)
+  MetadataManager metadata_manager_;  // pipes-analyze: unguarded(internally synchronized by its own locks)
   /// Outermost lock of the hierarchy: structural ops may take every other
   /// lock underneath (node teardown drops metadata subscriptions).
   mutable ReentrantSharedMutex graph_mu_{"QueryGraph::graph_mu",

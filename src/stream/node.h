@@ -161,11 +161,13 @@ class Node : public MetadataProvider {
   void AddDownstreamEdge(Node* n, size_t input_index);
   void EnsureInputProbes(size_t count);
 
-  Kind kind_;
-  QueryGraph* graph_ = nullptr;
-  std::vector<Node*> upstreams_;
-  std::vector<Edge> downstream_edges_;
-  Duration metadata_period_ = kMicrosPerSecond;
+  // Structural wiring happens in the single-threaded graph-building phase
+  // before any task runs; QueryGraph::graph_mu_ serializes later mutation.
+  Kind kind_;  // pipes-analyze: unguarded(fixed at construction)
+  QueryGraph* graph_ = nullptr;  // pipes-analyze: unguarded(graph-build phase, then QueryGraph::graph_mu_)
+  std::vector<Node*> upstreams_;  // pipes-analyze: unguarded(graph-build phase, then QueryGraph::graph_mu_)
+  std::vector<Edge> downstream_edges_;  // pipes-analyze: unguarded(graph-build phase, then QueryGraph::graph_mu_)
+  Duration metadata_period_ = kMicrosPerSecond;  // pipes-analyze: unguarded(graph-build phase, then QueryGraph::graph_mu_)
 
   std::atomic<uint64_t> total_emitted_{0};
   std::atomic<uint64_t> total_received_{0};
@@ -174,22 +176,26 @@ class Node : public MetadataProvider {
   void NotifyEmitObservers(const StreamElement& e);
   void RecordProcessingLatency(const StreamElement& e);
 
-  CounterProbe output_probe_;
-  CounterProbe any_input_probe_;
-  std::vector<std::unique_ptr<CounterProbe>> input_probes_;
-  GaugeProbe work_probe_;
-  GaugeProbe latency_sum_probe_;
-  CounterProbe latency_count_probe_;
+  // Probes are internally atomic (see probes.h); the vector itself only
+  // grows during the graph-build phase (EnsureInputProbes from AddEdge).
+  CounterProbe output_probe_;     // pipes-analyze: unguarded(internally atomic)
+  CounterProbe any_input_probe_;  // pipes-analyze: unguarded(internally atomic)
+  std::vector<std::unique_ptr<CounterProbe>> input_probes_;  // pipes-analyze: unguarded(graph-build phase)
+  GaugeProbe work_probe_;         // pipes-analyze: unguarded(internally atomic)
+  GaugeProbe latency_sum_probe_;  // pipes-analyze: unguarded(internally atomic)
+  CounterProbe latency_count_probe_;  // pipes-analyze: unguarded(internally atomic)
+  // pipes-analyze: unguarded(installed during graph build; the queue is internally synchronized)
   std::unique_ptr<InputQueue> input_queue_;
   std::atomic<int> observer_count_{0};
   mutable Mutex observers_mu_{"Node::observers_mu", lockorder::kRankLeaf};
   std::map<std::string, EmitObserver> observers_ PIPES_GUARDED_BY(observers_mu_);
 
-  // Cursors owned per standard metadata item (reset on activation).
-  ProbeCursor output_rate_cursor_;
-  ProbeCursor avg_helper_cursor_;
-  GaugeCursor latency_sum_cursor_;
-  ProbeCursor latency_count_cursor_;
+  // Cursors owned per standard metadata item (reset on activation). Each is
+  // read by exactly one serialized metadata evaluator.
+  ProbeCursor output_rate_cursor_;   // pipes-analyze: unguarded(single serialized evaluator)
+  ProbeCursor avg_helper_cursor_;    // pipes-analyze: unguarded(single serialized evaluator)
+  GaugeCursor latency_sum_cursor_;   // pipes-analyze: unguarded(single serialized evaluator)
+  ProbeCursor latency_count_cursor_;  // pipes-analyze: unguarded(single serialized evaluator)
 };
 
 /// \brief Base class for stream sources.

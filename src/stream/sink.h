@@ -31,7 +31,7 @@ class CollectorSink final : public SinkNode {
   void ProcessElement(const StreamElement& e, size_t input_index) override;
 
  private:
-  size_t capacity_;
+  const size_t capacity_;
   mutable Mutex buf_mu_{"CollectorSink::buf_mu", lockorder::kRankLeaf};
   std::deque<StreamElement> buffer_ PIPES_GUARDED_BY(buf_mu_);
 };

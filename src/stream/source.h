@@ -119,10 +119,13 @@ class SyntheticSource final : public SourceNode {
  private:
   void ScheduleNext();
 
-  Schema schema_;
-  std::unique_ptr<ArrivalProcess> arrivals_;
-  TupleGenerator generator_;
-  Rng rng_;
+  // schema_/generator_ are fixed at construction; arrivals_ and rng_ are
+  // touched only by the single in-flight arrival task (ScheduleNext chains
+  // one task at a time, and Stop cancels before teardown).
+  Schema schema_;     // pipes-analyze: unguarded(fixed at construction)
+  std::unique_ptr<ArrivalProcess> arrivals_;  // pipes-analyze: unguarded(single in-flight arrival task)
+  TupleGenerator generator_;  // pipes-analyze: unguarded(fixed at construction)
+  Rng rng_;  // pipes-analyze: unguarded(single in-flight arrival task)
   /// Guards task_: reassigned by the arrival callback on a scheduler worker
   /// while Stop() cancels from the owner's thread.
   Mutex task_mu_{"SyntheticSource::task_mu", lockorder::kRankLeaf};

@@ -1,0 +1,32 @@
+#include "metadata/persistence.h"
+
+namespace fix {
+
+const char* DurabilityRecordTypeToString(DurabilityRecordType t) {
+  switch (t) {
+    case DurabilityRecordType::kDefine:
+      return "define";
+    case DurabilityRecordType::kValue:
+      return "value";
+    case DurabilityRecordType::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+void Encode(Writer* w) {
+  w->Put(DurabilityRecordType::kDefine);
+  w->Put(DurabilityRecordType::kValue);
+  w->Put(DurabilityRecordType::kDrop);
+}
+
+void ApplyRecord(DurabilityRecordType t) {
+  switch (t) {
+    case DurabilityRecordType::kDefine:
+      break;
+    case DurabilityRecordType::kValue:
+      break;
+  }
+}
+
+}  // namespace fix

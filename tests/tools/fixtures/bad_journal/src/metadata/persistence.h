@@ -1,0 +1,15 @@
+// Seeded journal violation: kDrop is encoded and printable but has no
+// ApplyRecord replay case — it would be silently dropped on recovery.
+#pragma once
+
+#include <cstdint>
+
+namespace fix {
+
+enum class DurabilityRecordType : uint8_t {
+  kDefine = 1,
+  kValue = 2,
+  kDrop = 3,
+};
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// Seeded kill-point violations: "fix.pre_write" is armed twice (sites arm
+// by name) and "fix.untested" has no crash-matrix row.
+namespace fix {
+
+void Flush() {
+  KillPoint("fix.pre_write");
+  KillPoint("fix.untested");
+}
+
+void Checkpoint() {
+  KillPoint("fix.pre_write");
+}
+
+}  // namespace fix

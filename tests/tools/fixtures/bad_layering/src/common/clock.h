@@ -1,0 +1,8 @@
+// Seeded layering violation: common must not include metadata.
+#pragma once
+
+#include "metadata/registry.h"
+
+namespace fix {
+class Clock {};
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Seeded layering violation: src/ must not include tests/ headers.
+#pragma once
+
+#include "tests/metadata/helpers.h"
+
+namespace fix {
+class Registry {};
+}  // namespace fix

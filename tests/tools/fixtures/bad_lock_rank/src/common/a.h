@@ -1,0 +1,9 @@
+#pragma once
+
+#include "common/lock_order.h"
+
+namespace fix {
+class A {
+  Mutex mu_{"A::mu", lockorder::kRankOuter};
+};
+}  // namespace fix

@@ -1,0 +1,9 @@
+// Seeded lock-rank violation #1: kRankAlias reuses kRankInner's value, so
+// two hierarchy levels silently alias.
+#pragma once
+
+namespace lockorder {
+constexpr int kRankOuter = 100;
+constexpr int kRankInner = 200;
+constexpr int kRankAlias = 200;
+}  // namespace lockorder

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "common/lock_order.h"
+
+namespace fix {
+class B {
+  Mutex mu_{"B::mu", lockorder::kRankInner};
+};
+}  // namespace fix

@@ -1,0 +1,22 @@
+// Fixture class exercising every guard-coverage disposition that should
+// pass: annotated, lock, atomic, const, and an explicit waiver.
+#pragma once
+
+#include "common/lock_order.h"
+
+namespace fix {
+
+class Counter {
+ public:
+  void Add(int n);
+  int total() const;
+
+ private:
+  mutable Mutex mu_{"Counter::mu", lockorder::kRankOuter};
+  int total_ PIPES_GUARDED_BY(mu_) = 0;
+  std::atomic<int> peeks_{0};
+  const int step_ = 1;
+  int scratch_ = 0;  // pipes-analyze: unguarded(fixture: single-threaded scratch)
+};
+
+}  // namespace fix

@@ -1,0 +1,7 @@
+// Fixture rank table: two well-separated hierarchy levels.
+#pragma once
+
+namespace lockorder {
+constexpr int kRankOuter = 100;
+constexpr int kRankInner = 200;
+}  // namespace lockorder

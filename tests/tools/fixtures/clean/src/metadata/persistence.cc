@@ -1,0 +1,32 @@
+#include "metadata/persistence.h"
+
+namespace fix {
+
+Mutex journal_mu{"Journal::mu", lockorder::kRankInner};
+
+const char* DurabilityRecordTypeToString(DurabilityRecordType t) {
+  switch (t) {
+    case DurabilityRecordType::kDefine:
+      return "define";
+    case DurabilityRecordType::kValue:
+      return "value";
+  }
+  return "?";
+}
+
+void Encode(Writer* w) {
+  w->Put(DurabilityRecordType::kDefine);
+  KillPoint("fixture.pre_write");
+  w->Put(DurabilityRecordType::kValue);
+}
+
+void ApplyRecord(DurabilityRecordType t) {
+  switch (t) {
+    case DurabilityRecordType::kDefine:
+      break;
+    case DurabilityRecordType::kValue:
+      break;
+  }
+}
+
+}  // namespace fix

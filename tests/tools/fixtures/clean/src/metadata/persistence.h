@@ -1,0 +1,16 @@
+// Fixture journal schema: two record types, both fully round-tripped in
+// persistence.cc.
+#pragma once
+
+#include <cstdint>
+
+#include "common/lock_order.h"
+
+namespace fix {
+
+enum class DurabilityRecordType : uint8_t {
+  kDefine = 1,
+  kValue = 2,
+};
+
+}  // namespace fix

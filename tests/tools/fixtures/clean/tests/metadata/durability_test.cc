@@ -1,0 +1,9 @@
+#include "metadata/persistence.h"
+
+namespace {
+
+const char* kKillSites[] = {
+    "fixture.pre_write",
+};
+
+}  // namespace

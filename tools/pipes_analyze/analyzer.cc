@@ -1,0 +1,48 @@
+#include "pipes_analyze/analyzer.h"
+
+#include <algorithm>
+
+namespace pipes::analyze {
+
+std::string Finding::ToString() const {
+  std::string s = file;
+  if (line > 0) s += ":" + std::to_string(line);
+  s += ": [" + check + "] " + message;
+  return s;
+}
+
+std::vector<std::string> AllCheckNames() {
+  return {"guard-coverage", "layering", "lock-rank", "journal",
+          "kill-points"};
+}
+
+std::vector<Finding> RunChecks(const Options& opts,
+                               const std::vector<std::string>& checks) {
+  std::vector<std::string> selected =
+      checks.empty() ? AllCheckNames() : checks;
+  std::vector<Finding> out;
+  for (const std::string& name : selected) {
+    if (name == "guard-coverage") {
+      CheckGuardCoverage(opts, &out);
+    } else if (name == "layering") {
+      CheckLayering(opts, &out);
+    } else if (name == "lock-rank") {
+      CheckLockRanks(opts, &out);
+    } else if (name == "journal") {
+      CheckJournalExhaustiveness(opts, &out);
+    } else if (name == "kill-points") {
+      CheckKillPoints(opts, &out);
+    } else {
+      out.push_back({"usage", "", 0, "unknown check '" + name + "'"});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.check != b.check) return a.check < b.check;
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace pipes::analyze

@@ -1,0 +1,80 @@
+/// \file analyzer.h
+/// \brief `pipes_analyze` — a source-level checker for project invariants
+/// that generic tooling (clang-tidy, -Wthread-safety) cannot express.
+///
+/// Five checks, each a free function over a repository root:
+///
+///  - guard-coverage  every mutable data member of a class that uses
+///                    PIPES_GUARDED_BY must itself be annotated, atomic,
+///                    a lock, or carry a reviewed waiver comment
+///                    `// pipes-analyze: unguarded(<reason>)`.
+///  - layering        the include DAG between src/ modules must match the
+///                    build graph (common ← metadata ← stream ← {costmodel,
+///                    runtime}, query_builder above all), and src/ must
+///                    never include tests/ or bench/ headers.
+///  - lock-rank       the kRank* table in lock_order.h is unique and
+///                    positive, every lock construction names a known rank,
+///                    lock-class names are globally unique, and the
+///                    committed PIPES_LOCK_ORDER_DUMP snapshot is
+///                    rank-monotone and contains only known classes.
+///  - journal         every DurabilityRecordType tag appears in the
+///                    encoder, the ToString switch, and the replay switch
+///                    (a missing replay arm is silent data loss on restart).
+///  - kill-points     every KillPoint("site") name is unique and exercised
+///                    by the crash matrix in durability_test.cc (and the
+///                    matrix lists no stale sites).
+///
+/// The checks are deliberately project-specific: they hard-code this
+/// repository's layout (src/<module>/..., persistence.{h,cc}, the crash
+/// matrix file) so that a violation is a one-line, zero-configuration
+/// finding. Fixture trees under tests/tools/fixtures mirror that layout.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pipes::analyze {
+
+/// One reported violation. `file` is root-relative, `line` is 1-based
+/// (0 when the finding is about a file or table as a whole).
+struct Finding {
+  std::string check;    ///< check name, e.g. "guard-coverage"
+  std::string file;     ///< root-relative path ('/'-separated)
+  int line = 0;         ///< 1-based; 0 = whole-file finding
+  std::string message;  ///< one-line description
+
+  std::string ToString() const;
+};
+
+/// Options shared by every check.
+struct Options {
+  /// Repository root (must contain src/). Absolute or cwd-relative.
+  std::string root;
+  /// Lock-order snapshot path; empty = <root>/tools/lock_order_graph.txt.
+  std::string lock_graph_path;
+};
+
+/// \name The five checks
+/// Each appends findings for its invariant. IO problems (an expected file
+/// missing from the tree) are reported as findings, not exceptions: a tree
+/// that lost its crash matrix should fail the gate, not skip it.
+///@{
+void CheckGuardCoverage(const Options& opts, std::vector<Finding>* out);
+void CheckLayering(const Options& opts, std::vector<Finding>* out);
+void CheckLockRanks(const Options& opts, std::vector<Finding>* out);
+void CheckJournalExhaustiveness(const Options& opts,
+                                std::vector<Finding>* out);
+void CheckKillPoints(const Options& opts, std::vector<Finding>* out);
+///@}
+
+/// All registered check names, in report order.
+std::vector<std::string> AllCheckNames();
+
+/// Runs the named checks (all when `checks` is empty). Unknown names
+/// produce a finding with check "usage". Returns the findings sorted by
+/// (check, file, line).
+std::vector<Finding> RunChecks(const Options& opts,
+                               const std::vector<std::string>& checks);
+
+}  // namespace pipes::analyze

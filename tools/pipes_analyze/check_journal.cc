@@ -1,0 +1,163 @@
+/// \file check_journal.cc
+/// \brief journal: every DurabilityRecordType tag must round-trip — named
+/// in the ToString switch, produced by some encoder call, and handled by
+/// the ApplyRecord replay switch.
+///
+/// Why a dedicated check: a new record type that is encoded but never
+/// replayed does not fail any test that restarts from a journal written by
+/// the same binary *unless* the test happens to exercise that record —
+/// recovery skips unknown work silently, which is data loss on restart.
+/// Exhaustiveness must hold by construction, not by test luck.
+///
+/// ApplyRecord deliberately has no `default:` arm for this reason; the
+/// check complements the compiler's -Wswitch by also proving the encoder
+/// side exists and by running on every PR regardless of compiler flags.
+
+#include <string>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+#include "pipes_analyze/source_model.h"
+
+namespace pipes::analyze {
+namespace {
+
+constexpr const char* kCheck = "journal";
+constexpr const char* kSchemaHeader = "src/metadata/persistence.h";
+constexpr const char* kSchemaImpl = "src/metadata/persistence.cc";
+constexpr const char* kEnumName = "DurabilityRecordType";
+constexpr const char* kToStringFn = "DurabilityRecordTypeToString";
+constexpr const char* kReplayFn = "ApplyRecord";
+
+struct Enumerator {
+  std::string name;
+  int line = 0;
+};
+
+/// Parses `enum class DurabilityRecordType [: type] { ... };` enumerators
+/// and reports duplicate explicit values.
+std::vector<Enumerator> ParseEnum(const std::vector<Token>& toks,
+                                  std::vector<Finding>* out) {
+  std::vector<Enumerator> tags;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("enum") || !toks[i + 1].IsIdent("class") ||
+        !toks[i + 2].IsIdent(kEnumName)) {
+      continue;
+    }
+    size_t open = i + 3;
+    while (open < toks.size() && !toks[open].Is("{")) ++open;
+    size_t close = MatchingClose(toks, open);
+    std::vector<std::string> seen_values;
+    for (size_t j = open + 1; j < close; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      tags.push_back({toks[j].text, toks[j].line});
+      // Skip an optional `= value`, checking explicit values for dups.
+      if (j + 2 < close && toks[j + 1].Is("=")) {
+        const std::string& v = toks[j + 2].text;
+        for (const std::string& s : seen_values) {
+          if (s == v) {
+            out->push_back({kCheck, kSchemaHeader, toks[j].line,
+                            "enumerator " + toks[j].text +
+                                " reuses wire value " + v});
+          }
+        }
+        seen_values.push_back(v);
+        j += 2;
+      }
+      while (j + 1 < close && !toks[j + 1].Is(",")) ++j;
+      ++j;  // the comma
+    }
+    break;
+  }
+  return tags;
+}
+
+/// Token range [begin, end) of the body of function `name`, or (0,0).
+std::pair<size_t, size_t> FunctionBody(const std::vector<Token>& toks,
+                                       const char* name) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].IsIdent(name) || !toks[i + 1].Is("(")) continue;
+    size_t params_close = MatchingClose(toks, i + 1);
+    if (params_close + 1 >= toks.size()) continue;
+    if (!toks[params_close + 1].Is("{")) continue;  // a declaration or call
+    size_t body_close = MatchingClose(toks, params_close + 1);
+    return {params_close + 2, body_close};
+  }
+  return {0, 0};
+}
+
+/// True when `DurabilityRecordType::tag` occurs in [begin, end); `as_case`
+/// selects `case`-label occurrences vs. plain (encoder-side) mentions.
+bool MentionsTag(const std::vector<Token>& toks, size_t begin, size_t end,
+                 const std::string& tag, bool as_case) {
+  for (size_t i = begin; i + 3 < end; ++i) {
+    if (!toks[i].IsIdent(kEnumName) || !toks[i + 1].Is(":") ||
+        !toks[i + 2].Is(":") || !toks[i + 3].IsIdent(tag.c_str())) {
+      continue;
+    }
+    bool is_case = i > 0 && toks[i - 1].IsIdent("case");
+    if (is_case == as_case) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckJournalExhaustiveness(const Options& opts,
+                                std::vector<Finding>* out) {
+  auto header = LoadSource(opts.root, kSchemaHeader);
+  if (!header) {
+    out->push_back({kCheck, kSchemaHeader, 0, "could not read schema header"});
+    return;
+  }
+  std::vector<Token> htoks = Lex(header->stripped);
+  std::vector<Enumerator> tags = ParseEnum(htoks, out);
+  if (tags.empty()) {
+    out->push_back({kCheck, kSchemaHeader, 0,
+                    std::string("enum class ") + kEnumName + " not found"});
+    return;
+  }
+
+  auto impl = LoadSource(opts.root, kSchemaImpl);
+  if (!impl) {
+    out->push_back({kCheck, kSchemaImpl, 0, "could not read schema impl"});
+    return;
+  }
+  std::vector<Token> itoks = Lex(impl->stripped);
+  auto [ts_begin, ts_end] = FunctionBody(itoks, kToStringFn);
+  auto [rp_begin, rp_end] = FunctionBody(itoks, kReplayFn);
+  if (ts_begin == ts_end) {
+    out->push_back({kCheck, kSchemaImpl, 0,
+                    std::string(kToStringFn) + " definition not found"});
+  }
+  if (rp_begin == rp_end) {
+    out->push_back({kCheck, kSchemaImpl, 0,
+                    std::string(kReplayFn) + " definition not found"});
+  }
+
+  for (const Enumerator& tag : tags) {
+    if (rp_begin != rp_end &&
+        !MentionsTag(itoks, rp_begin, rp_end, tag.name, /*as_case=*/true)) {
+      out->push_back({kCheck, kSchemaHeader, tag.line,
+                      "record type " + tag.name + " has no case in " +
+                          kReplayFn +
+                          " — it would be encoded but silently dropped on "
+                          "recovery (data loss)"});
+    }
+    if (ts_begin != ts_end &&
+        !MentionsTag(itoks, ts_begin, ts_end, tag.name, /*as_case=*/true)) {
+      out->push_back({kCheck, kSchemaHeader, tag.line,
+                      "record type " + tag.name + " has no case in " +
+                          kToStringFn});
+    }
+    if (!MentionsTag(itoks, 0, itoks.size(), tag.name, /*as_case=*/false)) {
+      out->push_back({kCheck, kSchemaHeader, tag.line,
+                      "record type " + tag.name +
+                          " is never encoded (no non-case mention in " +
+                          kSchemaImpl + ") — dead wire tag or missing "
+                          "encoder"});
+    }
+  }
+}
+
+}  // namespace pipes::analyze

@@ -1,0 +1,117 @@
+/// \file check_kill_points.cc
+/// \brief kill-points: every KillPoint("site") in src/ must be unique and
+/// exercised by the crash matrix in tests/metadata/durability_test.cc, and
+/// the matrix must list no stale sites.
+///
+/// The crash matrix forks a child per site and asserts that everything
+/// acknowledged before the kill is recovered. That guarantee is only as
+/// complete as the site list: a durability change that adds a new crash
+/// window (a new KillPoint) without a matrix row is untested exactly where
+/// it is most dangerous. Duplicate site names are equally bad — ArmKillPoint
+/// matches by name, so a duplicate silently arms two windows and the matrix
+/// can no longer attribute a failure to one.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+#include "pipes_analyze/source_model.h"
+
+namespace pipes::analyze {
+namespace {
+
+constexpr const char* kCheck = "kill-points";
+constexpr const char* kMatrixFile = "tests/metadata/durability_test.cc";
+constexpr const char* kMatrixArray = "kKillSites";
+
+struct Site {
+  std::string file;
+  int line = 0;
+};
+
+}  // namespace
+
+void CheckKillPoints(const Options& opts, std::vector<Finding>* out) {
+  // Gather KillPoint("...") call sites across src/.
+  std::map<std::string, Site> sites;
+  for (const std::string& rel : ListSources(opts.root, "src")) {
+    auto file = LoadSource(opts.root, rel);
+    if (!file) continue;
+    std::vector<Token> toks = Lex(file->stripped);
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(toks[i].IsIdent("KillPoint") ||
+            toks[i].IsIdent("PIPES_KILL_POINT")) ||
+          !toks[i + 1].Is("(") || toks[i + 2].kind != TokKind::kString) {
+        continue;
+      }
+      const std::string& name = toks[i + 2].text;
+      auto it = sites.find(name);
+      if (it != sites.end()) {
+        out->push_back({kCheck, rel, toks[i + 2].line,
+                        "kill-point site '" + name + "' duplicates " +
+                            it->second.file + ":" +
+                            std::to_string(it->second.line) +
+                            " (sites arm by name and must be unique)"});
+      } else {
+        sites[name] = Site{rel, toks[i + 2].line};
+      }
+    }
+  }
+  if (sites.empty()) {
+    out->push_back(
+        {kCheck, "src", 0, "no KillPoint sites found anywhere in src/"});
+    return;
+  }
+
+  auto matrix = LoadSource(opts.root, kMatrixFile);
+  if (!matrix) {
+    out->push_back({kCheck, kMatrixFile, 0,
+                    "crash matrix file missing — kill points are untested"});
+    return;
+  }
+  std::vector<Token> mtoks = Lex(matrix->stripped);
+
+  // Parse the kKillSites array initializer for the stale-entry direction.
+  std::set<std::string> matrix_sites;
+  int array_line = 0;
+  for (size_t i = 0; i < mtoks.size(); ++i) {
+    if (!mtoks[i].IsIdent(kMatrixArray)) continue;
+    size_t open = i;
+    while (open < mtoks.size() && !mtoks[open].Is("{")) ++open;
+    size_t close = MatchingClose(mtoks, open);
+    for (size_t j = open + 1; j < close; ++j) {
+      if (mtoks[j].kind == TokKind::kString) {
+        matrix_sites.insert(mtoks[j].text);
+        array_line = mtoks[j].line;
+      }
+    }
+    break;
+  }
+  if (matrix_sites.empty()) {
+    out->push_back({kCheck, kMatrixFile, 0,
+                    std::string("crash-matrix array ") + kMatrixArray +
+                        " not found or empty"});
+    return;
+  }
+
+  for (const auto& [name, site] : sites) {
+    if (!matrix_sites.count(name)) {
+      out->push_back({kCheck, site.file, site.line,
+                      "kill-point site '" + name + "' is not in the " +
+                          kMatrixArray + " crash matrix (" + kMatrixFile +
+                          ") — this crash window is untested"});
+    }
+  }
+  for (const std::string& name : matrix_sites) {
+    if (!sites.count(name)) {
+      out->push_back({kCheck, kMatrixFile, array_line,
+                      "crash matrix lists '" + name +
+                          "' but no such KillPoint exists in src/ (stale "
+                          "entry?)"});
+    }
+  }
+}
+
+}  // namespace pipes::analyze

@@ -1,0 +1,139 @@
+/// \file check_layering.cc
+/// \brief layering: the include DAG between src/ modules must match the
+/// build graph, and src/ must never reach into tests/ or bench/.
+///
+/// Allowed module dependencies (mirror of src/*/CMakeLists.txt):
+///
+///     common    -> common
+///     metadata  -> metadata, common
+///     stream    -> stream, metadata, common
+///     costmodel -> costmodel, stream, metadata, common
+///     runtime   -> runtime, costmodel, stream, metadata, common
+///     query     -> everything      (src/stream/query_builder.*, the
+///                                   pipes_query target above costmodel)
+///
+/// query_builder lives in the src/stream directory but is its own library
+/// precisely because it depends on the cost model; the checker models it as
+/// its own layer, and conversely nothing below query may include it.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+#include "pipes_analyze/source_model.h"
+
+namespace pipes::analyze {
+namespace {
+
+constexpr const char* kCheck = "layering";
+
+/// src/stream/query_builder.* forms the "query" layer above everything.
+bool IsQueryLayer(const std::string& rel) {
+  return rel == "src/stream/query_builder.h" ||
+         rel == "src/stream/query_builder.cc";
+}
+
+/// Module of a root-relative src/ path ("" when not under src/).
+std::string ModuleOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+const std::map<std::string, std::vector<std::string>>& AllowedDeps() {
+  static const std::map<std::string, std::vector<std::string>> kAllowed = {
+      {"common", {"common"}},
+      {"metadata", {"metadata", "common"}},
+      {"stream", {"stream", "metadata", "common"}},
+      {"costmodel", {"costmodel", "stream", "metadata", "common"}},
+      {"runtime", {"runtime", "costmodel", "stream", "metadata", "common"}},
+      {"query",
+       {"query", "runtime", "costmodel", "stream", "metadata", "common"}},
+  };
+  return kAllowed;
+}
+
+bool Allows(const std::string& from, const std::string& to) {
+  auto it = AllowedDeps().find(from);
+  if (it == AllowedDeps().end()) return false;
+  for (const std::string& m : it->second) {
+    if (m == to) return true;
+  }
+  return false;
+}
+
+/// Extracts `#include "..."` targets (quoted form only — system headers are
+/// outside the layering contract) with their line numbers.
+std::vector<std::pair<std::string, int>> QuotedIncludes(
+    const SourceFile& file) {
+  std::vector<std::pair<std::string, int>> out;
+  const std::string& s = file.stripped;
+  int line = 1;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (s[i] != '#') continue;
+    size_t p = i + 1;
+    while (p < s.size() && (s[p] == ' ' || s[p] == '\t')) ++p;
+    if (s.compare(p, 7, "include") != 0) continue;
+    p += 7;
+    while (p < s.size() && (s[p] == ' ' || s[p] == '\t')) ++p;
+    if (p >= s.size() || s[p] != '"') continue;
+    size_t close = s.find('"', p + 1);
+    if (close == std::string::npos) continue;
+    out.emplace_back(s.substr(p + 1, close - p - 1), line);
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckLayering(const Options& opts, std::vector<Finding>* out) {
+  std::vector<std::string> files = ListSources(opts.root, "src");
+  if (files.empty()) {
+    out->push_back({kCheck, "src", 0, "no sources found under src/"});
+    return;
+  }
+  for (const std::string& rel : files) {
+    auto file = LoadSource(opts.root, rel);
+    if (!file) {
+      out->push_back({kCheck, rel, 0, "could not read file"});
+      continue;
+    }
+    std::string from =
+        IsQueryLayer(rel) ? std::string("query") : ModuleOf(rel);
+    if (from.empty()) continue;  // src/ top-level files have no layer
+    for (const auto& [inc, line] : QuotedIncludes(*file)) {
+      if (inc.rfind("tests/", 0) == 0 || inc.rfind("bench/", 0) == 0) {
+        out->push_back({kCheck, rel, line,
+                        "src/ must not include test or bench headers: \"" +
+                            inc + "\""});
+        continue;
+      }
+      if (inc.rfind("../", 0) == 0 || inc.find("/../") != std::string::npos) {
+        out->push_back({kCheck, rel, line,
+                        "relative up-path include escapes the src/ include "
+                        "root: \"" +
+                            inc + "\""});
+        continue;
+      }
+      // Includes resolve against src/ (the only include root).
+      std::string to = IsQueryLayer("src/" + inc) ? std::string("query")
+                                                  : ModuleOf("src/" + inc);
+      if (to.empty()) continue;  // non-module header (none today)
+      if (!Allows(from, to)) {
+        out->push_back({kCheck, rel, line,
+                        "layer '" + from + "' must not include layer '" + to +
+                            "' (\"" + inc +
+                            "\"); allowed DAG: common <- metadata <- stream "
+                            "<- {costmodel, runtime} <- query"});
+      }
+    }
+  }
+}
+
+}  // namespace pipes::analyze

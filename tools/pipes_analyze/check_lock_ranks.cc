@@ -1,0 +1,180 @@
+/// \file check_lock_ranks.cc
+/// \brief lock-rank: static × dynamic cross-validation of the locking
+/// discipline (DESIGN.md §3.4.1).
+///
+/// Statically extracted facts:
+///  - the kRank* table in src/common/lock_order.h (values must be unique
+///    and positive — two constants sharing a value would let two distinct
+///    hierarchy levels silently alias);
+///  - every lock construction site `{"Class::member", lockorder::kRankX}`
+///    in src/ (class names must be globally unique — RegisterLockClass
+///    interns by name, so a duplicated name would merge two unrelated locks
+///    into one class and mask real cycles; the named rank must exist).
+///
+/// Dynamic fact: the committed lock-order graph snapshot (a filtered
+/// PIPES_LOCK_ORDER_DUMP, see `pipes_analyze --update-lock-graph`). Every
+/// edge `A -> B` means "A was held while B was acquired" in a real test
+/// run; the check requires both endpoints to be statically known lock
+/// names and rank(A) < rank(B) whenever both are ranked. A violation means
+/// the rank table and observed behaviour have drifted apart — either the
+/// table is wrong or the snapshot is stale.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+#include "pipes_analyze/lock_graph.h"
+#include "pipes_analyze/source_model.h"
+
+namespace pipes::analyze {
+namespace {
+
+constexpr const char* kCheck = "lock-rank";
+constexpr const char* kRankHeader = "src/common/lock_order.h";
+
+}  // namespace
+
+std::map<std::string, int> ExtractRankTable(const Options& opts,
+                                            std::vector<Finding>* out) {
+  std::map<std::string, int> ranks;
+  auto file = LoadSource(opts.root, kRankHeader);
+  if (!file) {
+    out->push_back({kCheck, kRankHeader, 0, "could not read rank table"});
+    return ranks;
+  }
+  std::vector<Token> toks = Lex(file->stripped);
+  std::map<int, std::string> by_value;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    // constexpr int kRankX = <number>;
+    if (!toks[i].IsIdent("constexpr") || !toks[i + 1].IsIdent("int")) continue;
+    const Token& name = toks[i + 2];
+    if (name.kind != TokKind::kIdent || name.text.rfind("kRank", 0) != 0)
+      continue;
+    if (!toks[i + 3].Is("=") || i + 4 >= toks.size() ||
+        toks[i + 4].kind != TokKind::kNumber) {
+      out->push_back({kCheck, kRankHeader, name.line,
+                      "rank constant " + name.text +
+                          " is not a plain integer literal"});
+      continue;
+    }
+    int value = std::atoi(toks[i + 4].text.c_str());
+    if (value <= 0) {
+      out->push_back({kCheck, kRankHeader, name.line,
+                      "rank constant " + name.text +
+                          " must be positive (0 means unranked)"});
+    }
+    if (ranks.count(name.text)) {
+      out->push_back({kCheck, kRankHeader, name.line,
+                      "rank constant " + name.text + " declared twice"});
+    } else {
+      ranks[name.text] = value;
+      auto [it, inserted] = by_value.emplace(value, name.text);
+      if (!inserted) {
+        out->push_back({kCheck, kRankHeader, name.line,
+                        "rank value " + toks[i + 4].text + " of " + name.text +
+                            " duplicates " + it->second +
+                            " (hierarchy levels must not alias)"});
+      }
+    }
+  }
+  if (ranks.empty()) {
+    out->push_back({kCheck, kRankHeader, 0, "no kRank* constants found"});
+  }
+  return ranks;
+}
+
+std::map<std::string, LockSite> ExtractLockSites(
+    const Options& opts, const std::map<std::string, int>& ranks,
+    std::vector<Finding>* out) {
+  std::map<std::string, LockSite> sites;
+  for (const std::string& rel : ListSources(opts.root, "src")) {
+    if (rel == kRankHeader) continue;  // the table itself, not a use site
+    auto file = LoadSource(opts.root, rel);
+    if (!file) continue;  // reported by other checks
+    std::vector<Token> toks = Lex(file->stripped);
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      // "Lock::name", [lockorder ::] kRankX   (a lock-member initializer)
+      if (toks[i].kind != TokKind::kString || !toks[i + 1].Is(",")) continue;
+      size_t r = i + 2;
+      if (toks[r].IsIdent("lockorder") && r + 2 < toks.size() &&
+          toks[r + 1].Is(":") && toks[r + 2].Is(":")) {
+        r += 3;
+      }
+      if (r >= toks.size() || toks[r].kind != TokKind::kIdent ||
+          toks[r].text.rfind("kRank", 0) != 0) {
+        continue;
+      }
+      const std::string& name = toks[i].text;
+      if (!ranks.count(toks[r].text)) {
+        out->push_back({kCheck, rel, toks[r].line,
+                        "lock '" + name + "' names unknown rank constant " +
+                            toks[r].text});
+      }
+      auto it = sites.find(name);
+      if (it != sites.end()) {
+        out->push_back(
+            {kCheck, rel, toks[i].line,
+             "lock class name '" + name + "' already declared at " +
+                 it->second.file + ":" + std::to_string(it->second.line) +
+                 " (names intern globally; duplicates merge unrelated "
+                 "locks)"});
+      } else {
+        auto rank_it = ranks.find(toks[r].text);
+        sites[name] = LockSite{rel, toks[i].line,
+                               rank_it == ranks.end() ? 0 : rank_it->second};
+      }
+    }
+  }
+  if (sites.empty()) {
+    out->push_back({kCheck, "src", 0, "no ranked lock constructions found"});
+  }
+  return sites;
+}
+
+void CheckLockRanks(const Options& opts, std::vector<Finding>* out) {
+  std::map<std::string, int> ranks = ExtractRankTable(opts, out);
+  std::map<std::string, LockSite> sites = ExtractLockSites(opts, ranks, out);
+
+  std::string graph_rel = opts.lock_graph_path.empty()
+                              ? std::string(kDefaultLockGraphPath)
+                              : opts.lock_graph_path;
+  std::vector<LockEdge> edges;
+  if (!LoadLockGraph(opts.root, graph_rel, &edges)) {
+    out->push_back({kCheck, graph_rel, 0,
+                    "lock-order snapshot missing (regenerate with "
+                    "'pipes_analyze --update-lock-graph <raw-dump>')"});
+    return;
+  }
+  for (const LockEdge& e : edges) {
+    if (e.from == e.to) continue;  // same class: reentrant, never an edge
+    auto from = sites.find(e.from);
+    auto to = sites.find(e.to);
+    if (from == sites.end()) {
+      out->push_back({kCheck, graph_rel, e.line,
+                      "snapshot lock '" + e.from +
+                          "' is not declared anywhere in src/ (stale "
+                          "snapshot after a rename?)"});
+      continue;
+    }
+    if (to == sites.end()) {
+      out->push_back({kCheck, graph_rel, e.line,
+                      "snapshot lock '" + e.to +
+                          "' is not declared anywhere in src/ (stale "
+                          "snapshot after a rename?)"});
+      continue;
+    }
+    int rf = from->second.rank;
+    int rt = to->second.rank;
+    if (rf > 0 && rt > 0 && rf >= rt) {
+      out->push_back(
+          {kCheck, graph_rel, e.line,
+           "observed order '" + e.from + "' (rank " + std::to_string(rf) +
+               ") held before '" + e.to + "' (rank " + std::to_string(rt) +
+               ") contradicts the rank table: ranks must strictly increase "
+               "along held-before edges"});
+    }
+  }
+}
+
+}  // namespace pipes::analyze

@@ -1,0 +1,116 @@
+#include "pipes_analyze/lock_graph.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+namespace pipes::analyze {
+
+namespace {
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses one `from -> to  [holding: ...]` line. False for non-edge lines.
+bool ParseEdgeLine(const std::string& line, LockEdge* out) {
+  std::string body = line;
+  size_t bracket = body.find("  [");
+  if (bracket != std::string::npos) body = body.substr(0, bracket);
+  size_t arrow = body.find(" -> ");
+  if (arrow == std::string::npos) return false;
+  out->from = Trim(body.substr(0, arrow));
+  out->to = Trim(body.substr(arrow + 4));
+  return !out->from.empty() && !out->to.empty();
+}
+
+}  // namespace
+
+bool LoadLockGraph(const std::string& root, const std::string& rel,
+                   std::vector<LockEdge>* out) {
+  std::ifstream in(std::filesystem::path(root) / rel);
+  if (!in) return false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    LockEdge e;
+    if (ParseEdgeLine(t, &e)) {
+      e.line = lineno;
+      out->push_back(std::move(e));
+    }
+  }
+  return true;
+}
+
+bool UpdateLockGraph(const Options& opts, const std::string& raw_dump_path) {
+  std::vector<Finding> scratch;
+  std::map<std::string, int> ranks = ExtractRankTable(opts, &scratch);
+  std::map<std::string, LockSite> sites =
+      ExtractLockSites(opts, ranks, &scratch);
+  if (sites.empty()) {
+    std::cerr << "pipes_analyze: no production lock classes found under "
+              << opts.root << "/src\n";
+    return false;
+  }
+
+  std::ifstream in(raw_dump_path);
+  if (!in) {
+    std::cerr << "pipes_analyze: cannot read raw dump " << raw_dump_path
+              << "\n";
+    return false;
+  }
+  std::set<std::pair<std::string, std::string>> seen;
+  std::vector<std::string> kept;
+  size_t dropped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    LockEdge e;
+    if (!ParseEdgeLine(Trim(line), &e)) continue;
+    if (!sites.count(e.from) || !sites.count(e.to)) {
+      ++dropped;  // test-fixture lock classes: not part of the contract
+      continue;
+    }
+    if (!seen.emplace(e.from, e.to).second) continue;
+    kept.push_back(e.from + " -> " + e.to);
+  }
+  std::sort(kept.begin(), kept.end());
+
+  std::string rel = opts.lock_graph_path.empty()
+                        ? std::string(kDefaultLockGraphPath)
+                        : opts.lock_graph_path;
+  std::ofstream outf(std::filesystem::path(opts.root) / rel,
+                     std::ios::trunc);
+  if (!outf) {
+    std::cerr << "pipes_analyze: cannot write " << rel << "\n";
+    return false;
+  }
+  outf << "# Lock-order graph snapshot — the dynamic half of the lock-rank\n"
+          "# cross-check (see DESIGN.md §3.8). Each line records that the\n"
+          "# left lock class was held while the right one was acquired in a\n"
+          "# real test run. Regenerate after changing the lock hierarchy:\n"
+          "#\n"
+          "#   cmake -B build -S . && cmake --build build -j\n"
+          "#   PIPES_LOCK_ORDER_DUMP=/tmp/lock_dump.txt \\\n"
+          "#     ctest --test-dir build -j\"$(nproc)\"\n"
+          "#   build/tools/pipes_analyze --root . \\\n"
+          "#     --update-lock-graph /tmp/lock_dump.txt\n"
+          "#\n"
+          "# Edges whose endpoints are not production lock classes (test\n"
+          "# fixtures) are filtered out automatically.\n";
+  for (const std::string& k : kept) outf << k << "\n";
+  std::cerr << "pipes_analyze: wrote " << kept.size() << " edges to " << rel
+            << " (" << dropped << " non-production edge lines dropped)\n";
+  return outf.good();
+}
+
+}  // namespace pipes::analyze

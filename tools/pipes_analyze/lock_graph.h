@@ -1,0 +1,61 @@
+/// \file lock_graph.h
+/// \brief Lock-order snapshot IO shared by the lock-rank check and the
+/// `--update-lock-graph` regeneration mode.
+///
+/// Snapshot format (one edge per line, `#` comments allowed):
+///
+///     <from> -> <to>  [holding: <name>, <name>, ...]
+///
+/// which is exactly what LockOrderValidator::WriteEdges emits via
+/// PIPES_LOCK_ORDER_DUMP, deduplicated and filtered to production lock
+/// classes (test fixtures register their own throwaway classes; those do
+/// not belong in the committed contract).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+
+namespace pipes::analyze {
+
+/// Committed snapshot location, relative to the repository root.
+inline constexpr const char* kDefaultLockGraphPath =
+    "tools/lock_order_graph.txt";
+
+/// One statically discovered lock construction site.
+struct LockSite {
+  std::string file;  ///< root-relative declaration site
+  int line = 0;
+  int rank = 0;  ///< resolved kRank* value; 0 = unranked
+};
+
+/// One snapshot edge: `from` was held when `to` was acquired.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  int line = 0;  ///< line in the snapshot file
+};
+
+/// Parses kRank* constants out of src/common/lock_order.h.
+std::map<std::string, int> ExtractRankTable(const Options& opts,
+                                            std::vector<Finding>* out);
+
+/// Collects `{"name", kRank*}` lock constructions across src/.
+std::map<std::string, LockSite> ExtractLockSites(
+    const Options& opts, const std::map<std::string, int>& ranks,
+    std::vector<Finding>* out);
+
+/// Reads a snapshot file. False when the file cannot be read.
+bool LoadLockGraph(const std::string& root, const std::string& rel,
+                   std::vector<LockEdge>* out);
+
+/// Regenerates the committed snapshot from a raw PIPES_LOCK_ORDER_DUMP
+/// file: keeps edges whose endpoints are both production lock classes,
+/// dedupes, sorts, writes to `opts.lock_graph_path` (or the default).
+/// Returns false (with a message on stderr) on IO failure.
+bool UpdateLockGraph(const Options& opts, const std::string& raw_dump_path);
+
+}  // namespace pipes::analyze

@@ -1,0 +1,120 @@
+/// \file main.cc
+/// \brief CLI for pipes_analyze (see analyzer.h for the checks).
+///
+///   pipes_analyze --root <repo> [--check <name>]... [--report <path>]
+///                 [--lock-graph <rel-path>] [--list-checks]
+///   pipes_analyze --root <repo> --update-lock-graph <raw-dump>
+///
+/// Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+#include "pipes_analyze/lock_graph.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [--root DIR] [--check NAME]...\n"
+      << "          [--report PATH] [--lock-graph REL] [--list-checks]\n"
+      << "       " << argv0 << " [--root DIR] --update-lock-graph RAW_DUMP\n"
+      << "\n"
+      << "Project-invariant static analyzer for the pipes codebase.\n"
+      << "--root defaults to the current directory; it must contain src/.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pipes::analyze::Options opts;
+  opts.root = ".";
+  std::vector<std::string> checks;
+  std::string report_path;
+  std::string update_dump;
+  bool list_checks = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.root = v;
+    } else if (arg == "--check") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      checks.push_back(v);
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      report_path = v;
+    } else if (arg == "--lock-graph") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.lock_graph_path = v;
+    } else if (arg == "--update-lock-graph") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      update_dump = v;
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "pipes_analyze: unknown argument '" << arg << "'\n";
+      return Usage(argv[0]);
+    }
+  }
+
+  if (list_checks) {
+    for (const std::string& name : pipes::analyze::AllCheckNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  if (!std::filesystem::is_directory(std::filesystem::path(opts.root) /
+                                     "src")) {
+    std::cerr << "pipes_analyze: --root '" << opts.root
+              << "' does not contain src/\n";
+    return 2;
+  }
+
+  if (!update_dump.empty()) {
+    return pipes::analyze::UpdateLockGraph(opts, update_dump) ? 0 : 2;
+  }
+
+  std::vector<pipes::analyze::Finding> findings =
+      pipes::analyze::RunChecks(opts, checks);
+
+  std::string report;
+  for (const auto& f : findings) {
+    report += f.ToString() + "\n";
+  }
+  report += "pipes_analyze: " + std::to_string(findings.size()) +
+            " finding(s) across " +
+            std::to_string(checks.empty()
+                               ? pipes::analyze::AllCheckNames().size()
+                               : checks.size()) +
+            " check(s)\n";
+  std::cout << report;
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::trunc);
+    out << report;
+    if (!out.good()) {
+      std::cerr << "pipes_analyze: failed to write report to " << report_path
+                << "\n";
+      return 2;
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,227 @@
+#include "pipes_analyze/source_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pipes::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Parses `pipes-analyze: <directive>(<reason>)` out of one comment's text.
+void ParseWaivers(const std::string& comment, int end_line,
+                  std::vector<SourceFile::Waiver>* out) {
+  const std::string kTag = "pipes-analyze:";
+  size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    size_t p = pos + kTag.size();
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+    size_t name_start = p;
+    while (p < comment.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment[p])) ||
+            comment[p] == '-' || comment[p] == '_')) {
+      ++p;
+    }
+    SourceFile::Waiver w;
+    w.line = end_line;
+    w.directive = comment.substr(name_start, p - name_start);
+    if (p < comment.size() && comment[p] == '(') {
+      size_t close = comment.find(')', p);
+      if (close != std::string::npos) {
+        w.reason = comment.substr(p + 1, close - p - 1);
+      }
+    }
+    if (!w.directive.empty()) out->push_back(w);
+    pos = p;
+  }
+}
+
+}  // namespace
+
+bool SourceFile::HasWaiver(const std::string& directive, int line) const {
+  for (const Waiver& w : waivers) {
+    if (w.directive == directive && (w.line == line || w.line == line - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<SourceFile> LoadSource(const std::string& root,
+                                     const std::string& rel) {
+  SourceFile f;
+  f.rel = rel;
+  std::ifstream in(fs::path(root) / rel, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  f.raw = buf.str();
+
+  // One pass: blank comments (preserving newlines so line numbers and
+  // offsets survive), leave string/char literals intact, collect waivers.
+  f.stripped = f.raw;
+  std::string& s = f.stripped;
+  int line = 1;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '\'' && i > 0 &&
+               (std::isalnum(static_cast<unsigned char>(s[i - 1])) ||
+                s[i - 1] == '_')) {
+      ++i;  // digit separator (1'000'000), not a character literal
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < s.size() && s[i] != quote) {
+        if (s[i] == '\\' && i + 1 < s.size()) ++i;
+        if (s[i] == '\n') ++line;  // unterminated literal; keep counting
+        ++i;
+      }
+      ++i;  // closing quote
+    } else if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      size_t end = s.find('\n', i);
+      if (end == std::string::npos) end = s.size();
+      ParseWaivers(s.substr(i, end - i), line, &f.waivers);
+      std::fill(s.begin() + static_cast<ptrdiff_t>(i),
+                s.begin() + static_cast<ptrdiff_t>(end), ' ');
+      i = end;
+    } else if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      size_t end = s.find("*/", i + 2);
+      if (end == std::string::npos) end = s.size();
+      else end += 2;
+      std::string comment = s.substr(i, end - i);
+      int end_line = line + static_cast<int>(
+                                std::count(comment.begin(), comment.end(), '\n'));
+      ParseWaivers(comment, end_line, &f.waivers);
+      for (size_t j = i; j < end; ++j) {
+        if (s[j] == '\n') ++line;
+        else s[j] = ' ';
+      }
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return f;
+}
+
+std::vector<std::string> ListSources(const std::string& root,
+                                     const std::string& subdir) {
+  std::vector<std::string> out;
+  fs::path base = fs::path(root) / subdir;
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) return out;
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    fs::path p = it->path();
+    std::string ext = p.extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    std::string rel = fs::relative(p, root, ec).generic_string();
+    if (!ec) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Token> Lex(const std::string& stripped) {
+  std::vector<Token> out;
+  const std::string& s = stripped;
+  int line = 1;
+  size_t i = 0;
+  bool line_start = true;
+  auto push = [&](TokKind kind, std::string text) {
+    out.push_back(Token{kind, std::move(text), line});
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    if (line_start && c == '#') {
+      // Preprocessor directive: drop the whole (possibly continued) line.
+      // Includes are re-scanned textually by the layering check; macro
+      // definitions would only confuse the declaration heuristics.
+      while (i < s.size()) {
+        if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (s[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    line_start = false;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                              s[i] == '_')) {
+        ++i;
+      }
+      push(TokKind::kIdent, s.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                              s[i] == '.' || s[i] == '\'')) {
+        ++i;
+      }
+      push(TokKind::kNumber, s.substr(start, i - start));
+    } else if (c == '\'' && i > 0 &&
+               (std::isalnum(static_cast<unsigned char>(s[i - 1])) ||
+                s[i - 1] == '_')) {
+      ++i;  // digit separator: glued to the preceding number token
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      int start_line = line;
+      std::string value;
+      ++i;
+      while (i < s.size() && s[i] != quote) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+          ++i;  // keep escaped char raw; checks only compare whole literals
+        }
+        if (s[i] == '\n') ++line;
+        value.push_back(s[i]);
+        ++i;
+      }
+      ++i;
+      out.push_back(Token{quote == '"' ? TokKind::kString : TokKind::kChar,
+                          std::move(value), start_line});
+    } else {
+      push(TokKind::kPunct, std::string(1, c));
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
+  if (open >= tokens.size()) return tokens.size();
+  const std::string& o = tokens[open].text;
+  std::string close = o == "(" ? ")" : o == "{" ? "}" : o == "[" ? "]" : "";
+  if (close.empty()) return tokens.size();
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == o) ++depth;
+    else if (tokens[i].text == close && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+}  // namespace pipes::analyze

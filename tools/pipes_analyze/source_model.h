@@ -1,0 +1,82 @@
+/// \file source_model.h
+/// \brief Shared source-scanning infrastructure for pipes_analyze: file
+/// enumeration, comment stripping (with `pipes-analyze:` waiver capture),
+/// and a line-tracking token stream.
+///
+/// This is not a C++ parser. It is a lexer plus per-check heuristics tuned
+/// to this repository's style (Google-ish, brace-initialized members, no
+/// macros that open scopes). The checks only ever need declarations and
+/// literals, so lexing is enough — and it keeps the tool dependency-free.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipes::analyze {
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< numeric literal (incl. suffixes)
+  kString,  ///< string literal; `text` holds the unquoted, unescaped value
+  kChar,    ///< character literal
+  kPunct,   ///< one punctuation character (multi-char ops stay split)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based source line of the first character
+
+  bool Is(const char* s) const { return text == s; }
+  bool IsIdent(const char* s) const { return kind == TokKind::kIdent && text == s; }
+};
+
+// ---------------------------------------------------------------------------
+// Files
+// ---------------------------------------------------------------------------
+
+/// A loaded source file: raw text, comment-stripped text (string literals
+/// kept, comments replaced by spaces so offsets and line numbers hold), and
+/// the `pipes-analyze: <directive>(<reason>)` waivers found in comments.
+struct SourceFile {
+  std::string rel;       ///< root-relative path, '/'-separated
+  std::string raw;       ///< file content as read
+  std::string stripped;  ///< comments blanked out, everything else intact
+
+  /// One waiver directive, e.g. `// pipes-analyze: unguarded(ctor-only)`.
+  struct Waiver {
+    int line = 0;            ///< 1-based line the comment ends on
+    std::string directive;   ///< e.g. "unguarded"
+    std::string reason;      ///< text inside the parentheses
+  };
+  std::vector<Waiver> waivers;
+
+  /// True when some waiver with `directive` sits on `line` or on the
+  /// directly preceding line (the two sanctioned placements).
+  bool HasWaiver(const std::string& directive, int line) const;
+};
+
+/// Reads and strips one file. Returns nullopt on IO failure.
+std::optional<SourceFile> LoadSource(const std::string& root,
+                                     const std::string& rel);
+
+/// Lists .h/.cc files under `root`/`subdir` (sorted, root-relative,
+/// '/'-separated). Missing directory => empty list.
+std::vector<std::string> ListSources(const std::string& root,
+                                     const std::string& subdir);
+
+/// Lexes comment-stripped text into tokens.
+std::vector<Token> Lex(const std::string& stripped);
+
+/// Index of the matching close for the open bracket at `tokens[open]`
+/// (`(`/`)`, `{`/`}`, `[`/`]`). Returns tokens.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open);
+
+}  // namespace pipes::analyze
