@@ -73,14 +73,20 @@ inline constexpr int kRankMetadataStructure = 200; ///< MetadataManager::structu
 /// Subscribe/Retire) and while reading provider registries (checkpoint).
 inline constexpr int kRankDurabilityProviders = 250;
 inline constexpr int kRankOperatorState = 300;     ///< MetadataProvider::state_mu
-inline constexpr int kRankPropagation = 350;       ///< MetadataManager::propagation_mu
+/// MetadataManager::wave_stripe_mu — the striped propagation locks (one per
+/// wave stripe; origins map to stripes, so waves from independent origins
+/// run concurrently). All stripes share this rank and class: a wave holds
+/// only its origin's stripe, and the rare all-stripes paths (plan rebuild,
+/// storm reconfiguration) acquire stripes in ascending index order while
+/// holding no other stripe — same-class acquisitions never form validator
+/// edges, and the ascending discipline keeps them deadlock-free.
+inline constexpr int kRankWaveStripe = 350;
 /// MetadataManager::pressure_mu — the overload-control (brownout) governor
 /// state. Taken under the exclusive structure lock (periodic-handler
 /// registration in Instantiate) and held while stretching handler cadences
 /// (handler period locks, scheduler locks).
 inline constexpr int kRankPressureControl = 360;
 inline constexpr int kRankHandlerDependents = 400; ///< MetadataHandler::dependents_mu
-inline constexpr int kRankRegistry = 450;          ///< MetadataRegistry::mu
 inline constexpr int kRankHandlerEval = 500;       ///< MetadataHandler::eval_mu
 /// PeriodicMetadataHandler::period_mu_ — guards the mechanism task handle
 /// while the overload governor swaps cadences; held across Schedule* calls.
@@ -90,6 +96,11 @@ inline constexpr int kRankHandlerHealth = 540;     ///< MetadataHandler::health_
 /// value slot: readers (`Get()`/`LoadValue()`) never take it, writers hold
 /// it briefly around PublishSlot.
 inline constexpr int kRankHandlerValue = 560;
+/// MetadataRegistry::mu — descriptor/handler lookup. Resolved while the
+/// provider state lock is held (FireEvent fan-out) *and* from inside an
+/// evaluator that fires a nested event (eval_mu held), so it sits below
+/// the journal but above every handler lock.
+inline constexpr int kRankRegistry = 570;
 /// MetadataDurability::journal_mu — LSN assignment + group-commit buffer.
 /// Innermost of the metadata locks: value commits journal under value_mu,
 /// structure mutations journal under the exclusive structure lock.

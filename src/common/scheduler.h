@@ -40,7 +40,17 @@ class TaskHandle {
   /// Prevents future executions of the task. Safe to call multiple times and
   /// from any thread. A task currently executing is not interrupted.
   void Cancel() {
-    if (state_) state_->cancelled.store(true, std::memory_order_release);
+    if (!state_) return;
+    state_->cancelled.store(true, std::memory_order_release);
+    // Lazy-cancel accounting: the queue entry itself is reclaimed only when
+    // it surfaces at a queue top, but the pending gauge (queue_depth and
+    // max_pending admission) must stop counting it *now* — a cancelled
+    // one-shot lingering until its due time would starve admissions.
+    // Exactly-once against the racing popper via `accounted`.
+    if (state_->pending_gauge &&
+        !state_->accounted.exchange(true, std::memory_order_acq_rel)) {
+      state_->pending_gauge->fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
 
   /// True if this handle refers to a task that has not been cancelled.
@@ -56,6 +66,14 @@ class TaskHandle {
   friend class ThreadPoolScheduler;
   struct State {
     std::atomic<bool> cancelled{false};
+    /// The scheduler's pending-one-shot gauge this entry counts toward
+    /// (ThreadPoolScheduler only; null elsewhere). A shared_ptr so a handle
+    /// outliving its scheduler cancels against a still-live counter. Set
+    /// before the handle is published, const afterwards.
+    std::shared_ptr<std::atomic<size_t>> pending_gauge;
+    /// True once the gauge has been decremented — by Cancel() or by the
+    /// popping worker, whoever wins the exchange.
+    std::atomic<bool> accounted{false};
   };
   explicit TaskHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
   std::shared_ptr<State> state_;
@@ -78,6 +96,9 @@ struct SchedulerStats {
   /// Wakeups elided because the new task neither preempted the earliest
   /// deadline nor had an idle worker to employ (ThreadPool only).
   uint64_t cv_notifies_skipped = 0;
+  /// Due tasks a worker popped from another worker's shard (ThreadPool
+  /// only): the work-stealing imbalance-relief counter.
+  uint64_t tasks_stolen = 0;
 
   // Overload accounting (see TaskScheduler::SetOverloadPolicy).
   /// Executions that started more than the policy's deadline_slack past
@@ -290,6 +311,14 @@ class VirtualTimeScheduler final : public TaskScheduler {
 /// Worker threads sleep until the earliest deadline and execute due tasks.
 /// With `num_threads == 1` this is the paper's "single thread is sufficient
 /// to handle all periodic updates for small query graphs" configuration.
+///
+/// The run queue is sharded one-per-worker: each worker pushes, pops, and
+/// re-arms periodics against its own timer queue (producers distribute new
+/// tasks round-robin), so workers do not contend on one queue lock as the
+/// pool grows. Imbalance is relieved by work stealing: a worker with nothing
+/// due try-locks sibling shards and runs their due tasks. Admission control,
+/// deadline accounting, and the overload gauges aggregate per-shard counters
+/// and process-wide atomics, so SetOverloadPolicy semantics are unchanged.
 class ThreadPoolScheduler final : public TaskScheduler {
  public:
   /// Starts `num_threads` workers against `clock` (a SystemClock is created
@@ -327,37 +356,82 @@ class ThreadPoolScheduler final : public TaskScheduler {
     }
   };
 
+  /// \brief One worker's timer queue (shard). Push/pop are owner-local in
+  /// steady state; producers distribute round-robin and siblings steal due
+  /// tasks, both through the same per-shard lock.
+  struct Shard {
+    mutable Mutex mu{"ThreadPoolScheduler::shard_mu",
+                     lockorder::kRankScheduler};
+    /// condition_variable_any: the annotated pipes::Mutex is Lockable but is
+    /// not std::mutex, which plain std::condition_variable requires.
+    std::condition_variable_any cv;  // pipes-analyze: unguarded(condition variables are internally synchronized)
+    std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue
+        PIPES_GUARDED_BY(mu);
+    uint64_t next_seq PIPES_GUARDED_BY(mu) = 0;
+    /// The owning worker is blocked in the indefinite nothing-anywhere wait.
+    /// Schedule* must wake it even when the new task does not preempt any
+    /// deadline (it has no deadline to wake towards), and producers pushing
+    /// due work to a busy sibling wake it through steal_hint.
+    bool idle PIPES_GUARDED_BY(mu) = false;
+    /// Tells an idle owner to re-run its steal scan: a producer pushed due
+    /// work onto a shard whose owner is mid-task.
+    bool steal_hint PIPES_GUARDED_BY(mu) = false;
+    /// Per-shard slice of the execution counters; stats() aggregates.
+    SchedulerStats stats PIPES_GUARDED_BY(mu);
+  };
+
   /// Lock/unlock around task execution is too dynamic for static analysis;
   /// checked by the runtime lock-order validator instead.
-  void WorkerLoop() PIPES_NO_THREAD_SAFETY_ANALYSIS;
+  void WorkerLoop(size_t self) PIPES_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Pops the next runnable due entry of `shard` (reclaiming cancelled
+  /// entries it meets) into `out`, recording pop-side stats. Requires
+  /// shard.mu held (dynamic capability, validated at runtime).
+  bool PopDueEntry(Shard& shard, Timestamp now, Entry* out)
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Settles a reclaimed or popped entry against the pending-one-shot gauge
+  /// (exactly-once versus TaskHandle::Cancel). Returns false when the entry
+  /// lost the race (already accounted == already cancelled-and-settled).
+  bool SettleOneShot(const Entry& e);
+
+  /// Runs one popped entry outside all shard locks: gauge settlement,
+  /// lateness/overload accounting, execution, watchdog. Runtime stats are
+  /// recorded into `home` (the executing worker's shard) afterwards.
+  void ExecuteEntry(Entry e, Timestamp now, Shard& home)
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// True when a task newly pushed at `when` needs a wakeup of the shard's
+  /// owner, given the pre-push queue state; counts the decision in
+  /// shard.stats. Requires shard.mu held.
+  bool NoteScheduled(Shard& shard, bool was_empty, Timestamp prev_top_when,
+                     Timestamp when) PIPES_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Wakes one idle worker other than `except` so it can steal newly pushed
+  /// due work from a shard whose owner is busy. Holds no lock on entry.
+  void WakeIdleWorkerForSteal(size_t except);
 
   // pipes-analyze: unguarded(fixed at construction, read-only afterwards)
   std::unique_ptr<SystemClock> owned_clock_;
   Clock* clock_;  // pipes-analyze: unguarded(set once in the ctor, never reseated)
-  mutable Mutex mu_{"ThreadPoolScheduler::mu", lockorder::kRankScheduler};
-  /// condition_variable_any: the annotated pipes::Mutex is Lockable but is
-  /// not std::mutex, which plain std::condition_variable requires.
-  std::condition_variable_any cv_;  // pipes-analyze: unguarded(condition variables are internally synchronized)
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_
-      PIPES_GUARDED_BY(mu_);
+  // pipes-analyze: unguarded(sized in the ctor, never resized; shards are internally locked)
+  std::vector<std::unique_ptr<Shard>> shards_;
   // pipes-analyze: unguarded(populated in the ctor, joined in Shutdown; never touched by workers)
   std::vector<std::thread> threads_;
-  uint64_t next_seq_ PIPES_GUARDED_BY(mu_) = 0;
-  bool stopping_ PIPES_GUARDED_BY(mu_) = false;
-  /// Workers blocked in the indefinite empty-queue wait. Schedule* must wake
-  /// one of these even when the new task does not preempt the earliest
-  /// deadline: a timed waiter wakes at that deadline on its own, an idle
-  /// waiter would sleep forever (and skipping it would also serialize
-  /// concurrent due tasks onto one worker).
-  uint64_t idle_waiters_ PIPES_GUARDED_BY(mu_) = 0;
-  SchedulerStats stats_ PIPES_GUARDED_BY(mu_);
+  /// Round-robin distribution cursor for new tasks.
+  std::atomic<uint64_t> push_cursor_{0};
+  std::atomic<bool> stopping_{false};
+  /// Admitted, not-yet-settled one-shot entries across all shards. Heap-held
+  /// so TaskHandle::Cancel can settle against it after the scheduler died.
+  // pipes-analyze: unguarded(set once in the ctor; the pointee is atomic)
+  std::shared_ptr<std::atomic<size_t>> pending_oneshots_;
+  /// Live periodic entries across all shards (cancelled periodics leave the
+  /// gauge when their entry surfaces; their cadence is their reclaim bound).
+  std::atomic<size_t> periodic_entries_{0};
+  /// Due tasks run from a sibling's shard (aggregated into stats()).
+  std::atomic<uint64_t> tasks_stolen_{0};
   /// Workers currently executing a task (pool-utilization gauge).
   std::atomic<size_t> busy_workers_{0};
-
-  /// True when a task newly pushed at `when` needs a cv_ wakeup, given the
-  /// pre-push queue state; counts the decision in stats_.
-  bool NoteScheduled(bool was_empty, Timestamp prev_top_when, Timestamp when)
-      PIPES_REQUIRES(mu_);
 };
 
 }  // namespace pipes

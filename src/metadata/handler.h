@@ -226,7 +226,7 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   /// Token-bucket admission of propagation waves originating here, event
   /// coalescing while no token is available, and a circuit breaker that
   /// converts a storming origin to fixed-cadence batch refresh. Guarded by
-  /// the owning manager's `propagation_mu_` like WavePlan below.
+  /// this origin's wave stripe like WavePlan below.
   struct StormState {
     double tokens = 0.0;
     /// kTimestampNever until the first damped wave request (lazy init:
@@ -250,10 +250,13 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   /// topological (dependencies-first) order. `epoch` is the manager's
   /// structure epoch the plan was built at; a mismatch means the dependency
   /// graph changed shape and the plan (including any raw pointers it holds)
-  /// must not be used. Guarded by the owning manager's `propagation_mu_` —
-  /// a cross-object guard Clang TSA cannot express, enforced by the runtime
-  /// lock-order validator and by construction (only the propagation path,
-  /// which holds that lock, touches these fields).
+  /// must not be used. Guarded by this origin's wave stripe
+  /// (`MetadataManager::wave_stripe_mu`) — steady-state waves hold the
+  /// stripe the origin is pinned to, and plan rebuilds (which also write the
+  /// wave_mark_/wave_indegree_ scratch of handlers on *other* stripes) hold
+  /// ALL stripes. A cross-object guard Clang TSA cannot express, enforced by
+  /// the runtime lock-order validator and by construction (only the
+  /// propagation path, which holds the stripe, touches these fields).
   struct WavePlan {
     uint64_t epoch = 0;  ///< 0 = never built
     std::vector<MetadataHandler*> refresh;
@@ -324,12 +327,19 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   std::vector<MetadataHandler*> dependents_ PIPES_GUARDED_BY(dependents_mu_);
 
   // Wave-plan cache and graph-coloring scratch used by the manager's
-  // propagation path. Guarded by MetadataManager::propagation_mu_ (see the
-  // WavePlan doc comment); untouched by the handler's own code.
-  WavePlan wave_plan_;      // pipes-analyze: unguarded(MetadataManager::propagation_mu_)
-  uint64_t wave_mark_ = 0;  // pipes-analyze: unguarded(MetadataManager::propagation_mu_) — last RebuildWavePlan stamp
-  int wave_indegree_ = 0;   // pipes-analyze: unguarded(MetadataManager::propagation_mu_) — Kahn in-degree scratch
-  StormState storm_;        // pipes-analyze: unguarded(MetadataManager::propagation_mu_) — per-origin damping state
+  // propagation path. Guarded by the origin's wave stripe; the mark and
+  // in-degree scratch are additionally written during plan rebuilds, which
+  // hold ALL stripes (see the WavePlan doc comment); untouched by the
+  // handler's own code.
+  //
+  // The stripe index itself is written once during Instantiate (exclusive
+  // structure lock, before any wave can reach the handler) and immutable
+  // after — effectively const.
+  uint32_t wave_stripe_ = 0;  // pipes-analyze: unguarded(written once in Instantiate, then immutable)
+  WavePlan wave_plan_;      // pipes-analyze: unguarded(origin's MetadataManager::wave_stripe_mu)
+  uint64_t wave_mark_ = 0;  // pipes-analyze: unguarded(all wave stripes during rebuild) — last RebuildWavePlan stamp
+  int wave_indegree_ = 0;   // pipes-analyze: unguarded(all wave stripes during rebuild) — Kahn in-degree scratch
+  StormState storm_;        // pipes-analyze: unguarded(origin's MetadataManager::wave_stripe_mu) — per-origin damping state
 
   // Guarded by the manager's structure lock, which cannot be named in a
   // PIPES_GUARDED_BY from here without a cyclic include.

@@ -3,11 +3,112 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <thread>
 #include <unordered_map>
 
 #include "metadata/persistence.h"
 
 namespace pipes {
+
+// ---------------------------------------------------------------------------
+// Per-thread held-stripe tracking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Which wave stripes of which managers this thread currently holds. A flat
+/// thread_local array (no heap, no hashing) because the propagation fast
+/// path must stay allocation-free; kStripeSlots bounds how many *distinct*
+/// managers one thread can hold stripes of simultaneously — nested waves
+/// stay within one manager, so even 2 would do.
+struct ThreadStripeSlot {
+  const void* manager = nullptr;
+  uint64_t mask = 0;
+};
+constexpr int kStripeSlots = 8;
+thread_local ThreadStripeSlot t_stripes[kStripeSlots];
+
+/// The held-stripe mask slot for `manager`, creating one when absent.
+uint64_t* StripeMaskSlot(const void* manager) {
+  ThreadStripeSlot* free_slot = nullptr;
+  for (auto& slot : t_stripes) {
+    if (slot.manager == manager) return &slot.mask;
+    if (slot.manager == nullptr && free_slot == nullptr) free_slot = &slot;
+  }
+  assert(free_slot != nullptr &&
+         "thread holds wave stripes of too many managers at once");
+  free_slot->manager = manager;
+  free_slot->mask = 0;
+  return &free_slot->mask;
+}
+
+/// Returns an emptied slot to the pool.
+void ReleaseStripeSlotIfEmpty(const void* manager, const uint64_t* mask) {
+  if (*mask != 0) return;
+  for (auto& slot : t_stripes) {
+    if (slot.manager == manager) {
+      slot.manager = nullptr;
+      return;
+    }
+  }
+}
+
+/// \brief Scoped acquisition of one wave stripe under the stripe protocol.
+///
+/// Blocking when the thread holds no stripe of this manager (it cannot then
+/// be part of a stripe wait cycle) or already holds exactly this stripe
+/// (recursive re-entry). Otherwise — a nested wave crossing stripes — only a
+/// try_lock: blocking there could close an ABBA cycle between two in-flight
+/// waves, so on contention the guard stays disengaged and the caller defers
+/// the wave. Tracks the held-stripe mask so nested frames see the protocol
+/// state.
+class ScopedStripe {
+ public:
+  ScopedStripe(RecursiveMutex& mu, const void* manager, uint64_t bit)
+      : mu_(mu), manager_(manager), bit_(bit), mask_(StripeMaskSlot(manager)) {
+    top_level_ = *mask_ == 0;
+    const bool already_held = (*mask_ & bit_) != 0;
+    if (top_level_ || already_held) {
+      mu_.lock();
+      engaged_ = true;
+    } else {
+      engaged_ = mu_.try_lock();
+    }
+    if (engaged_) {
+      newly_held_ = !already_held;
+      *mask_ |= bit_;
+    } else {
+      ReleaseStripeSlotIfEmpty(manager_, mask_);
+    }
+  }
+
+  ~ScopedStripe() {
+    if (engaged_) {
+      if (newly_held_) *mask_ &= ~bit_;
+      mu_.unlock();
+    }
+    ReleaseStripeSlotIfEmpty(manager_, mask_);
+  }
+
+  ScopedStripe(const ScopedStripe&) = delete;
+  ScopedStripe& operator=(const ScopedStripe&) = delete;
+
+  /// False only for a contended nested cross-stripe acquisition.
+  bool engaged() const { return engaged_; }
+  /// True when the thread held no stripe of this manager on entry.
+  bool top_level() const { return top_level_; }
+
+ private:
+  RecursiveMutex& mu_;
+  const void* manager_;
+  uint64_t bit_;
+  uint64_t* mask_;
+  bool engaged_ = false;
+  bool top_level_ = false;
+  bool newly_held_ = false;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // MetadataSubscription
@@ -149,8 +250,19 @@ const char* PressureStateToString(PressureState s) {
   return "unknown";
 }
 
-MetadataManager::MetadataManager(TaskScheduler& scheduler)
-    : scheduler_(scheduler) {}
+MetadataManager::MetadataManager(TaskScheduler& scheduler, size_t wave_stripes)
+    : scheduler_(scheduler) {
+  if (wave_stripes == 0) {
+    wave_stripes = std::thread::hardware_concurrency();
+    if (wave_stripes == 0) wave_stripes = 1;
+  }
+  // Clamped to 64 so a stripe set always fits one held-stripe bitmask.
+  wave_stripes = std::min<size_t>(std::max<size_t>(wave_stripes, 1), 64);
+  stripes_.reserve(wave_stripes);
+  for (size_t i = 0; i < wave_stripes; ++i) {
+    stripes_.push_back(std::make_unique<WaveStripe>());
+  }
+}
 
 MetadataManager::~MetadataManager() {
   // Stop durability first: its flush/checkpoint tasks walk manager state.
@@ -287,6 +399,13 @@ std::shared_ptr<MetadataHandler> MetadataManager::Instantiate(
           *entry.provider, entry.desc, *this, std::move(dep_handlers)));
       break;
   }
+
+  // Pin the handler to a wave stripe for life. Round-robin instead of a
+  // pointer hash: with ≤ stripe-count origins (the common bench and test
+  // shape) every origin lands on its own stripe, so independent waves never
+  // share a lock by accident of address alignment.
+  handler->wave_stripe_ = static_cast<uint32_t>(
+      stripe_seq_.fetch_add(1, std::memory_order_relaxed) % stripes_.size());
 
   // Wire the inverted dependency graph and internal reference counts.
   for (const auto& dep : handler->dependencies()) {
@@ -478,15 +597,43 @@ void MetadataManager::NaivePropagate(MetadataHandler& h, Timestamp now,
 
 void MetadataManager::PropagateFrom(MetadataHandler& origin, Timestamp now) {
   SharedLock lock(structure_mu_);
-  RecursiveMutexLock wave(propagation_mu_);
-  if (storm_damping_enabled_ && !AdmitWave(origin, now)) return;
-  RunWaveLocked(origin, now);
+  WaveStripe& stripe = *stripes_[origin.wave_stripe_];
+  ScopedStripe hold(stripe.mu, this, uint64_t{1} << origin.wave_stripe_);
+  if (!hold.engaged()) {
+    // A nested wave (fired from inside another wave's refresh) crossing into
+    // a stripe another thread's wave holds right now. Blocking here could
+    // deadlock two in-flight waves against each other, so hand the wave to
+    // the scheduler and let it re-fire top-level.
+    DeferWave(origin);
+    return;
+  }
+  if (storm_damping_enabled_.load(std::memory_order_relaxed) &&
+      !AdmitWave(origin, now)) {
+    return;
+  }
+  RunWaveLocked(origin, now, hold.top_level());
 }
 
-void MetadataManager::RunWaveLocked(MetadataHandler& origin, Timestamp now) {
-  stats_waves_.fetch_add(1, std::memory_order_relaxed);
+void MetadataManager::DeferWave(MetadataHandler& origin) {
+  stats_waves_deferred_.fetch_add(1, std::memory_order_relaxed);
+  // weak_ptr, not &origin: the origin may retire before the scheduler runs
+  // the task. The deferred wave re-enters PropagateFrom from a worker thread
+  // holding no stripes, so it blocks on the contended stripe instead of
+  // deferring again. Under overload the scheduler may shed the task — an
+  // acceptable loss, since metadata is last-writer-wins and the next event
+  // from this origin propagates the same state.
+  std::weak_ptr<MetadataHandler> weak = origin.weak_from_this();
+  scheduler_.ScheduleAt(clock().Now(), [this, weak] {
+    std::shared_ptr<MetadataHandler> h = weak.lock();
+    if (h == nullptr || h->retired()) return;
+    PropagateFrom(*h, clock().Now());
+  });
+}
 
+void MetadataManager::RunWaveLocked(MetadataHandler& origin, Timestamp now,
+                                    bool can_rebuild) {
   if (propagation_mode() == PropagationMode::kNaiveRecursive) {
+    stats_waves_.fetch_add(1, std::memory_order_relaxed);
     NaivePropagate(origin, now, 0);
     return;
   }
@@ -502,11 +649,23 @@ void MetadataManager::RunWaveLocked(MetadataHandler& origin, Timestamp now) {
   uint64_t epoch = structure_epoch();
   MetadataHandler::WavePlan& plan = origin.wave_plan_;
   if (plan.epoch != epoch && plan.walk_depth == 0) {
-    RebuildWavePlan(origin, epoch);
-    stats_wave_plan_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    if (!can_rebuild) {
+      // Rebuilding takes ALL stripes from an empty hold set; a nested wave
+      // already holds at least one, so it cannot rebuild here. Defer instead
+      // of walking a stale plan. Counted as deferred, not as a wave.
+      DeferWave(origin);
+      return;
+    }
+    if (RebuildUnderAllStripes(origin)) {
+      stats_wave_plan_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // A concurrent rebuild won the race while our stripe was released.
+      stats_wave_plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
     stats_wave_plan_hits_.fetch_add(1, std::memory_order_relaxed);
   }
+  stats_waves_.fetch_add(1, std::memory_order_relaxed);
 
   if (plan.refresh.empty()) return;
   ++plan.walk_depth;
@@ -518,21 +677,62 @@ void MetadataManager::RunWaveLocked(MetadataHandler& origin, Timestamp now) {
                                   std::memory_order_relaxed);
 }
 
+bool MetadataManager::RebuildUnderAllStripes(MetadataHandler& origin) {
+  // The plan closure may span handlers pinned to any stripe (its wave_mark_
+  // and wave_indegree_ scratch fields are written during a rebuild), so a
+  // rebuild quiesces every stripe. Deadlock-free by construction: release
+  // the origin's stripe first, then acquire all stripes in ascending index
+  // order from an empty hold set — every all-stripes path in the manager
+  // ascends the same way.
+  WaveStripe& origin_stripe = *stripes_[origin.wave_stripe_];
+  uint64_t* mask = StripeMaskSlot(this);
+  const uint64_t origin_bit = uint64_t{1} << origin.wave_stripe_;
+  assert(*mask == origin_bit && "rebuild caller must hold exactly its stripe");
+  *mask &= ~origin_bit;
+  origin_stripe.mu.unlock();
+
+  for (auto& s : stripes_) s->mu.lock();
+  *mask |= (stripes_.size() == 64)
+               ? ~uint64_t{0}
+               : ((uint64_t{1} << stripes_.size()) - 1);
+
+  // Re-check staleness: another thread may have rebuilt this origin's plan
+  // during the unlocked window above.
+  const uint64_t epoch = structure_epoch();
+  const bool rebuilt =
+      origin.wave_plan_.epoch != epoch && origin.wave_plan_.walk_depth == 0;
+  if (rebuilt) RebuildWavePlan(origin, epoch);
+
+  // Release every stripe but the origin's; the caller continues its wave
+  // holding exactly what it held before.
+  for (size_t i = 0; i < stripes_.size(); ++i) {
+    if (i == origin.wave_stripe_) continue;
+    *mask &= ~(uint64_t{1} << i);
+    stripes_[i]->mu.unlock();
+  }
+  *mask = origin_bit;
+  return rebuilt;
+}
+
 void MetadataManager::RebuildWavePlan(MetadataHandler& origin, uint64_t epoch) {
   // Collect the affected closure: dependents reachable through triggered and
   // on-demand handlers. Periodic handlers update on their own cadence and
   // static handlers never change, so the wave does not continue past them.
   // Membership ("visited") is a per-handler stamp compare against this
-  // rebuild's `wave_stamp_` — no hash set, nothing to clear.
-  const uint64_t stamp = ++wave_stamp_;
-  // Local aliases: the lambdas below are analyzed as separate functions by
-  // Clang TSA, which cannot see that this frame holds propagation_mu_; bind
-  // the guarded scratch buffers here, where the capability is established.
-  std::vector<MetadataHandler*>& closure = scratch_closure_;
-  std::vector<MetadataHandler*>& ready = scratch_ready_;
+  // rebuild's wave stamp — no hash set, nothing to clear. The stamp counter
+  // is atomic so stamps stay process-unique, but the marks themselves are
+  // plain fields: rebuilds serialize on the all-stripes discipline.
+  const uint64_t stamp =
+      wave_stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Scratch lives in the origin's stripe (sized once, reused forever). The
+  // lambdas below are analyzed as separate functions by Clang TSA, which
+  // cannot see this frame's dynamic stripe capability; bind the buffers here.
+  WaveStripe& stripe = *stripes_[origin.wave_stripe_];
+  std::vector<MetadataHandler*>& closure = stripe.scratch_closure;
+  std::vector<MetadataHandler*>& ready = stripe.scratch_ready;
 
   // Iterate a handler's dependents in place (under its dependents lock,
-  // rank above propagation_mu_) instead of via dependents(), whose snapshot
+  // rank above the wave stripes) instead of via dependents(), whose snapshot
   // copy would allocate per handler per rebuild.
   auto for_each_dependent = [](MetadataHandler& h, auto&& fn) {
     MutexLock deps_lock(h.dependents_mu_);
@@ -597,18 +797,22 @@ void MetadataManager::RebuildWavePlan(MetadataHandler& origin, uint64_t epoch) {
 // ---------------------------------------------------------------------------
 
 void MetadataManager::EnableStormDamping(const StormDampingOptions& opts) {
-  RecursiveMutexLock lock(propagation_mu_);
   assert(opts.max_waves_per_sec > 0 && "damping needs a positive wave budget");
+  // Writing the options must quiesce every stripe: admission decisions read
+  // them under whichever stripe the wave holds. All stripes, ascending, from
+  // an empty hold set — the same discipline as a plan rebuild.
+  for (auto& s : stripes_) s->mu.lock();
   storm_options_ = opts;
-  storm_damping_enabled_ = true;
+  storm_damping_enabled_.store(true, std::memory_order_relaxed);
+  for (auto& s : stripes_) s->mu.unlock();
 }
 
 void MetadataManager::DisableStormDamping() {
-  RecursiveMutexLock lock(propagation_mu_);
-  storm_damping_enabled_ = false;
+  storm_damping_enabled_.store(false, std::memory_order_relaxed);
 }
 
 bool MetadataManager::AdmitWave(MetadataHandler& origin, Timestamp now) {
+  // Runs under the origin's wave stripe, which guards its StormState.
   MetadataHandler::StormState& st = origin.storm_;
   const StormDampingOptions& opt = storm_options_;
 
@@ -677,7 +881,10 @@ void MetadataManager::FlushStorm(const std::weak_ptr<MetadataHandler>& weak) {
   Timestamp now = clock().Now();
 
   SharedLock lock(structure_mu_);
-  RecursiveMutexLock wave(propagation_mu_);
+  // A flush runs as a scheduler task, so it holds no stripes on entry: the
+  // ScopedStripe blocks (top-level) and always engages.
+  WaveStripe& stripe = *stripes_[origin->wave_stripe_];
+  ScopedStripe hold(stripe.mu, this, uint64_t{1} << origin->wave_stripe_);
   MetadataHandler::StormState& st = origin->storm_;
   st.flush_scheduled = false;
 
@@ -693,11 +900,11 @@ void MetadataManager::FlushStorm(const std::weak_ptr<MetadataHandler>& weak) {
   st.coalesced_run = 0;
   st.tokens = std::max(0.0, st.tokens - 1.0);
   stats_storm_flushes_.fetch_add(1, std::memory_order_relaxed);
-  RunWaveLocked(*origin, now);
+  RunWaveLocked(*origin, now, /*can_rebuild=*/true);
 
   // A tripped origin keeps batch-refreshing on the breaker cadence; the
   // quiet-interval branch above is the only way out.
-  if (st.breaker && storm_damping_enabled_) {
+  if (st.breaker && storm_damping_enabled_.load(std::memory_order_relaxed)) {
     ScheduleStormFlush(*origin, now + storm_options_.breaker_batch_interval);
   }
 }
@@ -831,6 +1038,8 @@ MetadataManagerStats MetadataManager::stats() const {
   s.wave_plan_hits = stats_wave_plan_hits_.load(std::memory_order_relaxed);
   s.wave_plan_rebuilds =
       stats_wave_plan_rebuilds_.load(std::memory_order_relaxed);
+  s.wave_stripes = stripes_.size();
+  s.waves_deferred = stats_waves_deferred_.load(std::memory_order_relaxed);
   s.eval_failures = stats_eval_failures_.load(std::memory_order_relaxed);
   s.evals_skipped = stats_evals_skipped_.load(std::memory_order_relaxed);
   s.degradations = stats_degradations_.load(std::memory_order_relaxed);

@@ -87,6 +87,10 @@ struct MetadataManagerStats {
   uint64_t events_fired = 0;       ///< manual event notifications
   uint64_t wave_plan_hits = 0;     ///< waves served by a cached plan
   uint64_t wave_plan_rebuilds = 0; ///< waves that re-derived their plan
+  uint64_t wave_stripes = 0;       ///< striped propagation locks (gauge)
+  /// Nested cross-stripe waves handed to the scheduler instead of blocking
+  /// (stripe busy, or a stale plan discovered from a nested frame).
+  uint64_t waves_deferred = 0;
 
   // Fault containment (see HandlerHealth / RetryPolicy).
   uint64_t eval_failures = 0;      ///< contained evaluator faults
@@ -214,8 +218,11 @@ struct StormDampingOptions {
 class MetadataManager {
  public:
   /// `scheduler` runs periodic updates and deferred events; it must outlive
-  /// the manager.
-  explicit MetadataManager(TaskScheduler& scheduler);
+  /// the manager. `wave_stripes` is the number of striped propagation locks
+  /// (waves from origins on different stripes run concurrently): 0 picks
+  /// hardware_concurrency, and any value is clamped to [1, 64] so a stripe
+  /// set always fits one held-stripe bitmask.
+  explicit MetadataManager(TaskScheduler& scheduler, size_t wave_stripes = 0);
   ~MetadataManager();
 
   MetadataManager(const MetadataManager&) = delete;
@@ -248,6 +255,9 @@ class MetadataManager {
 
   /// The scheduler driving periodic updates.
   TaskScheduler& scheduler() { return scheduler_; }
+
+  /// Number of striped propagation locks (fixed at construction).
+  size_t wave_stripe_count() const { return stripes_.size(); }
 
   /// The clock shared with the scheduler.
   Clock& clock() { return scheduler_.clock(); }
@@ -456,29 +466,49 @@ class MetadataManager {
   /// faulting refresh cannot abort the wave.
   void RefreshContained(MetadataHandler& h, Timestamp now);
 
-  /// Runs the wave proper (post-admission): naive or planned refresh walk.
-  /// Caller holds at least a shared structure lock and `propagation_mu_`.
-  void RunWaveLocked(MetadataHandler& origin, Timestamp now)
-      PIPES_REQUIRES(propagation_mu_);
+  /// \brief Runs the wave proper (post-admission): naive or planned refresh
+  /// walk. Caller holds at least a shared structure lock and the origin's
+  /// wave stripe (a dynamic capability Clang TSA cannot express; the runtime
+  /// lock-order validator covers the discipline instead).
+  ///
+  /// `can_rebuild` is true only for top-level waves (the thread held no
+  /// stripe of this manager on entry): a stale plan then triggers the
+  /// all-stripes rebuild. A nested frame finding a stale plan defers the
+  /// wave to the scheduler instead — it may already hold other stripes, so
+  /// it must not block for the full stripe set.
+  void RunWaveLocked(MetadataHandler& origin, Timestamp now, bool can_rebuild)
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
 
   /// \brief Storm-damping admission for a wave originating at `origin`.
+  /// Requires the origin's wave stripe (dynamic capability, see above).
   ///
   /// True = a token was available (wave runs now). False = the event was
   /// coalesced into `origin`'s pending flush (scheduled here if none is);
   /// may trip the origin's circuit breaker.
   bool AdmitWave(MetadataHandler& origin, Timestamp now)
-      PIPES_REQUIRES(propagation_mu_);
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
 
-  /// Schedules a coalesced-flush task for `origin` at `when`. A rejected
-  /// admission (scheduler queue bound) leaves flush_scheduled false so the
-  /// next event retries — the coalesced events are shed, not leaked.
+  /// Schedules a coalesced-flush task for `origin` at `when`. Requires the
+  /// origin's wave stripe. A rejected admission (scheduler queue bound)
+  /// leaves flush_scheduled false so the next event retries — the coalesced
+  /// events are shed, not leaked.
   void ScheduleStormFlush(MetadataHandler& origin, Timestamp when)
-      PIPES_REQUIRES(propagation_mu_);
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Deferred flush of an origin's coalesced events: runs one wave for the
   /// whole run, re-arms the batch cadence while the breaker is tripped, and
   /// resets the breaker after a quiet interval.
-  void FlushStorm(const std::weak_ptr<MetadataHandler>& weak);
+  void FlushStorm(const std::weak_ptr<MetadataHandler>& weak)
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// \brief Re-fires `origin`'s wave as a scheduler task running top-level.
+  ///
+  /// Used when a nested wave cannot take its origin's stripe without risking
+  /// an ABBA cycle (stripe held by another in-flight wave) or needs a plan
+  /// rebuild it must not block for. Under scheduler admission control the
+  /// deferred wave may be shed like any other one-shot — consistent with the
+  /// overload contract.
+  void DeferWave(MetadataHandler& origin);
 
   /// One governor tick: sample the pressure signal, advance the state
   /// machine, apply/restore cadence factors on transitions.
@@ -502,46 +532,80 @@ class MetadataManager {
   ///
   /// Derives the affected closure (BFS over dependents through
   /// propagate-through handlers) and Kahn-orders its triggered handlers into
-  /// `origin.wave_plan_.refresh`, reusing the manager-owned scratch buffers
-  /// and per-handler `wave_mark_`/`wave_indegree_` fields instead of
-  /// allocating per-wave hash containers. Caller holds `propagation_mu_` and
-  /// at least a shared structure lock (so the graph cannot change shape
-  /// underneath; `epoch` was read before the rebuild, making the stamp
-  /// conservative).
+  /// `origin.wave_plan_.refresh`, reusing the origin stripe's scratch
+  /// buffers and per-handler `wave_mark_`/`wave_indegree_` fields instead of
+  /// allocating per-wave hash containers. Caller holds ALL wave stripes (the
+  /// per-handler scratch fields are shared between closures, so a rebuild
+  /// must exclude every in-flight wave) and at least a shared structure lock
+  /// (so the graph cannot change shape underneath; `epoch` was read before
+  /// the rebuild, making the stamp conservative).
   void RebuildWavePlan(MetadataHandler& origin, uint64_t epoch)
-      PIPES_REQUIRES(propagation_mu_);
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// \brief All-stripes rebuild dance for a top-level wave that found a
+  /// stale plan.
+  ///
+  /// The caller holds exactly the origin's stripe. That stripe is released
+  /// first, then every stripe is taken in ascending index order (blocking
+  /// from an empty hold set can never deadlock: every other holder either
+  /// also ascends from nothing or holds a single stripe it will release
+  /// without blocking on a second one), the staleness check is repeated (a
+  /// concurrent rebuild may have won the race during the unlocked window),
+  /// and the non-origin stripes are released again — the caller continues
+  /// its walk under the origin stripe alone. Returns true when this call did
+  /// the rebuild.
+  bool RebuildUnderAllStripes(MetadataHandler& origin)
+      PIPES_NO_THREAD_SAFETY_ANALYSIS;
 
   TaskScheduler& scheduler_;
   /// Graph-level lock of the three-level scheme (§4.2). Outer to the
-  /// propagation lock and every handler lock; see lock_order.h ranks.
+  /// wave stripes and every handler lock; see lock_order.h ranks.
   ReentrantSharedMutex structure_mu_{"MetadataManager::structure_mu",
                                      lockorder::kRankMetadataStructure};
-  /// Serializes propagation waves; recursive because a wave refresh may
-  /// synchronously fire a nested event (§3.2.3).
-  RecursiveMutex propagation_mu_{"MetadataManager::propagation_mu",
-                                 lockorder::kRankPropagation};
+
+  /// \brief One propagation stripe: the wave lock shared by the origins
+  /// mapped to this stripe, plus the rebuild scratch their plan rebuilds
+  /// reuse (owned per stripe so steady-state rebuilds allocate nothing once
+  /// the buffers reached the high-water closure size).
+  ///
+  /// Stripe protocol (DESIGN.md §3.9): a steady-state wave holds only its
+  /// origin's stripe; a plan rebuild takes every stripe in ascending index
+  /// order from an empty hold set; a nested wave (fired by a refresh
+  /// evaluator) re-enters its own stripe recursively but only try-locks a
+  /// foreign stripe, deferring the wave to the scheduler on contention.
+  struct WaveStripe {
+    /// Recursive: a wave refresh may synchronously fire a nested event on
+    /// an origin of the same stripe (§3.2.3).
+    RecursiveMutex mu{"MetadataManager::wave_stripe_mu",
+                      lockorder::kRankWaveStripe};
+    /// BFS closure of the current rebuild (affected handlers, discovery
+    /// order).
+    std::vector<MetadataHandler*> scratch_closure PIPES_GUARDED_BY(mu);
+    /// Kahn ready-queue of the current rebuild (consumed by index).
+    std::vector<MetadataHandler*> scratch_ready PIPES_GUARDED_BY(mu);
+  };
+
+  /// Striped propagation locks. Sized in the constructor, never resized;
+  /// unique_ptr keeps stripe addresses stable for the validator.
+  // pipes-analyze: unguarded(sized in the ctor, never resized; stripes are internally locked)
+  std::vector<std::unique_ptr<WaveStripe>> stripes_;
+  /// Round-robin stripe assignment for newly included handlers (mutated
+  /// under the exclusive structure lock, atomic so lock-free readers of the
+  /// counter — none today — stay well-defined).
+  std::atomic<uint64_t> stripe_seq_{0};
+
   std::atomic<PropagationMode> propagation_mode_{
       PropagationMode::kTopological};
 
   /// Current structure epoch; see BumpStructureEpoch().
   std::atomic<uint64_t> structure_epoch_{1};
 
-  /// \name Reusable wave-plan rebuild scratch
-  ///
-  /// Owned by the manager so plan rebuilds on a steady-state graph allocate
-  /// nothing once the buffers have grown to the high-water closure size.
-  ///@{
-  /// BFS closure of the current rebuild (affected handlers, discovery
-  /// order).
-  std::vector<MetadataHandler*> scratch_closure_
-      PIPES_GUARDED_BY(propagation_mu_);
-  /// Kahn ready-queue of the current rebuild (reused as a ring via index).
-  std::vector<MetadataHandler*> scratch_ready_
-      PIPES_GUARDED_BY(propagation_mu_);
-  /// Stamp for `MetadataHandler::wave_mark_`: incremented per rebuild, so
-  /// membership tests are one compare and never need clearing.
-  uint64_t wave_stamp_ PIPES_GUARDED_BY(propagation_mu_) = 0;
-  ///@}
+  /// Stamp source for `MetadataHandler::wave_mark_`: incremented per plan
+  /// rebuild, so closure-membership tests are one compare and never need
+  /// clearing. Atomic: rebuilds from different origins draw stamps
+  /// concurrently (the per-handler scratch itself is protected by the
+  /// all-stripes rebuild discipline).
+  std::atomic<uint64_t> wave_stamp_{0};
 
   /// \name Overload-governor state
   ///
@@ -567,10 +631,15 @@ class MetadataManager {
   std::atomic<int> pressure_state_{0};
   ///@}
 
-  /// Storm damping configuration (guarded, like all per-origin StormState,
-  /// by the propagation lock).
-  bool storm_damping_enabled_ PIPES_GUARDED_BY(propagation_mu_) = false;
-  StormDampingOptions storm_options_ PIPES_GUARDED_BY(propagation_mu_);
+  /// Storm damping switch. Atomic so the undamped fast path is one relaxed
+  /// load; flipped by Enable/DisableStormDamping.
+  std::atomic<bool> storm_damping_enabled_{false};
+  /// Storm damping configuration. Written under ALL wave stripes
+  /// (EnableStormDamping) and read under any one stripe (AdmitWave,
+  /// FlushStorm), so writers exclude every reader — the striped analogue of
+  /// the old propagation-lock guard.
+  // pipes-analyze: unguarded(written under all wave stripes, read under any one stripe)
+  StormDampingOptions storm_options_;
 
   std::atomic<uint64_t> stats_subscriptions_{0};
   std::atomic<uint64_t> stats_unsubscriptions_{0};
@@ -582,6 +651,7 @@ class MetadataManager {
   std::atomic<uint64_t> stats_wave_refreshes_{0};
   std::atomic<uint64_t> stats_wave_plan_hits_{0};
   std::atomic<uint64_t> stats_wave_plan_rebuilds_{0};
+  std::atomic<uint64_t> stats_waves_deferred_{0};
   std::atomic<uint64_t> stats_events_{0};
   std::atomic<uint64_t> stats_eval_failures_{0};
   std::atomic<uint64_t> stats_evals_skipped_{0};

@@ -11,7 +11,18 @@ QueryGraph::QueryGraph(TaskScheduler& scheduler, Duration metadata_period)
       metadata_period_(metadata_period),
       metadata_manager_(scheduler) {}
 
-QueryGraph::~QueryGraph() = default;
+QueryGraph::~QueryGraph() {
+  // Nodes are handed out as shared_ptrs, so a caller may still hold one
+  // when the graph (and the MetadataManager it owns) dies. Detach those
+  // survivors: their eventual ~MetadataProvider must not reach into the
+  // dead manager. Graph-owned nodes keep the manager attached — they are
+  // destroyed via nodes_ before metadata_manager_ (member order), so the
+  // durability teardown hook still sees a live manager for them.
+  ExclusiveLock lock(graph_mu_);
+  for (auto& node : nodes_) {
+    if (node.use_count() > 1) node->AttachMetadataManager(nullptr);
+  }
+}
 
 void QueryGraph::RegisterNode(const std::shared_ptr<Node>& node) {
   ExclusiveLock lock(graph_mu_);

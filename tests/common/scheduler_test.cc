@@ -187,6 +187,76 @@ TEST(ThreadPoolSchedulerTest, ManyTasksAcrossWorkers) {
   EXPECT_EQ(s.stats().tasks_run, static_cast<uint64_t>(kTasks));
 }
 
+TEST(ThreadPoolSchedulerTest, StealsDueWorkFromBusySibling) {
+  // One worker wedges on a long task; due tasks keep landing on its shard
+  // (round-robin distribution). The free worker must steal and run them —
+  // all while the blocker still holds its owner.
+  ThreadPoolScheduler s(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> blocker_running{false};
+  s.ScheduleAfter(0, [&] {
+    blocker_running.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 2000 && !blocker_running.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(blocker_running.load());
+
+  constexpr int kTasks = 20;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    s.ScheduleAfter(0, [&] { done.fetch_add(1); });
+  }
+  for (int i = 0; i < 2000 && done.load() < kTasks; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Snapshot before releasing the blocker: completions after the release
+  // would not prove stealing worked.
+  int done_while_blocked = done.load();
+  uint64_t stolen = s.stats().tasks_stolen;
+  release.store(true, std::memory_order_release);
+
+  EXPECT_EQ(done_while_blocked, kTasks);
+  EXPECT_GE(stolen, 1u) << "round-robin parks ~half the tasks on the wedged "
+                           "worker's shard; they can only finish by stealing";
+}
+
+TEST(ThreadPoolSchedulerTest, CancelledOneShotLeavesQueueDepthImmediately) {
+  ThreadPoolScheduler s(1);
+  TaskHandle h = s.ScheduleAfter(Seconds(60), [] {});
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(s.stats().queue_depth, 1u);
+  // Lazy cancel: the queue entry lingers until its due time, but the gauge
+  // (and admission, below) must drop the task the moment it is cancelled.
+  h.Cancel();
+  EXPECT_EQ(s.stats().queue_depth, 0u);
+}
+
+TEST(ThreadPoolSchedulerTest, CancelledOneShotFreesAdmissionSlot) {
+  ThreadPoolScheduler s(1);
+  SchedulerOverloadPolicy policy;
+  policy.max_pending = 2;
+  s.SetOverloadPolicy(policy);
+
+  TaskHandle a = s.ScheduleAfter(Seconds(60), [] {});
+  TaskHandle b = s.ScheduleAfter(Seconds(60), [] {});
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_FALSE(s.ScheduleAfter(Seconds(60), [] {}).valid())
+      << "queue full: the third one-shot must bounce";
+
+  // Cancelling a pending one-shot frees its admission slot immediately —
+  // not at the cancelled entry's far-future due time.
+  a.Cancel();
+  TaskHandle c = s.ScheduleAfter(Seconds(60), [] {});
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(s.stats().tasks_rejected, 1u);
+  EXPECT_EQ(s.stats().queue_depth, 2u);
+}
+
 TEST(SchedulerOverloadTest, AdmissionControlBoundsOneShotQueue) {
   VirtualTimeScheduler s;
   SchedulerOverloadPolicy policy;

@@ -193,6 +193,147 @@ TEST(MetadataConcurrencyTest, StormDampingUnderConcurrentFireEvent) {
   EXPECT_GE(sub->Get().AsInt(), 1);
 }
 
+TEST(MetadataConcurrencyTest, ConcurrentWavesAcrossStripesWithStructureChurn) {
+  // The striped-propagation stress: origins pinned to distinct stripes fire
+  // concurrently (waves from independent origins hold different stripe
+  // locks) while a churn thread subscribes/unsubscribes and redefines other
+  // items, bumping the structure epoch so in-flight origins keep hitting the
+  // all-stripes rebuild path. Run under TSan this exercises every stripe
+  // transition: steady wave, rebuild, nested defer, storm-free admission.
+  ThreadPoolScheduler scheduler(4);
+  MetadataManager manager(scheduler, /*wave_stripes=*/4);
+  constexpr int kOrigins = 4;
+  constexpr int kEventsPerOrigin = 300;
+
+  std::vector<std::unique_ptr<SimpleProvider>> providers;
+  std::vector<MetadataSubscription> subs;
+  std::atomic<int64_t> state{1};
+  for (int i = 0; i < kOrigins; ++i) {
+    auto p = std::make_unique<SimpleProvider>("p" + std::to_string(i));
+    auto& reg = p->metadata_registry();
+    ASSERT_TRUE(reg.Define(MetadataDescriptor::OnDemand("s").WithEvaluator(
+                    [&state](EvalContext&) {
+                      return MetadataValue(state.load());
+                    }))
+                    .ok());
+    ASSERT_TRUE(reg.Define(MetadataDescriptor::Triggered("t")
+                               .DependsOnSelf("s")
+                               .WithEvaluator([](EvalContext& ctx) {
+                                 return ctx.Dep(0);
+                               }))
+                    .ok());
+    ASSERT_TRUE(
+        reg.Define(MetadataDescriptor::Static("churn", 1.0)).ok());
+    auto sub = manager.Subscribe(*p, "t");
+    ASSERT_TRUE(sub.ok());
+    subs.push_back(std::move(sub.value()));
+    providers.push_back(std::move(p));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    int round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      SimpleProvider& p = *providers[round % kOrigins];
+      {
+        auto sub = manager.Subscribe(p, "churn");
+        ASSERT_TRUE(sub.ok());
+        // Subscribe and the end-of-scope unsubscribe each bump the epoch.
+      }
+      // Redefinition (legal only while excluded) bumps the epoch once more.
+      ASSERT_TRUE(p.metadata_registry()
+                      .Redefine(MetadataDescriptor::Static(
+                          "churn", double(round)))
+                      .ok());
+      ++round;
+    }
+  });
+
+  std::vector<std::thread> firers;
+  for (int i = 0; i < kOrigins; ++i) {
+    firers.emplace_back([&, i] {
+      for (int j = 0; j < kEventsPerOrigin; ++j) {
+        state.fetch_add(1);
+        manager.FireEvent(*providers[i], "s");
+      }
+    });
+  }
+  for (auto& t : firers) t.join();
+  stop.store(true, std::memory_order_release);
+  churner.join();
+
+  MetadataManagerStats st = manager.stats();
+  EXPECT_EQ(st.events_fired,
+            static_cast<uint64_t>(kOrigins * kEventsPerOrigin));
+  // Every fired event either ran as a wave or was deferred to the scheduler;
+  // FireEvent never silently drops one.
+  EXPECT_GE(st.waves + st.waves_deferred, st.events_fired);
+  for (auto& sub : subs) {
+    EXPECT_GE(sub.Get().AsInt(), 1);
+  }
+}
+
+TEST(MetadataConcurrencyTest, NestedCrossOriginWaveDefersInsteadOfBlocking) {
+  // A wave evaluator firing an event on another origin starts a *nested*
+  // wave. Its plan has never been built (stale), and a nested frame cannot
+  // take all stripes to rebuild — the wave must be deferred to the
+  // scheduler and re-fired top-level, not walked stale or deadlocked on.
+  ThreadPoolScheduler scheduler(2);
+  MetadataManager manager(scheduler, /*wave_stripes=*/2);
+  SimpleProvider p("p");
+  auto& reg = p.metadata_registry();
+  std::atomic<int64_t> state{1};
+  std::atomic<bool> armed{false};
+
+  ASSERT_TRUE(reg.Define(MetadataDescriptor::OnDemand("sb").WithEvaluator(
+                  [&state](EvalContext&) {
+                    return MetadataValue(state.load());
+                  }))
+                  .ok());
+  ASSERT_TRUE(reg.Define(MetadataDescriptor::Triggered("tb")
+                             .DependsOnSelf("sb")
+                             .WithEvaluator([](EvalContext& ctx) {
+                               return ctx.Dep(0);
+                             }))
+                  .ok());
+  ASSERT_TRUE(reg.Define(MetadataDescriptor::OnDemand("sa").WithEvaluator(
+                  [&state](EvalContext&) {
+                    return MetadataValue(state.load());
+                  }))
+                  .ok());
+  // ta's refresh fires an event on sb — a nested wave from inside a wave.
+  // Armed only after subscription: the activation evaluation runs under the
+  // exclusive structure lock, where firing would be a reentrant upgrade.
+  ASSERT_TRUE(reg.Define(MetadataDescriptor::Triggered("ta")
+                             .DependsOnSelf("sa")
+                             .WithEvaluator([&](EvalContext& ctx) {
+                               if (armed.load(std::memory_order_acquire)) {
+                                 manager.FireEvent(p, "sb");
+                               }
+                               return ctx.Dep(0);
+                             }))
+                  .ok());
+
+  auto sub_b = manager.Subscribe(p, "tb");
+  auto sub_a = manager.Subscribe(p, "ta");
+  ASSERT_TRUE(sub_b.ok());
+  ASSERT_TRUE(sub_a.ok());
+  armed.store(true, std::memory_order_release);
+
+  state.store(42);
+  manager.FireEvent(p, "sa");
+
+  MetadataManagerStats st = manager.stats();
+  EXPECT_GE(st.waves_deferred, 1u)
+      << "the nested cross-origin wave must defer (stale plan, held stripe)";
+
+  // The deferred wave re-fires from a pool worker and completes the refresh.
+  for (int i = 0; i < 2000 && sub_b->Get().AsInt() < 42; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(sub_b->Get().AsInt(), 42);
+}
+
 TEST(MetadataConcurrencyTest, SeqlockReadersSeeNoTornNumericValues) {
   // Readers of the seqlock value slot never block and never observe a torn
   // value: a triggered item publishes strictly increasing integers while

@@ -205,5 +205,85 @@ TEST(WavePlanTest, SteadyStateWaveIsAllocationFree) {
   EXPECT_EQ(s.wave_plan_hits, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Striped wave execution
+// ---------------------------------------------------------------------------
+
+TEST(WaveStripeTest, StripeCountDefaultsAndClamps) {
+  VirtualTimeScheduler sched;
+  MetadataManager by_hardware(sched);
+  EXPECT_GE(by_hardware.wave_stripe_count(), 1u);
+  EXPECT_EQ(by_hardware.stats().wave_stripes, by_hardware.wave_stripe_count());
+
+  // One held-stripe bitmask must cover the whole stripe set.
+  MetadataManager clamped(sched, 200);
+  EXPECT_EQ(clamped.wave_stripe_count(), 64u);
+
+  MetadataManager explicit_count(sched, 3);
+  EXPECT_EQ(explicit_count.wave_stripe_count(), 3u);
+}
+
+TEST(WaveStripeTest, IndependentOriginsCacheIndependentPlans) {
+  VirtualTimeScheduler sched;
+  MetadataManager manager(sched, /*wave_stripes=*/2);
+  SimpleProvider p("p");
+  auto& reg = p.metadata_registry();
+  auto evals = std::make_shared<int>(0);
+  ASSERT_TRUE(reg.Define(MetadataDescriptor::Static("base_a", 1.0)).ok());
+  ASSERT_TRUE(reg.Define(MetadataDescriptor::Static("base_b", 1.0)).ok());
+  ASSERT_TRUE(reg.Define(CountingTriggered("ta", {"base_a"}, evals)).ok());
+  ASSERT_TRUE(reg.Define(CountingTriggered("tb", {"base_b"}, evals)).ok());
+
+  auto sa = manager.Subscribe(p, "ta");
+  auto sb = manager.Subscribe(p, "tb");
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+
+  // Each origin builds its own plan once; subsequent waves from either
+  // origin hit their cached plans even though the origins live on
+  // different stripes.
+  manager.FireEvent(p, "base_a");
+  manager.FireEvent(p, "base_b");
+  auto s1 = manager.stats();
+  EXPECT_EQ(s1.wave_plan_rebuilds, 2u);
+  EXPECT_EQ(s1.wave_plan_hits, 0u);
+
+  manager.FireEvent(p, "base_a");
+  manager.FireEvent(p, "base_b");
+  auto s2 = manager.stats();
+  EXPECT_EQ(s2.wave_plan_rebuilds, 2u);
+  EXPECT_EQ(s2.wave_plan_hits, 2u);
+  EXPECT_EQ(s2.waves, 4u);
+  EXPECT_EQ(s2.waves_deferred, 0u);
+}
+
+TEST(WaveStripeTest, CrossStripeClosureRebuildsUnderAllStripes) {
+  // A wave whose closure spans handlers pinned to other stripes (the rebuild
+  // writes their wave_mark_/wave_indegree_ scratch) must still produce a
+  // correct topological plan — the rebuild path quiesces all stripes.
+  VirtualTimeScheduler sched;
+  MetadataManager manager(sched, /*wave_stripes=*/4);
+  SimpleProvider p("p");
+  auto& reg = p.metadata_registry();
+  auto evals = std::make_shared<int>(0);
+  ASSERT_TRUE(reg.Define(MetadataDescriptor::Static("base", 1.0)).ok());
+  std::string prev = "base";
+  // A chain long enough that its handlers land on every stripe.
+  for (int i = 0; i < 12; ++i) {
+    std::string key = "t" + std::to_string(i);
+    ASSERT_TRUE(reg.Define(CountingTriggered(key, {prev}, evals)).ok());
+    prev = key;
+  }
+  auto sub = manager.Subscribe(p, prev);
+  ASSERT_TRUE(sub.ok());
+
+  *evals = 0;  // drop activation evaluations
+  manager.FireEvent(p, "base");
+  EXPECT_EQ(*evals, 12) << "every chain handler refreshes exactly once";
+  auto s = manager.stats();
+  EXPECT_EQ(s.wave_plan_rebuilds, 1u);
+  EXPECT_EQ(s.wave_refreshes, 12u);
+}
+
 }  // namespace
 }  // namespace pipes
