@@ -35,6 +35,19 @@
 /// checkpoint duration, on-disk footprint, and recovery time; verified:
 /// 100% of committed definitions, subscriptions, and values are restored.
 /// Results go to BENCH_durability.json.
+///
+/// C4 — Chaos: federated metadata over a faulty link.
+///
+/// Two MetadataManagers on one virtual-time scheduler federate over a
+/// LoopbackLink with injected message loss (0 / 10 / 30%) plus one forced
+/// partition/heal cycle per run. The server fires a propagation wave every
+/// 5 ms for 2 s; the client mirrors the item with a 1 s staleness bound.
+/// Expectation: at every sample the mirror either carries the latest
+/// published value or serves last-known-good within the staleness bound;
+/// the partition opens the peer circuit breaker; after heal + quiesce the
+/// mirror reconciles to the latest value with zero duplicate notifications
+/// (sequence-suppressed on the wire). Results go to
+/// BENCH_remote_metadata.json.
 
 #include <algorithm>
 #include <atomic>
@@ -53,6 +66,8 @@
 #include "metadata/manager.h"
 #include "metadata/persistence.h"
 #include "metadata/provider.h"
+#include "metadata/remote.h"
+#include "net/loopback.h"
 
 namespace pipes::bench {
 namespace {
@@ -680,6 +695,195 @@ void RunDurabilityPhase() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// C4 — federated metadata over a faulty link
+// ---------------------------------------------------------------------------
+
+struct FederationResult {
+  double loss = 0;
+  uint64_t waves = 0;
+  uint64_t pushes_sent = 0;
+  uint64_t pushes_applied = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  uint64_t resyncs = 0;
+  uint64_t probes = 0;
+  uint64_t samples = 0;
+  uint64_t bounded_ok = 0;  ///< samples with latest value or staleness <= bound
+  Duration max_staleness = 0;
+  bool breaker_opened = false;  ///< peer quarantined during the partition
+  bool converged = false;       ///< latest value reconciled after heal
+};
+
+constexpr Duration kFedBound = kMicrosPerSecond;  ///< mirror staleness bound
+constexpr Duration kFedStep = 5 * kMicrosPerMilli;
+constexpr Duration kFedPhase = 2 * kMicrosPerSecond;
+
+FederationResult RunFederation(double loss, uint64_t seed) {
+  FederationResult r;
+  r.loss = loss;
+
+  VirtualTimeScheduler scheduler;
+  MetadataManager server_mgr(scheduler);
+  MetadataManager client_mgr(scheduler);
+  FaultInjector injector(seed);
+
+  net::LoopbackLink::Options lo;
+  lo.latency = 1 * kMicrosPerMilli;
+  lo.injector = &injector;
+  lo.scope_a_to_b = "c4.s2c";  // server -> client
+  lo.scope_b_to_a = "c4.c2s";  // client -> server
+  net::LoopbackLink link(scheduler, lo);
+
+  ChaosProvider src("src");
+  double metric = 0.0;
+  (void)src.metadata_registry().Define(
+      MetadataDescriptor::OnDemand("metric").WithEvaluator(
+          [&metric](EvalContext&) { return MetadataValue(metric); }));
+
+  MetadataFederationServer server(server_mgr);
+  if (!server.ExportProvider(src).ok()) return r;
+  server.Serve(link.a());
+
+  RemoteMetadataProvider mirror("src", client_mgr, link.b());
+  if (!mirror.Mirror("metric", kFedBound).ok()) return r;
+  auto sub = client_mgr.Subscribe(mirror, "metric");
+  if (!sub.ok()) return r;
+  scheduler.RunFor(10 * kMicrosPerMilli);  // subscribe round trip + initial
+
+  if (loss > 0) {
+    injector.ArmMessages("c4.s2c", MessageFaultSpec::Dropping(loss));
+    injector.ArmMessages("c4.c2s", MessageFaultSpec::Dropping(loss));
+  }
+
+  const Timestamp start = scheduler.clock().Now();
+  const Timestamp partition_at = start + kFedPhase * 2 / 5;  // 800 ms in
+  const Timestamp heal_at = start + kFedPhase * 3 / 5;       // 1200 ms in
+  bool partitioned = false;
+  bool healed = false;
+
+  for (Timestamp t = start + kFedStep; t <= start + kFedPhase; t += kFedStep) {
+    scheduler.RunUntil(t);
+
+    // Sample before the next wave: the previous push has had a full link
+    // latency to land (or to be dropped / blocked by the partition).
+    double v = sub.value().GetDouble();
+    Duration staleness =
+        mirror.mirror_staleness("metric", scheduler.clock().Now()).value();
+    r.max_staleness = std::max(r.max_staleness, staleness);
+    ++r.samples;
+    if (v == metric || staleness <= kFedBound) ++r.bounded_ok;
+    if (partitioned && !healed &&
+        mirror.health() == HandlerHealth::kQuarantined) {
+      r.breaker_opened = true;
+    }
+
+    if (!partitioned && t >= partition_at) {
+      injector.PartitionLink("c4.s2c");
+      injector.PartitionLink("c4.c2s");
+      partitioned = true;
+    }
+    if (partitioned && !healed && t >= heal_at) {
+      injector.HealLink("c4.s2c");
+      injector.HealLink("c4.c2s");
+      healed = true;
+    }
+
+    metric += 1.0;
+    src.FireMetadataEvent("metric");
+    ++r.waves;
+  }
+
+  // Quiesce: faults off, no new waves. Reconciliation (breaker-close
+  // resubscribe) and the staleness resync must converge the mirror to the
+  // latest published value.
+  injector.DisarmAll();
+  scheduler.RunFor(500 * kMicrosPerMilli);
+  r.converged = sub.value().GetDouble() == metric;
+
+  auto peer = mirror.peer_stats();
+  r.retries = peer.retries;
+  r.reconnects = peer.reconnects;
+  r.resyncs = peer.resyncs;
+  r.probes = peer.probes;
+  auto ms = mirror.mirror_stats("metric").value();
+  r.pushes_applied = ms.pushes_applied;
+  r.duplicates_suppressed = ms.duplicates_suppressed;
+  r.pushes_sent = server.stats().pushes_sent;
+  return r;
+}
+
+void RunFederationPhase() {
+  Banner("C4", "chaos_metadata: federated metadata over a faulty link",
+         "under 0-30% message loss plus one partition/heal cycle, every wave\n"
+         "propagates or the mirror serves last-known-good within its 1 s\n"
+         "staleness bound; the partition opens the breaker; after heal the\n"
+         "mirror reconciles to the latest value");
+
+  std::string json = "{\n  \"bench\": \"chaos_metadata federation (C4)\",\n";
+  json += "  \"staleness_bound_ms\": 1000,\n  \"runs\": [\n";
+  TablePrinter table({"loss %", "waves", "pushes sent", "applied",
+                      "dup suppressed", "retries", "resyncs", "reconnects",
+                      "max staleness [ms]", "bounded ok", "breaker",
+                      "converged"});
+  bool ok = true;
+  bool first = true;
+  for (double loss : {0.0, 0.10, 0.30}) {
+    FederationResult r =
+        RunFederation(loss, /*seed=*/0xFED0 + uint64_t(loss * 100));
+    ok = ok && r.bounded_ok == r.samples && r.breaker_opened && r.converged;
+    table.AddRow(
+        {TablePrinter::Fmt(loss * 100, 0), TablePrinter::Fmt(r.waves),
+         TablePrinter::Fmt(r.pushes_sent), TablePrinter::Fmt(r.pushes_applied),
+         TablePrinter::Fmt(r.duplicates_suppressed),
+         TablePrinter::Fmt(r.retries), TablePrinter::Fmt(r.resyncs),
+         TablePrinter::Fmt(r.reconnects),
+         TablePrinter::Fmt(double(r.max_staleness) / kMicrosPerMilli, 1),
+         TablePrinter::Fmt(r.bounded_ok) + "/" + TablePrinter::Fmt(r.samples),
+         r.breaker_opened ? "opened" : "NO", r.converged ? "yes" : "NO"});
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"loss\": %.2f, \"waves\": %llu, \"pushes_sent\": %llu, "
+        "\"pushes_applied\": %llu, \"duplicates_suppressed\": %llu, "
+        "\"retries\": %llu, \"resyncs\": %llu, \"reconnects\": %llu, "
+        "\"probes\": %llu, \"max_staleness_ms\": %.2f, "
+        "\"bounded_ok\": %llu, \"samples\": %llu, "
+        "\"breaker_opened\": %s, \"converged\": %s}",
+        first ? "" : ",\n", r.loss, (unsigned long long)r.waves,
+        (unsigned long long)r.pushes_sent, (unsigned long long)r.pushes_applied,
+        (unsigned long long)r.duplicates_suppressed,
+        (unsigned long long)r.retries, (unsigned long long)r.resyncs,
+        (unsigned long long)r.reconnects, (unsigned long long)r.probes,
+        double(r.max_staleness) / kMicrosPerMilli,
+        (unsigned long long)r.bounded_ok, (unsigned long long)r.samples,
+        r.breaker_opened ? "true" : "false", r.converged ? "true" : "false");
+    json += buf;
+    first = false;
+  }
+  json += "\n  ],\n";
+  std::printf("%s\n", table.ToString().c_str());
+
+  char vbuf[96];
+  std::snprintf(vbuf, sizeof(vbuf), "  \"all_bounded_and_converged\": %s\n}\n",
+                ok ? "true" : "false");
+  json += vbuf;
+  std::printf("verdict: %s\n",
+              ok ? "PASS (bounded staleness at every sample, breaker cycled, "
+                   "full reconciliation)"
+                 : "FAIL (staleness bound violated, breaker never opened, or "
+                   "no convergence)");
+
+  if (std::FILE* f = std::fopen("BENCH_remote_metadata.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_remote_metadata.json\n\n");
+  } else {
+    std::printf("could not write BENCH_remote_metadata.json\n\n");
+  }
+}
+
 }  // namespace
 }  // namespace pipes::bench
 
@@ -687,5 +891,6 @@ int main() {
   pipes::bench::Run();
   pipes::bench::RunOverload();
   pipes::bench::RunDurabilityPhase();
+  pipes::bench::RunFederationPhase();
   return 0;
 }

@@ -27,6 +27,22 @@ const char* FaultActionToString(FaultAction a) {
   return "unknown";
 }
 
+const char* MessageFaultToString(MessageFault f) {
+  switch (f) {
+    case MessageFault::kDeliver:
+      return "deliver";
+    case MessageFault::kDrop:
+      return "drop";
+    case MessageFault::kDelay:
+      return "delay";
+    case MessageFault::kDuplicate:
+      return "duplicate";
+    case MessageFault::kReorder:
+      return "reorder";
+  }
+  return "unknown";
+}
+
 FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
 
 void FaultInjector::Arm(const std::string& scope, FaultSpec spec) {
@@ -78,6 +94,78 @@ FaultAction FaultInjector::Decide(const std::string& scope) {
     return FaultAction::kSleep;
   }
   return FaultAction::kNone;
+}
+
+void FaultInjector::ArmMessages(const std::string& scope,
+                                MessageFaultSpec spec) {
+  MutexLock lock(mu_);
+  message_specs_[scope] = spec;
+}
+
+void FaultInjector::DisarmMessages(const std::string& scope) {
+  MutexLock lock(mu_);
+  message_specs_.erase(scope);
+}
+
+void FaultInjector::PartitionLink(const std::string& scope) {
+  MutexLock lock(mu_);
+  partitions_.insert(scope);
+}
+
+void FaultInjector::HealLink(const std::string& scope) {
+  MutexLock lock(mu_);
+  partitions_.erase(scope);
+}
+
+bool FaultInjector::link_partitioned(const std::string& scope) const {
+  MutexLock lock(mu_);
+  return partitions_.count(scope) != 0 || partitions_.count("*") != 0;
+}
+
+const MessageFaultSpec* FaultInjector::FindMessageSpec(
+    const std::string& scope) const {
+  auto it = message_specs_.find(scope);
+  if (it != message_specs_.end()) return &it->second;
+  it = message_specs_.find("*");
+  return it == message_specs_.end() ? nullptr : &it->second;
+}
+
+MessageFault FaultInjector::DecideMessage(const std::string& scope,
+                                          Duration* extra_delay) {
+  if (extra_delay != nullptr) *extra_delay = 0;
+  MutexLock lock(mu_);
+  if (partitions_.count(scope) != 0 || partitions_.count("*") != 0) {
+    ++stats_.messages;
+    ++stats_.partition_drops;
+    return MessageFault::kDrop;
+  }
+  const MessageFaultSpec* spec = FindMessageSpec(scope);
+  if (spec == nullptr) return MessageFault::kDeliver;
+  ++stats_.messages;
+  double u = rng_.NextDouble();
+  double edge = std::max(0.0, spec->drop_probability);
+  if (u < edge) {
+    ++stats_.drops;
+    return MessageFault::kDrop;
+  }
+  edge += std::max(0.0, spec->delay_probability);
+  if (u < edge) {
+    ++stats_.delays;
+    if (extra_delay != nullptr) *extra_delay = spec->delay;
+    return MessageFault::kDelay;
+  }
+  edge += std::max(0.0, spec->duplicate_probability);
+  if (u < edge) {
+    ++stats_.duplicates;
+    return MessageFault::kDuplicate;
+  }
+  edge += std::max(0.0, spec->reorder_probability);
+  if (u < edge) {
+    ++stats_.reorders;
+    if (extra_delay != nullptr) *extra_delay = spec->reorder_delay;
+    return MessageFault::kReorder;
+  }
+  return MessageFault::kDeliver;
 }
 
 void FaultInjector::SleepNow(const std::string& scope) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/mutex.h"
@@ -71,7 +72,48 @@ struct FaultInjectorStats {
   uint64_t throws = 0;
   uint64_t nans = 0;
   uint64_t sleeps = 0;
+  uint64_t messages = 0;  ///< DecideMessage() calls (armed or partitioned)
+  uint64_t drops = 0;
+  uint64_t delays = 0;
+  uint64_t duplicates = 0;
+  uint64_t reorders = 0;
+  uint64_t partition_drops = 0;  ///< messages eaten by a partitioned link
   uint64_t injected() const { return throws + nans + sleeps; }
+  uint64_t message_faults() const {
+    return drops + delays + duplicates + reorders + partition_drops;
+  }
+};
+
+/// What happens to one in-flight message on a faulty link.
+enum class MessageFault {
+  kDeliver,    ///< deliver normally
+  kDrop,       ///< silently discard
+  kDelay,      ///< deliver after an extra delay
+  kDuplicate,  ///< deliver twice
+  kReorder,    ///< deliver late enough that later messages overtake it
+};
+
+/// Human-readable name of a message fault.
+const char* MessageFaultToString(MessageFault f);
+
+/// \brief Per-link message-fault probabilities. Probabilities are cumulative
+/// over one uniform draw, like FaultSpec.
+struct MessageFaultSpec {
+  double drop_probability = 0.0;
+  double delay_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  /// Extra latency applied to kDelay deliveries.
+  Duration delay = 2 * kMicrosPerMilli;
+  /// Extra latency applied to kReorder deliveries (long enough that frames
+  /// sent afterwards at nominal latency arrive first).
+  Duration reorder_delay = 5 * kMicrosPerMilli;
+
+  static MessageFaultSpec Dropping(double p) {
+    MessageFaultSpec s;
+    s.drop_probability = p;
+    return s;
+  }
 };
 
 /// \brief The exception raised by injected kThrow faults.
@@ -105,6 +147,33 @@ class FaultInjector {
 
   /// Draws the action for one invocation in `scope`. kNone when unarmed.
   FaultAction Decide(const std::string& scope);
+
+  // -- Message faults (network links) --------------------------------------
+
+  /// Installs/replaces the message-fault spec for link `scope` ("*" =
+  /// wildcard). Scopes are free-form; the convention for transports is one
+  /// scope per direction (e.g. "loopback.a2b").
+  void ArmMessages(const std::string& scope, MessageFaultSpec spec);
+
+  /// Removes the message-fault spec for `scope`. No-op when not armed.
+  void DisarmMessages(const std::string& scope);
+
+  /// Cuts link `scope`: every message decided against it is dropped,
+  /// regardless of armed specs, until HealLink. "*" cuts all links.
+  void PartitionLink(const std::string& scope);
+
+  /// Restores a partitioned link. No-op when not partitioned.
+  void HealLink(const std::string& scope);
+
+  /// True if `scope` is currently partitioned (exact or wildcard).
+  bool link_partitioned(const std::string& scope) const;
+
+  /// Draws the fate of one message on link `scope`. Partitioned links always
+  /// drop; otherwise the armed spec (exact or wildcard) is consulted;
+  /// unarmed links always deliver. For kDelay/kReorder the configured extra
+  /// latency is written to `*extra_delay` (may be null).
+  MessageFault DecideMessage(const std::string& scope,
+                             Duration* extra_delay = nullptr);
 
   /// Snapshot of decision counters.
   FaultInjectorStats stats() const;
@@ -140,12 +209,18 @@ class FaultInjector {
   /// Spec lookup honoring the wildcard; nullptr when unarmed.
   const FaultSpec* FindSpec(const std::string& scope) const;
 
+  /// Message-spec lookup honoring the wildcard; nullptr when unarmed.
+  const MessageFaultSpec* FindMessageSpec(const std::string& scope) const;
+
   /// Unranked: fault decisions are drawn from arbitrary call sites (under
   /// evaluator, propagation, or scheduler locks), so no fixed rank fits; the
   /// validator still records its held-before edges by name.
   mutable Mutex mu_{"FaultInjector::mu"};
   Rng rng_ PIPES_GUARDED_BY(mu_);
   std::unordered_map<std::string, FaultSpec> specs_ PIPES_GUARDED_BY(mu_);
+  std::unordered_map<std::string, MessageFaultSpec> message_specs_
+      PIPES_GUARDED_BY(mu_);
+  std::unordered_set<std::string> partitions_ PIPES_GUARDED_BY(mu_);
   FaultInjectorStats stats_ PIPES_GUARDED_BY(mu_);
 };
 

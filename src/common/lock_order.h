@@ -67,6 +67,11 @@ inline constexpr int kRankDurabilityAdmin = 170;
 /// MetadataDurability::ckpt_mu — serializes checkpoints; held across the
 /// consistent-image gather (shared structure lock, provider registries).
 inline constexpr int kRankDurabilityCheckpoint = 180;
+/// RemoteMetadataProvider::fed_mu / MetadataFederationServer::server_mu —
+/// per-peer federation state (mirror table, sequence cursors, breaker).
+/// Held while subscribing/propagating mirrored items, so it sits above the
+/// structure lock and every handler lock.
+inline constexpr int kRankFederation = 190;
 inline constexpr int kRankMetadataStructure = 200; ///< MetadataManager::structure_mu
 /// MetadataDurability::providers_mu — the label→provider map journal hooks
 /// consult. Taken under the exclusive structure lock (hooks fired from
@@ -101,6 +106,11 @@ inline constexpr int kRankHandlerValue = 560;
 /// evaluator that fires a nested event (eval_mu held), so it sits below
 /// the journal but above every handler lock.
 inline constexpr int kRankRegistry = 570;
+/// net::Endpoint send/receiver state (LoopbackEndpoint::mu, TcpEndpoint::mu).
+/// Near-leaf: transports never call back into metadata while holding it
+/// (receivers are copied out and invoked unlocked), but Send() is reached
+/// from evaluators and federation paths holding most metadata locks.
+inline constexpr int kRankNetEndpoint = 610;
 /// MetadataDurability::journal_mu — LSN assignment + group-commit buffer.
 /// Innermost of the metadata locks: value commits journal under value_mu,
 /// structure mutations journal under the exclusive structure lock.

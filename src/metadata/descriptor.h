@@ -183,6 +183,13 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   /// Backoff ceiling.
   Duration max_backoff = 10 * kMicrosPerSecond;
+  /// ± jitter fraction applied to each retry delay (clamped to [0, 1]).
+  /// A correlated fault quarantines many handlers at once; without jitter
+  /// they all probe in lockstep at the same instants. The backoff *growth*
+  /// stays deterministic — only the applied delay is perturbed, drawn from
+  /// a per-handler seeded RNG so runs replay exactly. 0 (default) keeps the
+  /// historical fully-deterministic schedule.
+  double backoff_jitter = 0.0;
 };
 
 /// Enables/disables node-side monitoring code for an item.

@@ -67,7 +67,9 @@ MetadataHandler::MetadataHandler(
     : owner_(owner),
       desc_(std::move(desc)),
       manager_(manager),
-      deps_(std::move(deps)) {}
+      deps_(std::move(deps)),
+      backoff_rng_(std::hash<std::string>()(owner.label()) ^
+                   (std::hash<std::string>()(desc_->key()) << 1)) {}
 
 MetadataHandler::~MetadataHandler() = default;
 
@@ -248,7 +250,18 @@ void MetadataHandler::RecordFailure(Timestamp now, std::string error) {
         current_backoff_ = static_cast<Duration>(
             std::min(next, static_cast<double>(policy.max_backoff)));
       }
-      retry_at_ = now + current_backoff_;
+      // The growth above stays deterministic; only the applied delay is
+      // jittered, so handlers quarantined by one correlated fault do not
+      // probe in lockstep (each handler's RNG is seeded from its identity).
+      Duration delay = current_backoff_;
+      double jitter = std::clamp(policy.backoff_jitter, 0.0, 1.0);
+      if (jitter > 0.0) {
+        double factor = backoff_rng_.UniformDouble(1.0 - jitter, 1.0 + jitter);
+        delay = std::max<Duration>(
+            1, static_cast<Duration>(static_cast<double>(delay) * factor));
+        delay = std::min(delay, std::max<Duration>(1, policy.max_backoff));
+      }
+      retry_at_ = now + delay;
     }
     new_health = health_;
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/rng.h"
 #include "common/scheduler.h"
 #include "common/sharded_counter.h"
 #include "common/thread_annotations.h"
@@ -313,6 +314,10 @@ class MetadataHandler : public std::enable_shared_from_this<MetadataHandler> {
   /// Next allowed eval in quarantine.
   Timestamp retry_at_ PIPES_GUARDED_BY(health_mu_) = kTimestampNever;
   std::string last_error_ PIPES_GUARDED_BY(health_mu_);
+  /// Jitter source for quarantine retry delays (RetryPolicy::backoff_jitter).
+  /// Seeded from the item identity in the constructor, so runs replay
+  /// exactly while distinct handlers still decorrelate.
+  Rng backoff_rng_ PIPES_GUARDED_BY(health_mu_);
 
   std::atomic<bool> retired_{false};
   std::atomic<uint64_t> fault_count_{0};

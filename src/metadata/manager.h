@@ -430,6 +430,10 @@ class MetadataManager {
  private:
   friend class MetadataSubscription;
   friend class MetadataDurability;
+  /// Remote pushes inject peer values as last-known-good (InjectRecoveredValue)
+  /// before starting an ordinary propagation wave — the same protocol crash
+  /// recovery uses.
+  friend class RemoteMetadataProvider;
 
   struct PlanEntry {
     MetadataProvider* provider;

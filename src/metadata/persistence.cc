@@ -142,6 +142,7 @@ void EncodeDescriptorImage(RecordEncoder* enc, const DescriptorImage& img) {
   enc->PutI64(img.retry.initial_backoff);
   enc->PutDouble(img.retry.backoff_multiplier);
   enc->PutI64(img.retry.max_backoff);
+  enc->PutDouble(img.retry.backoff_jitter);
   EncodeValue(enc, img.fallback);
   enc->PutI64(img.max_staleness);
   enc->PutString(img.description);
@@ -183,6 +184,7 @@ bool DecodeDescriptorImage(RecordDecoder* dec, DescriptorImage* out) {
   if (!dec->GetI64(&out->retry.initial_backoff)) return false;
   if (!dec->GetDouble(&out->retry.backoff_multiplier)) return false;
   if (!dec->GetI64(&out->retry.max_backoff)) return false;
+  if (!dec->GetDouble(&out->retry.backoff_jitter)) return false;
   if (!DecodeValue(dec, &out->fallback)) return false;
   if (!dec->GetI64(&out->max_staleness)) return false;
   if (!dec->GetString(&out->description)) return false;

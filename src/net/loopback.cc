@@ -1,0 +1,82 @@
+#include "net/loopback.h"
+
+#include <utility>
+
+namespace pipes {
+namespace net {
+
+Status LoopbackEndpoint::Send(const Frame& frame) {
+  {
+    MutexLock lock(state_->mu);
+    if (state_->closed) {
+      return Status::FailedPrecondition("loopback endpoint closed");
+    }
+  }
+  Duration extra = 0;
+  int copies = 1;
+  if (injector_ != nullptr) {
+    switch (injector_->DecideMessage(scope_, &extra)) {
+      case MessageFault::kDrop:
+        // The wire ate it; a lossy link is indistinguishable from success
+        // at the sender, which is exactly what retry logic must cope with.
+        return Status::OK();
+      case MessageFault::kDuplicate:
+        copies = 2;
+        break;
+      case MessageFault::kDeliver:
+      case MessageFault::kDelay:
+      case MessageFault::kReorder:
+        break;
+    }
+  }
+  Timestamp deliver_at = scheduler_->clock().Now() + latency_ + extra;
+  for (int i = 0; i < copies; ++i) {
+    std::shared_ptr<State> dest = peer_state_;
+    scheduler_->ScheduleAt(deliver_at, [dest, frame]() {
+      Endpoint::Receiver receiver;
+      {
+        MutexLock lock(dest->mu);
+        if (dest->closed) return;
+        receiver = dest->receiver;
+      }
+      if (receiver) receiver(frame);
+    });
+  }
+  return Status::OK();
+}
+
+void LoopbackEndpoint::SetReceiver(Receiver receiver) {
+  MutexLock lock(state_->mu);
+  state_->receiver = std::move(receiver);
+}
+
+bool LoopbackEndpoint::connected() const {
+  MutexLock lock(state_->mu);
+  return !state_->closed;
+}
+
+void LoopbackEndpoint::Close() {
+  MutexLock lock(state_->mu);
+  state_->closed = true;
+  state_->receiver = nullptr;
+}
+
+LoopbackLink::LoopbackLink(TaskScheduler& scheduler)
+    : LoopbackLink(scheduler, Options()) {}
+
+LoopbackLink::LoopbackLink(TaskScheduler& scheduler, Options options) {
+  a_.scheduler_ = &scheduler;
+  a_.injector_ = options.injector;
+  a_.scope_ = options.scope_a_to_b;
+  a_.latency_ = options.latency;
+  a_.peer_state_ = b_.state_;
+
+  b_.scheduler_ = &scheduler;
+  b_.injector_ = options.injector;
+  b_.scope_ = options.scope_b_to_a;
+  b_.latency_ = options.latency;
+  b_.peer_state_ = a_.state_;
+}
+
+}  // namespace net
+}  // namespace pipes

@@ -1,0 +1,96 @@
+/// \file loopback.h
+/// \brief In-process loopback transport: two endpoints joined by a simulated
+/// link whose deliveries are scheduler tasks.
+///
+/// The deterministic half of the transport story. A `LoopbackLink` owns an
+/// endpoint pair (`a()` / `b()`): a frame Sent on one side is delivered to
+/// the other side's receiver by a task scheduled `latency` microseconds
+/// later, so two federated MetadataManagers sharing one
+/// `VirtualTimeScheduler` exchange messages in a fully replayable order.
+/// When a `FaultInjector` is attached, every send first consults
+/// `DecideMessage` on the per-direction scope: drops vanish silently (the
+/// sender cannot tell — exactly like a lossy wire), delays and reorders add
+/// extra latency (a reordered frame is simply scheduled late enough for
+/// later traffic to overtake it), duplicates schedule the delivery twice,
+/// and a partitioned link (`PartitionLink`) eats everything until healed.
+///
+/// Lifetime: delivery tasks share ownership of the destination endpoint's
+/// state, so in-flight frames outlive the link safely (they land in a closed
+/// endpoint and are dropped).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "common/mutex.h"
+#include "common/scheduler.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "net/transport.h"
+
+namespace pipes {
+namespace net {
+
+class LoopbackLink;
+
+/// \brief One side of a LoopbackLink. Created and owned by the link.
+class LoopbackEndpoint final : public Endpoint {
+ public:
+  Status Send(const Frame& frame) override;
+  void SetReceiver(Receiver receiver) override;
+  bool connected() const override;
+  void Close() override;
+
+ private:
+  friend class LoopbackLink;
+
+  /// Receiver/closed state, shared with in-flight delivery tasks.
+  struct State {
+    /// Near-leaf (kRankNetEndpoint): held only to read/write the receiver
+    /// and closed flag; the receiver itself is always invoked unlocked.
+    Mutex mu{"LoopbackEndpoint::mu", lockorder::kRankNetEndpoint};
+    Receiver receiver PIPES_GUARDED_BY(mu);
+    bool closed PIPES_GUARDED_BY(mu) = false;
+  };
+
+  LoopbackEndpoint() : state_(std::make_shared<State>()) {}
+
+  TaskScheduler* scheduler_ = nullptr;
+  FaultInjector* injector_ = nullptr;    // may be null
+  std::string scope_;                    // fault scope of the outgoing side
+  Duration latency_ = 0;
+  std::shared_ptr<State> state_;         // this endpoint's receive side
+  std::shared_ptr<State> peer_state_;    // the other endpoint's receive side
+};
+
+/// \brief An endpoint pair joined by a simulated, optionally faulty link.
+class LoopbackLink {
+ public:
+  struct Options {
+    /// One-way delivery latency (virtual when the scheduler is virtual).
+    Duration latency = 0;
+    /// Message-fault source; null = perfect link.
+    FaultInjector* injector = nullptr;
+    /// Per-direction fault scopes (arm/partition these on the injector).
+    std::string scope_a_to_b = "loopback.a2b";
+    std::string scope_b_to_a = "loopback.b2a";
+  };
+
+  explicit LoopbackLink(TaskScheduler& scheduler);
+  LoopbackLink(TaskScheduler& scheduler, Options options);
+
+  LoopbackLink(const LoopbackLink&) = delete;
+  LoopbackLink& operator=(const LoopbackLink&) = delete;
+
+  Endpoint& a() { return a_; }
+  Endpoint& b() { return b_; }
+
+ private:
+  LoopbackEndpoint a_;
+  LoopbackEndpoint b_;
+};
+
+}  // namespace net
+}  // namespace pipes

@@ -1,0 +1,29 @@
+#include "net/transport.h"
+
+#include "common/journal.h"
+
+namespace pipes {
+namespace net {
+
+std::string EncodeFrame(const Frame& frame) {
+  RecordEncoder enc;
+  enc.PutU32(frame.type);
+  enc.PutU64(frame.seq);
+  enc.PutString(frame.topic);
+  enc.PutString(frame.payload);
+  return enc.Take();
+}
+
+bool DecodeFrame(std::string_view record, Frame* out) {
+  RecordDecoder dec(record);
+  Frame f;
+  if (!dec.GetU32(&f.type)) return false;
+  if (!dec.GetU64(&f.seq)) return false;
+  if (!dec.GetString(&f.topic)) return false;
+  if (!dec.GetString(&f.payload)) return false;
+  *out = std::move(f);
+  return true;
+}
+
+}  // namespace net
+}  // namespace pipes

@@ -1,0 +1,89 @@
+/// \file transport.h
+/// \brief Transport abstraction for inter-process metadata federation.
+///
+/// The paper's dependency graph is explicitly inter-node (§3.2.3): metadata
+/// items on one node subscribe to items owned by another, and update waves
+/// cross the link as sequence-numbered push messages. This header defines
+/// the transport-neutral half of that story: a `Frame` (the unit of
+/// exchange: typed, sequence-numbered, topic-addressed), a binary codec that
+/// reuses the journal's CRC-framed record format on the wire, and the
+/// `Endpoint` interface the federation layer talks to. Two implementations
+/// exist: an in-process loopback pair driven by a `TaskScheduler` (so chaos
+/// tests replay deterministically under virtual time, see loopback.h) and a
+/// real TCP socket transport for cross-process integration (see tcp.h).
+///
+/// Layering: `net` sits between `common` and `metadata` (common ← net ←
+/// metadata). Nothing here knows about metadata values or registries — the
+/// federation protocol in metadata/remote.h assigns meaning to frame types
+/// and payload bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pipes {
+namespace net {
+
+/// \brief One unit of exchange between two endpoints.
+///
+/// `type` is protocol-defined (the federation layer's request/reply/push
+/// discriminator), `seq` is a protocol-defined sequence number (the basis of
+/// cross-link duplicate suppression), `topic` addresses a subscription
+/// ("provider/key" by convention), and `payload` carries protocol-encoded
+/// bytes (RecordEncoder format).
+struct Frame {
+  uint32_t type = 0;
+  uint64_t seq = 0;
+  std::string topic;
+  std::string payload;
+};
+
+/// Encodes a frame into record bytes: [type u32][seq u64][topic str][payload
+/// str]. The result is one record payload — transports that need integrity
+/// framing wrap it with AppendFrame (journal.h) on the wire.
+std::string EncodeFrame(const Frame& frame);
+
+/// Decodes record bytes produced by EncodeFrame. Returns false (leaving
+/// `*out` unspecified) on truncated or malformed input.
+bool DecodeFrame(std::string_view record, Frame* out);
+
+/// \brief A bidirectional, message-oriented channel to one peer.
+///
+/// Implementations deliver whole frames, in order on a healthy link (faulty
+/// links may drop/delay/duplicate/reorder — the federation layer's sequence
+/// numbers absorb that). Send() never blocks on the peer: it either queues
+/// the frame for delivery or reports the link down.
+///
+/// Thread safety: Send/SetReceiver/Close are safe to call concurrently. The
+/// receiver callback is invoked with no endpoint lock held, so it may call
+/// back into Send() freely; it must not destroy the endpoint.
+class Endpoint {
+ public:
+  using Receiver = std::function<void(const Frame&)>;
+
+  virtual ~Endpoint() = default;
+
+  /// Queues one frame for delivery to the peer. FailedPrecondition when the
+  /// endpoint is closed or the link is down. A successful Send is *not* a
+  /// delivery guarantee — the link may still drop the frame.
+  virtual Status Send(const Frame& frame) = 0;
+
+  /// Installs the callback invoked for each frame arriving from the peer.
+  /// Replaces any previous receiver; pass nullptr to stop receiving (frames
+  /// arriving with no receiver are dropped).
+  virtual void SetReceiver(Receiver receiver) = 0;
+
+  /// True while the endpoint can accept Send() calls.
+  virtual bool connected() const = 0;
+
+  /// Shuts the endpoint down; subsequent Send() calls fail. Idempotent.
+  virtual void Close() = 0;
+};
+
+}  // namespace net
+}  // namespace pipes

@@ -57,6 +57,36 @@ Status MetadataMonitor::WatchDurability(std::string series_name) {
   return Status::OK();
 }
 
+Status MetadataMonitor::WatchPeerHealth(RemoteMetadataProvider& remote,
+                                        std::string series_name) {
+  return WatchPeer(remote, std::move(series_name), SampleKind::kPeerHealth,
+                   ":peer_health");
+}
+
+Status MetadataMonitor::WatchPeerLag(RemoteMetadataProvider& remote,
+                                     std::string series_name) {
+  return WatchPeer(remote, std::move(series_name), SampleKind::kPeerLag,
+                   ":peer_lag");
+}
+
+Status MetadataMonitor::WatchPeer(RemoteMetadataProvider& remote,
+                                  std::string series_name, SampleKind kind,
+                                  const char* default_suffix) {
+  if (series_name.empty()) {
+    series_name = remote.remote_label() + default_suffix;
+  }
+  MutexLock lock(mu_);
+  if (watched_.count(series_name) > 0) {
+    return Status::AlreadyExists("series already watched: " + series_name);
+  }
+  Watched w;
+  w.kind = kind;
+  w.remote = &remote;
+  series_[series_name];  // ensure the series exists
+  watched_.emplace(std::move(series_name), std::move(w));
+  return Status::OK();
+}
+
 Status MetadataMonitor::WatchInternal(MetadataProvider& provider,
                                       const MetadataKey& key,
                                       std::string series_name, SampleKind kind,
@@ -125,6 +155,15 @@ void MetadataMonitor::SampleOnce() {
       case SampleKind::kDurability: {
         series_[name].Record(
             now, static_cast<double>(manager_.stats().journal_records));
+        break;
+      }
+      case SampleKind::kPeerHealth: {
+        series_[name].Record(
+            now, static_cast<double>(watched.remote->health()));
+        break;
+      }
+      case SampleKind::kPeerLag: {
+        series_[name].Record(now, ToSeconds(watched.remote->lag(now)));
         break;
       }
     }

@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "common/thread_annotations.h"
 #include "metadata/manager.h"
+#include "metadata/remote.h"
 
 namespace pipes {
 
@@ -58,6 +59,19 @@ class MetadataMonitor {
   /// durability is off). Needs no provider or subscription.
   Status WatchDurability(std::string series_name = "metadata:durability");
 
+  /// Records a federation peer link's circuit-breaker state as a numeric
+  /// series (0 = healthy, 1 = degraded, 2 = quarantined). Default series
+  /// name "<remote label>:peer_health". The caller keeps `remote` alive for
+  /// the monitor's lifetime (Unwatch first otherwise).
+  Status WatchPeerHealth(RemoteMetadataProvider& remote,
+                         std::string series_name = "");
+
+  /// Records a federation peer link's failure-detector lag (seconds since
+  /// the last ack/heartbeat from the peer). Default series name
+  /// "<remote label>:peer_lag".
+  Status WatchPeerLag(RemoteMetadataProvider& remote,
+                      std::string series_name = "");
+
   /// Stops watching a series and drops its subscription (recorded samples
   /// are kept).
   Status Unwatch(const std::string& series_name);
@@ -88,13 +102,27 @@ class MetadataMonitor {
 
  private:
   /// What a watched series samples from its subscription's handler (or,
-  /// for kPressure, from the manager directly — no subscription).
-  enum class SampleKind { kValue, kHealth, kStaleness, kPressure, kDurability };
+  /// for kPressure, from the manager directly — no subscription; or, for
+  /// kPeer*, from a RemoteMetadataProvider's link state).
+  enum class SampleKind {
+    kValue,
+    kHealth,
+    kStaleness,
+    kPressure,
+    kDurability,
+    kPeerHealth,
+    kPeerLag,
+  };
 
   struct Watched {
     MetadataSubscription subscription;
     SampleKind kind = SampleKind::kValue;
+    /// Source for kPeerHealth / kPeerLag; not owned.
+    RemoteMetadataProvider* remote = nullptr;
   };
+
+  Status WatchPeer(RemoteMetadataProvider& remote, std::string series_name,
+                   SampleKind kind, const char* default_suffix);
 
   Status WatchInternal(MetadataProvider& provider, const MetadataKey& key,
                        std::string series_name, SampleKind kind,

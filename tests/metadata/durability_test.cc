@@ -122,7 +122,7 @@ TEST(DurabilityCodecTest, DescriptorImageRoundTrip) {
           .DependsOnUpstream(1, "input.rate")
           .WithEvaluator([](EvalContext&) -> MetadataValue { return 1.0; })
           .WithRetryPolicy({2, 5, 3, 7 * kMicrosPerMilli, 1.5,
-                            2 * kMicrosPerSecond})
+                            2 * kMicrosPerSecond, 0.25})
           .WithFallbackValue(9.5)
           .WithMaxStaleness(250 * kMicrosPerMilli)
           .WithDescription("measured input rate");
@@ -148,6 +148,7 @@ TEST(DurabilityCodecTest, DescriptorImageRoundTrip) {
   EXPECT_EQ(got.retry.initial_backoff, 7 * kMicrosPerMilli);
   EXPECT_DOUBLE_EQ(got.retry.backoff_multiplier, 1.5);
   EXPECT_EQ(got.retry.max_backoff, 2 * kMicrosPerSecond);
+  EXPECT_DOUBLE_EQ(got.retry.backoff_jitter, 0.25);
   EXPECT_EQ(got.fallback.AsDouble(), 9.5);
   EXPECT_EQ(got.max_staleness, 250 * kMicrosPerMilli);
   EXPECT_EQ(got.description, "measured input rate");
@@ -470,6 +471,98 @@ TEST(DurabilityRecoveryTest, FallsBackOneSnapshotGenerationOnCorruption) {
   auto rate_sub = fx.manager.Subscribe(p, "rate");
   ASSERT_TRUE(rate_sub.ok());
   EXPECT_EQ(rate_sub.value().GetDouble(), 42.0);
+}
+
+TEST(DurabilityRecoveryTest, ReEnableCycleKeepsGenerationsAndLsnsMonotone) {
+  // Enable -> Disable -> Enable must behave like two clean durability
+  // sessions against one directory: the second enable opens a *newer*
+  // generation (no clobbering of the first cycle's files) and continues the
+  // LSN stream past everything journaled before the gap, so recovery's
+  // last-writer-wins replay order stays correct across the cycle.
+  TempDir tmp;
+  MetaFixture fx;
+  SimpleProvider p("src");
+  double rate = 1.0;
+  ASSERT_TRUE(p.metadata_registry()
+                  .Define(MetadataDescriptor::OnDemand("rate").WithEvaluator(
+                      [&rate](EvalContext&) { return MetadataValue(rate); }))
+                  .ok());
+
+  // Cycle 1.
+  ASSERT_TRUE(fx.manager.EnableDurability(EveryRecordConfig(tmp.path), {&p})
+                  .ok());
+  auto sub = fx.manager.Subscribe(p, "rate");
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().GetDouble(), 1.0);  // journaled commit
+  uint64_t gen1 = fx.manager.stats().snapshot_generation;
+  EXPECT_GT(gen1, 0u);
+  fx.manager.DisableDurability();
+
+  // The gap: values move while durability is off (nothing journaled).
+  rate = 2.0;
+  fx.RunFor(kMicrosPerMilli);
+  EXPECT_EQ(sub.value().GetDouble(), 2.0);
+
+  // Cycle 2.
+  ASSERT_TRUE(fx.manager.EnableDurability(EveryRecordConfig(tmp.path), {&p})
+                  .ok());
+  uint64_t gen2 = fx.manager.stats().snapshot_generation;
+  EXPECT_GT(gen2, gen1);
+  rate = 3.0;
+  fx.RunFor(kMicrosPerMilli);
+  EXPECT_EQ(sub.value().GetDouble(), 3.0);  // journaled commit, cycle 2
+  fx.manager.DisableDurability();
+
+  // Two journal generations on disk; every record decodes; LSNs strictly
+  // increase within each generation AND across the gap.
+  struct GenLsns {
+    uint64_t generation;
+    std::vector<uint64_t> lsns;
+  };
+  std::vector<GenLsns> gens;
+  for (const std::string& path : FilesWithPrefix(tmp.path, "journal-")) {
+    auto scan = ScanJournalFile(path, kJournalMagic);
+    ASSERT_TRUE(scan.ok()) << path;
+    EXPECT_FALSE(scan.value().torn_tail) << path;
+    EXPECT_EQ(scan.value().corrupt_records, 0u) << path;
+    GenLsns g;
+    g.generation = scan.value().generation;
+    for (const auto& rec : scan.value().records) {
+      RecordDecoder dec(rec.payload);
+      uint8_t type = 0;
+      uint64_t lsn = 0;
+      ASSERT_TRUE(dec.GetU8(&type) && dec.GetU64(&lsn)) << path;
+      g.lsns.push_back(lsn);
+    }
+    // Freshly-rotated journals may be empty (enable opens one, then the
+    // initial checkpoint immediately rotates past it) — only generations
+    // that carry records participate in the continuity check.
+    if (!g.lsns.empty()) gens.push_back(std::move(g));
+  }
+  ASSERT_GE(gens.size(), 2u);
+  std::sort(gens.begin(), gens.end(),
+            [](const GenLsns& a, const GenLsns& b) {
+              return a.generation < b.generation;
+            });
+  EXPECT_LT(gens.front().generation, gens.back().generation);
+  uint64_t prev = 0;
+  for (const GenLsns& g : gens) {
+    for (uint64_t lsn : g.lsns) {
+      EXPECT_GT(lsn, prev) << "LSN not monotone in generation "
+                           << g.generation;
+      prev = lsn;
+    }
+  }
+
+  // And the cycle's net effect recovers: a fresh process sees the last
+  // value committed in cycle 2.
+  MetadataManager fresh_mgr{fx.scheduler};
+  SimpleProvider fresh_p("src");
+  auto rep = fresh_mgr.RecoverFrom(tmp.path, {&fresh_p});
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto fresh_sub = fresh_mgr.Subscribe(fresh_p, "rate");
+  ASSERT_TRUE(fresh_sub.ok());
+  EXPECT_EQ(fresh_sub.value().GetDouble(), 3.0);
 }
 
 TEST(DurabilityRecoveryTest, TornJournalTailIsTruncatedNotServed) {

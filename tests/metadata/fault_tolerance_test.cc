@@ -8,6 +8,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "metadata/handler.h"
@@ -163,6 +164,53 @@ TEST(FaultToleranceTest, QuarantineBackoffSkipsEvaluations) {
   fx.RunFor(600);
   sub.Get();
   EXPECT_EQ(sub.handler()->eval_count(), evals_after_failure + 1);
+}
+
+TEST(FaultToleranceTest, BackoffJitterIsBoundedAndDeterministic) {
+  // backoff_jitter perturbs each applied retry delay by U(1-j, 1+j) while
+  // the growth schedule stays exact; the RNG is seeded from the handler's
+  // identity, so two identical runs replay the same jittered schedule.
+  auto run_once = [](std::vector<uint64_t>* evals) {
+    MetaFixture fx;
+    SimpleProvider p("p");
+    auto armed = std::make_shared<bool>(true);
+    auto value = std::make_shared<double>(0.0);
+    RetryPolicy policy;
+    policy.failures_to_quarantine = 1;
+    policy.initial_backoff = 1000;
+    policy.backoff_multiplier = 2.0;
+    policy.max_backoff = 8000;
+    policy.backoff_jitter = 0.2;  // delay drawn from [800, 1200]
+    ASSERT_TRUE(p.metadata_registry()
+                    .Define(MetadataDescriptor::OnDemand("x")
+                                .WithEvaluator(FlakyEvaluator(armed, value))
+                                .WithFallbackValue(1.5)
+                                .WithRetryPolicy(policy))
+                    .ok());
+    auto sub = fx.manager.Subscribe(p, "x").value();
+
+    sub.Get();  // failure -> quarantined; deadline in [t+800, t+1200]
+    ASSERT_EQ(sub.handler()->health(), HandlerHealth::kQuarantined);
+    uint64_t base = sub.handler()->eval_count();
+
+    fx.RunFor(700);
+    sub.Get();  // inside every possible jittered window: no probe
+    EXPECT_EQ(sub.handler()->eval_count(), base);
+    fx.RunFor(600);  // t+1300: past every possible jittered window
+    sub.Get();       // probe runs (and fails again; backoff grows to 2000)
+    EXPECT_EQ(sub.handler()->eval_count(), base + 1);
+
+    // Sample the subsequent jittered schedule at fine granularity.
+    for (int i = 0; i < 40; ++i) {
+      fx.RunFor(100);
+      sub.Get();
+      evals->push_back(sub.handler()->eval_count());
+    }
+  };
+  std::vector<uint64_t> first, second;
+  run_once(&first);
+  run_once(&second);
+  EXPECT_EQ(first, second);
 }
 
 TEST(FaultToleranceTest, QuarantinedHandlerRecoversAfterFaultsStop) {

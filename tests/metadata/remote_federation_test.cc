@@ -1,0 +1,417 @@
+/// Federation layer: remote subscriptions over an injectable transport.
+/// Two MetadataManagers share one VirtualTimeScheduler and talk through a
+/// LoopbackLink, so every exchange — including fault injection — replays
+/// deterministically. Covers: mirror propagation (remote items as ordinary
+/// local wave participants), sequence-numbered duplicate suppression,
+/// subscribe timeout/retry, heartbeat failure detection with the
+/// healthy → degraded → quarantined breaker, partition-mode serving with
+/// true growing staleness, reconnect reconciliation with zero duplicate
+/// notifications, staleness-triggered resync, monitor peer series, and a
+/// real-socket TCP frame round trip.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "metadata/remote.h"
+#include "net/loopback.h"
+#include "net/tcp.h"
+#include "runtime/monitor.h"
+#include "test_support.h"
+
+namespace pipes {
+namespace {
+
+using testing::SimpleProvider;
+
+constexpr Duration kMs = kMicrosPerMilli;
+
+/// Two federated managers joined by a faulty loopback link. `server_mgr`
+/// exports provider "sensors"; `client_mgr` mirrors it.
+struct FedFixture {
+  VirtualTimeScheduler scheduler;
+  MetadataManager server_mgr{scheduler};
+  MetadataManager client_mgr{scheduler};
+  FaultInjector injector{0xFEDul};
+  net::LoopbackLink link;
+
+  SimpleProvider sensors{"sensors"};
+  double temp = 1.0;
+  MetadataFederationServer server{server_mgr};
+
+  FedFixture()
+      : link(scheduler, [this] {
+          net::LoopbackLink::Options o;
+          o.latency = 1 * kMs;
+          o.injector = &injector;
+          o.scope_a_to_b = "fed.s2c";  // server -> client
+          o.scope_b_to_a = "fed.c2s";  // client -> server
+          return o;
+        }()) {
+    EXPECT_TRUE(sensors.metadata_registry()
+                    .Define(MetadataDescriptor::OnDemand("temp").WithEvaluator(
+                        [this](EvalContext&) { return MetadataValue(temp); }))
+                    .ok());
+    EXPECT_TRUE(server.ExportProvider(sensors).ok());
+    server.Serve(link.a());
+  }
+
+  Timestamp Now() { return scheduler.clock().Now(); }
+  void RunFor(Duration d) { scheduler.RunFor(d); }
+
+  /// Advances the server-side source and fires the propagation wave whose
+  /// closure reaches the per-peer export items (and thus the wire).
+  void Publish(double v) {
+    temp = v;
+    sensors.FireMetadataEvent("temp");
+  }
+};
+
+TEST(RemoteFederationTest, MirrorPropagatesRemoteUpdates) {
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp").ok());
+  auto sub = fx.client_mgr.Subscribe(mirror, "temp");
+  ASSERT_TRUE(sub.ok());
+  fx.RunFor(10 * kMs);  // subscribe round trip + initial value
+  EXPECT_EQ(sub->GetDouble(), 1.0);
+
+  fx.Publish(2.5);
+  fx.RunFor(10 * kMs);
+  EXPECT_EQ(sub->GetDouble(), 2.5);
+
+  auto stats = mirror.mirror_stats("temp").value();
+  EXPECT_GE(stats.pushes_applied, 2u);
+  EXPECT_GE(stats.last_seen_seq, 2u);
+
+  auto server_stats = fx.server.stats();
+  EXPECT_EQ(server_stats.exports_active, 1u);
+  EXPECT_GE(server_stats.pushes_sent, 2u);
+}
+
+TEST(RemoteFederationTest, MirroredItemFeedsLocalDependents) {
+  // The point of mirroring into the manager: inter-process items participate
+  // in ordinary local subscription and triggered propagation.
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp").ok());
+
+  SimpleProvider local("local");
+  ASSERT_TRUE(local.metadata_registry()
+                  .Define(MetadataDescriptor::Triggered("derived")
+                              .DependsOn({DependencySpec::Explicit(
+                                  &mirror, "temp")})
+                              .WithEvaluator([](EvalContext& ctx) {
+                                return MetadataValue(ctx.Dep(0).AsDouble() * 2);
+                              }))
+                  .ok());
+  auto sub = fx.client_mgr.Subscribe(local, "derived");
+  ASSERT_TRUE(sub.ok());
+  fx.RunFor(10 * kMs);
+
+  fx.Publish(21.0);
+  fx.RunFor(10 * kMs);
+  // Remote wave -> mirror item -> local triggered dependent, one hop each.
+  EXPECT_EQ(sub->GetDouble(), 42.0);
+}
+
+TEST(RemoteFederationTest, DuplicateFramesAreSuppressedBeforeAnyWave) {
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp").ok());
+
+  // Count notifications actually delivered to a local dependent.
+  auto seen = std::make_shared<std::vector<double>>();
+  SimpleProvider local("local");
+  ASSERT_TRUE(local.metadata_registry()
+                  .Define(MetadataDescriptor::Triggered("obs")
+                              .DependsOn({DependencySpec::Explicit(
+                                  &mirror, "temp")})
+                              .WithEvaluator([seen](EvalContext& ctx) {
+                                MetadataValue v = ctx.Dep(0);
+                                seen->push_back(v.AsDouble());
+                                return v;
+                              }))
+                  .ok());
+  auto sub = fx.client_mgr.Subscribe(local, "obs");
+  ASSERT_TRUE(sub.ok());
+  fx.RunFor(10 * kMs);
+
+  // Every server->client frame is duplicated on the wire from here on.
+  MessageFaultSpec dup;
+  dup.duplicate_probability = 1.0;
+  fx.injector.ArmMessages("fed.s2c", dup);
+
+  size_t before = seen->size();
+  for (int i = 0; i < 5; ++i) {
+    fx.Publish(10.0 + i);
+    fx.RunFor(10 * kMs);
+  }
+  // Five values, five notifications — the duplicate of each push was
+  // sequence-suppressed before any local wave fired.
+  ASSERT_EQ(seen->size(), before + 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*seen)[before + i], 10.0 + i);
+  }
+  auto stats = mirror.mirror_stats("temp").value();
+  EXPECT_GE(stats.duplicates_suppressed, 5u);
+  EXPECT_GE(fx.injector.stats().duplicates, 5u);
+}
+
+TEST(RemoteFederationTest, SubscribeTimesOutAndRetriesUntilLinkWorks) {
+  FedFixture fx;
+  // Client -> server direction dead from the start: the initial subscribe
+  // request is lost and must be retried with backoff.
+  fx.injector.ArmMessages("fed.c2s", MessageFaultSpec::Dropping(1.0));
+
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp").ok());
+  fx.RunFor(90 * kMs);
+  EXPECT_EQ(mirror.mirror_stats("temp").value().pushes_applied, 0u);
+  EXPECT_GE(mirror.peer_stats().retries, 2u);
+
+  fx.injector.DisarmMessages("fed.c2s");
+  fx.RunFor(100 * kMs);
+  // A retry got through: export established, initial value delivered.
+  auto stats = mirror.mirror_stats("temp").value();
+  EXPECT_GE(stats.pushes_applied, 1u);
+  auto sub = fx.client_mgr.Subscribe(mirror, "temp");
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->GetDouble(), 1.0);
+}
+
+TEST(RemoteFederationTest, PartitionQuarantineHealReconciliation) {
+  // The acceptance scenario: partition the link, watch the breaker open,
+  // serve last-known-good with growing staleness, heal, reconcile — with
+  // zero duplicate notifications delivered to handlers.
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp", /*max_staleness=*/2 * kMicrosPerSecond)
+                  .ok());
+
+  // Sequence check: values observed by a local dependent handler must be
+  // strictly increasing — any duplicate notification would repeat one.
+  auto seen = std::make_shared<std::vector<double>>();
+  SimpleProvider local("local");
+  ASSERT_TRUE(local.metadata_registry()
+                  .Define(MetadataDescriptor::Triggered("obs")
+                              .DependsOn({DependencySpec::Explicit(
+                                  &mirror, "temp")})
+                              .WithEvaluator([seen](EvalContext& ctx) {
+                                MetadataValue v = ctx.Dep(0);
+                                seen->push_back(v.AsDouble());
+                                return v;
+                              }))
+                  .ok());
+  auto sub = fx.client_mgr.Subscribe(local, "obs");
+  ASSERT_TRUE(sub.ok());
+  fx.RunFor(10 * kMs);
+  ASSERT_EQ(sub->GetDouble(), 1.0);
+  EXPECT_EQ(mirror.health(), HandlerHealth::kHealthy);
+
+  fx.Publish(2.0);
+  fx.RunFor(10 * kMs);
+  ASSERT_EQ(sub->GetDouble(), 2.0);
+  Timestamp partition_at = fx.Now();
+
+  // Partition both directions.
+  fx.injector.PartitionLink("fed.s2c");
+  fx.injector.PartitionLink("fed.c2s");
+
+  // Updates keep flowing server-side; none of them cross the wire.
+  fx.Publish(3.0);
+  fx.RunFor(120 * kMs);
+  EXPECT_EQ(sub->GetDouble(), 2.0);  // last-known-good
+  fx.Publish(4.0);
+  fx.RunFor(180 * kMs);
+
+  // Failure detector: > misses_to_quarantine heartbeat periods without an
+  // ack -> breaker open. Staleness is true and growing.
+  EXPECT_EQ(mirror.health(), HandlerHealth::kQuarantined);
+  EXPECT_EQ(sub->GetDouble(), 2.0);
+  EXPECT_GT(mirror.lag(fx.Now()), 200 * kMs);
+  Duration staleness = mirror.mirror_staleness("temp", fx.Now()).value();
+  EXPECT_GE(staleness, fx.Now() - partition_at);
+  EXPECT_GE(fx.injector.stats().partition_drops, 4u);
+
+  // Heal; the next breaker probe closes the breaker and reconciles.
+  fx.injector.HealLink("fed.s2c");
+  fx.injector.HealLink("fed.c2s");
+  fx.RunFor(500 * kMs);
+
+  EXPECT_EQ(mirror.health(), HandlerHealth::kHealthy);
+  EXPECT_EQ(sub->GetDouble(), 4.0);  // reconciled to the latest value
+  auto peer = mirror.peer_stats();
+  EXPECT_GE(peer.probes, 1u);
+  EXPECT_EQ(peer.reconnects, 1u);
+  auto stats = mirror.mirror_stats("temp").value();
+  EXPECT_GE(stats.resubscribes, 1u);
+
+  // Zero duplicate notifications: the observed sequence is strictly
+  // increasing (1, 2, 4 — the value 3 was legitimately superseded while
+  // partitioned, and nothing was delivered twice).
+  for (size_t i = 1; i < seen->size(); ++i) {
+    EXPECT_LT((*seen)[i - 1], (*seen)[i]) << "duplicate notification at " << i;
+  }
+  EXPECT_EQ(seen->back(), 4.0);
+}
+
+TEST(RemoteFederationTest, StalenessResyncRecoversFromSilentLoss) {
+  // Message loss without link death: pushes vanish but the breaker never
+  // opens. The staleness-triggered resync must re-fetch the value anyway.
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp", /*max_staleness=*/kMicrosPerSecond).ok());
+  auto sub = fx.client_mgr.Subscribe(mirror, "temp");
+  ASSERT_TRUE(sub.ok());
+  fx.RunFor(10 * kMs);
+  ASSERT_EQ(sub->GetDouble(), 1.0);
+
+  // Server -> client goes dark just long enough to lose one push.
+  fx.injector.ArmMessages("fed.s2c", MessageFaultSpec::Dropping(1.0));
+  fx.Publish(7.0);
+  fx.RunFor(40 * kMs);
+  EXPECT_EQ(sub->GetDouble(), 1.0);  // push lost
+  fx.injector.DisarmMessages("fed.s2c");
+
+  // Within a few heartbeat periods the aging mirror re-fetches on its own —
+  // no new server-side wave needed.
+  fx.RunFor(200 * kMs);
+  EXPECT_EQ(sub->GetDouble(), 7.0);
+  EXPECT_GE(mirror.peer_stats().resyncs, 1u);
+  EXPECT_EQ(mirror.health(), HandlerHealth::kHealthy);
+}
+
+TEST(RemoteFederationTest, MonitorWatchesPeerHealthAndLag) {
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp").ok());
+  MetadataMonitor monitor(fx.client_mgr, fx.scheduler);
+  ASSERT_TRUE(monitor.WatchPeerHealth(mirror).ok());
+  ASSERT_TRUE(monitor.WatchPeerLag(mirror).ok());
+  fx.RunFor(10 * kMs);
+
+  monitor.SampleOnce();
+  EXPECT_EQ(monitor.LastValue("sensors:peer_health"), 0.0);  // healthy
+
+  fx.injector.PartitionLink("fed.s2c");
+  fx.injector.PartitionLink("fed.c2s");
+  fx.RunFor(300 * kMs);
+  monitor.SampleOnce();
+  EXPECT_EQ(monitor.LastValue("sensors:peer_health"), 2.0);  // quarantined
+  EXPECT_GT(monitor.LastValue("sensors:peer_lag"), 0.2);     // seconds
+
+  fx.injector.HealLink("fed.s2c");
+  fx.injector.HealLink("fed.c2s");
+  fx.RunFor(500 * kMs);
+  monitor.SampleOnce();
+  EXPECT_EQ(monitor.LastValue("sensors:peer_health"), 0.0);
+}
+
+TEST(RemoteFederationTest, UnmirrorReleasesBothSides) {
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp").ok());
+  fx.RunFor(10 * kMs);
+  EXPECT_EQ(fx.server.stats().exports_active, 1u);
+
+  mirror.Unmirror("temp");
+  fx.RunFor(10 * kMs);
+  EXPECT_EQ(fx.server.stats().exports_active, 0u);
+  EXPECT_FALSE(mirror.mirror_stats("temp").ok());
+  // Mirroring again from scratch works (fresh sequence stream server-side).
+  ASSERT_TRUE(mirror.Mirror("temp").ok());
+  fx.RunFor(10 * kMs);
+  auto sub = fx.client_mgr.Subscribe(mirror, "temp");
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->GetDouble(), 1.0);
+}
+
+TEST(RemoteFederationTest, SubscribeToUnknownItemRejectsWithoutRetryStorm) {
+  FedFixture fx;
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("nope").ok());
+  fx.RunFor(100 * kMs);
+  // The server rejected; the client stops the timeout-retry loop (the
+  // staleness resync would re-ask only for bounded-staleness mirrors).
+  EXPECT_GE(fx.server.stats().subscribe_rejects, 1u);
+  EXPECT_LE(mirror.peer_stats().retries, 1u);
+  EXPECT_EQ(mirror.mirror_stats("nope").value().pushes_applied, 0u);
+}
+
+TEST(RemoteFederationTest, TcpFrameRoundTrip) {
+  // The real-socket transport: framing (length + CRC) and receiver wiring
+  // across an actual loopback TCP connection.
+  auto listener = net::TcpListener::Listen(0);
+  if (!listener.ok()) {
+    GTEST_SKIP() << "TCP unavailable: " << listener.status().ToString();
+  }
+  auto client = net::TcpConnect("127.0.0.1", listener.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto served = listener.value()->Accept();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<net::Frame> got;
+  served.value()->SetReceiver([&](const net::Frame& f) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(f);
+    cv.notify_all();
+  });
+
+  net::Frame f;
+  f.type = kFrameUpdatePush;
+  f.seq = 42;
+  f.topic = "sensors/temp";
+  f.payload = std::string("\x01\x02\x00\x03", 4);
+  ASSERT_TRUE(client.value()->Send(f).ok());
+  net::Frame hb;
+  hb.type = kFrameHeartbeat;
+  hb.seq = 7;
+  ASSERT_TRUE(client.value()->Send(hb).ok());
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return got.size() >= 2; }));
+    EXPECT_EQ(got[0].type, kFrameUpdatePush);
+    EXPECT_EQ(got[0].seq, 42u);
+    EXPECT_EQ(got[0].topic, "sensors/temp");
+    EXPECT_EQ(got[0].payload, f.payload);
+    EXPECT_EQ(got[1].type, kFrameHeartbeat);
+    EXPECT_EQ(got[1].seq, 7u);
+  }
+
+  // Reply in the other direction.
+  std::vector<net::Frame> replies;
+  client.value()->SetReceiver([&](const net::Frame& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    replies.push_back(r);
+    cv.notify_all();
+  });
+  net::Frame ack;
+  ack.type = kFrameHeartbeatAck;
+  ack.seq = 7;
+  ASSERT_TRUE(served.value()->Send(ack).ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return !replies.empty(); }));
+    EXPECT_EQ(replies[0].type, kFrameHeartbeatAck);
+    EXPECT_EQ(replies[0].seq, 7u);
+  }
+
+  client.value()->Close();
+  served.value()->Close();
+  listener.value()->Close();
+}
+
+}  // namespace
+}  // namespace pipes

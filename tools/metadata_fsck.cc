@@ -11,7 +11,11 @@
 ///
 /// Usage:  metadata_fsck [--repair] [--verbose] <dir>
 ///
-/// Exit status: 0 = clean (or fully repaired), 1 = damage found, 2 = usage.
+/// Exit status (scriptable; see --help):
+///   0 = clean: no damage found, nothing changed
+///   1 = repaired: damage found and fully fixed in place (--repair)
+///   2 = unrepairable: damage remains (not repairable, or --repair not given)
+///  64 = usage error
 
 #include <dirent.h>
 
@@ -98,6 +102,36 @@ bool CheckSnapshotBrackets(const JournalScan& scan) {
   return declared == scan.records.size();
 }
 
+constexpr int kExitClean = 0;
+constexpr int kExitRepaired = 1;
+constexpr int kExitUnrepairable = 2;
+constexpr int kExitUsage = 64;
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(out,
+               "usage: metadata_fsck [--repair] [--verbose] <dir>\n"
+               "\n"
+               "Offline integrity checker for metadata durability "
+               "directories\n"
+               "(snapshot-* and journal-* files written by "
+               "EnableDurability).\n"
+               "\n"
+               "options:\n"
+               "  --repair       truncate torn journal tails in place "
+               "(exactly what\n"
+               "                 recovery replay would discard)\n"
+               "  --verbose, -v  per-file record-type tallies\n"
+               "  --help, -h     this text\n"
+               "\n"
+               "exit status:\n"
+               "  0  clean: no damage found, nothing changed\n"
+               "  1  repaired: damage was found and fully fixed in place\n"
+               "  2  unrepairable: damage remains (needs restore from "
+               "snapshot,\n"
+               "     or rerun with --repair for torn tails)\n"
+               "  64 usage error\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,16 +144,19 @@ int main(int argc, char** argv) {
       repair = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintHelp(stdout);
+      return kExitClean;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return 2;
+      return kExitUsage;
     } else {
       dir = arg;
     }
   }
   if (dir.empty()) {
-    std::fprintf(stderr, "usage: metadata_fsck [--repair] [--verbose] <dir>\n");
-    return 2;
+    PrintHelp(stderr);
+    return kExitUsage;
   }
 
   uint64_t damage = 0;
@@ -186,9 +223,15 @@ int main(int argc, char** argv) {
   check("journal-", pipes::kJournalMagic, /*journal=*/true);
 
   if (damage == 0) {
-    std::printf("clean%s\n", repaired > 0 ? " (after repair)" : "");
-    return 0;
+    if (repaired > 0) {
+      std::printf("clean after repair (%" PRIu64 " file(s) fixed)\n",
+                  repaired);
+      return kExitRepaired;
+    }
+    std::printf("clean\n");
+    return kExitClean;
   }
-  std::printf("%" PRIu64 " damaged file(s)\n", damage);
-  return 1;
+  std::printf("%" PRIu64 " damaged file(s)%s\n", damage,
+              repaired > 0 ? " (some repaired, damage remains)" : "");
+  return kExitUnrepairable;
 }

@@ -5,12 +5,17 @@
 /// Allowed module dependencies (mirror of src/*/CMakeLists.txt):
 ///
 ///     common    -> common
-///     metadata  -> metadata, common
+///     net       -> net, common
+///     metadata  -> metadata, net, common
 ///     stream    -> stream, metadata, common
 ///     costmodel -> costmodel, stream, metadata, common
 ///     runtime   -> runtime, costmodel, stream, metadata, common
 ///     query     -> everything      (src/stream/query_builder.*, the
 ///                                   pipes_query target above costmodel)
+///
+/// net sits between common and metadata: transports know nothing about
+/// descriptors or registries (federation lives in metadata and injects the
+/// endpoint), so net may reach only into common.
 ///
 /// query_builder lives in the src/stream directory but is its own library
 /// precisely because it depends on the cost model; the checker models it as
@@ -45,12 +50,15 @@ std::string ModuleOf(const std::string& rel) {
 const std::map<std::string, std::vector<std::string>>& AllowedDeps() {
   static const std::map<std::string, std::vector<std::string>> kAllowed = {
       {"common", {"common"}},
-      {"metadata", {"metadata", "common"}},
-      {"stream", {"stream", "metadata", "common"}},
-      {"costmodel", {"costmodel", "stream", "metadata", "common"}},
-      {"runtime", {"runtime", "costmodel", "stream", "metadata", "common"}},
+      {"net", {"net", "common"}},
+      {"metadata", {"metadata", "net", "common"}},
+      {"stream", {"stream", "metadata", "net", "common"}},
+      {"costmodel", {"costmodel", "stream", "metadata", "net", "common"}},
+      {"runtime",
+       {"runtime", "costmodel", "stream", "metadata", "net", "common"}},
       {"query",
-       {"query", "runtime", "costmodel", "stream", "metadata", "common"}},
+       {"query", "runtime", "costmodel", "stream", "metadata", "net",
+        "common"}},
   };
   return kAllowed;
 }
@@ -129,8 +137,8 @@ void CheckLayering(const Options& opts, std::vector<Finding>* out) {
         out->push_back({kCheck, rel, line,
                         "layer '" + from + "' must not include layer '" + to +
                             "' (\"" + inc +
-                            "\"); allowed DAG: common <- metadata <- stream "
-                            "<- {costmodel, runtime} <- query"});
+                            "\"); allowed DAG: common <- net <- metadata "
+                            "<- stream <- {costmodel, runtime} <- query"});
       }
     }
   }
