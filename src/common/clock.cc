@@ -6,6 +6,15 @@
 
 namespace pipes {
 
+namespace {
+// Process-wide tally of wall-clock uses; see SystemClockUseCount().
+std::atomic<uint64_t> system_clock_uses{0};
+}  // namespace
+
+uint64_t SystemClockUseCount() {
+  return system_clock_uses.load(std::memory_order_relaxed);
+}
+
 Timestamp VirtualClock::Advance(Duration delta) {
   assert(delta >= 0 && "VirtualClock cannot move backwards");
   return now_.fetch_add(delta, std::memory_order_acq_rel) + delta;
@@ -20,15 +29,20 @@ void VirtualClock::Set(Timestamp t) {
 }
 
 SystemClock::SystemClock() {
+  system_clock_uses.fetch_add(1, std::memory_order_relaxed);
+  // pipes-analyze: nondeterministic(SystemClock is the sanctioned wall-clock source; every read is counted)
   auto now = std::chrono::steady_clock::now().time_since_epoch();
   epoch_ = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
   timespec wall{};
+  // pipes-analyze: nondeterministic(wall anchor for cross-restart staleness; counted above)
   clock_gettime(CLOCK_REALTIME, &wall);
   wall_anchor_ = static_cast<int64_t>(wall.tv_sec) * kMicrosPerSecond +
                  wall.tv_nsec / 1000;
 }
 
 Timestamp SystemClock::Now() const {
+  system_clock_uses.fetch_add(1, std::memory_order_relaxed);
+  // pipes-analyze: nondeterministic(SystemClock::Now, counted via SystemClockUseCount)
   auto now = std::chrono::steady_clock::now().time_since_epoch();
   Timestamp t =
       std::chrono::duration_cast<std::chrono::microseconds>(now).count();
@@ -37,6 +51,7 @@ Timestamp SystemClock::Now() const {
 
 Duration ThreadCpuTimer::ThreadCpuNow() {
   timespec ts{};
+  // pipes-analyze: nondeterministic(thread CPU-time accounting, not schedule-visible)
   clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
   return static_cast<Duration>(ts.tv_sec) * kMicrosPerSecond +
          ts.tv_nsec / 1000;

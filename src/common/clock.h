@@ -90,6 +90,13 @@ class SystemClock final : public Clock {
   int64_t wall_anchor_;
 };
 
+/// Process-wide count of SystemClock uses (constructions + Now() reads).
+/// Monotone, never reset. The deterministic simulation harness snapshots it
+/// around a run and fails the run if it moved: a simulation-reachable code
+/// path consulted the wall clock, which would break seed replay (every
+/// simulated component must take its time from the run's VirtualClock).
+uint64_t SystemClockUseCount();
+
 /// \brief Measures CPU time consumed by the calling thread.
 ///
 /// Used for the "measured CPU usage" metadata items in real-threaded mode.

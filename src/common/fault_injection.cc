@@ -175,6 +175,7 @@ void FaultInjector::SleepNow(const std::string& scope) {
     const FaultSpec* spec = FindSpec(scope);
     if (spec != nullptr) d = spec->sleep_duration;
   }
+  // pipes-analyze: nondeterministic(real sleep for thread-level fault tests; the sim injects latency as virtual link delay instead)
   if (d > 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
 }
 

@@ -13,6 +13,7 @@ namespace {
 /// hosting worker/run loop in real time.
 Timestamp SteadyMicrosNow() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
+             // pipes-analyze: nondeterministic(task-runtime measurement only; never feeds scheduling decisions)
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

@@ -1,6 +1,13 @@
 #include "metadata/descriptor.h"
 
+#include "metadata/provider.h"
+
 namespace pipes {
+
+DependencySpec DependencySpec::Explicit(MetadataProvider* p, MetadataKey k) {
+  return DependencySpec{Target::kExplicit, 0, "", p, std::move(k),
+                        p != nullptr ? p->label() : ""};
+}
 
 const char* UpdateMechanismToString(UpdateMechanism m) {
   switch (m) {

@@ -74,31 +74,36 @@ struct DependencySpec {
   MetadataProvider* provider = nullptr;
   /// The key of the item depended upon.
   MetadataKey key;
+  /// Label of `provider`, captured when the spec is built. Checkpoint
+  /// imaging must use this instead of dereferencing `provider`: the target
+  /// provider may have been torn down while descriptors naming it survive.
+  std::string provider_label;
 
   static DependencySpec Self(MetadataKey k) {
-    return DependencySpec{Target::kSelf, 0, "", nullptr, std::move(k)};
+    return DependencySpec{Target::kSelf, 0, "", nullptr, std::move(k), ""};
   }
   static DependencySpec Upstream(int input_index, MetadataKey k) {
     return DependencySpec{Target::kUpstream, input_index, "", nullptr,
-                          std::move(k)};
+                          std::move(k), ""};
   }
   static DependencySpec AllUpstreams(MetadataKey k) {
-    return DependencySpec{Target::kUpstream, -1, "", nullptr, std::move(k)};
+    return DependencySpec{Target::kUpstream, -1, "", nullptr, std::move(k), ""};
   }
   static DependencySpec Downstream(int output_index, MetadataKey k) {
     return DependencySpec{Target::kDownstream, output_index, "", nullptr,
-                          std::move(k)};
+                          std::move(k), ""};
   }
   static DependencySpec AllDownstreams(MetadataKey k) {
-    return DependencySpec{Target::kDownstream, -1, "", nullptr, std::move(k)};
+    return DependencySpec{Target::kDownstream, -1, "", nullptr, std::move(k),
+                          ""};
   }
   static DependencySpec Module(std::string name, MetadataKey k) {
     return DependencySpec{Target::kModule, 0, std::move(name), nullptr,
-                          std::move(k)};
+                          std::move(k), ""};
   }
-  static DependencySpec Explicit(MetadataProvider* p, MetadataKey k) {
-    return DependencySpec{Target::kExplicit, 0, "", p, std::move(k)};
-  }
+  // Defined out of line (descriptor.cc): captures p->label() and
+  // MetadataProvider is only forward-declared here.
+  static DependencySpec Explicit(MetadataProvider* p, MetadataKey k);
 };
 
 /// \brief Inclusion-time view offered to dynamic dependency resolvers

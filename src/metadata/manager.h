@@ -382,6 +382,19 @@ class MetadataManager {
   /// Snapshot of activity counters.
   MetadataManagerStats stats() const;
 
+  /// \brief Test seam: the handler's currently stored value, without
+  /// invoking its evaluator.
+  ///
+  /// Unlike MetadataSubscription::Get(), which evaluates on-demand items
+  /// (and would therefore perturb the very state a checker wants to
+  /// observe), this is a pure lock-free slot read — the same read the
+  /// durability checkpoint uses. The deterministic simulation harness uses
+  /// it to extract the system's served state for comparison against its
+  /// reference model without side effects.
+  static MetadataValue PeekValue(const MetadataHandler& handler) {
+    return LoadHandlerValue(handler);
+  }
+
   /// Number of currently included items across all providers.
   uint64_t active_handler_count() const {
     return stats_active_.load(std::memory_order_relaxed);

@@ -111,7 +111,10 @@ DescriptorImage MakeDescriptorImage(const MetadataDescriptor& desc) {
     si.target = static_cast<uint8_t>(spec.target);
     si.index = spec.index;
     si.module = spec.module;
-    si.provider_label = spec.provider != nullptr ? spec.provider->label() : "";
+    // Use the captured label: `spec.provider` may point at a provider that
+    // was torn down after the descriptor was defined (checkpoint-after-retire
+    // is a legal sequence and must not dereference the stale pointer).
+    si.provider_label = spec.provider_label;
     si.key = spec.key;
     img.deps.push_back(std::move(si));
   }
@@ -843,6 +846,7 @@ MetadataDescriptor BuildRecoveredDescriptor(
         auto it = by_label.find(d.provider_label);
         if (it == by_label.end()) continue;  // unresolvable explicit target
         spec.provider = it->second;
+        spec.provider_label = d.provider_label;
       }
       specs.push_back(std::move(spec));
     }

@@ -1,0 +1,770 @@
+#include "testing/reference_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+namespace pipes {
+namespace sim {
+
+namespace {
+
+std::string IdStr(ItemId id) {
+  std::ostringstream os;
+  os << "p" << id.first << "/k" << id.second;
+  return os.str();
+}
+
+std::string ValStr(const std::optional<double>& v) {
+  if (!v) return "null";
+  std::ostringstream os;
+  os << *v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* ToString(OpOutcome outcome) {
+  switch (outcome) {
+    case OpOutcome::kOk:
+      return "ok";
+    case OpOutcome::kFail:
+      return "fail";
+    case OpOutcome::kSkip:
+      return "skip";
+  }
+  return "?";
+}
+
+ReferenceModel::ReferenceModel(const SimProfile& profile) : profile_(profile) {
+  providers_.resize(static_cast<size_t>(profile.providers));
+}
+
+ModelItem* ReferenceModel::Find(int provider, int key) {
+  auto& items = providers_[static_cast<size_t>(provider)].items;
+  auto it = items.find(key);
+  return it == items.end() ? nullptr : &it->second;
+}
+
+const ModelItem* ReferenceModel::FindItem(int provider, int key) const {
+  return const_cast<ReferenceModel*>(this)->Find(provider, key);
+}
+
+bool ReferenceModel::ProviderRetired(int provider) const {
+  return providers_[static_cast<size_t>(provider)].retired;
+}
+
+bool ReferenceModel::IsAvailable(int provider, int key) const {
+  if (ProviderRetired(provider)) return false;
+  return FindItem(provider, key) != nullptr;
+}
+
+bool ReferenceModel::IsIncluded(int provider, int key) const {
+  const ModelItem* item = FindItem(provider, key);
+  return item != nullptr && item->included;
+}
+
+size_t ReferenceModel::IncludedCount(int provider) const {
+  size_t n = 0;
+  for (const auto& [key, item] : providers_[static_cast<size_t>(provider)].items) {
+    if (item.included) ++n;
+  }
+  return n;
+}
+
+std::vector<int> ReferenceModel::AvailableKeys(int provider) const {
+  std::vector<int> keys;
+  if (ProviderRetired(provider)) return keys;
+  for (const auto& [key, item] : providers_[static_cast<size_t>(provider)].items) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+double ReferenceModel::cell(int provider, int key) const {
+  auto it = cells_.find({provider, key});
+  return it == cells_.end() ? 0.0 : it->second;
+}
+
+// --- durable bookkeeping ----------------------------------------------------
+
+void ReferenceModel::SetDurableValue(ItemId id) {
+  const ModelItem* item = FindItem(id.first, id.second);
+  assert(item != nullptr);
+  durable_.values[id] = item->value;
+  if (item->value_checked) {
+    durable_.unchecked.erase(id);
+  } else {
+    durable_.unchecked.insert(id);
+    window_.unchecked.insert(id);
+  }
+  RecordWindow(id);
+}
+
+void ReferenceModel::RecordWindow(ItemId id) {
+  auto push_unique = [](auto& vec, const auto& state) {
+    if (vec.empty() || !(vec.back() == state)) vec.push_back(state);
+  };
+  std::optional<DurableState::Def> def;
+  if (auto it = durable_.defs.find(id); it != durable_.defs.end()) {
+    def = it->second;
+  }
+  int subs = 0;
+  if (auto it = durable_.subs.find(id); it != durable_.subs.end()) {
+    subs = it->second;
+  }
+  std::optional<double> value;
+  if (auto it = durable_.values.find(id); it != durable_.values.end()) {
+    value = it->second;
+  }
+  push_unique(window_.defs[id], def);
+  push_unique(window_.subs[id], subs);
+  push_unique(window_.values[id], value);
+}
+
+void ReferenceModel::Checkpoint() {
+  // A checkpoint snapshots *live* state (persistence.cc CheckpointLocked
+  // gathers defs, external refs, and non-null handler values from the
+  // registries) and discards the old journal generation, so durable state
+  // that had drifted from live state — e.g. a last-known-good value kept in
+  // the journal while a re-activated shell handler reads null — is dropped,
+  // not carried forward.
+  RebaselineDurable();
+}
+
+void ReferenceModel::RebaselineDurable() {
+  durable_ = DurableState{};
+  for (int p = 0; p < profile_.providers; ++p) {
+    if (providers_[static_cast<size_t>(p)].retired) continue;
+    for (const auto& [key, item] : providers_[static_cast<size_t>(p)].items) {
+      ItemId id{p, key};
+      durable_.defs[id] =
+          DurableState::Def{item.mech, item.dep_provider, item.dep_key};
+      if (item.external_refs > 0) durable_.subs[id] = item.external_refs;
+      if (item.included) {
+        durable_.values[id] = item.value;
+        if (!item.value_checked) durable_.unchecked.insert(id);
+      }
+    }
+  }
+  floor_ = durable_;
+  window_ = DurableWindow{};
+}
+
+// --- value semantics --------------------------------------------------------
+
+bool ReferenceModel::DepTainted(ItemId id) const {
+  const ModelItem* item = FindItem(id.first, id.second);
+  if (item == nullptr) return true;
+  return item->mech == SimMechanism::kPeriodic || !item->value_checked;
+}
+
+std::optional<double> ReferenceModel::DepGet(ItemId id) {
+  ModelItem* item = Find(id.first, id.second);
+  assert(item != nullptr && "DepGet on a vanished dependency");
+  // A live on-demand dependency evaluates at access time; its cache (and
+  // the journal) pick up the current cell. Everything else — triggered and
+  // periodic caches, frozen retired handlers, throwing shells, statics —
+  // serves its stored value.
+  if (item->mech == SimMechanism::kOnDemand && !item->shell &&
+      !item->retired) {
+    item->value = cell(id.first, id.second);
+    item->value_checked = true;
+    if (!providers_[static_cast<size_t>(id.first)].retired) {
+      SetDurableValue(id);
+    }
+    return item->value;
+  }
+  return item->value;
+}
+
+void ReferenceModel::OnDemandEvaluated(int provider, int key) {
+  ModelItem* item = Find(provider, key);
+  assert(item != nullptr && item->included);
+  assert(item->mech == SimMechanism::kOnDemand && !item->shell &&
+         !item->retired);
+  item->value = cell(provider, key);
+  item->value_checked = true;
+  SetDurableValue({provider, key});
+}
+
+// --- registry ops -----------------------------------------------------------
+
+OpOutcome ReferenceModel::Define(int provider, int key, SimMechanism mech,
+                                 int dep_provider, int dep_key) {
+  if (ProviderRetired(provider)) return OpOutcome::kSkip;
+  if (mech == SimMechanism::kDerived && ProviderRetired(dep_provider)) {
+    // The descriptor would capture a pointer to a destroyed provider.
+    return OpOutcome::kSkip;
+  }
+  auto& items = providers_[static_cast<size_t>(provider)].items;
+  if (items.count(key) != 0) return OpOutcome::kFail;
+  ModelItem item;
+  item.mech = mech;
+  if (mech == SimMechanism::kDerived) {
+    item.dep_provider = dep_provider;
+    item.dep_key = dep_key;
+  }
+  items[key] = item;
+  ItemId id{provider, key};
+  durable_.defs[id] = DurableState::Def{mech, item.dep_provider, item.dep_key};
+  RecordWindow(id);
+  return OpOutcome::kOk;
+}
+
+OpOutcome ReferenceModel::Redefine(int provider, int key, SimMechanism mech,
+                                   int dep_provider, int dep_key) {
+  if (ProviderRetired(provider)) return OpOutcome::kSkip;
+  if (mech == SimMechanism::kDerived && ProviderRetired(dep_provider)) {
+    return OpOutcome::kSkip;
+  }
+  ModelItem* item = Find(provider, key);
+  if (item == nullptr) return OpOutcome::kFail;
+  if (item->included) return OpOutcome::kFail;  // paper §4.4.2
+  ModelItem fresh;
+  fresh.mech = mech;
+  if (mech == SimMechanism::kDerived) {
+    fresh.dep_provider = dep_provider;
+    fresh.dep_key = dep_key;
+  }
+  *item = fresh;  // redefinition replaces a recovered shell with a live def
+  ItemId id{provider, key};
+  durable_.defs[id] = DurableState::Def{mech, fresh.dep_provider, fresh.dep_key};
+  RecordWindow(id);
+  return OpOutcome::kOk;
+}
+
+OpOutcome ReferenceModel::Undefine(int provider, int key) {
+  if (ProviderRetired(provider)) return OpOutcome::kSkip;
+  ModelItem* item = Find(provider, key);
+  if (item == nullptr) return OpOutcome::kFail;
+  if (item->included) return OpOutcome::kFail;  // paper §4.4.2
+  providers_[static_cast<size_t>(provider)].items.erase(key);
+  ItemId id{provider, key};
+  durable_.defs.erase(id);
+  durable_.values.erase(id);
+  durable_.unchecked.erase(id);
+  RecordWindow(id);
+  return OpOutcome::kOk;
+}
+
+// --- inclusion --------------------------------------------------------------
+
+OpOutcome ReferenceModel::PlanInclude(ItemId id, std::vector<ItemId>* plan,
+                                      std::set<ItemId>* in_path,
+                                      std::set<ItemId>* planned) {
+  if (ProviderRetired(id.first)) return OpOutcome::kSkip;
+  ModelItem* item = Find(id.first, id.second);
+  if (item == nullptr) return OpOutcome::kFail;  // NotFound
+  if (item->included) return OpOutcome::kOk;     // satisfied, no descent
+  if (planned->count(id) != 0) return OpOutcome::kOk;
+  if (in_path->count(id) != 0) return OpOutcome::kFail;  // cycle
+  in_path->insert(id);
+  if (item->mech == SimMechanism::kDerived) {
+    OpOutcome dep = PlanInclude({item->dep_provider, item->dep_key}, plan,
+                                in_path, planned);
+    if (dep != OpOutcome::kOk) {
+      in_path->erase(id);
+      return dep;
+    }
+  }
+  in_path->erase(id);
+  planned->insert(id);
+  plan->push_back(id);  // dependencies first
+  return OpOutcome::kOk;
+}
+
+void ReferenceModel::Include(ItemId id) {
+  ModelItem* item = Find(id.first, id.second);
+  assert(item != nullptr && !item->included);
+  item->included = true;
+  item->external_refs = 0;
+  item->internal_refs = 0;
+  if (item->mech == SimMechanism::kDerived) {
+    ItemId dep{item->dep_provider, item->dep_key};
+    ModelItem* dep_item = Find(dep.first, dep.second);
+    assert(dep_item != nullptr && dep_item->included);
+    ++dep_item->internal_refs;
+    dependents_[dep].insert(id);
+  }
+  // Activation (handler.cc Activate): what each mechanism stores up front.
+  if (item->shell) {
+    // Shell evaluators throw, so evaluating activations (periodic,
+    // triggered, derived) store nothing and the journal keeps its previous
+    // last-known-good for the item. On-demand activation does not evaluate
+    // at all — it stores (and journals) an explicit Null, clobbering the
+    // last-known-good exactly like a live on-demand item would
+    // (handler.cc OnDemandMetadataHandler::Activate). Recovery-time value
+    // injection happens in ApplyCrashRecovery, not here.
+    item->value = std::nullopt;
+    item->value_checked = true;
+    if (item->mech == SimMechanism::kOnDemand) SetDurableValue(id);
+    return;
+  } else {
+    switch (item->mech) {
+      case SimMechanism::kStatic:
+        item->value = StaticValueFor(id.first, id.second);
+        item->value_checked = true;
+        break;
+      case SimMechanism::kOnDemand:
+        item->value = std::nullopt;  // Activate stores Null; DoGet evaluates
+        item->value_checked = true;
+        break;
+      case SimMechanism::kPeriodic:
+        // Evaluates at activation and on every tick; the exact tick timing
+        // makes the cached value unpredictable between quiesce points.
+        item->value = cell(id.first, id.second);
+        item->value_checked = false;
+        break;
+      case SimMechanism::kTriggered:
+        item->value = cell(id.first, id.second);
+        item->value_checked = true;
+        break;
+      case SimMechanism::kDerived: {
+        ItemId dep{item->dep_provider, item->dep_key};
+        bool tainted = DepTainted(dep);
+        std::optional<double> v = DepGet(dep);
+        item->value = v ? std::optional<double>(*v + kDerivedOffset)
+                        : std::nullopt;
+        item->value_checked = !tainted;
+        break;
+      }
+    }
+  }
+  SetDurableValue(id);  // every activation store is journaled
+}
+
+OpOutcome ReferenceModel::Subscribe(int provider, int key) {
+  ItemId root{provider, key};
+  std::vector<ItemId> plan;
+  std::set<ItemId> in_path, planned;
+  OpOutcome outcome = PlanInclude(root, &plan, &in_path, &planned);
+  if (outcome != OpOutcome::kOk) return outcome;
+  for (ItemId id : plan) Include(id);
+  ModelItem* item = Find(provider, key);
+  ++item->external_refs;
+  ++durable_.subs[root];
+  RecordWindow(root);
+  return OpOutcome::kOk;
+}
+
+void ReferenceModel::MaybeRemove(ItemId id) {
+  ModelItem* item = Find(id.first, id.second);
+  if (item == nullptr || !item->included) return;
+  if (item->external_refs > 0 || item->internal_refs > 0) return;
+  item->included = false;
+  ItemId dep{item->dep_provider, item->dep_key};
+  bool derived = item->mech == SimMechanism::kDerived;
+  if (providers_[static_cast<size_t>(id.first)].retired) {
+    // A retired handler's item vanishes entirely: the registry died with
+    // the provider, only the handler (now released) kept the item alive.
+    providers_[static_cast<size_t>(id.first)].items.erase(id.second);
+  } else {
+    // The definition stays; the handler's cached value is gone. A later
+    // re-subscription re-activates from the descriptor (which, for a
+    // recovered shell, is still the throwing shell descriptor).
+    item->value = std::nullopt;
+    item->value_checked = true;
+    item->external_refs = 0;
+    item->internal_refs = 0;
+  }
+  if (derived) {
+    dependents_[dep].erase(id);
+    if (dependents_[dep].empty()) dependents_.erase(dep);
+    ModelItem* dep_item = Find(dep.first, dep.second);
+    if (dep_item != nullptr) {
+      --dep_item->internal_refs;
+      MaybeRemove(dep);
+    }
+  }
+}
+
+OpOutcome ReferenceModel::Unsubscribe(int provider, int key) {
+  ModelItem* item = Find(provider, key);
+  if (item == nullptr || item->external_refs <= 0) return OpOutcome::kFail;
+  --item->external_refs;
+  bool retired = item->retired;
+  ItemId id{provider, key};
+  if (!retired) {
+    // Retired handlers skip the OnUnsubscribe journal hook (their provider's
+    // durable state was already wiped by kRetire/kProviderGone).
+    auto it = durable_.subs.find(id);
+    if (it != durable_.subs.end() && --it->second <= 0) {
+      durable_.subs.erase(it);
+    }
+    RecordWindow(id);
+  }
+  MaybeRemove(id);
+  return OpOutcome::kOk;
+}
+
+// --- events -----------------------------------------------------------------
+
+void ReferenceModel::Wave(ItemId origin) {
+  // Closure: transitive dependents of the origin; the origin itself is
+  // never refreshed (manager.cc RebuildWavePlan).
+  std::set<ItemId> closure;
+  std::deque<ItemId> frontier{origin};
+  while (!frontier.empty()) {
+    ItemId cur = frontier.front();
+    frontier.pop_front();
+    auto it = dependents_.find(cur);
+    if (it == dependents_.end()) continue;
+    for (ItemId dep : it->second) {
+      if (closure.insert(dep).second) frontier.push_back(dep);
+    }
+  }
+  // Refresh dependencies-first (Kahn over the closure subgraph; ties broken
+  // by ItemId order, which only affects refresh order between independent
+  // items and therefore not values).
+  std::map<ItemId, int> indegree;
+  for (ItemId id : closure) indegree[id] = 0;
+  for (ItemId id : closure) {
+    const ModelItem* item = FindItem(id.first, id.second);
+    if (item == nullptr) continue;
+    ItemId dep{item->dep_provider, item->dep_key};
+    if (closure.count(dep) != 0) ++indegree[id];
+  }
+  std::vector<ItemId> order;
+  std::set<ItemId> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.insert(id);
+  }
+  while (!ready.empty()) {
+    ItemId id = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(id);
+    auto it = dependents_.find(id);
+    if (it == dependents_.end()) continue;
+    for (ItemId d : it->second) {
+      auto deg = indegree.find(d);
+      if (deg != indegree.end() && --deg->second == 0) ready.insert(d);
+    }
+  }
+  for (ItemId id : order) {
+    ModelItem* item = Find(id.first, id.second);
+    if (item == nullptr) continue;
+    if (item->retired) continue;  // frozen: refresh is a no-op
+    if (item->shell) continue;    // evaluator throws: contained, value kept
+    if (item->mech != SimMechanism::kDerived) continue;  // only triggered
+    ItemId dep{item->dep_provider, item->dep_key};
+    bool tainted = DepTainted(dep);
+    std::optional<double> v = DepGet(dep);
+    item->value = v ? std::optional<double>(*v + kDerivedOffset)
+                    : std::nullopt;
+    item->value_checked = !tainted;
+    if (!providers_[static_cast<size_t>(id.first)].retired) {
+      SetDurableValue(id);
+    }
+  }
+}
+
+OpOutcome ReferenceModel::Commit(int provider, int key, double cell_value) {
+  ItemId id{provider, key};
+  cells_[id] = cell_value;  // the source cell moves even when nothing fires
+  if (ProviderRetired(provider)) return OpOutcome::kSkip;
+  ModelItem* item = Find(provider, key);
+  if (item == nullptr || !item->included) return OpOutcome::kSkip;
+  Wave(id);
+  return OpOutcome::kOk;
+}
+
+OpOutcome ReferenceModel::RetireProvider(int provider) {
+  auto& prov = providers_[static_cast<size_t>(provider)];
+  if (prov.retired) return OpOutcome::kSkip;
+  prov.retired = true;
+  // Durable state for the provider is wiped wholesale (kRetire zeroes the
+  // subscription counts, kProviderGone drops the items from the image).
+  std::vector<int> gone;
+  for (auto it = prov.items.begin(); it != prov.items.end();) {
+    ItemId id{provider, it->first};
+    durable_.defs.erase(id);
+    durable_.subs.erase(id);
+    durable_.values.erase(id);
+    durable_.unchecked.erase(id);
+    if (it->second.included) {
+      // Included handlers survive as frozen (retired) handlers for as long
+      // as subscriptions or dependents hold them.
+      it->second.retired = true;
+      RecordWindow(id);
+      ++it;
+    } else {
+      // Non-included definitions die with the registry.
+      RecordWindow(id);
+      it = prov.items.erase(it);
+    }
+  }
+  return OpOutcome::kOk;
+}
+
+// --- crash + recovery -------------------------------------------------------
+
+std::string ReferenceModel::ApplyCrashRecovery(
+    const RecoveredView& view,
+    const std::map<ItemId, DurableState::Def>& predefined, bool torn) {
+  // Step 4's re-includes run through Include(), which journals activation
+  // stores into durable_/window_ as usual; snapshot the pre-crash
+  // expectation first so the comparisons don't read clobbered state.
+  const DurableState pre = durable_;
+  const DurableWindow pre_window = window_;
+  // Acceptance sets: the floor state plus everything recorded since.
+  auto def_window = [&](ItemId id) {
+    std::vector<std::optional<DurableState::Def>> states;
+    if (auto it = floor_.defs.find(id); it != floor_.defs.end()) {
+      states.emplace_back(it->second);
+    } else {
+      states.emplace_back(std::nullopt);
+    }
+    if (auto it = pre_window.defs.find(id); it != pre_window.defs.end()) {
+      states.insert(states.end(), it->second.begin(), it->second.end());
+    }
+    return states;
+  };
+  auto subs_window = [&](ItemId id) {
+    std::vector<int> states;
+    auto it = floor_.subs.find(id);
+    states.push_back(it == floor_.subs.end() ? 0 : it->second);
+    if (auto w = pre_window.subs.find(id); w != pre_window.subs.end()) {
+      states.insert(states.end(), w->second.begin(), w->second.end());
+    }
+    return states;
+  };
+  auto values_window = [&](ItemId id) {
+    std::vector<std::optional<double>> states;
+    auto it = floor_.values.find(id);
+    states.push_back(it == floor_.values.end() ? std::nullopt : it->second);
+    if (auto w = pre_window.values.find(id); w != pre_window.values.end()) {
+      states.insert(states.end(), w->second.begin(), w->second.end());
+    }
+    return states;
+  };
+  auto def_compatible = [](const DurableState::Def& candidate,
+                           const DurableState::Def& seen) {
+    if (candidate.mech != seen.mech) return false;
+    if (seen.dep_provider == kUnknownDep) return true;
+    return candidate.dep_provider == seen.dep_provider &&
+           candidate.dep_key == seen.dep_key;
+  };
+
+  // Step 1: resolve the recovered definition set against expectations.
+  // resolved: id -> (def, ambiguous dep target).
+  std::map<ItemId, std::pair<DurableState::Def, bool>> resolved;
+  for (const auto& [id, seen] : view.defs) {
+    if (auto pre = predefined.find(id); pre != predefined.end()) {
+      // Phase A keeps the application's descriptor for predefined keys,
+      // whatever the journal says.
+      resolved[id] = {pre->second, false};
+      continue;
+    }
+    std::vector<DurableState::Def> compatible;
+    for (const auto& cand : (torn ? def_window(id)
+                                  : std::vector<std::optional<DurableState::Def>>{
+                                        pre.defs.count(id)
+                                            ? std::optional<DurableState::Def>(
+                                                  pre.defs.at(id))
+                                            : std::nullopt})) {
+      if (!cand) continue;
+      if (def_compatible(*cand, seen) &&
+          (compatible.empty() || !(compatible.back() == *cand))) {
+        compatible.push_back(*cand);
+      }
+    }
+    if (compatible.empty()) {
+      return "recovered definition " + IdStr(id) +
+             " matches no expected definition state";
+    }
+    bool ambiguous = false;
+    for (const auto& c : compatible) {
+      if (!(c == compatible.back())) ambiguous = true;
+    }
+    resolved[id] = {compatible.back(), ambiguous};
+  }
+  // Items we expected that did not come back must have been legitimately
+  // absent at some acceptable state.
+  {
+    std::set<ItemId> expected_ids;
+    for (const auto& [id, def] : pre.defs) expected_ids.insert(id);
+    for (const auto& [id, states] : pre_window.defs) expected_ids.insert(id);
+    for (const auto& [id, def] : floor_.defs) expected_ids.insert(id);
+    for (ItemId id : expected_ids) {
+      if (view.defs.count(id) != 0) continue;
+      if (!torn) {
+        if (pre.defs.count(id) != 0) {
+          return "definition " + IdStr(id) +
+                 " missing after clean-tail recovery";
+        }
+        continue;
+      }
+      bool absent_ok = false;
+      for (const auto& cand : def_window(id)) {
+        if (!cand) absent_ok = true;
+      }
+      if (!absent_ok) {
+        return "definition " + IdStr(id) +
+               " lost in torn recovery but never absent in the window";
+      }
+    }
+  }
+
+  // Step 2: adopt — rebuild live state from the resolved view. All real
+  // providers were recreated by the harness, so retirement flags clear.
+  // Adoption must precede the subscription check: replay drops (rather than
+  // fails on) subscriptions whose closure no longer plans against the
+  // recovered definitions, so plannability is part of the expectation.
+  dependents_.clear();
+  for (auto& prov : providers_) {
+    prov.retired = false;
+    prov.items.clear();
+  }
+  std::set<ItemId> unreliable;  // ambiguous dep target: values unchecked
+  for (const auto& [id, entry] : resolved) {
+    const DurableState::Def& def = entry.first;
+    ModelItem item;
+    item.mech = def.mech;
+    item.dep_provider = def.dep_provider;
+    item.dep_key = def.dep_key;
+    // Statics recover with their literal value (live); everything else
+    // comes back as a throwing shell unless the application predefined it.
+    item.shell = def.mech != SimMechanism::kStatic &&
+                 predefined.count(id) == 0;
+    providers_[static_cast<size_t>(id.first)].items[id.second] = item;
+    if (entry.second) unreliable.insert(id);
+  }
+  auto plannable = [&](ItemId id) {
+    std::vector<ItemId> plan;
+    std::set<ItemId> in_path, planned;
+    return PlanInclude(id, &plan, &in_path, &planned) == OpOutcome::kOk;
+  };
+
+  // Step 3: subscription counts. Replay gives up on an item's subscriptions
+  // as soon as one fails to include (persistence.cc phase B), so a durably
+  // subscribed item whose dependency closure was lost — e.g. it ran through
+  // a retired provider's wiped definitions — recovers with none.
+  {
+    std::set<ItemId> sub_ids;
+    for (const auto& [id, n] : view.subs) sub_ids.insert(id);
+    for (const auto& [id, n] : pre.subs) sub_ids.insert(id);
+    for (const auto& [id, n] : floor_.subs) sub_ids.insert(id);
+    for (const auto& [id, states] : pre_window.subs) sub_ids.insert(id);
+    for (ItemId id : sub_ids) {
+      auto it = view.subs.find(id);
+      int seen = it == view.subs.end() ? 0 : it->second;
+      if (!plannable(id)) {
+        if (seen != 0) {
+          std::ostringstream os;
+          os << "subscriptions of " << IdStr(id) << ": recovered " << seen
+             << ", expected none (closure does not plan)";
+          return os.str();
+        }
+        continue;
+      }
+      if (!torn) {
+        auto want = pre.subs.find(id);
+        int expected = want == pre.subs.end() ? 0 : want->second;
+        if (seen != expected) {
+          std::ostringstream os;
+          os << "subscriptions of " << IdStr(id) << ": recovered " << seen
+             << ", expected " << expected;
+          return os.str();
+        }
+        continue;
+      }
+      auto states = subs_window(id);
+      if (std::find(states.begin(), states.end(), seen) == states.end()) {
+        std::ostringstream os;
+        os << "subscriptions of " << IdStr(id) << ": recovered " << seen
+           << ", never a window state";
+        return os.str();
+      }
+    }
+  }
+
+  // Step 4: re-include the subscription closures in sorted (provider, key)
+  // order, mirroring recovery's sorted (owner label, key) replay.
+  for (const auto& [id, count] : view.subs) {
+    if (count <= 0) continue;
+    for (int i = 0; i < count; ++i) {
+      std::vector<ItemId> plan;
+      std::set<ItemId> in_path, planned;
+      OpOutcome outcome = PlanInclude(id, &plan, &in_path, &planned);
+      if (outcome != OpOutcome::kOk) {
+        return "recovered subscription on " + IdStr(id) +
+               " does not plan against the recovered definitions";
+      }
+      for (ItemId pid : plan) Include(pid);
+      ++Find(id.first, id.second)->external_refs;
+    }
+  }
+
+  // Step 5: value injection + comparison. Recovery injects journaled values
+  // only where activation left a null (shells, live on-demand); live
+  // triggered/periodic/static keep their activation value.
+  for (const auto& [id, entry] : resolved) {
+    ModelItem* item = Find(id.first, id.second);
+    if (item == nullptr || !item->included) continue;
+    auto seen_it = view.values.find(id);
+    std::optional<double> seen =
+        seen_it == view.values.end() ? std::nullopt : seen_it->second;
+    bool injectable = !item->value.has_value();
+    if (injectable) {
+      bool skip_check = unreliable.count(id) != 0 ||
+                        pre.unchecked.count(id) != 0;
+      if (torn) {
+        // The tail may replay any record since the checkpoint, including
+        // ones whose live markers were since erased (provider wipes).
+        skip_check = skip_check || floor_.unchecked.count(id) != 0 ||
+                     pre_window.unchecked.count(id) != 0;
+      }
+      if (!skip_check) {
+        if (!torn) {
+          auto want = pre.values.find(id);
+          std::optional<double> expected =
+              want == pre.values.end() ? std::nullopt : want->second;
+          if (seen != expected) {
+            return "recovered value of " + IdStr(id) + ": got " +
+                   ValStr(seen) + ", expected " + ValStr(expected);
+          }
+        } else {
+          auto states = values_window(id);
+          if (std::find(states.begin(), states.end(), seen) == states.end()) {
+            return "recovered value of " + IdStr(id) + ": got " +
+                   ValStr(seen) + ", never a window state";
+          }
+        }
+      }
+      item->value = seen;  // adopt what recovery actually injected
+      item->value_checked = !skip_check;
+    } else if (item->value_checked && unreliable.count(id) == 0) {
+      if (seen != item->value) {
+        return "activation value of recovered " + IdStr(id) + ": got " +
+               ValStr(seen) + ", expected " + ValStr(item->value);
+      }
+    }
+  }
+  // Dependents of adopted-unchecked items inherit the uncertainty.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& prov : providers_) {
+      for (auto& [key, item] : prov.items) {
+        if (!item.included || item.mech != SimMechanism::kDerived) continue;
+        if (!item.value_checked) continue;
+        const ModelItem* dep = FindItem(item.dep_provider, item.dep_key);
+        if (dep != nullptr && !dep->value_checked && !item.shell) {
+          // A live derived item evaluated an unchecked dependency at
+          // activation; its value is equally unpredictable.
+          item.value_checked = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Step 6: durability is re-enabled on the recovered manager; the initial
+  // checkpoint makes the current state the new durable baseline.
+  RebaselineDurable();
+  return "";
+}
+
+}  // namespace sim
+}  // namespace pipes

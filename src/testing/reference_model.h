@@ -1,0 +1,216 @@
+/// \file reference_model.h
+/// \brief In-memory reference model of registry / subscription / propagation
+/// semantics for the deterministic simulation harness.
+///
+/// The model re-implements, in plain single-threaded code, what the real
+/// metadata subsystem promises:
+///
+///  - registry semantics: Define fails on an existing key; Redefine/Undefine
+///    fail while the item is included (paper §4.4.2);
+///  - inclusion closure: subscribing includes the item and its transitive
+///    dependencies, dependencies-first; unsubscribing excludes the closure
+///    implicitly when the last reference disappears (§2.4);
+///  - wave semantics: an event refreshes the origin's transitive *dependents*
+///    (never the origin itself), dependencies-first; only triggered items
+///    re-evaluate (§3.2.3);
+///  - value semantics per mechanism: static is frozen at definition,
+///    on-demand evaluates at access, triggered caches its last refresh,
+///    retired handlers freeze on last-known-good, recovered shells throw
+///    (and therefore keep their injected last-known-good);
+///  - durable state: what journal + checkpoint recovery must restore —
+///    exactly after a clean-tail crash, and per item a state the item passed
+///    through since the last checkpoint after a torn-tail one.
+///
+/// The harness applies every schedule op to the real system *and* to this
+/// model and fails the run on any divergence, so the model doubles as an
+/// executable specification.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "testing/sim_schedule.h"
+
+namespace pipes {
+namespace sim {
+
+/// Outcome of applying one op; the harness requires real == model. kSkip
+/// marks ops the harness must not hand to the real system at all (they
+/// would dereference a destroyed provider through a stale descriptor — an
+/// application bug, not a semantics question).
+enum class OpOutcome : uint8_t { kOk, kFail, kSkip };
+
+const char* ToString(OpOutcome outcome);
+
+/// (provider index, key index) pair.
+using ItemId = std::pair<int, int>;
+
+/// Sentinel for "dependency target could not be extracted" in RecoveredView
+/// defs (the item came back defined but not included, so only its descriptor
+/// — not its resolved dependency — is visible).
+inline constexpr int kUnknownDep = -2;
+
+/// The static value convention shared by harness and model: static items
+/// are defined with this literal.
+inline double StaticValueFor(int provider, int key) {
+  return 10000.0 + 100.0 * provider + key;
+}
+
+/// Derived evaluators compute Dep(0) + this offset (null propagates).
+inline constexpr double kDerivedOffset = 1000.0;
+
+/// Expected state of one metadata item.
+struct ModelItem {
+  SimMechanism mech = SimMechanism::kOnDemand;
+  int dep_provider = -1;  ///< kDerived only
+  int dep_key = -1;
+  bool included = false;
+  int external_refs = 0;
+  int internal_refs = 0;
+  bool shell = false;    ///< recovered without a live evaluator
+  bool retired = false;  ///< frozen by provider teardown
+  /// Expected stored value (MetadataManager::PeekValue). nullopt = expect a
+  /// null read (never stored, or a null was stored).
+  std::optional<double> value;
+  /// False: the value is timing-dependent (periodic cadence in the
+  /// dependency cone, or adopted from an ambiguous torn recovery) and
+  /// equality checks are skipped for it.
+  bool value_checked = true;
+};
+
+/// Expected durable (recoverable) state of the system.
+struct DurableState {
+  struct Def {
+    SimMechanism mech = SimMechanism::kOnDemand;
+    int dep_provider = -1;
+    int dep_key = -1;
+    bool operator==(const Def& o) const {
+      return mech == o.mech && dep_provider == o.dep_provider &&
+             dep_key == o.dep_key;
+    }
+  };
+  std::map<ItemId, Def> defs;
+  std::map<ItemId, int> subs;  ///< external subscription count per item
+  /// Last journaled value per item. Never-stored and stored-null both read
+  /// back null, so nullopt covers both.
+  std::map<ItemId, std::optional<double>> values;
+  std::set<ItemId> unchecked;  ///< items whose durable value is not compared
+};
+
+/// Per-item states each durable facet has passed through since the last
+/// checkpoint — the acceptance set for torn-tail recovery (a torn journal
+/// replays each item to *some* state it held in the window).
+struct DurableWindow {
+  std::map<ItemId, std::vector<std::optional<DurableState::Def>>> defs;
+  std::map<ItemId, std::vector<int>> subs;
+  std::map<ItemId, std::vector<std::optional<double>>> values;
+  /// Items whose journaled value was timing-dependent at *any* point in the
+  /// window. Sticky where DurableState::unchecked is not: a provider wipe
+  /// erases the live marker, but a torn tail can resurrect the pre-wipe
+  /// journal records, so torn-recovery value checks must stay suppressed.
+  std::set<ItemId> unchecked;
+};
+
+/// What the harness extracted from the real system right after RecoverFrom.
+struct RecoveredView {
+  /// Every defined item with its mechanism; dep_provider == kUnknownDep when
+  /// the dependency target is not extractable (defined but not included).
+  std::map<ItemId, DurableState::Def> defs;
+  std::map<ItemId, int> subs;  ///< restored external subscriptions per item
+  /// Stored value (PeekValue) per included item.
+  std::map<ItemId, std::optional<double>> values;
+};
+
+/// The reference model proper. Deterministic and single-threaded; the
+/// harness drives it in lock-step with the real system.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(const SimProfile& profile);
+
+  // --- schedule ops (mutate model state, return the expected outcome) ------
+  OpOutcome Define(int provider, int key, SimMechanism mech, int dep_provider,
+                   int dep_key);
+  OpOutcome Redefine(int provider, int key, SimMechanism mech,
+                     int dep_provider, int dep_key);
+  OpOutcome Undefine(int provider, int key);
+  OpOutcome Subscribe(int provider, int key);
+  OpOutcome Unsubscribe(int provider, int key);
+  /// Source cell := `cell`; fires a propagation wave when the item is
+  /// included and its provider alive.
+  OpOutcome Commit(int provider, int key, double cell);
+  OpOutcome RetireProvider(int provider);
+  void Checkpoint();  ///< durable floor := current durable state
+
+  // --- harness hooks --------------------------------------------------------
+  /// The sweep read a live on-demand item via Get(): its cache (and durable
+  /// value) become the current cell value.
+  void OnDemandEvaluated(int provider, int key);
+
+  /// Applies a simulated crash + recovery and cross-checks `view` (the real
+  /// system's recovered state). `predefined` maps items the application
+  /// re-defined before RecoverFrom to their descriptors (they return live;
+  /// other non-statics return as shells). Clean crash (`torn` false): the
+  /// view must equal the durable state exactly. Torn crash: each item's
+  /// recovered facets must be a state it passed through since the last
+  /// checkpoint, and the model adopts the view. Afterwards durability is
+  /// considered re-enabled (fresh baseline checkpoint). Returns "" on
+  /// success, else a description of the violation.
+  std::string ApplyCrashRecovery(
+      const RecoveredView& view,
+      const std::map<ItemId, DurableState::Def>& predefined, bool torn);
+
+  // --- oracle queries -------------------------------------------------------
+  bool ProviderRetired(int provider) const;
+  bool IsAvailable(int provider, int key) const;
+  bool IsIncluded(int provider, int key) const;
+  size_t IncludedCount(int provider) const;
+  std::vector<int> AvailableKeys(int provider) const;
+  const ModelItem* FindItem(int provider, int key) const;
+  const DurableState& durable() const { return durable_; }
+  double cell(int provider, int key) const;
+
+ private:
+  struct Provider {
+    bool retired = false;
+    std::map<int, ModelItem> items;
+  };
+
+  ModelItem* Find(int provider, int key);
+  /// Plans the inclusion closure of (provider, key), dependencies-first.
+  OpOutcome PlanInclude(ItemId id, std::vector<ItemId>* plan,
+                        std::set<ItemId>* in_path, std::set<ItemId>* planned);
+  void Include(ItemId id);
+  void MaybeRemove(ItemId id);
+  void Wave(ItemId origin);
+  /// Get() as seen by a dependent's evaluator (evaluates live on-demand
+  /// deps as a side effect, serves caches/frozen values otherwise).
+  std::optional<double> DepGet(ItemId id);
+  /// True when the dependency's cached value is not predictable (periodic
+  /// cadence or adopted-unchecked); dependents of such items go unchecked.
+  bool DepTainted(ItemId id) const;
+  void SetDurableValue(ItemId id);
+  /// Appends the item's current durable facets to its acceptance window.
+  void RecordWindow(ItemId id);
+  /// Rebuilds durable_/floor_/window_ from the current live state (the
+  /// baseline checkpoint EnableDurability writes on re-enable).
+  void RebaselineDurable();
+
+  SimProfile profile_;
+  std::vector<Provider> providers_;
+  /// Reverse dependency edges of *included* items: dep -> dependents.
+  std::map<ItemId, std::set<ItemId>> dependents_;
+  DurableState durable_;
+  DurableState floor_;
+  DurableWindow window_;
+  /// Source cells (mirrors the harness's evaluator-visible cells).
+  std::map<ItemId, double> cells_;
+};
+
+}  // namespace sim
+}  // namespace pipes

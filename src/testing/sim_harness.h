@@ -1,0 +1,58 @@
+/// \file sim_harness.h
+/// \brief Executes one simulated schedule against the real metadata stack
+/// and the reference model in lock-step.
+///
+/// The harness builds a full system per run — MetadataManager on a
+/// VirtualTimeScheduler, a provider pool, optional durability (journal +
+/// checkpoints in a scratch directory, crash-restarts with clean or torn
+/// journal tails), optional federation (a second manager mirroring the
+/// anchor item over a LoopbackLink with injectable message faults) — and
+/// applies each SimOp to both the system and the ReferenceModel. Divergence
+/// on any op outcome, any quiesce-point invariant, or any recovery check
+/// fails the run with a replayable description.
+///
+/// Determinism contract: the whole run executes on virtual time with every
+/// random draw seeded from the schedule, so `RunSchedule` is a pure function
+/// of (schedule, options) — including the returned event log, byte for byte.
+/// The sweep asserts `SystemClockUseCount()` stays flat across the run, so
+/// no sim-reachable path can regress to wall-clock reads unnoticed.
+
+#pragma once
+
+#include <string>
+
+#include "testing/sim_schedule.h"
+
+namespace pipes {
+namespace sim {
+
+/// Options of one harness run.
+struct SimRunOptions {
+  /// Wraps the federation client endpoint in a shim that re-delivers every
+  /// third update push with a forged (incremented) sequence number — a
+  /// duplicate delivery the cross-link sequence suppression cannot catch.
+  /// The strictly-increasing observed-value oracle must flag it; this is the
+  /// harness's own bug-detection self-test (pipes_sim --inject-bug).
+  bool inject_duplicates = false;
+  /// Durability scratch directory. "" = a fresh private temp directory,
+  /// removed when the run ends. A caller-provided directory is used as-is
+  /// and left in place (the fsck tests inspect the journals afterwards).
+  std::string durability_dir;
+};
+
+/// Outcome of one harness run.
+struct SimRunResult {
+  bool ok = true;
+  std::string failure;  ///< first divergence; "" when ok
+  int failed_op = -1;   ///< schedule index of the failing op; -1 = setup
+  /// One line per op (index, virtual time, op, outcome). Deterministic:
+  /// byte-identical across runs of the same schedule + options.
+  std::string event_log;
+};
+
+/// Runs `schedule` to completion (or first divergence).
+SimRunResult RunSchedule(const SimSchedule& schedule,
+                         const SimRunOptions& opts = {});
+
+}  // namespace sim
+}  // namespace pipes

@@ -1,0 +1,322 @@
+#include "testing/sim_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace pipes {
+namespace sim {
+
+namespace {
+
+// Packs a fault burst's parameters into SimOp::arg (decimal digit groups so
+// the packed value stays readable in schedule dumps).
+int64_t PackFaults(int drop_permille, int dup_permille, int delay_ms) {
+  return drop_permille + int64_t{1000} * dup_permille +
+         int64_t{1000000} * delay_ms;
+}
+
+SimOp DefineOp(SimOpKind kind, int provider, int key, SimMechanism mech,
+               int dep_provider = 0, int dep_key = 0) {
+  SimOp op;
+  op.kind = kind;
+  op.provider = static_cast<uint16_t>(provider);
+  op.key = static_cast<uint16_t>(key);
+  op.mech = static_cast<uint16_t>(mech);
+  op.dep_provider = static_cast<uint16_t>(dep_provider);
+  op.dep_key = static_cast<uint16_t>(dep_key);
+  return op;
+}
+
+// Chooses a (re)definition for (provider, key): mechanism weights favor the
+// propagation-relevant kinds, and derived items point at a uniformly chosen
+// *other* (provider, key) — dangling or cyclic targets are legal (the
+// harness requires the real system and the model to reject them alike).
+SimOp RandomDefine(Rng& rng, SimOpKind kind, int provider, int key,
+                   const SimProfile& p) {
+  double r = rng.UniformDouble(0.0, 1.0);
+  SimMechanism mech;
+  if (r < 0.15) {
+    mech = SimMechanism::kStatic;
+  } else if (r < 0.40) {
+    mech = SimMechanism::kOnDemand;
+  } else if (r < 0.55) {
+    mech = SimMechanism::kPeriodic;
+  } else if (r < 0.70) {
+    mech = SimMechanism::kTriggered;
+  } else {
+    mech = SimMechanism::kDerived;
+  }
+  int dep_provider = 0;
+  int dep_key = 0;
+  if (mech == SimMechanism::kDerived) {
+    do {
+      dep_provider = static_cast<int>(rng.UniformInt(0, p.providers - 1));
+      dep_key = static_cast<int>(rng.UniformInt(0, p.keys - 1));
+    } while (dep_provider == provider && dep_key == key);
+  }
+  return DefineOp(kind, provider, key, mech, dep_provider, dep_key);
+}
+
+}  // namespace
+
+SimProfile ProfileForSeed(uint64_t seed, const SimProfile& base) {
+  SimProfile p = base;
+  if (base.federation && base.crashes) {
+    switch (seed % 3) {
+      case 0:
+        p.federation = false;  // crashes only
+        break;
+      case 1:
+        p.crashes = false;  // federation only
+        break;
+      default:
+        p.federation = false;  // pure local
+        p.crashes = false;
+        break;
+    }
+  }
+  return p;
+}
+
+SimSchedule GenerateSchedule(uint64_t seed, const SimProfile& profile) {
+  assert(!(profile.federation && profile.crashes) &&
+         "federation and crashes are mutually exclusive per schedule");
+  SimSchedule s;
+  s.seed = seed;
+  s.profile = profile;
+  // SplitMix-style seed spreading so adjacent seeds diverge immediately.
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  const int P = profile.providers;
+  const int K = profile.keys;
+  auto pick_pk = [&](SimOp& op) {
+    op.provider = static_cast<uint16_t>(rng.UniformInt(0, P - 1));
+    op.key = static_cast<uint16_t>(rng.UniformInt(0, K - 1));
+  };
+  // The federation export anchor p0/k0 must stay a live on-demand item for
+  // the whole run: the mirror's strictly-increasing-value oracle is defined
+  // against it.
+  auto protected_pk = [&](int provider, int key) {
+    return profile.federation && provider == 0 && key == 0;
+  };
+
+  // Prologue: a base population plus a few subscriptions, so the body runs
+  // against a live graph from the first op.
+  for (int pr = 0; pr < P; ++pr) {
+    for (int k = 0; k < K; ++k) {
+      if (protected_pk(pr, k)) {
+        s.ops.push_back(
+            DefineOp(SimOpKind::kDefine, pr, k, SimMechanism::kOnDemand));
+        continue;
+      }
+      if (rng.Bernoulli(0.8)) {
+        s.ops.push_back(RandomDefine(rng, SimOpKind::kDefine, pr, k, profile));
+      }
+    }
+  }
+  const int prologue_subs =
+      std::min(profile.sub_slots, std::max(2, P * K / 3));
+  for (int i = 0; i < prologue_subs; ++i) {
+    SimOp op;
+    op.kind = SimOpKind::kSubscribe;
+    pick_pk(op);
+    op.slot = static_cast<uint16_t>(i);
+    s.ops.push_back(op);
+  }
+  {
+    SimOp q;
+    q.kind = SimOpKind::kQuiesce;
+    s.ops.push_back(q);
+  }
+
+  // Body: a weighted stream of operations with a quiesce sweep every ~25
+  // ops (the full oracle runs there; per-op checks run everywhere).
+  int since_quiesce = 0;
+  for (int i = 0; i < profile.ops; ++i) {
+    if (++since_quiesce >= 25) {
+      since_quiesce = 0;
+      SimOp q;
+      q.kind = SimOpKind::kQuiesce;
+      s.ops.push_back(q);
+      continue;
+    }
+    double r = rng.UniformDouble(0.0, 1.0);
+    SimOp op;
+    if (r < 0.28) {
+      op.kind = SimOpKind::kCommit;
+      pick_pk(op);
+      // Bias commits toward the federation anchor so the mirror pipeline
+      // sees sustained traffic.
+      if (profile.federation && rng.Bernoulli(0.4)) {
+        op.provider = 0;
+        op.key = 0;
+      }
+    } else if (r < 0.42) {
+      op.kind = SimOpKind::kAdvance;
+      op.arg = std::clamp<int64_t>(
+          static_cast<int64_t>(rng.Exponential(1.0 / 15000.0)),
+          kMicrosPerMilli, 80 * kMicrosPerMilli);
+    } else if (r < 0.54) {
+      op.kind = SimOpKind::kSubscribe;
+      pick_pk(op);
+      op.slot = static_cast<uint16_t>(
+          rng.UniformInt(0, profile.sub_slots - 1));
+    } else if (r < 0.62) {
+      op.kind = SimOpKind::kUnsubscribe;
+      op.slot = static_cast<uint16_t>(
+          rng.UniformInt(0, profile.sub_slots - 1));
+    } else if (r < 0.70) {
+      op = RandomDefine(rng, SimOpKind::kDefine,
+                        static_cast<int>(rng.UniformInt(0, P - 1)),
+                        static_cast<int>(rng.UniformInt(0, K - 1)), profile);
+      if (protected_pk(op.provider, op.key)) op.key = 1 % K;
+    } else if (r < 0.75) {
+      op = RandomDefine(rng, SimOpKind::kRedefine,
+                        static_cast<int>(rng.UniformInt(0, P - 1)),
+                        static_cast<int>(rng.UniformInt(0, K - 1)), profile);
+      if (protected_pk(op.provider, op.key)) op.key = 1 % K;
+    } else if (r < 0.80) {
+      op.kind = SimOpKind::kUndefine;
+      pick_pk(op);
+      if (protected_pk(op.provider, op.key)) op.key = 1 % K;
+    } else if (r < 0.83) {
+      op.kind = SimOpKind::kRetireProvider;
+      // The federation server provider and (with fewer than three
+      // providers) provider 0 stay alive so the run keeps a backbone.
+      op.provider = static_cast<uint16_t>(
+          profile.federation || P < 3 ? rng.UniformInt(1, P - 1)
+                                      : rng.UniformInt(0, P - 1));
+    } else if (r < 0.86 && profile.durability) {
+      op.kind = SimOpKind::kCheckpoint;
+    } else if (r < 0.88 && profile.durability) {
+      op.kind = SimOpKind::kFlushJournal;
+    } else if (r < 0.91 && profile.crashes && profile.durability) {
+      op.kind = SimOpKind::kCrashRestart;
+      op.arg = rng.Bernoulli(0.5)
+                   ? 0  // clean: exact-equality recovery oracle
+                   : static_cast<int64_t>(rng.UniformInt(1, 400));
+    } else if (r < 0.94 && profile.federation) {
+      op.kind = SimOpKind::kPartition;
+    } else if (r < 0.97 && profile.federation) {
+      op.kind = SimOpKind::kHeal;
+    } else if (profile.federation && profile.faults) {
+      op.kind = SimOpKind::kFaultBurst;
+      op.arg = PackFaults(static_cast<int>(rng.UniformInt(0, 300)),
+                          static_cast<int>(rng.UniformInt(0, 200)),
+                          static_cast<int>(rng.UniformInt(0, 10)));
+    } else {
+      op.kind = SimOpKind::kAdvance;
+      op.arg = 5 * kMicrosPerMilli;
+    }
+    s.ops.push_back(op);
+  }
+
+  // Epilogue: heal any outstanding faults, settle, and run the final sweep.
+  if (profile.federation) {
+    SimOp heal;
+    heal.kind = SimOpKind::kHeal;
+    s.ops.push_back(heal);
+  }
+  SimOp q;
+  q.kind = SimOpKind::kQuiesce;
+  s.ops.push_back(q);
+  return s;
+}
+
+namespace {
+const char* MechName(SimMechanism m) {
+  switch (m) {
+    case SimMechanism::kStatic:
+      return "static";
+    case SimMechanism::kOnDemand:
+      return "ondemand";
+    case SimMechanism::kPeriodic:
+      return "periodic";
+    case SimMechanism::kTriggered:
+      return "triggered";
+    case SimMechanism::kDerived:
+      return "derived";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string ToString(const SimOp& op) {
+  std::ostringstream os;
+  auto pk = [&] { os << " p" << op.provider << "/k" << op.key; };
+  switch (op.kind) {
+    case SimOpKind::kDefine:
+    case SimOpKind::kRedefine:
+      os << (op.kind == SimOpKind::kDefine ? "define" : "redefine");
+      pk();
+      os << " " << MechName(static_cast<SimMechanism>(op.mech));
+      if (static_cast<SimMechanism>(op.mech) == SimMechanism::kDerived) {
+        os << " dep=p" << op.dep_provider << "/k" << op.dep_key;
+      }
+      break;
+    case SimOpKind::kUndefine:
+      os << "undefine";
+      pk();
+      break;
+    case SimOpKind::kSubscribe:
+      os << "subscribe";
+      pk();
+      os << " slot=" << op.slot;
+      break;
+    case SimOpKind::kUnsubscribe:
+      os << "unsubscribe slot=" << op.slot;
+      break;
+    case SimOpKind::kCommit:
+      os << "commit";
+      pk();
+      break;
+    case SimOpKind::kAdvance:
+      os << "advance " << op.arg / kMicrosPerMilli << "ms";
+      break;
+    case SimOpKind::kRetireProvider:
+      os << "retire p" << op.provider;
+      break;
+    case SimOpKind::kCheckpoint:
+      os << "checkpoint";
+      break;
+    case SimOpKind::kFlushJournal:
+      os << "flush-journal";
+      break;
+    case SimOpKind::kCrashRestart:
+      os << "crash-restart tear=" << op.arg;
+      break;
+    case SimOpKind::kPartition:
+      os << "partition";
+      break;
+    case SimOpKind::kHeal:
+      os << "heal";
+      break;
+    case SimOpKind::kFaultBurst:
+      os << "fault-burst drop=" << op.arg % 1000 << "pm dup="
+         << (op.arg / 1000) % 1000 << "pm delay="
+         << op.arg / 1000000 << "ms";
+      break;
+    case SimOpKind::kQuiesce:
+      os << "quiesce";
+      break;
+  }
+  return os.str();
+}
+
+std::string Describe(const SimSchedule& schedule) {
+  std::ostringstream os;
+  os << "schedule seed=" << schedule.seed
+     << " ops=" << schedule.ops.size()
+     << " durability=" << (schedule.profile.durability ? 1 : 0)
+     << " federation=" << (schedule.profile.federation ? 1 : 0)
+     << " crashes=" << (schedule.profile.crashes ? 1 : 0) << "\n";
+  for (size_t i = 0; i < schedule.ops.size(); ++i) {
+    os << "  #" << i << " " << ToString(schedule.ops[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sim
+}  // namespace pipes

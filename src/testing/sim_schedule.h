@@ -1,0 +1,111 @@
+/// \file sim_schedule.h
+/// \brief Seeded random schedules of metadata operations for the
+/// deterministic simulation harness.
+///
+/// A schedule is a flat vector of `SimOp`s over a fixed pool of providers
+/// (`p0`..`pN`) and keys (`k0`..`kK`). Ops reference pool *indexes*, never
+/// pointers, so any subsequence of a schedule is itself a valid schedule —
+/// the property the greedy shrinker relies on. Ops are allowed to be invalid
+/// at execution time (redefining a missing key, unsubscribing an empty
+/// slot): the harness applies each op to the real system and to the
+/// reference model and requires both to agree on the outcome, which turns
+/// "invalid" ops into additional oracle coverage instead of generator
+/// bookkeeping.
+///
+/// Generation is a pure function of (seed, profile): identical inputs yield
+/// identical schedules, byte for byte. All randomness flows through one
+/// seeded `pipes::Rng`.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pipes {
+namespace sim {
+
+/// One metadata operation kind in a simulated schedule.
+enum class SimOpKind : uint8_t {
+  kDefine,          ///< Define key on provider (mech, optional dep)
+  kRedefine,        ///< Redefine key (fails while included)
+  kUndefine,        ///< Undefine key (fails while included)
+  kSubscribe,       ///< External subscription into a slot
+  kUnsubscribe,     ///< Release a subscription slot
+  kCommit,          ///< Bump the key's source cell + FireEvent
+  kAdvance,         ///< Advance virtual time (runs due tasks)
+  kRetireProvider,  ///< Destroy the provider (handler retirement)
+  kCheckpoint,      ///< Durability: CheckpointNow
+  kFlushJournal,    ///< Durability: FlushJournal
+  kCrashRestart,    ///< Simulated crash + recovery (arg = torn tail bytes)
+  kPartition,       ///< Partition the federation link (both directions)
+  kHeal,            ///< Heal the link and disarm message faults
+  kFaultBurst,      ///< Arm drop/duplicate/delay faults on the link
+  kQuiesce,         ///< Settle the system, then run the full oracle sweep
+};
+
+/// Update mechanism selected at (re)definition time.
+enum class SimMechanism : uint8_t {
+  kStatic,
+  kOnDemand,
+  kPeriodic,
+  kTriggered,
+  kDerived,  ///< triggered with one explicit dependency
+};
+
+/// One step of a schedule. Plain data; printable with ToString().
+struct SimOp {
+  SimOpKind kind = SimOpKind::kQuiesce;
+  uint16_t provider = 0;      ///< provider pool index
+  uint16_t key = 0;           ///< key pool index
+  uint16_t mech = 0;          ///< SimMechanism (define/redefine)
+  uint16_t dep_provider = 0;  ///< dependency target (kDerived)
+  uint16_t dep_key = 0;
+  uint16_t slot = 0;          ///< subscription slot (subscribe/unsubscribe)
+  int64_t arg = 0;            ///< advance micros / tear bytes / fault pack
+};
+
+/// Knobs of one simulated configuration. `federation` and `crashes` are
+/// mutually exclusive (a crash restarts the server manager; reconciling a
+/// reborn server's sequence space is out of scope for the harness).
+struct SimProfile {
+  int providers = 3;
+  int keys = 4;  ///< keys per provider
+  int ops = 120;
+  int sub_slots = 12;
+  bool durability = true;
+  bool federation = false;
+  bool crashes = true;
+  bool faults = true;  ///< message faults on the federation link
+  Duration periodic_period = 40 * kMicrosPerMilli;
+  Duration max_staleness = 200 * kMicrosPerMilli;
+  Duration quiesce_settle = 150 * kMicrosPerMilli;
+};
+
+/// A fully materialized schedule. `ops` may be edited (the shrinker removes
+/// entries); `seed`/`profile` are carried for reporting and reruns.
+struct SimSchedule {
+  uint64_t seed = 0;
+  SimProfile profile;
+  std::vector<SimOp> ops;
+};
+
+/// Derives the per-seed feature mix from a base profile: seeds rotate
+/// through {crashes only, federation only, pure local} among the features
+/// the base profile allows, so one CLI run covers all configurations while
+/// each individual seed stays replayable in isolation.
+SimProfile ProfileForSeed(uint64_t seed, const SimProfile& base);
+
+/// Generates the schedule for (seed, profile). Pure and deterministic.
+SimSchedule GenerateSchedule(uint64_t seed, const SimProfile& profile);
+
+/// One-line rendering of an op, e.g. "commit p1/k2" or "advance 13ms".
+std::string ToString(const SimOp& op);
+
+/// Multi-line rendering of a schedule (one op per line, indexed).
+std::string Describe(const SimSchedule& schedule);
+
+}  // namespace sim
+}  // namespace pipes

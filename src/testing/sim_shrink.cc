@@ -1,0 +1,67 @@
+#include "testing/sim_shrink.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace pipes {
+namespace sim {
+
+SimSchedule ShrinkSchedule(const SimSchedule& failing,
+                           const SimRunOptions& opts, int max_attempts) {
+  SimSchedule best = failing;
+  int attempts = 0;
+  auto still_fails = [&](const SimSchedule& candidate) {
+    ++attempts;
+    return !RunSchedule(candidate, opts).ok;
+  };
+
+  // Federation schedules hang everything off the exported p0/k0 anchor; a
+  // candidate that loses its define would exercise the (uninteresting)
+  // never-exported path, so the anchor define is pinned.
+  auto protected_op = [&](const SimOp& op) {
+    return failing.profile.federation && op.kind == SimOpKind::kDefine &&
+           op.provider == 0 && op.key == 0;
+  };
+
+  size_t chunk = std::max<size_t>(1, best.ops.size() / 2);
+  while (attempts < max_attempts) {
+    bool removed_any = false;
+    for (size_t start = 0; start < best.ops.size() && attempts < max_attempts;) {
+      const size_t len = std::min(chunk, best.ops.size() - start);
+      if (len == best.ops.size()) {
+        start += len;
+        continue;  // never try the empty schedule
+      }
+      bool pinned = false;
+      for (size_t i = start; i < start + len; ++i) {
+        if (protected_op(best.ops[i])) pinned = true;
+      }
+      if (pinned) {
+        start += chunk;
+        continue;
+      }
+      SimSchedule candidate = best;
+      candidate.ops.erase(
+          candidate.ops.begin() + static_cast<std::ptrdiff_t>(start),
+          candidate.ops.begin() + static_cast<std::ptrdiff_t>(start + len));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        removed_any = true;
+        // Keep `start` in place: the next window shifted into it.
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk = std::max<size_t>(1, chunk / 2);
+    } else {
+      chunk = std::min(chunk, std::max<size_t>(1, best.ops.size() / 2));
+    }
+  }
+  return best;
+}
+
+}  // namespace sim
+}  // namespace pipes

@@ -1,0 +1,28 @@
+/// \file sim_shrink.h
+/// \brief Greedy schedule shrinking for failing simulation runs.
+///
+/// A failing seed usually carries a hundred-plus ops of noise around the
+/// handful that matter. `ShrinkSchedule` is a bounded ddmin-lite: it removes
+/// chunks of ops (window halving down to single ops) and keeps every removal
+/// after which the schedule still fails, so the reported repro is close to
+/// minimal while the cost stays capped at `max_attempts` harness runs.
+/// Schedules address providers/keys/slots by pool index, never by pointer,
+/// so every subsequence is itself a valid schedule.
+
+#pragma once
+
+#include "testing/sim_harness.h"
+#include "testing/sim_schedule.h"
+
+namespace pipes {
+namespace sim {
+
+/// Shrinks `failing` (a schedule whose RunSchedule(., opts) fails) to a
+/// smaller still-failing schedule. Deterministic; returns `failing`
+/// unchanged when nothing can be removed within the attempt budget.
+SimSchedule ShrinkSchedule(const SimSchedule& failing,
+                           const SimRunOptions& opts = {},
+                           int max_attempts = 200);
+
+}  // namespace sim
+}  // namespace pipes

@@ -733,6 +733,56 @@ TEST(DurabilityConcurrencyTest, ProviderTeardownDuringCheckpointIsSafe) {
   fx.manager.DisableDurability();
 }
 
+/// Regression (found by the simulation harness, pipes_sim seed replay):
+/// checkpoint imaging used to dereference `DependencySpec::provider` to
+/// record the dependency's provider label. A descriptor may outlive the
+/// provider its explicit dependency names — retire the dependency's provider,
+/// then checkpoint — and the image walk then read freed memory. Specs now
+/// carry the label captured at construction, so checkpoint-after-retire is an
+/// ordinary sequence: the image must still name the dead provider by label
+/// and recovery must resolve it against a reborn provider of that label.
+TEST(DurabilityConcurrencyTest, CheckpointAfterDependencyProviderTeardown) {
+  TempDir tmp;
+  MetaFixture fx;
+  auto upstream = std::make_unique<SimpleProvider>("upstream");
+  SimpleProvider app("app");
+  ASSERT_TRUE(upstream->metadata_registry()
+                  .Define(MetadataDescriptor::OnDemand("src").WithEvaluator(
+                      [](EvalContext&) { return MetadataValue(5.0); }))
+                  .ok());
+  ASSERT_TRUE(app.metadata_registry()
+                  .Define(MetadataDescriptor::Triggered("derived")
+                              .DependsOn({DependencySpec::Explicit(
+                                  upstream.get(), "src")})
+                              .WithEvaluator([](EvalContext& ctx) {
+                                return MetadataValue(ctx.Dep(0).AsDouble() + 1);
+                              }))
+                  .ok());
+  ASSERT_TRUE(fx.manager
+                  .EnableDurability(NoSyncConfig(tmp.path),
+                                    {upstream.get(), &app})
+                  .ok());
+  {
+    auto sub = fx.manager.Subscribe(app, "derived");
+    ASSERT_TRUE(sub.ok());
+    EXPECT_EQ(sub->GetDouble(), 6.0);
+  }
+
+  upstream.reset();  // the Explicit spec in "derived" now points at freed mem
+  ASSERT_TRUE(fx.manager.durability()->CheckpointNow().ok());
+  fx.manager.DisableDurability();
+
+  // The image must have recorded the dependency by its captured label:
+  // recovery against a reborn "upstream" resolves it without complaint.
+  MetaFixture fx2;
+  SimpleProvider upstream2("upstream");
+  SimpleProvider app2("app");
+  auto rep = fx2.manager.RecoverFrom(tmp.path, {&upstream2, &app2});
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep.value().unresolved_providers.empty());
+  EXPECT_TRUE(app2.metadata_registry().IsAvailable("derived"));
+}
+
 /// Regression: Define/Undefine used to journal *after* releasing the
 /// registry lock, so two threads mutating the same key could journal in the
 /// opposite order of the in-memory mutations — replay would then rebuild

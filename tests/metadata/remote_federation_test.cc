@@ -10,15 +10,18 @@
 /// real-socket TCP frame round trip.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "metadata/persistence.h"
 #include "metadata/remote.h"
 #include "net/loopback.h"
 #include "net/tcp.h"
@@ -31,6 +34,23 @@ namespace {
 using testing::SimpleProvider;
 
 constexpr Duration kMs = kMicrosPerMilli;
+
+/// Unique on-disk scratch directory, removed on scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/pipes_federation_XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    if (p != nullptr) path = p;
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+};
 
 /// Two federated managers joined by a faulty loopback link. `server_mgr`
 /// exports provider "sensors"; `client_mgr` mirrors it.
@@ -260,6 +280,72 @@ TEST(RemoteFederationTest, PartitionQuarantineHealReconciliation) {
     EXPECT_LT((*seen)[i - 1], (*seen)[i]) << "duplicate notification at " << i;
   }
   EXPECT_EQ(seen->back(), 4.0);
+}
+
+TEST(RemoteFederationTest, NoDuplicateNotificationAfterReconnectDuringCheckpoint) {
+  // The simulation harness's headline bug class, pinned as a named gtest:
+  // a server-side checkpoint taken while the client is partitioned (so the
+  // reconnect reconciliation and the checkpoint overlap) must neither crash
+  // the image walk — the per-peer export item's explicit dependency spec is
+  // imaged by captured label — nor cause the reconciled client to deliver
+  // any value twice.
+  TempDir tmp;
+  FedFixture fx;
+  ASSERT_TRUE(fx.server_mgr
+                  .EnableDurability(
+                      [&] {
+                        DurabilityConfig cfg;
+                        cfg.dir = tmp.path;
+                        cfg.fsync_policy = FsyncPolicy::kNone;
+                        cfg.checkpoint_period = 0;
+                        return cfg;
+                      }(),
+                      {&fx.sensors})
+                  .ok());
+  RemoteMetadataProvider mirror("sensors", fx.client_mgr, fx.link.b());
+  ASSERT_TRUE(mirror.Mirror("temp", /*max_staleness=*/2 * kMicrosPerSecond)
+                  .ok());
+
+  auto seen = std::make_shared<std::vector<double>>();
+  SimpleProvider local("local");
+  ASSERT_TRUE(local.metadata_registry()
+                  .Define(MetadataDescriptor::Triggered("obs")
+                              .DependsOn({DependencySpec::Explicit(
+                                  &mirror, "temp")})
+                              .WithEvaluator([seen](EvalContext& ctx) {
+                                MetadataValue v = ctx.Dep(0);
+                                seen->push_back(v.AsDouble());
+                                return v;
+                              }))
+                  .ok());
+  auto sub = fx.client_mgr.Subscribe(local, "obs");
+  ASSERT_TRUE(sub.ok());
+  fx.RunFor(10 * kMs);
+  ASSERT_EQ(sub->GetDouble(), 1.0);
+
+  // Partition; the server keeps publishing into the void.
+  fx.injector.PartitionLink("fed.s2c");
+  fx.injector.PartitionLink("fed.c2s");
+  fx.Publish(2.0);
+  fx.RunFor(150 * kMs);
+  fx.Publish(3.0);
+  fx.RunFor(150 * kMs);
+
+  // Checkpoint mid-partition: images the export item (explicit dep on the
+  // exported source) while its peer is away and about to reconcile.
+  ASSERT_TRUE(fx.server_mgr.durability()->CheckpointNow().ok());
+
+  fx.injector.HealLink("fed.s2c");
+  fx.injector.HealLink("fed.c2s");
+  fx.RunFor(500 * kMs);
+
+  EXPECT_EQ(sub->GetDouble(), 3.0);  // reconciled to the latest value
+  // No duplicate notifications: strictly increasing observed values.
+  ASSERT_GE(seen->size(), 2u);
+  for (size_t i = 1; i < seen->size(); ++i) {
+    EXPECT_LT((*seen)[i - 1], (*seen)[i]) << "duplicate notification at " << i;
+  }
+  fx.server_mgr.DisableDurability();
 }
 
 TEST(RemoteFederationTest, StalenessResyncRecoversFromSilentLoss) {

@@ -1,0 +1,19 @@
+// Fixture: one unwaived wall-clock read (flagged), one waived read (not
+// flagged), one unseeded entropy source (flagged).
+#include <chrono>
+#include <random>
+
+namespace fix {
+
+long Bad() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long Waived() {
+  // pipes-analyze: nondeterministic(fixture: reviewed use)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+unsigned Entropy() { return std::random_device{}(); }
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+// Fixture: under src/testing/ even a waiver must not silence the check —
+// the simulation harness is deterministic unconditionally.
+
+namespace fix {
+
+void SleepyHarness() {
+  // pipes-analyze: nondeterministic(fixture: waiver must be ignored here)
+  auto f = [] { usleep(1); };
+  (void)f;
+}
+
+}  // namespace fix

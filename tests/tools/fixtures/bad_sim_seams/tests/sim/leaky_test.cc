@@ -1,0 +1,8 @@
+// Fixture: a sim test that reaches past the published seams. The harness
+// facade include is fine; the two internal includes must be flagged.
+#include "testing/sim_harness.h"
+
+#include "metadata/persistence.h"
+#include "common/journal.h"
+
+namespace fix {}  // namespace fix

@@ -1,0 +1,167 @@
+/// \file metadata_fsck_test.cc
+/// \brief End-to-end coverage of the offline durability checker against
+/// journal directories produced by real simulated schedules (the same
+/// generator the pipes_sim fuzzer uses). Exercises every documented exit
+/// code: 0 (clean), 1 (repaired), 2 (unrepairable), 64 (usage).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "testing/sim_harness.h"
+#include "testing/sim_schedule.h"
+
+#ifndef PIPES_FSCK_BINARY
+#error "PIPES_FSCK_BINARY must point at the metadata_fsck executable"
+#endif
+
+namespace pipes {
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitRepaired = 1;
+constexpr int kExitUnrepairable = 2;
+constexpr int kExitUsage = 64;
+
+/// Unique on-disk scratch directory, removed on scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/pipes_fsck_XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    if (p != nullptr) path = p;
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+};
+
+/// Runs metadata_fsck with `args` and returns its exit status.
+int RunFsck(const std::string& args) {
+  std::string cmd = std::string(PIPES_FSCK_BINARY) + " " + args +
+                    " > /dev/null 2>&1";
+  int rc = std::system(cmd.c_str());
+  if (rc < 0 || !WIFEXITED(rc)) return -1;
+  return WEXITSTATUS(rc);
+}
+
+/// Fills `dir` with the journals + snapshots of one simulated schedule.
+/// The caller-provided durability_dir is left in place after the run.
+void ProduceDurabilityDir(uint64_t seed, bool crashes,
+                          const std::string& dir) {
+  sim::SimProfile profile;
+  profile.federation = false;
+  profile.crashes = crashes;
+  sim::SimSchedule schedule = sim::GenerateSchedule(seed, profile);
+  sim::SimRunOptions opts;
+  opts.durability_dir = dir;
+  sim::SimRunResult result = sim::RunSchedule(schedule, opts);
+  ASSERT_TRUE(result.ok) << "seed " << seed << " failed at op "
+                         << result.failed_op << ": " << result.failure;
+}
+
+/// Largest file in `dir` whose name starts with `prefix` (the file with
+/// enough records that tearing a few bytes off cannot land on a frame
+/// boundary). "" when none qualifies.
+std::string LargestFileWithPrefix(const std::string& dir,
+                                  const std::string& prefix) {
+  std::string best;
+  uintmax_t best_size = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    std::string name = e.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    uintmax_t size = std::filesystem::file_size(e.path());
+    if (size > best_size) {
+      best_size = size;
+      best = e.path().string();
+    }
+  }
+  return best;
+}
+
+TEST(MetadataFsckTest, CleanSimulatedScheduleExitsZero) {
+  TempDir tmp;
+  ProduceDurabilityDir(/*seed=*/11, /*crashes=*/false, tmp.path);
+  EXPECT_EQ(RunFsck(tmp.path), kExitClean);
+}
+
+TEST(MetadataFsckTest, TornTailIsReportedThenRepairedThenClean) {
+  TempDir tmp;
+  ProduceDurabilityDir(/*seed=*/12, /*crashes=*/false, tmp.path);
+  std::string journal = LargestFileWithPrefix(tmp.path, "journal-");
+  ASSERT_FALSE(journal.empty());
+  // Tear an odd number of bytes off the tail: the cut cannot coincide with a
+  // frame boundary, so the scan must classify it as a torn tail.
+  ASSERT_TRUE(TruncateFileTail(journal, 3));
+
+  EXPECT_EQ(RunFsck(tmp.path), kExitUnrepairable);  // report-only mode
+  EXPECT_EQ(RunFsck("--repair " + tmp.path), kExitRepaired);
+  EXPECT_EQ(RunFsck(tmp.path), kExitClean);  // truncation fixed it for good
+}
+
+TEST(MetadataFsckTest, DamagedSnapshotIsUnrepairable) {
+  TempDir tmp;
+  ProduceDurabilityDir(/*seed=*/13, /*crashes=*/false, tmp.path);
+  std::string snapshot = LargestFileWithPrefix(tmp.path, "snapshot-");
+  ASSERT_FALSE(snapshot.empty());
+  ASSERT_TRUE(TruncateFileTail(snapshot, 3));
+
+  // Snapshots are never repaired in place (restore-from-previous-generation
+  // is recovery's job), so even --repair must leave damage behind.
+  EXPECT_EQ(RunFsck("--repair " + tmp.path), kExitUnrepairable);
+}
+
+TEST(MetadataFsckTest, CorruptMidFileRecordIsUnrepairable) {
+  // A schedule that ends right after a checkpoint leaves its newest journal
+  // header-only; walk seeds until one leaves a journal with enough records
+  // to corrupt mid-file (deterministic: the same seed qualifies every run).
+  TempDir tmp;
+  std::string journal;
+  uintmax_t size = 0;
+  for (uint64_t seed = 14; seed < 34 && size <= 32; ++seed) {
+    std::filesystem::remove_all(tmp.path);
+    std::filesystem::create_directory(tmp.path);
+    ProduceDurabilityDir(seed, /*crashes=*/false, tmp.path);
+    journal = LargestFileWithPrefix(tmp.path, "journal-");
+    size = journal.empty() ? 0 : std::filesystem::file_size(journal);
+  }
+  ASSERT_GT(size, 32u);
+  // Flip one payload bit in the middle of the file: the frame CRC fails, the
+  // record is damage replay can only skip, not truncate away.
+  ASSERT_TRUE(FlipFileBit(journal, size / 2));
+
+  EXPECT_EQ(RunFsck(tmp.path), kExitUnrepairable);
+  EXPECT_EQ(RunFsck("--repair " + tmp.path), kExitUnrepairable);
+}
+
+TEST(MetadataFsckTest, CrashScheduleDirectoryEndsClean) {
+  // Journals written across simulated crash-restarts (the directory recovery
+  // itself replayed and re-enabled durability into) must scan clean — or at
+  // worst carry a repairable torn tail the schedule's own fault op tore.
+  TempDir tmp;
+  ProduceDurabilityDir(/*seed=*/15, /*crashes=*/true, tmp.path);
+  int first = RunFsck("--repair " + tmp.path);
+  EXPECT_TRUE(first == kExitClean || first == kExitRepaired) << first;
+  EXPECT_EQ(RunFsck(tmp.path), kExitClean);
+}
+
+TEST(MetadataFsckTest, UsageErrors) {
+  EXPECT_EQ(RunFsck(""), kExitUsage);            // no directory
+  EXPECT_EQ(RunFsck("--bogus /tmp"), kExitUsage);  // unknown flag
+  EXPECT_EQ(RunFsck("--help"), kExitClean);
+}
+
+}  // namespace
+}  // namespace pipes

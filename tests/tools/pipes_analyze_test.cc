@@ -90,6 +90,31 @@ TEST(PipesAnalyzeFixtures, KillPointsFlagsDuplicateUntestedAndStale) {
   EXPECT_NE(all.find("'fix.stale'"), std::string::npos) << all;
 }
 
+TEST(PipesAnalyzeFixtures, DeterminismFlagsWallClockAndEntropyButNotWaived) {
+  std::vector<Finding> findings = RunOn("bad_determinism", {"determinism"});
+  ASSERT_EQ(findings.size(), 3u) << Render(findings);
+  std::string all = Render(findings);
+  // The unwaived steady_clock read and the random_device draw.
+  EXPECT_NE(all.find("ticker.cc:9"), std::string::npos) << all;
+  EXPECT_NE(all.find("'random_device'"), std::string::npos) << all;
+  // The waived read on line 14 must NOT be flagged...
+  EXPECT_EQ(all.find("ticker.cc:14"), std::string::npos) << all;
+  // ...but the waiver under src/testing/ is ignored: the harness may not
+  // opt out of determinism.
+  EXPECT_NE(all.find("src/testing/harness.cc"), std::string::npos) << all;
+  EXPECT_NE(all.find("may not waive"), std::string::npos) << all;
+}
+
+TEST(PipesAnalyzeFixtures, SimSeamsFlagsIncludesPastTheHarnessFacade) {
+  std::vector<Finding> findings = RunOn("bad_sim_seams", {"sim-seams"});
+  ASSERT_EQ(findings.size(), 2u) << Render(findings);
+  std::string all = Render(findings);
+  EXPECT_NE(all.find("metadata/persistence.h"), std::string::npos) << all;
+  EXPECT_NE(all.find("common/journal.h"), std::string::npos) << all;
+  // The published seam include is allowed.
+  EXPECT_EQ(all.find("sim_harness.h"), std::string::npos) << all;
+}
+
 TEST(PipesAnalyzeFixtures, UnknownCheckNameYieldsUsageFinding) {
   std::vector<Finding> findings = RunOn("clean", {"no-such-check"});
   ASSERT_EQ(findings.size(), 1u);

@@ -13,7 +13,7 @@ std::string Finding::ToString() const {
 
 std::vector<std::string> AllCheckNames() {
   return {"guard-coverage", "layering", "lock-rank", "journal",
-          "kill-points"};
+          "kill-points", "determinism", "sim-seams"};
 }
 
 std::vector<Finding> RunChecks(const Options& opts,
@@ -32,6 +32,10 @@ std::vector<Finding> RunChecks(const Options& opts,
       CheckJournalExhaustiveness(opts, &out);
     } else if (name == "kill-points") {
       CheckKillPoints(opts, &out);
+    } else if (name == "determinism") {
+      CheckDeterminism(opts, &out);
+    } else if (name == "sim-seams") {
+      CheckSimSeams(opts, &out);
     } else {
       out.push_back({"usage", "", 0, "unknown check '" + name + "'"});
     }

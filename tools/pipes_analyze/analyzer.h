@@ -2,7 +2,7 @@
 /// \brief `pipes_analyze` — a source-level checker for project invariants
 /// that generic tooling (clang-tidy, -Wthread-safety) cannot express.
 ///
-/// Five checks, each a free function over a repository root:
+/// Seven checks, each a free function over a repository root:
 ///
 ///  - guard-coverage  every mutable data member of a class that uses
 ///                    PIPES_GUARDED_BY must itself be annotated, atomic,
@@ -23,6 +23,13 @@
 ///  - kill-points     every KillPoint("site") name is unique and exercised
 ///                    by the crash matrix in durability_test.cc (and the
 ///                    matrix lists no stale sites).
+///  - determinism     no src/ code reads wall clocks, draws unseeded
+///                    randomness, or sleeps real time without a reviewed
+///                    `// pipes-analyze: nondeterministic(<reason>)` waiver;
+///                    src/testing/ (the simulation harness) may not waive
+///                    at all.
+///  - sim-seams       tests/sim/ includes only the published test seams
+///                    (quoted includes must resolve into src/testing/).
 ///
 /// The checks are deliberately project-specific: they hard-code this
 /// repository's layout (src/<module>/..., persistence.{h,cc}, the crash
@@ -55,7 +62,7 @@ struct Options {
   std::string lock_graph_path;
 };
 
-/// \name The five checks
+/// \name The seven checks
 /// Each appends findings for its invariant. IO problems (an expected file
 /// missing from the tree) are reported as findings, not exceptions: a tree
 /// that lost its crash matrix should fail the gate, not skip it.
@@ -66,6 +73,8 @@ void CheckLockRanks(const Options& opts, std::vector<Finding>* out);
 void CheckJournalExhaustiveness(const Options& opts,
                                 std::vector<Finding>* out);
 void CheckKillPoints(const Options& opts, std::vector<Finding>* out);
+void CheckDeterminism(const Options& opts, std::vector<Finding>* out);
+void CheckSimSeams(const Options& opts, std::vector<Finding>* out);
 ///@}
 
 /// All registered check names, in report order.

@@ -1,0 +1,76 @@
+/// \file check_determinism.cc
+/// \brief determinism: no src/ code may read wall clocks, draw unseeded
+/// randomness, or sleep real time without a reviewed waiver — and code under
+/// src/testing/ (the simulation harness) may not even waive.
+///
+/// The simulation harness's replayability rests on every sim-reachable path
+/// flowing through VirtualClock and the seeded pipes::Rng. The compiler
+/// cannot see that contract, so this check bans the raw sources of
+/// nondeterminism at the token level:
+///
+///   time      steady_clock, system_clock, high_resolution_clock,
+///             clock_gettime, gettimeofday, time(...)-free funcs excluded
+///   entropy   random_device, mt19937, mt19937_64, srand
+///   sleeping  sleep_for, sleep_until, usleep, nanosleep
+///
+/// Sanctioned uses carry `// pipes-analyze: nondeterministic(<reason>)` on
+/// the same or preceding line. Today's full waiver set: SystemClock itself
+/// (every read bumps SystemClockUseCount, which the harness asserts stays
+/// flat), the scheduler's real-time task-runtime measurement, and the fault
+/// injector's real sleep (never armed under the sim, which injects latency
+/// as virtual link delay instead). Waivers are *ignored* under src/testing/:
+/// the harness must be deterministic unconditionally.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+#include "pipes_analyze/source_model.h"
+
+namespace pipes::analyze {
+namespace {
+
+constexpr const char* kCheck = "determinism";
+constexpr const char* kWaiver = "nondeterministic";
+
+const std::set<std::string>& ForbiddenIdents() {
+  static const std::set<std::string> kForbidden = {
+      "steady_clock", "system_clock", "high_resolution_clock",
+      "clock_gettime", "gettimeofday", "random_device",
+      "mt19937",      "mt19937_64",   "srand",
+      "sleep_for",    "sleep_until",  "usleep",
+      "nanosleep",
+  };
+  return kForbidden;
+}
+
+}  // namespace
+
+void CheckDeterminism(const Options& opts, std::vector<Finding>* out) {
+  for (const std::string& rel : ListSources(opts.root, "src")) {
+    auto file = LoadSource(opts.root, rel);
+    if (!file) {
+      out->push_back({kCheck, rel, 0, "could not read file"});
+      continue;
+    }
+    const bool waivable = rel.rfind("src/testing/", 0) != 0;
+    for (const Token& tok : Lex(file->stripped)) {
+      if (tok.kind != TokKind::kIdent) continue;
+      if (ForbiddenIdents().count(tok.text) == 0) continue;
+      if (waivable && file->HasWaiver(kWaiver, tok.line)) continue;
+      std::string why =
+          waivable
+              ? "add `// pipes-analyze: nondeterministic(<reason>)` if this "
+                "use is reviewed"
+              : "src/testing/ is the simulation harness and may not waive";
+      out->push_back({kCheck, rel, tok.line,
+                      "nondeterminism source '" + tok.text +
+                          "': sim-reachable code must use the injected "
+                          "Clock and seeded Rng (" +
+                          why + ")"});
+    }
+  }
+}
+
+}  // namespace pipes::analyze

@@ -12,10 +12,15 @@
 ///     runtime   -> runtime, costmodel, stream, metadata, common
 ///     query     -> everything      (src/stream/query_builder.*, the
 ///                                   pipes_query target above costmodel)
+///     testing   -> testing, metadata, net, common
 ///
 /// net sits between common and metadata: transports know nothing about
 /// descriptors or registries (federation lives in metadata and injects the
 /// endpoint), so net may reach only into common.
+///
+/// testing (the simulation harness) is a leaf like runtime: it drives the
+/// metadata stack through its public headers, and no product module may
+/// include it — the harness observes the system, never the reverse.
 ///
 /// query_builder lives in the src/stream directory but is its own library
 /// precisely because it depends on the cost model; the checker models it as
@@ -59,6 +64,7 @@ const std::map<std::string, std::vector<std::string>>& AllowedDeps() {
       {"query",
        {"query", "runtime", "costmodel", "stream", "metadata", "net",
         "common"}},
+      {"testing", {"testing", "metadata", "net", "common"}},
   };
   return kAllowed;
 }

@@ -1,0 +1,73 @@
+/// \file check_sim_seams.cc
+/// \brief sim-seams: tests/sim/ may only include the published test seams.
+///
+/// The simulation suite is the executable specification of the metadata
+/// stack's *public* behaviour. The moment a sim test includes an internal
+/// header (a handler, the persistence engine, a lock table) it starts
+/// asserting implementation details and stops being evidence that the
+/// public surface is sufficient. So: every quoted include in tests/sim/
+/// must resolve into src/testing/ — the harness facade re-exports
+/// everything a schedule-driven test legitimately needs. System headers
+/// (angle form) and the test framework are outside the contract.
+///
+/// A tree without tests/sim/ is silent: not every fixture grows a
+/// simulation suite.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipes_analyze/analyzer.h"
+#include "pipes_analyze/source_model.h"
+
+namespace pipes::analyze {
+namespace {
+
+constexpr const char* kCheck = "sim-seams";
+
+/// Extracts `#include "..."` targets with line numbers (quoted form only).
+std::vector<std::pair<std::string, int>> QuotedIncludes(
+    const SourceFile& file) {
+  std::vector<std::pair<std::string, int>> out;
+  const std::string& s = file.stripped;
+  int line = 1;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (s[i] != '#') continue;
+    size_t p = i + 1;
+    while (p < s.size() && (s[p] == ' ' || s[p] == '\t')) ++p;
+    if (s.compare(p, 7, "include") != 0) continue;
+    p += 7;
+    while (p < s.size() && (s[p] == ' ' || s[p] == '\t')) ++p;
+    if (p >= s.size() || s[p] != '"') continue;
+    size_t close = s.find('"', p + 1);
+    if (close == std::string::npos) continue;
+    out.emplace_back(s.substr(p + 1, close - p - 1), line);
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckSimSeams(const Options& opts, std::vector<Finding>* out) {
+  for (const std::string& rel : ListSources(opts.root, "tests/sim")) {
+    auto file = LoadSource(opts.root, rel);
+    if (!file) {
+      out->push_back({kCheck, rel, 0, "could not read file"});
+      continue;
+    }
+    for (const auto& [inc, line] : QuotedIncludes(*file)) {
+      if (inc.rfind("testing/", 0) == 0) continue;
+      out->push_back(
+          {kCheck, rel, line,
+           "sim tests may only include the published test seams "
+           "(src/testing/); \"" +
+               inc + "\" reaches past the harness facade"});
+    }
+  }
+}
+
+}  // namespace pipes::analyze

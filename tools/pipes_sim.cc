@@ -1,0 +1,208 @@
+/// \file pipes_sim.cc
+/// \brief Deterministic simulation runner: seeded random metadata schedules
+/// checked against the reference model.
+///
+/// Each seed generates one schedule (see src/testing/sim_schedule.h) and
+/// runs it against a full metadata stack — manager, providers, durability
+/// with crash-restarts, or federation over a faulty loopback link — in
+/// lock-step with an in-memory reference model. Seeds rotate through the
+/// feature mixes {crashes only, federation only, pure local}, so a single
+/// run covers all configurations. Everything executes on virtual time with
+/// schedule-seeded randomness: a seed that fails here fails identically
+/// everywhere, and --log output is byte-identical across runs.
+///
+/// Failing seeds print a one-line repro command plus a greedily shrunk
+/// schedule (bounded ddmin over the op list).
+///
+/// Usage: pipes_sim [options]
+///   --schedules N     seeds to run (default 50)
+///   --seed S          first seed (default 1; seeds S..S+N-1 run)
+///   --ops N           body ops per schedule (default 120)
+///   --providers N     provider pool size, 1..9 (default 3)
+///   --keys N          keys per provider, 1..9 (default 4)
+///   --no-federation   drop federation schedules from the rotation
+///   --no-crashes      drop crash-restart schedules from the rotation
+///   --no-durability   run without journaling/checkpoints entirely
+///   --inject-bug      forge duplicate remote pushes (self-test: the
+///                     observed-value oracle must catch them; exit 1)
+///   --shrink-attempts N  harness runs the shrinker may spend (default 200)
+///   --log FILE        append every schedule's event log to FILE
+///   --quiet           only print failures and the summary
+///   --help            this text
+///
+/// Exit status: 0 = every schedule passed, 1 = at least one failed,
+/// 64 = usage error.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "testing/sim_harness.h"
+#include "testing/sim_schedule.h"
+#include "testing/sim_shrink.h"
+
+namespace {
+
+void PrintUsage(FILE* out) {
+  std::fprintf(out,
+               "usage: pipes_sim [--schedules N] [--seed S] [--ops N]\n"
+               "                 [--providers N] [--keys N] [--no-federation]\n"
+               "                 [--no-crashes] [--no-durability]\n"
+               "                 [--inject-bug] [--shrink-attempts N]\n"
+               "                 [--log FILE] [--quiet] [--help]\n"
+               "\n"
+               "Runs seeded random metadata schedules against the reference\n"
+               "model on virtual time. Deterministic: a seed fails (or\n"
+               "passes) identically on every machine, and --log output is\n"
+               "byte-identical across runs.\n"
+               "\n"
+               "exit status: 0 all passed, 1 failures, 64 usage error\n");
+}
+
+bool ParseInt(const char* s, int64_t* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t schedules = 50;
+  uint64_t first_seed = 1;
+  int shrink_attempts = 200;
+  bool inject_bug = false;
+  bool quiet = false;
+  std::string log_path;
+  pipes::sim::SimProfile base;
+  base.federation = true;  // rotation splits federation/crashes per seed
+  base.crashes = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int64_t* out) {
+      if (i + 1 >= argc || !ParseInt(argv[++i], out)) {
+        std::fprintf(stderr, "pipes_sim: %s needs an integer argument\n",
+                     arg.c_str());
+        return false;
+      }
+      return true;
+    };
+    int64_t v = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg == "--schedules") {
+      if (!next_int(&v) || v < 1) return 64;
+      schedules = static_cast<uint64_t>(v);
+    } else if (arg == "--seed") {
+      if (!next_int(&v) || v < 0) return 64;
+      first_seed = static_cast<uint64_t>(v);
+    } else if (arg == "--ops") {
+      if (!next_int(&v) || v < 1) return 64;
+      base.ops = static_cast<int>(v);
+    } else if (arg == "--providers") {
+      if (!next_int(&v) || v < 1 || v > 9) return 64;
+      base.providers = static_cast<int>(v);
+    } else if (arg == "--keys") {
+      if (!next_int(&v) || v < 1 || v > 9) return 64;
+      base.keys = static_cast<int>(v);
+    } else if (arg == "--no-federation") {
+      base.federation = false;
+    } else if (arg == "--no-crashes") {
+      base.crashes = false;
+    } else if (arg == "--no-durability") {
+      base.durability = false;
+      base.crashes = false;
+    } else if (arg == "--inject-bug") {
+      inject_bug = true;
+    } else if (arg == "--shrink-attempts") {
+      if (!next_int(&v) || v < 0) return 64;
+      shrink_attempts = static_cast<int>(v);
+    } else if (arg == "--log") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pipes_sim: --log needs a file argument\n");
+        return 64;
+      }
+      log_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "pipes_sim: unknown option '%s'\n", arg.c_str());
+      PrintUsage(stderr);
+      return 64;
+    }
+  }
+
+  if (inject_bug) {
+    // The forged duplicates ride the federation link; make every schedule a
+    // federation one so each seed exercises the oracle under test.
+    base.federation = true;
+    base.crashes = false;
+  }
+
+  std::ofstream log_file;
+  if (!log_path.empty()) {
+    log_file.open(log_path, std::ios::out | std::ios::app);
+    if (!log_file) {
+      std::fprintf(stderr, "pipes_sim: cannot open log file '%s'\n",
+                   log_path.c_str());
+      return 64;
+    }
+  }
+
+  pipes::sim::SimRunOptions opts;
+  opts.inject_duplicates = inject_bug;
+
+  uint64_t failures = 0;
+  for (uint64_t n = 0; n < schedules; ++n) {
+    const uint64_t seed = first_seed + n;
+    pipes::sim::SimProfile profile = pipes::sim::ProfileForSeed(seed, base);
+    pipes::sim::SimSchedule schedule =
+        pipes::sim::GenerateSchedule(seed, profile);
+    pipes::sim::SimRunResult result = pipes::sim::RunSchedule(schedule, opts);
+    if (log_file.is_open()) {
+      log_file << "=== seed " << seed << " ops=" << schedule.ops.size()
+               << " federation=" << (profile.federation ? 1 : 0)
+               << " crashes=" << (profile.crashes ? 1 : 0) << " ===\n"
+               << result.event_log;
+      log_file << (result.ok ? "PASS" : "FAIL") << "\n";
+    }
+    if (result.ok) {
+      if (!quiet) {
+        std::printf("seed %" PRIu64 ": ok (%zu ops)\n", seed,
+                    schedule.ops.size());
+      }
+      continue;
+    }
+    ++failures;
+    std::printf("seed %" PRIu64 ": FAIL at op %d: %s\n", seed,
+                result.failed_op, result.failure.c_str());
+    std::printf("  repro: pipes_sim --schedules 1 --seed %" PRIu64
+                " --ops %d --providers %d --keys %d%s%s%s%s\n",
+                seed, base.ops, base.providers, base.keys,
+                base.federation ? "" : " --no-federation",
+                base.crashes ? "" : " --no-crashes",
+                base.durability ? "" : " --no-durability",
+                inject_bug ? " --inject-bug" : "");
+    if (shrink_attempts > 0) {
+      pipes::sim::SimSchedule shrunk =
+          pipes::sim::ShrinkSchedule(schedule, opts, shrink_attempts);
+      pipes::sim::SimRunResult shrunk_result =
+          pipes::sim::RunSchedule(shrunk, opts);
+      std::printf("  shrunk %zu ops -> %zu ops (fails at op %d: %s):\n",
+                  schedule.ops.size(), shrunk.ops.size(),
+                  shrunk_result.failed_op, shrunk_result.failure.c_str());
+      std::fputs(pipes::sim::Describe(shrunk).c_str(), stdout);
+    }
+  }
+
+  std::printf("pipes_sim: %" PRIu64 " schedule%s, %" PRIu64 " failed\n",
+              schedules, schedules == 1 ? "" : "s", failures);
+  return failures == 0 ? 0 : 1;
+}
